@@ -1,0 +1,48 @@
+//! Figure 10 — runtime of the five persistence configurations.
+//!
+//! For each gem5-subset application, prints the normalized runtimes
+//! (x86-64 NVM = 1.0) and benchmarks the model replay itself across all
+//! five configurations. The paper's averages: PWQ 0.845, HOPS(NVM)
+//! 0.757, HOPS(PWQ) 0.743, IDEAL 0.593.
+//!
+//! Regenerate the full figure with
+//! `cargo run --release --bin whisper-report -- fig10`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hops::{replay, HopsConfig, PersistModel, TimingConfig};
+use whisper::suite::{run_app, SuiteConfig, SIM_APPS};
+
+fn bench_fig10(c: &mut Criterion) {
+    let cfg = SuiteConfig {
+        scale: 0.02,
+        seed: 42,
+    };
+    let tcfg = TimingConfig::default();
+    let hcfg = HopsConfig::default();
+    let mut group = c.benchmark_group("fig10_persistence_models");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for name in SIM_APPS {
+        let r = run_app(name, &cfg);
+        for (model, norm) in &r.analysis.fig10 {
+            eprintln!("[fig10] {name:<12} {model:>16}: {norm:.3}");
+        }
+        for model in PersistModel::ALL {
+            group.bench_function(format!("{name}/{model}"), |b| {
+                b.iter(|| {
+                    std::hint::black_box(replay(
+                        std::hint::black_box(&r.run.events),
+                        &tcfg,
+                        &hcfg,
+                        model,
+                    ))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

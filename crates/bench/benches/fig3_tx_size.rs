@@ -1,0 +1,51 @@
+//! Figure 3 — distribution of transaction sizes (epochs per durable
+//! transaction).
+//!
+//! Runs the transaction-bearing applications, prints each measured
+//! median beside the paper's value, and benchmarks the trace-analysis
+//! pipeline that computes the statistic.
+//!
+//! Regenerate the full figure with
+//! `cargo run --release --bin whisper-report -- fig3`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmtrace::analysis;
+use whisper::suite::{run_app, SuiteConfig};
+
+const PAPER_MEDIANS: [(&str, u64); 8] = [
+    ("echo", 307),
+    ("nstore-ycsb", 42),
+    ("nstore-tpcc", 197),
+    ("redis", 6),
+    ("ctree", 11),
+    ("hashmap", 11),
+    ("vacation", 4),
+    ("memcached", 4),
+];
+
+fn bench_fig3(c: &mut Criterion) {
+    let cfg = SuiteConfig {
+        scale: 0.02,
+        seed: 42,
+    };
+    let mut group = c.benchmark_group("fig3_tx_size");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (name, paper) in PAPER_MEDIANS {
+        let r = run_app(name, &cfg);
+        let epochs = analysis::split_epochs(&r.run.events);
+        let median = analysis::tx_stats(&epochs).median().unwrap_or(0);
+        eprintln!("[fig3] {name:<12} median {median:>4} epochs/tx (paper {paper})");
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let epochs = analysis::split_epochs(std::hint::black_box(&r.run.events));
+                std::hint::black_box(analysis::tx_stats(&epochs).median())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Figure 4 — distribution of epoch sizes in unique 64 B cache lines.
+//!
+//! Prints each application's bucket fractions (1/2/3/4/5/6–63/≥64) and
+//! benchmarks epoch segmentation + histogram construction, the hot path
+//! of the offline analysis.
+//!
+//! Regenerate the full figure with
+//! `cargo run --release --bin whisper-report -- fig4`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmtrace::analysis;
+use whisper::suite::{run_app, SuiteConfig, APP_NAMES};
+
+fn bench_fig4(c: &mut Criterion) {
+    let cfg = SuiteConfig {
+        scale: 0.02,
+        seed: 42,
+    };
+    let mut group = c.benchmark_group("fig4_epoch_sizes");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for name in APP_NAMES {
+        let r = run_app(name, &cfg);
+        let hist = analysis::epoch_size_histogram(&analysis::split_epochs(&r.run.events));
+        eprintln!(
+            "[fig4] {name:<12} {hist} (paper: ~75% singletons for native/library apps)"
+        );
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let epochs = analysis::split_epochs(std::hint::black_box(&r.run.events));
+                std::hint::black_box(analysis::epoch_size_histogram(&epochs))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Figure 5 — self- and cross-thread epoch dependencies within the
+//! 50 µs window.
+//!
+//! Prints each application's dependent-epoch fractions beside the
+//! paper's, and benchmarks the WAW dependency scan (the most expensive
+//! analysis pass: a hash lookup per line per epoch).
+//!
+//! Regenerate the full figure with
+//! `cargo run --release --bin whisper-report -- fig5`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmtrace::analysis;
+use whisper::suite::{run_app, SuiteConfig, APP_NAMES};
+
+const PAPER_SELF: [(&str, f64); 11] = [
+    ("echo", 54.5),
+    ("nstore-ycsb", 40.2),
+    ("nstore-tpcc", 27.18),
+    ("redis", 82.5),
+    ("ctree", 79.0),
+    ("hashmap", 81.0),
+    ("vacation", 40.0),
+    ("memcached", 63.5),
+    ("nfs", 55.0),
+    ("exim", 45.27),
+    ("mysql", 17.89),
+];
+
+fn bench_fig5(c: &mut Criterion) {
+    let cfg = SuiteConfig {
+        scale: 0.02,
+        seed: 42,
+    };
+    let mut group = c.benchmark_group("fig5_dependencies");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for name in APP_NAMES {
+        let r = run_app(name, &cfg);
+        let epochs = analysis::split_epochs(&r.run.events);
+        let deps = analysis::dependencies(&epochs);
+        let paper = PAPER_SELF.iter().find(|(n, _)| *n == name).map(|(_, v)| *v).unwrap_or(0.0);
+        eprintln!(
+            "[fig5] {name:<12} self {:>5.1}% (paper {paper:>5.1}%), cross {:>6.3}%",
+            deps.self_fraction() * 100.0,
+            deps.cross_fraction() * 100.0
+        );
+        group.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(analysis::dependencies(std::hint::black_box(&epochs))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figure 6 — proportion of PM accesses among all memory accesses.
+//!
+//! Runs the six gem5-subset applications and prints the PM share beside
+//! the paper's numbers (echo 5.49 %, ycsb 8.71 %, redis 0.74 %, ctree
+//! 3.32 %, hashmap 2.6 %, vacation 0.36 %, mean ≈ 3.5 %); the benchmark
+//! measures the instrumented machine's throughput driving each
+//! workload, since access counting is free at trace time.
+//!
+//! Regenerate the full figure with
+//! `cargo run --release --bin whisper-report -- fig6`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use whisper::suite::{run_app, SuiteConfig, SIM_APPS};
+
+fn bench_fig6(c: &mut Criterion) {
+    let cfg = SuiteConfig {
+        scale: 0.02,
+        seed: 42,
+    };
+    let mut group = c.benchmark_group("fig6_pm_traffic_share");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for name in SIM_APPS {
+        let r = run_app(name, &cfg);
+        eprintln!(
+            "[fig6] {name:<12} PM share {:>5.2}% ({})",
+            r.analysis.pm_fraction * 100.0,
+            r.run.stats
+        );
+        group.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(run_app(name, &cfg).run.stats.pm_fraction()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Table 1 — epochs per second for every WHISPER application.
+//!
+//! Each benchmark runs one application's workload on the instrumented
+//! machine; besides Criterion's wall-clock measurement of the simulator
+//! itself, the *simulated* epoch rate (the number Table 1 reports) is
+//! printed once per application for direct comparison with the paper.
+//!
+//! Regenerate the full table with
+//! `cargo run --release --bin whisper-report -- table1`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmtrace::analysis;
+use whisper::suite::{run_app, SuiteConfig, APP_NAMES};
+
+fn bench_table1(c: &mut Criterion) {
+    let cfg = SuiteConfig {
+        scale: 0.02,
+        seed: 42,
+    };
+    let mut group = c.benchmark_group("table1_epochs_per_second");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for name in APP_NAMES {
+        // Print the simulated rate once, outside the timing loop.
+        let r = run_app(name, &cfg);
+        let eps = analysis::epochs_per_second(
+            analysis::split_epochs(&r.run.events).len(),
+            r.run.duration_ns,
+        );
+        eprintln!("[table1] {name:<12} {eps:>12.0} epochs/s (simulated)");
+        group.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(run_app(name, &cfg)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

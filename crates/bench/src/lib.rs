@@ -1,0 +1,3 @@
+//! Benchmark harness crate; the Criterion benches live in `benches/`.
+//! See DESIGN.md for the per-experiment index.
+#![forbid(unsafe_code)]

@@ -1,0 +1,132 @@
+//! Counting Bloom filter over buffered PM lines.
+//!
+//! "We associate counting Bloom filters with the PB Back End to
+//! maintain a conservative list of buffered addresses. On a last-level
+//! cache (LLC) miss, if the address is present in this list, the miss
+//! is stalled until the address is written back to PM. Such stalls are
+//! expected to be rare as the modified data is expected to survive
+//! longer in the cache hierarchy than in the PBs." (Section 6.3.)
+
+use pmem::Line;
+
+/// A counting Bloom filter sized for a persist buffer's worth of lines.
+///
+/// Conservative by construction: [`CountingBloom::may_contain`] never
+/// returns `false` for an inserted line that has not been removed
+/// (no false negatives), and may return `true` for absent lines
+/// (false positives — harmless stalls, as the paper accepts).
+#[derive(Debug, Clone)]
+pub struct CountingBloom {
+    counters: Vec<u16>,
+    hashes: u32,
+}
+
+impl CountingBloom {
+    /// A filter with `slots` counters (rounded up to a power of two)
+    /// and `hashes` hash functions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` or `hashes` is zero.
+    pub fn new(slots: usize, hashes: u32) -> CountingBloom {
+        assert!(slots > 0 && hashes > 0, "degenerate Bloom filter");
+        CountingBloom {
+            counters: vec![0; slots.next_power_of_two()],
+            hashes,
+        }
+    }
+
+    /// A filter matched to the paper's 32-entry persist buffers.
+    pub fn for_persist_buffer() -> CountingBloom {
+        CountingBloom::new(256, 3)
+    }
+
+    fn index(&self, line: Line, i: u32) -> usize {
+        // Two independent mixes combined per double hashing.
+        let mut h1 = line.0.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        h1 ^= h1 >> 32;
+        let mut h2 = line.0.wrapping_mul(0xc2b2_ae3d_27d4_eb4f) | 1;
+        h2 ^= h2 >> 29;
+        (h1.wrapping_add((i as u64).wrapping_mul(h2)) as usize) & (self.counters.len() - 1)
+    }
+
+    /// Record a buffered line.
+    pub fn insert(&mut self, line: Line) {
+        for i in 0..self.hashes {
+            let idx = self.index(line, i);
+            self.counters[idx] = self.counters[idx].saturating_add(1);
+        }
+    }
+
+    /// Remove one buffered occurrence of `line` (on PB writeback).
+    pub fn remove(&mut self, line: Line) {
+        for i in 0..self.hashes {
+            let idx = self.index(line, i);
+            self.counters[idx] = self.counters[idx].saturating_sub(1);
+        }
+    }
+
+    /// Conservative membership: `false` guarantees the line is not
+    /// buffered.
+    pub fn may_contain(&self, line: Line) -> bool {
+        (0..self.hashes).all(|i| self.counters[self.index(line, i)] > 0)
+    }
+
+    /// Whether the filter is completely clear.
+    pub fn is_empty(&self) -> bool {
+        self.counters.iter().all(|&c| c == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut b = CountingBloom::for_persist_buffer();
+        for l in 0..32u64 {
+            b.insert(Line(l * 7));
+        }
+        for l in 0..32u64 {
+            assert!(b.may_contain(Line(l * 7)));
+        }
+    }
+
+    #[test]
+    fn remove_clears_membership() {
+        let mut b = CountingBloom::for_persist_buffer();
+        b.insert(Line(42));
+        assert!(b.may_contain(Line(42)));
+        b.remove(Line(42));
+        assert!(!b.may_contain(Line(42)));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn counting_handles_duplicates() {
+        let mut b = CountingBloom::for_persist_buffer();
+        b.insert(Line(9));
+        b.insert(Line(9));
+        b.remove(Line(9));
+        assert!(b.may_contain(Line(9)), "one buffered copy remains");
+        b.remove(Line(9));
+        assert!(!b.may_contain(Line(9)));
+    }
+
+    #[test]
+    fn false_positive_rate_is_low_at_pb_occupancy() {
+        let mut b = CountingBloom::for_persist_buffer();
+        for l in 0..32u64 {
+            b.insert(Line(l));
+        }
+        let fp = (1000..11_000u64).filter(|&l| b.may_contain(Line(l))).count();
+        assert!(fp < 500, "false-positive rate {fp}/10000 too high");
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_slots_panics() {
+        CountingBloom::new(0, 3);
+    }
+}

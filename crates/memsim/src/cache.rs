@@ -1,0 +1,169 @@
+//! Dirty-line tracking with LRU capacity eviction.
+
+use pmem::Line;
+use std::collections::{HashMap, VecDeque};
+
+/// Per-thread set of PM lines that are dirty in the L1 cache, with
+/// least-recently-*written* eviction once capacity is exceeded.
+///
+/// Only dirty *PM* lines are tracked: clean lines and DRAM lines need no
+/// durability bookkeeping, and the functional memory image lives
+/// elsewhere (see the crate docs). An evicted line writes back to the
+/// PM device, i.e. it becomes durable "early" — the cache-driven
+/// reordering the paper's Section 2 warns about.
+#[derive(Debug, Clone)]
+pub(crate) struct DirtySet {
+    capacity: usize,
+    /// line -> LRU stamp (monotone counter value at last write).
+    stamps: HashMap<Line, u64>,
+    /// Touch order with lazy invalidation: entries whose stamp no
+    /// longer matches `stamps` are skipped at eviction time, making
+    /// eviction amortized O(1) instead of a full scan.
+    queue: VecDeque<(Line, u64)>,
+    tick: u64,
+}
+
+impl DirtySet {
+    pub(crate) fn new(capacity: usize) -> DirtySet {
+        assert!(capacity > 0, "dirty-set capacity must be positive");
+        DirtySet {
+            capacity,
+            stamps: HashMap::new(),
+            queue: VecDeque::new(),
+            tick: 0,
+        }
+    }
+
+    /// Mark `line` dirty (refreshing its LRU position). Returns the
+    /// evicted line, if the insertion pushed the set over capacity.
+    pub(crate) fn touch(&mut self, line: Line) -> Option<Line> {
+        self.tick += 1;
+        self.stamps.insert(line, self.tick);
+        self.queue.push_back((line, self.tick));
+        if self.stamps.len() > self.capacity {
+            // Pop stale queue entries until the true LRU line surfaces.
+            while let Some(&(l, t)) = self.queue.front() {
+                self.queue.pop_front();
+                if self.stamps.get(&l) == Some(&t) {
+                    self.stamps.remove(&l);
+                    return Some(l);
+                }
+            }
+            unreachable!("over-capacity set always has a queue-backed victim");
+        } else {
+            None
+        }
+    }
+
+    /// Remove `line` (it was flushed or invalidated). Returns whether it
+    /// was present.
+    pub(crate) fn remove(&mut self, line: Line) -> bool {
+        self.stamps.remove(&line).is_some()
+    }
+
+    /// Whether `line` is currently dirty.
+    pub(crate) fn contains(&self, line: Line) -> bool {
+        self.stamps.contains_key(&line)
+    }
+
+    /// All dirty lines, in deterministic (line-number) order.
+    pub(crate) fn lines(&self) -> Vec<Line> {
+        let mut v: Vec<Line> = self.stamps.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Number of dirty lines.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.stamps.len()
+    }
+}
+
+/// Per-thread set of recently-referenced PM lines, used to decide
+/// whether a PM load is served by the cache hierarchy or counts as
+/// memory traffic (the distinction Figure 6 measures). Same LRU
+/// machinery as [`DirtySet`], but evictions are silent: clean lines
+/// just age out.
+#[derive(Debug, Clone)]
+pub(crate) struct ReadSet {
+    inner: DirtySet,
+}
+
+impl ReadSet {
+    pub(crate) fn new(capacity: usize) -> ReadSet {
+        ReadSet {
+            inner: DirtySet::new(capacity),
+        }
+    }
+
+    /// Reference `line`; returns true if it was already cached (hit).
+    pub(crate) fn touch(&mut self, line: Line) -> bool {
+        let hit = self.inner.contains(line);
+        let _ = self.inner.touch(line);
+        hit
+    }
+
+    /// Drop `line` (a `clflushopt` invalidation).
+    pub(crate) fn invalidate(&mut self, line: Line) {
+        self.inner.remove(line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn touch_and_contains() {
+        let mut d = DirtySet::new(4);
+        assert_eq!(d.touch(Line(1)), None);
+        assert!(d.contains(Line(1)));
+        assert!(!d.contains(Line(2)));
+    }
+
+    #[test]
+    fn evicts_least_recently_written() {
+        let mut d = DirtySet::new(2);
+        d.touch(Line(1));
+        d.touch(Line(2));
+        d.touch(Line(1)); // refresh 1
+        let evicted = d.touch(Line(3));
+        assert_eq!(evicted, Some(Line(2)));
+        assert!(d.contains(Line(1)));
+        assert!(d.contains(Line(3)));
+    }
+
+    #[test]
+    fn retouch_does_not_evict() {
+        let mut d = DirtySet::new(2);
+        d.touch(Line(1));
+        d.touch(Line(2));
+        assert_eq!(d.touch(Line(2)), None);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn remove_reports_presence() {
+        let mut d = DirtySet::new(2);
+        d.touch(Line(5));
+        assert!(d.remove(Line(5)));
+        assert!(!d.remove(Line(5)));
+        assert_eq!(d.len(), 0);
+    }
+
+    #[test]
+    fn lines_sorted() {
+        let mut d = DirtySet::new(8);
+        for l in [9u64, 3, 7] {
+            d.touch(Line(l));
+        }
+        assert_eq!(d.lines(), vec![Line(3), Line(7), Line(9)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        DirtySet::new(0);
+    }
+}

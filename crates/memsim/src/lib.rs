@@ -1,0 +1,61 @@
+//! Simulated CPU memory system for the WHISPER/HOPS reproduction.
+//!
+//! This crate models the part of the machine the paper's analysis
+//! depends on: a writeback cache hierarchy in front of DRAM and PM, the
+//! x86-64 persistence instructions (`clwb`/`clflushopt`, non-temporal
+//! stores, `sfence`), write-combining buffers, and a global clock — the
+//! substrate on which the ten WHISPER applications run and from which
+//! the `pmtrace` event stream is recorded.
+//!
+//! # Design: functional state vs. durable state
+//!
+//! The simulator separates two concerns:
+//!
+//! * **Functional memory** is always up to date: a store is immediately
+//!   visible to subsequent loads from any thread. Application logic is
+//!   therefore always correct, independent of the cache model.
+//! * **Durability state** tracks, per 64 B line of PM, whether the
+//!   latest contents would survive a power failure. A cacheable PM store
+//!   leaves its line *dirty in cache* (volatile); `clwb` moves a
+//!   snapshot into the *flush pending* set; `sfence` makes pending
+//!   snapshots and drained write-combining entries *durable*. Dirty
+//!   lines may also become durable spontaneously via capacity eviction
+//!   — exactly the paper's premise that "write-back processor caches can
+//!   re-order updates to PM" (Section 2).
+//!
+//! A crash ([`Machine::crash`]) returns a [`pmem::PmImage`] containing
+//! everything durable plus — under [`CrashSpec::Adversarial`] — an
+//! arbitrary seeded subset of the in-flight writes, which is what makes
+//! recovery code meaningfully testable.
+//!
+//! # Example
+//!
+//! ```
+//! use memsim::{Machine, MachineConfig, CrashSpec};
+//! use pmtrace::{Category, Tid};
+//!
+//! let mut m = Machine::new(MachineConfig::asplos17());
+//! let tid = Tid(0);
+//! let a = m.config().map.pm.base;
+//! m.store(tid, a, b"hello", Category::UserData);
+//! m.clwb(tid, a);
+//! m.sfence(tid);
+//! let img = m.crash(CrashSpec::DropVolatile);
+//! assert_eq!(img.read_vec(a, 5), b"hello");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod config;
+mod crash;
+mod machine;
+mod stats;
+mod writer;
+
+pub use config::{Latency, MachineConfig};
+pub use crash::CrashSpec;
+pub use machine::Machine;
+pub use stats::MemStats;
+pub use writer::PmWriter;

@@ -1,0 +1,743 @@
+//! The simulated machine.
+
+use crate::cache::{DirtySet, ReadSet};
+use crate::config::MachineConfig;
+use crate::stats::MemStats;
+use pmem::{lines_spanning, Addr, DramDevice, Line, MemoryKind, PmDevice, PmImage, LINE_SIZE};
+use pmtrace::{Category, Tid, TraceBuffer, TxId};
+use std::collections::VecDeque;
+
+const LINE: usize = LINE_SIZE as usize;
+
+/// What a crash hands to the crash model: functional PM, durable PM,
+/// dirty sets, pending flushes, and write-combining buffers.
+pub(crate) type CrashParts = (
+    PmDevice,
+    PmDevice,
+    Vec<DirtySet>,
+    Vec<Vec<PendingLine>>,
+    Vec<VecDeque<PendingLine>>,
+);
+
+/// A line-sized snapshot waiting to become durable.
+#[derive(Debug, Clone)]
+pub(crate) struct PendingLine {
+    pub(crate) line: Line,
+    pub(crate) data: [u8; LINE],
+    /// Global snapshot order, so a fence drains mixed `clwb` and
+    /// write-combining entries oldest-first (newest value wins at the
+    /// device).
+    pub(crate) seq: u64,
+}
+
+/// The simulated machine: functional memory, durability tracking,
+/// persistence instructions, trace recording, clock, and counters.
+///
+/// All operations name the issuing hardware thread ([`Tid`]); ids must
+/// be `< config.threads`. See the crate docs for the functional/durable
+/// split that makes application logic independent of the cache model.
+#[derive(Debug)]
+pub struct Machine {
+    cfg: MachineConfig,
+    dram: DramDevice,
+    /// Always-current PM contents (what loads observe).
+    pm_functional: PmDevice,
+    /// Crash-surviving PM contents (what recovery observes).
+    pm_durable: PmDevice,
+    /// Per-thread dirty cacheable PM lines.
+    dirty: Vec<DirtySet>,
+    /// Per-thread recently-referenced PM lines (clean); a PM load that
+    /// hits here is cache-served and does not count as memory traffic.
+    read_cache: Vec<ReadSet>,
+    /// Per-thread `clwb` snapshots awaiting an `sfence`.
+    pending: Vec<Vec<PendingLine>>,
+    /// Per-thread write-combining buffers for non-temporal stores.
+    wcb: Vec<VecDeque<PendingLine>>,
+    clock_ns: u64,
+    trace: TraceBuffer,
+    stats: MemStats,
+    dram_brk: Addr,
+    /// Per-thread transaction-id counters for `tx_begin`.
+    next_tx: Vec<TxId>,
+    /// Monotone snapshot counter ordering in-flight writebacks.
+    snap_seq: u64,
+}
+
+impl Machine {
+    /// A machine with zeroed memory.
+    pub fn new(cfg: MachineConfig) -> Machine {
+        Machine::with_pm_image(cfg, None)
+    }
+
+    /// A machine whose PM is initialized from a crash image — the
+    /// "reboot" path for recovery testing. DRAM and caches start empty.
+    pub fn from_image(cfg: MachineConfig, image: &PmImage) -> Machine {
+        Machine::with_pm_image(cfg, Some(image))
+    }
+
+    fn with_pm_image(cfg: MachineConfig, image: Option<&PmImage>) -> Machine {
+        assert!(cfg.threads > 0, "machine needs at least one thread");
+        let (pm_functional, pm_durable) = match image {
+            Some(img) => {
+                assert_eq!(img.range(), cfg.map.pm, "image does not match PM range");
+                (PmDevice::from_image(img), PmDevice::from_image(img))
+            }
+            None => (PmDevice::new(cfg.map.pm), PmDevice::new(cfg.map.pm)),
+        };
+        let n = cfg.threads as usize;
+        Machine {
+            dram: DramDevice::new(cfg.map.dram),
+            pm_functional,
+            pm_durable,
+            dirty: (0..n).map(|_| DirtySet::new(cfg.l1_dirty_lines)).collect(),
+            read_cache: (0..n).map(|_| ReadSet::new(cfg.l2_lines)).collect(),
+            pending: vec![Vec::new(); n],
+            wcb: (0..n).map(|_| VecDeque::new()).collect(),
+            clock_ns: 0,
+            trace: TraceBuffer::new(),
+            stats: MemStats::default(),
+            dram_brk: cfg.map.dram.base,
+            next_tx: vec![1; n],
+            snap_seq: 0,
+            cfg,
+        }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Current simulated time in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.clock_ns
+    }
+
+    /// Advance the clock without touching memory (compute/think time).
+    pub fn advance_ns(&mut self, ns: u64) {
+        self.clock_ns += ns;
+    }
+
+    /// Account for `n` cache-resident DRAM accesses without simulating
+    /// each one — the fast path for modeling an application's volatile
+    /// work (request parsing, volatile indexes), which Figure 6 shows
+    /// is >96% of all traffic.
+    pub fn dram_bulk(&mut self, tid: Tid, n: u64) {
+        self.check_tid(tid);
+        self.stats.dram_accesses += n;
+        self.clock_ns += n * self.cfg.lat.l1_hit_ns;
+    }
+
+    /// Access counters (Figure 6 input).
+    pub fn stats(&self) -> MemStats {
+        self.stats
+    }
+
+    /// The recorded trace.
+    pub fn trace(&self) -> &TraceBuffer {
+        &self.trace
+    }
+
+    /// Mutable access to the trace buffer (e.g. to disable recording).
+    pub fn trace_mut(&mut self) -> &mut TraceBuffer {
+        &mut self.trace
+    }
+
+    /// Media-level line writes to the PM device so far (includes
+    /// evictions, flush drains, and WCB drains).
+    pub fn media_line_writes(&self) -> u64 {
+        self.pm_durable.total_line_writes()
+    }
+
+    fn check_tid(&self, tid: Tid) {
+        assert!(
+            (tid.0 as usize) < self.dirty.len(),
+            "thread {tid} out of range (machine has {} threads)",
+            self.cfg.threads
+        );
+    }
+
+    fn kind_of(&self, addr: Addr, len: usize) -> MemoryKind {
+        self.cfg
+            .map
+            .kind_of_span(addr, len)
+            .unwrap_or_else(|| panic!("access outside memory map: {addr:#x}+{len}"))
+    }
+
+    /// Bump-allocate zeroed DRAM (for volatile application state).
+    ///
+    /// # Panics
+    ///
+    /// Panics when DRAM is exhausted or `align` is not a power of two.
+    pub fn alloc_dram(&mut self, len: u64, align: u64) -> Addr {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let base = (self.dram_brk + align - 1) & !(align - 1);
+        assert!(
+            base + len <= self.cfg.map.dram.end(),
+            "DRAM exhausted: want {len} bytes at {base:#x}"
+        );
+        self.dram_brk = base + len;
+        base
+    }
+
+    /// Allocate a fresh per-thread durable-transaction id.
+    pub fn fresh_tx_id(&mut self, tid: Tid) -> TxId {
+        self.check_tid(tid);
+        let id = self.next_tx[tid.0 as usize];
+        self.next_tx[tid.0 as usize] += 1;
+        id
+    }
+
+    /// Record the start of a durable transaction in the trace.
+    pub fn tx_begin(&mut self, tid: Tid, id: TxId) {
+        self.trace.tx_begin(tid, id, self.clock_ns);
+    }
+
+    /// Record a durable-transaction commit in the trace.
+    pub fn tx_end(&mut self, tid: Tid, id: TxId) {
+        self.trace.tx_end(tid, id, self.clock_ns);
+    }
+
+    // ---------------------------------------------------------------
+    // Loads
+    // ---------------------------------------------------------------
+
+    /// Load `buf.len()` bytes from `addr` into `buf`.
+    pub fn load(&mut self, tid: Tid, addr: Addr, buf: &mut [u8]) {
+        self.check_tid(tid);
+        if buf.is_empty() {
+            return;
+        }
+        match self.kind_of(addr, buf.len()) {
+            MemoryKind::Dram => {
+                self.dram.read(addr, buf);
+                let lines = lines_spanning(addr, buf.len()).count() as u64;
+                self.stats.dram_accesses += lines;
+                self.clock_ns += self.cfg.lat.l1_hit_ns * lines;
+            }
+            MemoryKind::Pm => {
+                self.pm_functional.read(addr, buf);
+                for (line, _, _) in lines_spanning(addr, buf.len()) {
+                    let t = tid.0 as usize;
+                    let cached =
+                        self.dirty[t].contains(line) || self.read_cache[t].touch(line);
+                    if cached {
+                        self.clock_ns += self.cfg.lat.l1_hit_ns;
+                    } else {
+                        // A miss is memory traffic (Figure 6).
+                        self.stats.pm_reads += 1;
+                        self.clock_ns += self.cfg.lat.pm_read_ns;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Load `len` bytes into a fresh vector.
+    pub fn load_vec(&mut self, tid: Tid, addr: Addr, len: usize) -> Vec<u8> {
+        let mut v = vec![0; len];
+        self.load(tid, addr, &mut v);
+        v
+    }
+
+    /// Load a little-endian `u64`.
+    pub fn load_u64(&mut self, tid: Tid, addr: Addr) -> u64 {
+        let mut b = [0u8; 8];
+        self.load(tid, addr, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Load a little-endian `u32`.
+    pub fn load_u32(&mut self, tid: Tid, addr: Addr) -> u32 {
+        let mut b = [0u8; 4];
+        self.load(tid, addr, &mut b);
+        u32::from_le_bytes(b)
+    }
+
+    // ---------------------------------------------------------------
+    // Stores
+    // ---------------------------------------------------------------
+
+    /// Cacheable store. For PM spans the affected lines become dirty in
+    /// the issuing thread's cache (volatile until flushed, fenced, or
+    /// evicted) and a trace event is recorded.
+    pub fn store(&mut self, tid: Tid, addr: Addr, bytes: &[u8], cat: Category) {
+        self.check_tid(tid);
+        if bytes.is_empty() {
+            return;
+        }
+        match self.kind_of(addr, bytes.len()) {
+            MemoryKind::Dram => {
+                self.dram.write(addr, bytes);
+                let lines = lines_spanning(addr, bytes.len()).count() as u64;
+                self.stats.dram_accesses += lines;
+                self.clock_ns += self.cfg.lat.l1_hit_ns * lines;
+            }
+            MemoryKind::Pm => {
+                self.pm_functional.write(addr, bytes);
+                self.trace
+                    .pm_store(tid, addr, bytes.len() as u32, false, cat, self.clock_ns);
+                for (line, _, _) in lines_spanning(addr, bytes.len()) {
+                    self.clock_ns += self.cfg.lat.l1_hit_ns;
+                    self.read_cache[tid.0 as usize].touch(line);
+                    // A cacheable store supersedes any write-combining
+                    // entry for the line: the cache path now owns its
+                    // durability (mixing NT and cacheable stores to one
+                    // line is otherwise undefined on real hardware).
+                    for q in &mut self.wcb {
+                        q.retain(|e| e.line != line);
+                    }
+                    if let Some(victim) = self.dirty[tid.0 as usize].touch(line) {
+                        self.write_back(victim);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Non-temporal store: bypasses the cache into the write-combining
+    /// buffer. Entries become durable when the WCB fills or at the next
+    /// `sfence`. PM only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span is not entirely in PM.
+    pub fn store_nt(&mut self, tid: Tid, addr: Addr, bytes: &[u8], cat: Category) {
+        self.check_tid(tid);
+        if bytes.is_empty() {
+            return;
+        }
+        assert_eq!(
+            self.kind_of(addr, bytes.len()),
+            MemoryKind::Pm,
+            "non-temporal stores are modeled for PM only"
+        );
+        self.pm_functional.write(addr, bytes);
+        self.trace
+            .pm_store(tid, addr, bytes.len() as u32, true, cat, self.clock_ns);
+        for (line, _, _) in lines_spanning(addr, bytes.len()) {
+            self.clock_ns += self.cfg.lat.l1_hit_ns;
+            // NT stores must not leave stale dirty cache state: the line
+            // is written around the cache.
+            self.dirty[tid.0 as usize].remove(line);
+            let mut data = [0u8; LINE];
+            self.pm_functional.read(line.base(), &mut data);
+            self.snap_seq += 1;
+            let seq = self.snap_seq;
+            let q = &mut self.wcb[tid.0 as usize];
+            if let Some(e) = q.iter_mut().find(|e| e.line == line) {
+                e.data = data; // write-combining
+                e.seq = seq;
+            } else {
+                q.push_back(PendingLine { line, data, seq });
+                if q.len() > self.cfg.wcb_entries {
+                    let oldest = q.pop_front().expect("nonempty WCB");
+                    self.media_write(oldest.line, &oldest.data);
+                    self.clock_ns += self.cfg.lat.pm_write_ns;
+                }
+            }
+        }
+    }
+
+    /// Store a little-endian `u64` (cacheable).
+    pub fn store_u64(&mut self, tid: Tid, addr: Addr, val: u64, cat: Category) {
+        self.store(tid, addr, &val.to_le_bytes(), cat);
+    }
+
+    /// Store a little-endian `u32` (cacheable).
+    pub fn store_u32(&mut self, tid: Tid, addr: Addr, val: u32, cat: Category) {
+        self.store(tid, addr, &val.to_le_bytes(), cat);
+    }
+
+    // ---------------------------------------------------------------
+    // Persistence instructions
+    // ---------------------------------------------------------------
+
+    /// `clwb`/`clflushopt`: snapshot the (dirty) line containing `addr`
+    /// into the flush-pending set. The data becomes durable at the next
+    /// `sfence` from this thread. Flushing a clean line is a no-op
+    /// beyond its issue cost.
+    pub fn clwb(&mut self, tid: Tid, addr: Addr) {
+        self.check_tid(tid);
+        let line = Line::containing(addr);
+        self.trace.flush(tid, addr, self.clock_ns);
+        self.clock_ns += self.cfg.lat.clwb_issue_ns;
+        // The line may be dirty in any thread's cache (coherence finds
+        // it); check the issuing thread first as the common case.
+        let holder = (0..self.dirty.len())
+            .map(|i| (tid.0 as usize + i) % self.dirty.len())
+            .find(|&i| self.dirty[i].contains(line));
+        if let Some(i) = holder {
+            self.dirty[i].remove(line);
+            let mut data = [0u8; LINE];
+            self.pm_functional.read(line.base(), &mut data);
+            self.snap_seq += 1;
+            self.pending[tid.0 as usize].push(PendingLine {
+                line,
+                data,
+                seq: self.snap_seq,
+            });
+        }
+    }
+
+    /// `clflushopt`: like [`Machine::clwb`] for durability, but also
+    /// *invalidates* the line, so the next load is a memory access —
+    /// the retention-vs-eviction difference between the two
+    /// instructions.
+    pub fn clflushopt(&mut self, tid: Tid, addr: Addr) {
+        self.clwb(tid, addr);
+        let line = Line::containing(addr);
+        for rc in &mut self.read_cache {
+            rc.invalidate(line);
+        }
+    }
+
+    /// `sfence`: all of this thread's outstanding flushes and
+    /// non-temporal stores become durable before the fence completes.
+    /// Records an ordering-fence trace event (ends the epoch).
+    pub fn sfence(&mut self, tid: Tid) {
+        self.fence_impl(tid, false);
+    }
+
+    /// An `sfence` that the program semantically relies on for
+    /// *durability* (transaction commit, pre-I/O barrier). Identical
+    /// machine behavior to [`Machine::sfence`]; recorded as a
+    /// durability fence so the HOPS replay can distinguish `dfence`
+    /// sites from plain ordering (`ofence`) sites.
+    pub fn sfence_durable(&mut self, tid: Tid) {
+        self.fence_impl(tid, true);
+    }
+
+    fn fence_impl(&mut self, tid: Tid, durable: bool) {
+        self.check_tid(tid);
+        let t = tid.0 as usize;
+        // Merge clwb snapshots and write-combining entries and drain
+        // them in snapshot order, so the newest value of a line wins at
+        // the device even when cacheable and non-temporal writes mixed.
+        let mut entries: Vec<PendingLine> = std::mem::take(&mut self.pending[t]);
+        entries.extend(std::mem::take(&mut self.wcb[t]));
+        entries.sort_unstable_by_key(|e| e.seq);
+        let drained = entries.len() as u64;
+        for e in entries {
+            self.media_write(e.line, &e.data);
+        }
+        // The first writeback pays full PM latency; subsequent ones
+        // pipeline across memory-controller banks.
+        self.clock_ns += self.cfg.lat.sfence_ns;
+        if drained > 0 {
+            self.clock_ns += self.cfg.lat.pm_write_ns + (drained - 1) * self.cfg.lat.pm_write_ns / 4;
+        }
+        if durable {
+            self.trace.dfence(tid, self.clock_ns);
+        } else {
+            self.trace.fence(tid, self.clock_ns);
+        }
+    }
+
+    fn write_back(&mut self, line: Line) {
+        let mut data = [0u8; LINE];
+        self.pm_functional.read(line.base(), &mut data);
+        self.media_write(line, &data);
+        self.clock_ns += self.cfg.lat.pm_write_ns;
+    }
+
+    /// All durable writes funnel here; this is also where PM write
+    /// traffic is counted (Figure 6 counts memory-level traffic, and a
+    /// PM line is written to memory exactly when it persists).
+    fn media_write(&mut self, line: Line, data: &[u8; LINE]) {
+        self.pm_durable.write(line.base(), data);
+        self.stats.pm_writes += 1;
+    }
+
+    // ---------------------------------------------------------------
+    // Durability inspection & crash (crash body in crash.rs)
+    // ---------------------------------------------------------------
+
+    /// Whether the *current* functional contents of `[addr, addr+len)`
+    /// are durable (would read back identically after `DropVolatile`).
+    pub fn is_durable(&self, addr: Addr, len: usize) -> bool {
+        let f = self.pm_functional.read_vec(addr, len);
+        let d = self.pm_durable.read_vec(addr, len);
+        f == d
+    }
+
+    /// Snapshot of durable PM only (no in-flight writes).
+    pub fn durable_image(&self) -> PmImage {
+        self.pm_durable.image()
+    }
+
+    pub(crate) fn crash_parts(self) -> CrashParts {
+        (self.pm_functional, self.pm_durable, self.dirty, self.pending, self.wcb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+
+    fn m() -> Machine {
+        Machine::new(MachineConfig::tiny_for_tests())
+    }
+
+    fn pm_base(m: &Machine) -> Addr {
+        m.config().map.pm.base
+    }
+
+    #[test]
+    fn store_load_round_trip_pm_and_dram() {
+        let mut mc = m();
+        let t = Tid(0);
+        let pa = pm_base(&mc);
+        mc.store(t, pa, b"pm-data", Category::UserData);
+        assert_eq!(mc.load_vec(t, pa, 7), b"pm-data");
+        let da = mc.alloc_dram(64, 8);
+        mc.store(t, da, b"dram", Category::UserData);
+        assert_eq!(mc.load_vec(t, da, 4), b"dram");
+    }
+
+    #[test]
+    fn unfenced_store_is_not_durable() {
+        let mut mc = m();
+        let t = Tid(0);
+        let pa = pm_base(&mc);
+        mc.store(t, pa, &[7; 8], Category::UserData);
+        assert!(!mc.is_durable(pa, 8));
+    }
+
+    #[test]
+    fn clwb_sfence_makes_durable() {
+        let mut mc = m();
+        let t = Tid(0);
+        let pa = pm_base(&mc);
+        mc.store(t, pa, &[7; 8], Category::UserData);
+        mc.clwb(t, pa);
+        assert!(!mc.is_durable(pa, 8), "clwb alone is not durability");
+        mc.sfence(t);
+        assert!(mc.is_durable(pa, 8));
+    }
+
+    #[test]
+    fn nt_store_durable_after_fence() {
+        let mut mc = m();
+        let t = Tid(0);
+        let pa = pm_base(&mc);
+        mc.store_nt(t, pa, &[9; 16], Category::RedoLog);
+        assert!(!mc.is_durable(pa, 16));
+        mc.sfence(t);
+        assert!(mc.is_durable(pa, 16));
+    }
+
+    #[test]
+    fn wcb_overflow_drains_oldest() {
+        let mut mc = m(); // wcb_entries = 2
+        let t = Tid(0);
+        let pa = pm_base(&mc);
+        // Three NT stores to three different lines: first one drains.
+        for i in 0..3u64 {
+            mc.store_nt(t, pa + i * 64, &[i as u8 + 1; 8], Category::RedoLog);
+        }
+        assert!(mc.is_durable(pa, 8), "oldest WCB entry drained");
+        assert!(!mc.is_durable(pa + 128, 8), "newest still buffered");
+    }
+
+    #[test]
+    fn nt_write_combining_same_line() {
+        let mut mc = m();
+        let t = Tid(0);
+        let pa = pm_base(&mc);
+        mc.store_nt(t, pa, &[1; 8], Category::RedoLog);
+        mc.store_nt(t, pa + 8, &[2; 8], Category::RedoLog);
+        mc.sfence(t);
+        assert!(mc.is_durable(pa, 16));
+        assert_eq!(mc.load_vec(t, pa, 16), [[1u8; 8], [2u8; 8]].concat());
+    }
+
+    #[test]
+    fn eviction_makes_line_durable_early() {
+        let mut mc = m(); // l1_dirty_lines = 4
+        let t = Tid(0);
+        let pa = pm_base(&mc);
+        // Dirty five distinct lines: the first gets evicted (durable).
+        for i in 0..5u64 {
+            mc.store(t, pa + i * 64, &[i as u8 + 1; 8], Category::UserData);
+        }
+        assert!(mc.is_durable(pa, 8), "evicted line reached PM without a fence");
+        assert!(!mc.is_durable(pa + 4 * 64, 8));
+    }
+
+    #[test]
+    fn sfence_only_drains_own_thread() {
+        let mut mc = m();
+        let pa = pm_base(&mc);
+        mc.store(Tid(0), pa, &[1; 8], Category::UserData);
+        mc.clwb(Tid(0), pa);
+        mc.sfence(Tid(1)); // other thread's fence
+        assert!(!mc.is_durable(pa, 8));
+        mc.sfence(Tid(0));
+        assert!(mc.is_durable(pa, 8));
+    }
+
+    #[test]
+    fn clwb_of_clean_line_is_noop() {
+        let mut mc = m();
+        let t = Tid(0);
+        let pa = pm_base(&mc);
+        mc.clwb(t, pa);
+        mc.sfence(t);
+        assert!(mc.is_durable(pa, 8)); // all zero everywhere
+    }
+
+    #[test]
+    fn clflushopt_invalidates_clwb_retains() {
+        let mut mc = m();
+        let t = Tid(0);
+        let pa = pm_base(&mc);
+        // Warm the line, then clwb: a reload is still a cache hit.
+        mc.load_vec(t, pa, 8);
+        mc.clwb(t, pa);
+        mc.sfence(t);
+        let misses_before = mc.stats().pm_reads;
+        mc.load_vec(t, pa, 8);
+        assert_eq!(mc.stats().pm_reads, misses_before, "clwb retains the line");
+        // clflushopt evicts: the reload misses.
+        mc.clflushopt(t, pa);
+        mc.sfence(t);
+        mc.load_vec(t, pa, 8);
+        assert_eq!(mc.stats().pm_reads, misses_before + 1, "clflushopt invalidates");
+    }
+
+    #[test]
+    fn clwb_snapshot_semantics() {
+        // Value at clwb time is what the fence persists; a later
+        // unflushed store stays volatile.
+        let mut mc = m();
+        let t = Tid(0);
+        let pa = pm_base(&mc);
+        mc.store(t, pa, &[1; 8], Category::UserData);
+        mc.clwb(t, pa);
+        mc.store(t, pa, &[2; 8], Category::UserData);
+        mc.sfence(t);
+        let durable = mc.durable_image().read_vec(pa, 8);
+        assert_eq!(durable, vec![1; 8]);
+        assert_eq!(mc.load_vec(t, pa, 8), vec![2; 8]);
+    }
+
+    #[test]
+    fn trace_records_stores_and_fences() {
+        let mut mc = m();
+        let t = Tid(0);
+        let pa = pm_base(&mc);
+        mc.store(t, pa, &[1; 8], Category::UserData);
+        mc.clwb(t, pa);
+        mc.sfence(t);
+        let ev = mc.trace().events();
+        assert_eq!(ev.len(), 3);
+    }
+
+    #[test]
+    fn dram_stores_not_traced() {
+        let mut mc = m();
+        let t = Tid(0);
+        let da = mc.alloc_dram(64, 64);
+        mc.store(t, da, &[1; 8], Category::UserData);
+        assert!(mc.trace().is_empty());
+        assert_eq!(mc.stats().dram_accesses, 1);
+    }
+
+    #[test]
+    fn stats_count_memory_traffic_not_cache_hits() {
+        let mut mc = m();
+        let t = Tid(0);
+        let pa = pm_base(&mc);
+        mc.store(t, pa, &[0; 128], Category::UserData); // 2 lines, dirty
+        assert_eq!(mc.stats().pm_writes, 0, "nothing persisted yet");
+        mc.load_vec(t, pa, 64); // dirty line: cache hit
+        assert_eq!(mc.stats().pm_reads, 0);
+        // A cold line misses once, then hits.
+        mc.load_vec(t, pa + 4096, 8);
+        mc.load_vec(t, pa + 4096, 8);
+        assert_eq!(mc.stats().pm_reads, 1);
+        // Persisting the dirty lines is what counts as PM writes.
+        mc.clwb(t, pa);
+        mc.clwb(t, pa + 64);
+        mc.sfence(t);
+        assert_eq!(mc.stats().pm_writes, 2);
+    }
+
+    #[test]
+    fn dram_bulk_counts_and_advances() {
+        let mut mc = m();
+        let t0 = mc.now_ns();
+        mc.dram_bulk(Tid(0), 1000);
+        assert_eq!(mc.stats().dram_accesses, 1000);
+        assert_eq!(mc.now_ns() - t0, 1000);
+    }
+
+    #[test]
+    fn clock_advances() {
+        let mut mc = m();
+        let t = Tid(0);
+        let t0 = mc.now_ns();
+        mc.store(t, pm_base(&mc), &[1; 8], Category::UserData);
+        assert!(mc.now_ns() > t0);
+        let t1 = mc.now_ns();
+        mc.advance_ns(100);
+        assert_eq!(mc.now_ns(), t1 + 100);
+    }
+
+    #[test]
+    fn from_image_restores_pm() {
+        let mut mc = m();
+        let t = Tid(0);
+        let pa = pm_base(&mc);
+        mc.store(t, pa, b"saved", Category::UserData);
+        mc.clwb(t, pa);
+        mc.sfence(t);
+        let img = mc.durable_image();
+        let mut mc2 = Machine::from_image(MachineConfig::tiny_for_tests(), &img);
+        assert_eq!(mc2.load_vec(Tid(0), pa, 5), b"saved");
+        assert!(mc2.is_durable(pa, 5));
+    }
+
+    #[test]
+    fn fresh_tx_ids_are_per_thread_monotone() {
+        let mut mc = m();
+        assert_eq!(mc.fresh_tx_id(Tid(0)), 1);
+        assert_eq!(mc.fresh_tx_id(Tid(0)), 2);
+        assert_eq!(mc.fresh_tx_id(Tid(1)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_tid_panics() {
+        let mut mc = m();
+        mc.sfence(Tid(99));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside memory map")]
+    fn unmapped_access_panics() {
+        let mut mc = m();
+        let end = mc.config().map.pm.end();
+        mc.load_vec(Tid(0), end, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "PM only")]
+    fn nt_store_to_dram_panics() {
+        let mut mc = m();
+        let da = mc.alloc_dram(64, 64);
+        mc.store_nt(Tid(0), da, &[1; 8], Category::UserData);
+    }
+
+    #[test]
+    fn alloc_dram_aligns() {
+        let mut mc = m();
+        let a = mc.alloc_dram(10, 64);
+        let b = mc.alloc_dram(10, 64);
+        assert_eq!(a % 64, 0);
+        assert_eq!(b % 64, 0);
+        assert!(b >= a + 10);
+    }
+}

@@ -1,0 +1,81 @@
+//! Access counters for the DRAM/PM traffic split (Figure 6).
+
+use serde::{Deserialize, Serialize};
+
+/// Per-run memory access counters, at 64 B line granularity: each load
+/// or store contributes one access per line it touches.
+///
+/// Figure 6 of the paper reports "the proportion of PM accesses among
+/// all memory accesses" and finds >96% of accesses go to DRAM.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemStats {
+    /// DRAM line-accesses (loads + stores).
+    pub dram_accesses: u64,
+    /// PM line-reads that missed the cache hierarchy.
+    pub pm_reads: u64,
+    /// PM lines written to the device (flush drains, WCB drains,
+    /// evictions) — media traffic, where endurance and Figure 6 count.
+    pub pm_writes: u64,
+}
+
+impl MemStats {
+    /// Total accesses of any kind.
+    pub fn total(&self) -> u64 {
+        self.dram_accesses + self.pm_reads + self.pm_writes
+    }
+
+    /// PM accesses.
+    pub fn pm_total(&self) -> u64 {
+        self.pm_reads + self.pm_writes
+    }
+
+    /// PM share of all accesses, in \[0,1\]; 0.0 when nothing was
+    /// accessed.
+    pub fn pm_fraction(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.pm_total() as f64 / t as f64
+        }
+    }
+}
+
+impl std::fmt::Display for MemStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "dram:{} pm_r:{} pm_w:{} (pm {:.2}%)",
+            self.dram_accesses,
+            self.pm_reads,
+            self.pm_writes,
+            self.pm_fraction() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_math() {
+        let s = MemStats {
+            dram_accesses: 96,
+            pm_reads: 1,
+            pm_writes: 3,
+        };
+        assert!((s.pm_fraction() - 0.04).abs() < 1e-9);
+        assert_eq!(s.total(), 100);
+    }
+
+    #[test]
+    fn empty_fraction_zero() {
+        assert_eq!(MemStats::default().pm_fraction(), 0.0);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!format!("{}", MemStats::default()).is_empty());
+    }
+}

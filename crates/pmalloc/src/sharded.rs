@@ -1,0 +1,140 @@
+//! Per-thread allocator arenas with address-routed frees.
+
+use crate::{AllocError, PmAllocator, SlabBitmapAlloc};
+use memsim::{Machine, PmWriter};
+use pmem::{Addr, AddrRange};
+
+/// A set of per-thread [`SlabBitmapAlloc`] arenas behind one
+/// [`PmAllocator`] face.
+///
+/// Mnemosyne- and NVML-style allocators give each thread its own
+/// arena so allocation metadata is thread-private (otherwise every
+/// allocation would manufacture cross-thread dependencies on shared
+/// bitmap lines — the paper finds allocator cross-dependencies are
+/// real but rare, Section 5.1). Allocations come from the arena
+/// selected with [`ShardedSlab::select`]; frees are routed to the
+/// arena that owns the address, whichever thread calls them.
+#[derive(Debug, Clone)]
+pub struct ShardedSlab {
+    shards: Vec<SlabBitmapAlloc>,
+    current: usize,
+}
+
+impl ShardedSlab {
+    /// Format `n` arenas, each of `bytes_per_shard`, carved from
+    /// consecutive regions starting at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero (and propagates slab formatting panics).
+    pub fn format(
+        m: &mut Machine,
+        w: &mut PmWriter,
+        base: Addr,
+        bytes_per_shard: u64,
+        n: usize,
+    ) -> ShardedSlab {
+        assert!(n > 0, "need at least one shard");
+        let shards = (0..n as u64)
+            .map(|i| {
+                SlabBitmapAlloc::format(m, w, AddrRange::new(base + i * bytes_per_shard, bytes_per_shard))
+            })
+            .collect();
+        ShardedSlab { shards, current: 0 }
+    }
+
+    /// Total bytes of PM `format` will claim.
+    pub fn region_bytes(bytes_per_shard: u64, n: usize) -> u64 {
+        bytes_per_shard * n as u64
+    }
+
+    /// Route subsequent allocations to `shard` (typically the calling
+    /// thread's id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn select(&mut self, shard: usize) {
+        assert!(shard < self.shards.len(), "shard {shard} out of range");
+        self.current = shard;
+    }
+
+    fn owner_of(&self, addr: Addr) -> Option<usize> {
+        self.shards.iter().position(|s| s.region().contains(addr))
+    }
+}
+
+impl PmAllocator for ShardedSlab {
+    fn alloc(&mut self, m: &mut Machine, w: &mut PmWriter, size: u64) -> Result<Addr, AllocError> {
+        self.shards[self.current].alloc(m, w, size)
+    }
+
+    fn free(&mut self, m: &mut Machine, w: &mut PmWriter, addr: Addr) -> Result<(), AllocError> {
+        let owner = self.owner_of(addr).ok_or(AllocError::InvalidFree { addr })?;
+        self.shards[owner].free(m, w, addr)
+    }
+
+    fn region(&self) -> AddrRange {
+        let first = self.shards.first().expect("nonempty").region();
+        let last = self.shards.last().expect("nonempty").region();
+        AddrRange::new(first.base, last.end() - first.base)
+    }
+
+    fn allocated_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.allocated_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim::MachineConfig;
+    use pmtrace::Tid;
+
+    fn setup() -> (Machine, PmWriter, ShardedSlab) {
+        let mut m = Machine::new(MachineConfig::asplos17());
+        let mut w = PmWriter::new(Tid(0));
+        let base = m.config().map.pm.base;
+        let s = ShardedSlab::format(&mut m, &mut w, base, 4 << 20, 4);
+        (m, w, s)
+    }
+
+    #[test]
+    fn allocations_come_from_selected_shard() {
+        let (mut m, mut w, mut s) = setup();
+        s.select(0);
+        let a = s.alloc(&mut m, &mut w, 64).unwrap();
+        s.select(3);
+        let b = s.alloc(&mut m, &mut w, 64).unwrap();
+        assert!(s.shards[0].region().contains(a));
+        assert!(s.shards[3].region().contains(b));
+    }
+
+    #[test]
+    fn cross_shard_free_routes_to_owner() {
+        let (mut m, mut w, mut s) = setup();
+        s.select(1);
+        let p = s.alloc(&mut m, &mut w, 128).unwrap();
+        // Another thread frees it.
+        s.select(2);
+        s.free(&mut m, &mut w, p).unwrap();
+        assert_eq!(s.allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn foreign_address_rejected() {
+        let (mut m, mut w, mut s) = setup();
+        let outside = s.region().end() + 64;
+        assert_eq!(
+            s.free(&mut m, &mut w, outside),
+            Err(AllocError::InvalidFree { addr: outside })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_shard_panics() {
+        let (_m, _w, mut s) = setup();
+        s.select(9);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property tests shared by all three allocator designs.
+
+use memsim::{CrashSpec, Machine, MachineConfig, PmWriter};
+use pmalloc::{BuddyAlloc, PmAllocator, SingleHeapAlloc, SlabBitmapAlloc};
+use pmem::AddrRange;
+use pmtrace::Tid;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+const TID: Tid = Tid(0);
+
+#[derive(Debug, Clone)]
+enum AllocOp {
+    Alloc { size: u64 },
+    /// Free the i-th oldest live block (modulo live count).
+    Free { victim: usize },
+}
+
+fn ops() -> impl Strategy<Value = Vec<AllocOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (1u64..3000).prop_map(|size| AllocOp::Alloc { size }),
+            (0usize..64).prop_map(|victim| AllocOp::Free { victim }),
+        ],
+        1..60,
+    )
+}
+
+/// Drive an allocator through a random sequence, asserting the
+/// fundamental invariants after every step: returned blocks never
+/// overlap a live block, stay in the region, and the byte accounting
+/// never goes negative or leaks on balanced workloads.
+fn drive<A: PmAllocator>(m: &mut Machine, a: &mut A, script: &[AllocOp]) {
+    let mut w = PmWriter::new(TID);
+    // live: addr -> requested size
+    let mut live: BTreeMap<u64, u64> = BTreeMap::new();
+    for op in script {
+        match op {
+            AllocOp::Alloc { size } => {
+                match a.alloc(m, &mut w, *size) {
+                    Ok(p) => {
+                        assert!(a.region().contains_span(p, *size as usize), "block outside region");
+                        // No overlap with any live block (checking the
+                        // requested extents).
+                        for (&q, &qs) in &live {
+                            let disjoint = p + size <= q || q + qs <= p;
+                            assert!(disjoint, "{p:#x}+{size} overlaps {q:#x}+{qs}");
+                        }
+                        live.insert(p, *size);
+                    }
+                    Err(_) => { /* OOM/BadSize are legal responses */ }
+                }
+            }
+            AllocOp::Free { victim } => {
+                if live.is_empty() {
+                    continue;
+                }
+                let k = *live.keys().nth(victim % live.len()).expect("nonempty");
+                live.remove(&k);
+                a.free(m, &mut w, k).expect("freeing a live block succeeds");
+            }
+        }
+        assert!(
+            a.allocated_bytes() as i128 >= 0,
+            "accounting went negative"
+        );
+    }
+    // Free everything: accounting returns to zero.
+    for (&p, _) in live.clone().iter() {
+        a.free(m, &mut w, p).expect("final free");
+    }
+    assert_eq!(a.allocated_bytes(), 0, "leak after freeing all blocks");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn slab_invariants(script in ops()) {
+        let mut m = Machine::new(MachineConfig::asplos17());
+        let base = m.config().map.pm.base;
+        let mut w = PmWriter::new(TID);
+        let mut a = SlabBitmapAlloc::format(&mut m, &mut w, AddrRange::new(base, 32 << 20));
+        drive(&mut m, &mut a, &script);
+    }
+
+    #[test]
+    fn single_heap_invariants(script in ops()) {
+        let mut m = Machine::new(MachineConfig::asplos17());
+        let base = m.config().map.pm.base;
+        let mut w = PmWriter::new(TID);
+        let mut a = SingleHeapAlloc::format(&mut m, &mut w, AddrRange::new(base, 32 << 20));
+        drive(&mut m, &mut a, &script);
+    }
+
+    #[test]
+    fn buddy_invariants(script in ops()) {
+        let mut m = Machine::new(MachineConfig::asplos17());
+        let base = m.config().map.pm.base;
+        let mut w = PmWriter::new(TID);
+        let mut a = BuddyAlloc::format(&mut m, &mut w, AddrRange::new(base, 32 << 20));
+        drive(&mut m, &mut a, &script);
+    }
+
+    /// Slab recovery after a clean crash reproduces exactly the durable
+    /// allocation state.
+    #[test]
+    fn slab_recovery_equivalence(script in ops()) {
+        let mut m = Machine::new(MachineConfig::asplos17());
+        let base = m.config().map.pm.base;
+        let region = AddrRange::new(base, 32 << 20);
+        let mut w = PmWriter::new(TID);
+        let mut a = SlabBitmapAlloc::format(&mut m, &mut w, region);
+        let mut live: BTreeMap<u64, u64> = BTreeMap::new();
+        for op in &script {
+            match op {
+                AllocOp::Alloc { size } => {
+                    if let Ok(p) = a.alloc(&mut m, &mut w, *size) {
+                        live.insert(p, *size);
+                    }
+                }
+                AllocOp::Free { victim } => {
+                    if !live.is_empty() {
+                        let k = *live.keys().nth(victim % live.len()).expect("nonempty");
+                        live.remove(&k);
+                        a.free(&mut m, &mut w, k).expect("free");
+                    }
+                }
+            }
+        }
+        let before = a.allocated_bytes();
+        let img = m.crash(CrashSpec::DropVolatile);
+        let mut m2 = Machine::from_image(MachineConfig::asplos17(), &img);
+        let a2 = SlabBitmapAlloc::recover(&mut m2, TID, region);
+        prop_assert_eq!(a2.allocated_bytes(), before);
+        // Every live block is reported leaked when nothing claims it,
+        // and not leaked when claimed.
+        let leaked = a2.leaked_blocks(|addr| live.contains_key(&addr));
+        prop_assert!(leaked.is_empty(), "live blocks misreported as leaked: {:?}", leaked);
+    }
+}

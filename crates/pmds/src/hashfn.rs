@@ -1,0 +1,39 @@
+//! Deterministic hashing for persistent structures.
+
+/// FNV-1a 64-bit hash.
+///
+/// Persistent hash tables must hash identically across restarts, so the
+/// function is fixed and seedless (unlike `std`'s randomized hasher).
+///
+/// ```
+/// let h1 = pmds::fnv1a(b"key");
+/// let h2 = pmds::fnv1a(b"key");
+/// assert_eq!(h1, h2);
+/// assert_ne!(pmds::fnv1a(b"a"), pmds::fnv1a(b"b"));
+/// ```
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vector() {
+        // FNV-1a("") is the offset basis.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn spreads_sequential_keys() {
+        let hashes: std::collections::HashSet<u64> =
+            (0..1000u64).map(|i| fnv1a(&i.to_le_bytes())).collect();
+        assert_eq!(hashes.len(), 1000);
+    }
+}

@@ -1,0 +1,93 @@
+//! Crash-recoverable persistent data structures.
+//!
+//! The WHISPER applications keep their recoverable state in a small set
+//! of persistent structures: chained hash tables (Memcached, Redis,
+//! Echo, the NVML `hashmap` micro-benchmark), a crit-bit tree (the NVML
+//! `ctree` micro-benchmark, "inserts and deletes ... into a persistent
+//! crit-bit tree"), red-black trees and linked lists (Vacation), an
+//! append log (Echo's client submission logs), and an LRU list
+//! (Memcached's replacement policy). This crate implements each of them
+//! once, over the engine-independent [`pmtx::TxMem`] interface, so the
+//! same structure runs under NVML-style undo logging or Mnemosyne-style
+//! redo logging — mirroring how WHISPER mounts the same logical
+//! structures over different access layers.
+//!
+//! All node allocation goes through a caller-supplied
+//! [`pmalloc::PmAllocator`], inside the caller's transaction, so the
+//! allocator-metadata epochs land inside transactions exactly as the
+//! paper observes.
+//!
+//! Pointers are raw PM addresses (`u64`), with 0 as null. Every
+//! structure has an `open` constructor that re-attaches to its PM
+//! header after a crash.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod btree;
+mod critbit;
+mod hashmap;
+mod hashfn;
+mod lru;
+mod plog;
+mod rbtree;
+
+pub use btree::{PBTree, BTREE_REGION_BYTES};
+pub use critbit::{CritBitTree, CRITBIT_REGION_BYTES};
+pub use hashfn::fnv1a;
+pub use hashmap::PHashMap;
+pub use lru::PLruList;
+pub use plog::PLog;
+pub use rbtree::{PRbTree, RBTREE_REGION_BYTES};
+
+/// Errors from persistent data structures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DsError {
+    /// The underlying transaction engine failed.
+    Tx(pmtx::TxError),
+    /// The underlying allocator failed.
+    Alloc(pmalloc::AllocError),
+    /// A key or value exceeds the structure's inline limit.
+    TooLarge {
+        /// Offending length in bytes.
+        len: usize,
+    },
+    /// `open` found no valid structure header at the given address.
+    BadHeader {
+        /// Address probed.
+        addr: pmem::Addr,
+    },
+}
+
+impl std::fmt::Display for DsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DsError::Tx(e) => write!(f, "transaction error: {e}"),
+            DsError::Alloc(e) => write!(f, "allocation error: {e}"),
+            DsError::TooLarge { len } => write!(f, "item of {len} bytes too large"),
+            DsError::BadHeader { addr } => write!(f, "no structure header at {addr:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for DsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DsError::Tx(e) => Some(e),
+            DsError::Alloc(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<pmtx::TxError> for DsError {
+    fn from(e: pmtx::TxError) -> DsError {
+        DsError::Tx(e)
+    }
+}
+
+impl From<pmalloc::AllocError> for DsError {
+    fn from(e: pmalloc::AllocError) -> DsError {
+        DsError::Alloc(e)
+    }
+}

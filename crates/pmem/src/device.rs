@@ -1,0 +1,300 @@
+//! The memory devices: sparse line-granular byte stores.
+
+use crate::image::PmImage;
+use crate::line::{lines_spanning, Line, LINE_SIZE};
+use crate::range::AddrRange;
+use crate::Addr;
+use std::collections::HashMap;
+
+/// Backing storage shared by both device types: a sparse map from line
+/// number to 64 bytes. Unwritten bytes read as zero.
+#[derive(Debug, Clone, Default)]
+struct LineStore {
+    lines: HashMap<Line, [u8; LINE_SIZE as usize]>,
+}
+
+impl LineStore {
+    fn read(&self, addr: Addr, buf: &mut [u8]) {
+        let mut dst = 0;
+        for (line, start, len) in lines_spanning(addr, buf.len()) {
+            let off = line.offset_of(start);
+            match self.lines.get(&line) {
+                Some(data) => buf[dst..dst + len].copy_from_slice(&data[off..off + len]),
+                None => buf[dst..dst + len].fill(0),
+            }
+            dst += len;
+        }
+    }
+
+    fn write(&mut self, addr: Addr, bytes: &[u8]) -> Vec<Line> {
+        let mut touched = Vec::new();
+        let mut src = 0;
+        for (line, start, len) in lines_spanning(addr, bytes.len()) {
+            let off = line.offset_of(start);
+            let data = self.lines.entry(line).or_insert([0; LINE_SIZE as usize]);
+            data[off..off + len].copy_from_slice(&bytes[src..src + len]);
+            src += len;
+            touched.push(line);
+        }
+        touched
+    }
+}
+
+/// The simulated persistent-memory device (an NVM DIMM).
+///
+/// Bytes written here are *durable*: they survive a crash, modeled by
+/// snapshotting with [`PmDevice::image`] and rebuilding with
+/// [`PmDevice::from_image`]. The device also counts writes per line,
+/// because "most NVM technologies are expected to have limited write
+/// endurance" (Section 5.3) and the reproduction reports write traffic.
+///
+/// The device knows nothing about ordering; callers (the `memsim` cache
+/// model, HOPS persist buffers) decide what reaches it and when.
+#[derive(Debug, Clone)]
+pub struct PmDevice {
+    range: AddrRange,
+    store: LineStore,
+    line_writes: HashMap<Line, u64>,
+    total_line_writes: u64,
+}
+
+impl PmDevice {
+    /// A fresh, zeroed device covering `range`.
+    pub fn new(range: AddrRange) -> PmDevice {
+        PmDevice {
+            range,
+            store: LineStore::default(),
+            line_writes: HashMap::new(),
+            total_line_writes: 0,
+        }
+    }
+
+    /// Rebuild a device from a crash image, preserving its contents
+    /// (write counters restart at zero — the media survived, the tally
+    /// is per-run).
+    pub fn from_image(image: &PmImage) -> PmDevice {
+        PmDevice {
+            range: image.range(),
+            store: LineStore {
+                lines: image.lines().map(|(l, d)| (l, *d)).collect(),
+            },
+            line_writes: HashMap::new(),
+            total_line_writes: 0,
+        }
+    }
+
+    /// The address range this device decodes.
+    pub fn range(&self) -> AddrRange {
+        self.range
+    }
+
+    /// Read `buf.len()` bytes starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span falls outside the device range.
+    pub fn read(&self, addr: Addr, buf: &mut [u8]) {
+        assert!(
+            self.range.contains_span(addr, buf.len()),
+            "PM read out of range: {addr:#x}+{}",
+            buf.len()
+        );
+        self.store.read(addr, buf);
+    }
+
+    /// Convenience: read `len` bytes into a fresh vector.
+    pub fn read_vec(&self, addr: Addr, len: usize) -> Vec<u8> {
+        let mut v = vec![0; len];
+        self.read(addr, &mut v);
+        v
+    }
+
+    /// Write bytes to the media. This is the durability point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span falls outside the device range.
+    pub fn write(&mut self, addr: Addr, bytes: &[u8]) {
+        assert!(
+            self.range.contains_span(addr, bytes.len()),
+            "PM write out of range: {addr:#x}+{}",
+            bytes.len()
+        );
+        let touched = self.store.write(addr, bytes);
+        self.total_line_writes += touched.len() as u64;
+        for line in touched {
+            *self.line_writes.entry(line).or_insert(0) += 1;
+        }
+    }
+
+    /// How many times `line` has been written (endurance counter).
+    pub fn line_writes(&self, line: Line) -> u64 {
+        self.line_writes.get(&line).copied().unwrap_or(0)
+    }
+
+    /// Total line writes across the device since construction.
+    pub fn total_line_writes(&self) -> u64 {
+        self.total_line_writes
+    }
+
+    /// Number of distinct lines ever written.
+    pub fn lines_in_use(&self) -> usize {
+        self.store.lines.len()
+    }
+
+    /// Snapshot the durable contents (what survives a power failure).
+    pub fn image(&self) -> PmImage {
+        PmImage::from_lines(self.range, self.store.lines.iter().map(|(l, d)| (*l, *d)))
+    }
+}
+
+/// The simulated DRAM device.
+///
+/// Identical storage behavior, but *volatile*: there is deliberately no
+/// `image()` — on a crash its contents are simply dropped, which is what
+/// forces WHISPER applications to be crash-recoverable from PM alone.
+#[derive(Debug, Clone)]
+pub struct DramDevice {
+    range: AddrRange,
+    store: LineStore,
+}
+
+impl DramDevice {
+    /// A fresh, zeroed device covering `range`.
+    pub fn new(range: AddrRange) -> DramDevice {
+        DramDevice {
+            range,
+            store: LineStore::default(),
+        }
+    }
+
+    /// The address range this device decodes.
+    pub fn range(&self) -> AddrRange {
+        self.range
+    }
+
+    /// Read `buf.len()` bytes starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span falls outside the device range.
+    pub fn read(&self, addr: Addr, buf: &mut [u8]) {
+        assert!(
+            self.range.contains_span(addr, buf.len()),
+            "DRAM read out of range: {addr:#x}+{}",
+            buf.len()
+        );
+        self.store.read(addr, buf);
+    }
+
+    /// Convenience: read `len` bytes into a fresh vector.
+    pub fn read_vec(&self, addr: Addr, len: usize) -> Vec<u8> {
+        let mut v = vec![0; len];
+        self.read(addr, &mut v);
+        v
+    }
+
+    /// Write bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span falls outside the device range.
+    pub fn write(&mut self, addr: Addr, bytes: &[u8]) {
+        assert!(
+            self.range.contains_span(addr, bytes.len()),
+            "DRAM write out of range: {addr:#x}+{}",
+            bytes.len()
+        );
+        self.store.write(addr, bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::range::AddrRange;
+
+    fn dev() -> PmDevice {
+        PmDevice::new(AddrRange::new(0, 1 << 20))
+    }
+
+    #[test]
+    fn unwritten_reads_zero() {
+        let d = dev();
+        assert_eq!(d.read_vec(1000, 8), vec![0; 8]);
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut d = dev();
+        d.write(100, b"abcdef");
+        assert_eq!(d.read_vec(100, 6), b"abcdef");
+    }
+
+    #[test]
+    fn cross_line_write() {
+        let mut d = dev();
+        let data: Vec<u8> = (0..200).map(|i| i as u8).collect();
+        d.write(60, &data);
+        assert_eq!(d.read_vec(60, 200), data);
+        // Touched lines 0..=4 (60..260 spans 5 lines).
+        assert_eq!(d.lines_in_use(), 5);
+    }
+
+    #[test]
+    fn partial_line_write_preserves_neighbors() {
+        let mut d = dev();
+        d.write(0, &[0xAA; 64]);
+        d.write(10, &[0xBB; 4]);
+        let v = d.read_vec(0, 64);
+        assert_eq!(&v[0..10], &[0xAA; 10]);
+        assert_eq!(&v[10..14], &[0xBB; 4]);
+        assert_eq!(&v[14..], &[0xAA; 50]);
+    }
+
+    #[test]
+    fn endurance_counters() {
+        let mut d = dev();
+        d.write(0, &[1; 8]);
+        d.write(4, &[2; 8]);
+        d.write(64, &[3; 1]);
+        assert_eq!(d.line_writes(Line(0)), 2);
+        assert_eq!(d.line_writes(Line(1)), 1);
+        assert_eq!(d.line_writes(Line(2)), 0);
+        assert_eq!(d.total_line_writes(), 3);
+    }
+
+    #[test]
+    fn image_round_trip() {
+        let mut d = dev();
+        d.write(100, b"persist me");
+        d.write(5000, &[7; 128]);
+        let img = d.image();
+        let d2 = PmDevice::from_image(&img);
+        assert_eq!(d2.read_vec(100, 10), b"persist me");
+        assert_eq!(d2.read_vec(5000, 128), vec![7; 128]);
+        assert_eq!(d2.range(), d.range());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_write_panics() {
+        let mut d = dev();
+        d.write((1 << 20) - 4, &[0; 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_read_panics() {
+        let d = dev();
+        d.read_vec(1 << 20, 1);
+    }
+
+    #[test]
+    fn dram_round_trip_and_no_persistence_api() {
+        let mut d = DramDevice::new(AddrRange::new(0, 4096));
+        d.write(0, b"volatile");
+        assert_eq!(d.read_vec(0, 8), b"volatile");
+        // (No image() on DramDevice — enforced at compile time.)
+    }
+}

@@ -1,0 +1,179 @@
+//! The simulated physical address map.
+
+use crate::Addr;
+use serde::{Deserialize, Serialize};
+
+/// Which kind of memory an address belongs to.
+///
+/// The paper stresses that future systems are heterogeneous: DRAM for
+/// the ~96% of accesses that are volatile, PM for the rest. WHISPER
+/// "assumes heterogeneous memory" (Section 3) and HOPS earmarks "a
+/// specific range of physical memory ... for PM" (Section 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemoryKind {
+    /// Volatile DRAM: contents are lost on a crash.
+    Dram,
+    /// Persistent memory: bytes that reach the device survive a crash.
+    Pm,
+}
+
+impl std::fmt::Display for MemoryKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemoryKind::Dram => write!(f, "DRAM"),
+            MemoryKind::Pm => write!(f, "PM"),
+        }
+    }
+}
+
+/// A half-open byte address range `[base, base+len)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AddrRange {
+    /// First address in the range.
+    pub base: Addr,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+impl AddrRange {
+    /// Create a range. `len` may be zero (an empty range contains nothing).
+    pub fn new(base: Addr, len: u64) -> AddrRange {
+        AddrRange { base, len }
+    }
+
+    /// One past the last address.
+    pub fn end(&self) -> Addr {
+        self.base + self.len
+    }
+
+    /// Whether `addr` lies inside the range.
+    pub fn contains(&self, addr: Addr) -> bool {
+        addr >= self.base && addr < self.end()
+    }
+
+    /// Whether the whole of `[addr, addr+len)` lies inside the range.
+    pub fn contains_span(&self, addr: Addr, len: usize) -> bool {
+        self.contains(addr) && addr + len as u64 <= self.end()
+    }
+}
+
+/// The machine's physical address map: one DRAM range and one PM range.
+///
+/// ```
+/// use pmem::{AddressMap, MemoryKind};
+/// let map = AddressMap::asplos17();
+/// assert_eq!(map.kind_of(map.dram.base), Some(MemoryKind::Dram));
+/// assert_eq!(map.kind_of(map.pm.base), Some(MemoryKind::Pm));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AddressMap {
+    /// The volatile region.
+    pub dram: AddrRange,
+    /// The persistent region.
+    pub pm: AddrRange,
+}
+
+impl AddressMap {
+    /// Create a map from two non-overlapping ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ranges overlap.
+    pub fn new(dram: AddrRange, pm: AddrRange) -> AddressMap {
+        let overlap = dram.base < pm.end() && pm.base < dram.end();
+        assert!(!overlap, "DRAM and PM ranges overlap: {dram:?} vs {pm:?}");
+        AddressMap { dram, pm }
+    }
+
+    /// The configuration the paper simulates (Table 3): 4 GB of DRAM and
+    /// 4 GB of PM. DRAM occupies the low half of the address space.
+    pub fn asplos17() -> AddressMap {
+        const GB: u64 = 1 << 30;
+        AddressMap::new(AddrRange::new(0, 4 * GB), AddrRange::new(4 * GB, 4 * GB))
+    }
+
+    /// Which kind of memory `addr` belongs to, or `None` for a hole.
+    pub fn kind_of(&self, addr: Addr) -> Option<MemoryKind> {
+        if self.dram.contains(addr) {
+            Some(MemoryKind::Dram)
+        } else if self.pm.contains(addr) {
+            Some(MemoryKind::Pm)
+        } else {
+            None
+        }
+    }
+
+    /// Classify a whole span; `None` if it straddles regions or a hole.
+    pub fn kind_of_span(&self, addr: Addr, len: usize) -> Option<MemoryKind> {
+        if self.dram.contains_span(addr, len) {
+            Some(MemoryKind::Dram)
+        } else if self.pm.contains_span(addr, len) {
+            Some(MemoryKind::Pm)
+        } else {
+            None
+        }
+    }
+}
+
+impl Default for AddressMap {
+    fn default() -> Self {
+        AddressMap::asplos17()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_contains() {
+        let r = AddrRange::new(100, 50);
+        assert!(!r.contains(99));
+        assert!(r.contains(100));
+        assert!(r.contains(149));
+        assert!(!r.contains(150));
+    }
+
+    #[test]
+    fn range_contains_span() {
+        let r = AddrRange::new(100, 50);
+        assert!(r.contains_span(100, 50));
+        assert!(!r.contains_span(100, 51));
+        assert!(!r.contains_span(99, 2));
+        assert!(r.contains_span(149, 1));
+    }
+
+    #[test]
+    fn empty_range_contains_nothing() {
+        let r = AddrRange::new(10, 0);
+        assert!(!r.contains(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlapping_map_panics() {
+        AddressMap::new(AddrRange::new(0, 100), AddrRange::new(50, 100));
+    }
+
+    #[test]
+    fn asplos17_map_shape() {
+        let m = AddressMap::asplos17();
+        assert_eq!(m.dram.len, 4 << 30);
+        assert_eq!(m.pm.len, 4 << 30);
+        assert_eq!(m.dram.end(), m.pm.base);
+    }
+
+    #[test]
+    fn kind_of_span_straddling_is_none() {
+        let m = AddressMap::asplos17();
+        let boundary = m.pm.base;
+        assert_eq!(m.kind_of_span(boundary - 4, 8), None);
+        assert_eq!(m.kind_of_span(m.pm.end() - 4, 8), None);
+    }
+
+    #[test]
+    fn hole_is_none() {
+        let m = AddressMap::new(AddrRange::new(0, 10), AddrRange::new(100, 10));
+        assert_eq!(m.kind_of(50), None);
+    }
+}

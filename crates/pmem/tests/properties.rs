@@ -1,0 +1,92 @@
+//! Property tests for the media layer.
+
+use pmem::{lines_spanning, AddrRange, Line, PmDevice, PmImage, LINE_SIZE};
+use proptest::prelude::*;
+
+const RANGE_LEN: u64 = 1 << 16;
+
+fn spans() -> impl Strategy<Value = Vec<(u64, Vec<u8>)>> {
+    proptest::collection::vec(
+        (0u64..RANGE_LEN - 512, proptest::collection::vec(any::<u8>(), 1..300)),
+        1..24,
+    )
+}
+
+proptest! {
+    /// Writes land byte-exactly, with later writes overriding earlier
+    /// overlapping ones — same semantics as a `Vec<u8>` model.
+    #[test]
+    fn device_matches_flat_model(writes in spans()) {
+        let mut dev = PmDevice::new(AddrRange::new(0, RANGE_LEN));
+        let mut model = vec![0u8; RANGE_LEN as usize];
+        for (addr, data) in &writes {
+            dev.write(*addr, data);
+            model[*addr as usize..*addr as usize + data.len()].copy_from_slice(data);
+        }
+        for (addr, data) in &writes {
+            prop_assert_eq!(
+                dev.read_vec(*addr, data.len()),
+                model[*addr as usize..*addr as usize + data.len()].to_vec()
+            );
+        }
+        // Random probes across the whole range.
+        for probe in (0..RANGE_LEN - 64).step_by(977) {
+            prop_assert_eq!(dev.read_vec(probe, 64), model[probe as usize..probe as usize + 64].to_vec());
+        }
+    }
+
+    /// Images round-trip the full device contents.
+    #[test]
+    fn image_round_trip(writes in spans()) {
+        let mut dev = PmDevice::new(AddrRange::new(0, RANGE_LEN));
+        for (addr, data) in &writes {
+            dev.write(*addr, data);
+        }
+        let img = dev.image();
+        let dev2 = PmDevice::from_image(&img);
+        for probe in (0..RANGE_LEN - 64).step_by(577) {
+            prop_assert_eq!(dev.read_vec(probe, 64), dev2.read_vec(probe, 64));
+        }
+        prop_assert_eq!(img.diff_lines(&dev2.image()), Vec::<Line>::new());
+    }
+
+    /// Endurance counters equal the number of line-chunks written.
+    #[test]
+    fn write_counters_match_spans(writes in spans()) {
+        let mut dev = PmDevice::new(AddrRange::new(0, RANGE_LEN));
+        let mut expected = 0u64;
+        for (addr, data) in &writes {
+            dev.write(*addr, data);
+            expected += lines_spanning(*addr, data.len()).count() as u64;
+        }
+        prop_assert_eq!(dev.total_line_writes(), expected);
+    }
+
+    /// Line arithmetic: every address maps into exactly one line, and
+    /// span decomposition tiles the range exactly once.
+    #[test]
+    fn line_decomposition_tiles(addr in 0u64..1 << 40, len in 1usize..5000) {
+        let chunks: Vec<_> = lines_spanning(addr, len).collect();
+        let total: usize = chunks.iter().map(|(_, _, n)| *n).sum();
+        prop_assert_eq!(total, len);
+        let mut cursor = addr;
+        for (line, start, n) in chunks {
+            prop_assert_eq!(start, cursor);
+            prop_assert!(line.contains(start));
+            prop_assert!(line.contains(start + n as u64 - 1));
+            prop_assert!(n as u64 <= LINE_SIZE);
+            cursor += n as u64;
+        }
+    }
+
+    /// `set_line` splices exactly one line and leaves the rest alone.
+    #[test]
+    fn image_splice_is_local(line_no in 1u64..(RANGE_LEN / LINE_SIZE - 1), fill in any::<u8>()) {
+        let mut img = PmImage::empty(AddrRange::new(0, RANGE_LEN));
+        img.set_line(Line(line_no), [fill; 64]);
+        let line = Line(line_no);
+        prop_assert_eq!(img.read_vec(line.base(), 64), vec![fill; 64]);
+        prop_assert_eq!(img.read_vec(line.base() - 64, 64), vec![0; 64]);
+        prop_assert_eq!(img.read_vec(line.base() + 64, 64), vec![0; 64]);
+    }
+}

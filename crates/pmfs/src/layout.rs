@@ -1,0 +1,154 @@
+//! On-"device" layout of the filesystem.
+
+use pmem::{Addr, AddrRange};
+
+pub(crate) const SB_MAGIC: u64 = 0x504d_4653_2121_2121; // "PMFS!!!!"
+/// PMFS stores user data in 4 KB blocks (Section 3.1).
+pub(crate) const BLOCK_SIZE: u64 = 4096;
+/// Bytes reserved per inode. Holds mode, size, and 12 direct + 1
+/// indirect block pointer.
+pub(crate) const INODE_SIZE: u64 = 192;
+pub(crate) const DIRECT_PTRS: u64 = 12;
+/// Pointers in an indirect block.
+pub(crate) const INDIRECT_PTRS: u64 = BLOCK_SIZE / 8;
+/// Maximum file size: 12 direct + 512 indirect blocks.
+pub(crate) const MAX_FILE: u64 = (DIRECT_PTRS + INDIRECT_PTRS) * BLOCK_SIZE;
+/// A directory entry: inode u32, name_len u32, name[56].
+pub(crate) const DENT_SIZE: u64 = 64;
+pub(crate) const MAX_NAME: usize = 55;
+
+// Inode field offsets.
+pub(crate) const I_MODE: u64 = 0; // u32: 0 free, 1 file, 2 dir
+pub(crate) const I_SIZE: u64 = 8; // u64 bytes
+pub(crate) const I_MTIME: u64 = 16; // u64 simulated ns
+pub(crate) const I_DIRECT: u64 = 24; // 12 × u64 block numbers (0 = hole)
+pub(crate) const I_INDIRECT: u64 = 24 + DIRECT_PTRS * 8; // u64 block number
+
+pub(crate) const MODE_FREE: u32 = 0;
+pub(crate) const MODE_FILE: u32 = 1;
+pub(crate) const MODE_DIR: u32 = 2;
+
+/// Root directory inode number.
+pub(crate) const ROOT_INO: u32 = 1;
+
+/// Formatting parameters for [`crate::Pmfs::mkfs`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PmfsConfig {
+    /// Number of 4 KB data blocks.
+    pub data_blocks: u64,
+    /// Number of inodes.
+    pub inodes: u32,
+    /// Bytes reserved for the metadata undo journal.
+    pub journal_bytes: u64,
+}
+
+impl Default for PmfsConfig {
+    /// 8192 blocks (32 MB of data), 1024 inodes, 64 KB journal.
+    fn default() -> Self {
+        PmfsConfig {
+            data_blocks: 8192,
+            inodes: 1024,
+            journal_bytes: 64 * 1024,
+        }
+    }
+}
+
+/// Computed byte offsets of each on-device area.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Layout {
+    pub(crate) base: Addr,
+    pub(crate) journal: Addr,
+    pub(crate) journal_bytes: u64,
+    pub(crate) block_bitmap: Addr,
+    pub(crate) inode_table: Addr,
+    pub(crate) data: Addr,
+    pub(crate) data_blocks: u64,
+    pub(crate) inodes: u32,
+}
+
+impl Layout {
+    pub(crate) fn compute(region: AddrRange, cfg: PmfsConfig) -> Layout {
+        let align = |a: Addr| a.div_ceil(64) * 64;
+        let journal = align(region.base + 64);
+        let block_bitmap = align(journal + cfg.journal_bytes);
+        let bitmap_bytes = cfg.data_blocks.div_ceil(8);
+        let inode_table = align(block_bitmap + bitmap_bytes);
+        let data = (inode_table + cfg.inodes as u64 * INODE_SIZE).div_ceil(BLOCK_SIZE) * BLOCK_SIZE;
+        let layout = Layout {
+            base: region.base,
+            journal,
+            journal_bytes: cfg.journal_bytes,
+            block_bitmap,
+            inode_table,
+            data,
+            data_blocks: cfg.data_blocks,
+            inodes: cfg.inodes,
+        };
+        assert!(
+            layout.data + cfg.data_blocks * BLOCK_SIZE <= region.end(),
+            "region too small: need {} bytes",
+            layout.data + cfg.data_blocks * BLOCK_SIZE - region.base
+        );
+        layout
+    }
+
+    pub(crate) fn inode_addr(&self, ino: u32) -> Addr {
+        assert!(ino >= 1 && ino <= self.inodes, "inode {ino} out of range");
+        self.inode_table + (ino as u64 - 1) * INODE_SIZE
+    }
+
+    pub(crate) fn block_addr(&self, block: u64) -> Addr {
+        assert!(block >= 1 && block <= self.data_blocks, "block {block} out of range");
+        self.data + (block - 1) * BLOCK_SIZE
+    }
+
+    pub(crate) fn bitmap_byte_addr(&self, block: u64) -> Addr {
+        self.block_bitmap + (block - 1) / 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_areas_do_not_overlap() {
+        let region = AddrRange::new(4 << 30, 64 << 20);
+        let l = Layout::compute(region, PmfsConfig::default());
+        assert!(l.journal > l.base);
+        assert!(l.block_bitmap >= l.journal + 64 * 1024);
+        assert!(l.inode_table >= l.block_bitmap + 1024);
+        assert!(l.data >= l.inode_table + 1024 * INODE_SIZE);
+        assert_eq!(l.data % BLOCK_SIZE, 0);
+    }
+
+    #[test]
+    fn inode_and_block_addressing() {
+        let region = AddrRange::new(4 << 30, 64 << 20);
+        let l = Layout::compute(region, PmfsConfig::default());
+        assert_eq!(l.inode_addr(1), l.inode_table);
+        assert_eq!(l.inode_addr(2), l.inode_table + INODE_SIZE);
+        assert_eq!(l.block_addr(1), l.data);
+        assert_eq!(l.block_addr(2), l.data + BLOCK_SIZE);
+        assert_eq!(l.bitmap_byte_addr(1), l.block_bitmap);
+        assert_eq!(l.bitmap_byte_addr(9), l.block_bitmap + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "region too small")]
+    fn too_small_region_panics() {
+        Layout::compute(AddrRange::new(4 << 30, 1 << 20), PmfsConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn inode_zero_is_invalid() {
+        let l = Layout::compute(AddrRange::new(4 << 30, 64 << 20), PmfsConfig::default());
+        l.inode_addr(0);
+    }
+
+    #[test]
+    fn max_file_is_over_2mb() {
+        assert_eq!(MAX_FILE, (12 + 512) * 4096);
+    }
+}

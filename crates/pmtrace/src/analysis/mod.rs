@@ -1,0 +1,342 @@
+//! Offline analysis of a recorded trace (paper Section 5).
+//!
+//! "We consider an epoch to consist of stores, whether cacheable or
+//! non-temporal, to PM between two sfence instructions. For this
+//! analysis, we ignore cache flush operations." — Section 5.1.
+
+mod amplify;
+mod deps;
+mod histogram;
+mod txstats;
+
+pub use amplify::{amplification, AmplificationReport};
+pub use deps::{dependencies, DepStats, DEP_WINDOW_NS};
+pub use histogram::{epoch_size_histogram, EpochSizeHistogram, SIZE_BUCKET_LABELS};
+pub use txstats::{tx_stats, TxStats};
+
+use crate::event::{Category, Event, EventKind, Tid, TxId};
+use pmem::{lines_spanning, Line};
+use std::collections::{BTreeSet, HashMap};
+
+/// A set of PM stores on one thread between two ordering points.
+#[derive(Debug, Clone)]
+pub struct Epoch {
+    /// Thread that issued the epoch.
+    pub tid: Tid,
+    /// Per-thread epoch sequence number (0-based).
+    pub index: u64,
+    /// Timestamp of the epoch's first store.
+    pub start_ns: u64,
+    /// Timestamp of the fence that closed the epoch.
+    pub end_ns: u64,
+    /// Unique 64 B cache lines stored to.
+    pub lines: BTreeSet<Line>,
+    /// Total bytes stored (not deduplicated).
+    pub bytes: u64,
+    /// Bytes written with non-temporal stores.
+    pub nt_bytes: u64,
+    /// Number of store operations.
+    pub stores: u32,
+    /// Number of non-temporal store operations.
+    pub nt_stores: u32,
+    /// Bytes per [`Category`], indexed as in [`Category::ALL`].
+    pub bytes_by_cat: [u64; Category::ALL.len()],
+    /// Durable transaction active when the epoch began, if any.
+    pub tx: Option<TxId>,
+    /// True if the closing fence was a durability fence.
+    pub durable: bool,
+}
+
+impl Epoch {
+    /// Size of the epoch in unique cache lines (the paper's "epoch size").
+    pub fn unique_lines(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// A singleton epoch updates exactly one 64 B line.
+    pub fn is_singleton(&self) -> bool {
+        self.lines.len() == 1
+    }
+
+    /// Bytes recorded for one category.
+    pub fn cat_bytes(&self, cat: Category) -> u64 {
+        let idx = Category::ALL.iter().position(|c| *c == cat).expect("known category");
+        self.bytes_by_cat[idx]
+    }
+}
+
+#[derive(Debug, Default)]
+struct OpenEpoch {
+    start_ns: u64,
+    lines: BTreeSet<Line>,
+    bytes: u64,
+    nt_bytes: u64,
+    stores: u32,
+    nt_stores: u32,
+    bytes_by_cat: [u64; Category::ALL.len()],
+    tx: Option<TxId>,
+}
+
+/// Split a globally-ordered event stream into per-thread epochs.
+///
+/// Fences that close an empty epoch (no stores since the previous
+/// fence) produce nothing, matching the paper's store-centric epoch
+/// definition. A trailing run of stores with no closing fence is
+/// likewise dropped — it never became an ordering unit.
+pub fn split_epochs(events: &[Event]) -> Vec<Epoch> {
+    let mut open: HashMap<Tid, OpenEpoch> = HashMap::new();
+    let mut counters: HashMap<Tid, u64> = HashMap::new();
+    let mut active_tx: HashMap<Tid, TxId> = HashMap::new();
+    let mut out = Vec::new();
+
+    for ev in events {
+        match ev.kind {
+            EventKind::PmStore { addr, len, nt, cat } => {
+                let e = open.entry(ev.tid).or_insert_with(|| OpenEpoch {
+                    start_ns: ev.at_ns,
+                    tx: active_tx.get(&ev.tid).copied(),
+                    ..OpenEpoch::default()
+                });
+                if e.stores == 0 {
+                    e.start_ns = ev.at_ns;
+                    e.tx = active_tx.get(&ev.tid).copied();
+                }
+                for (line, _, _) in lines_spanning(addr, len as usize) {
+                    e.lines.insert(line);
+                }
+                e.bytes += len as u64;
+                e.stores += 1;
+                if nt {
+                    e.nt_bytes += len as u64;
+                    e.nt_stores += 1;
+                }
+                let idx = Category::ALL.iter().position(|c| *c == cat).expect("known category");
+                e.bytes_by_cat[idx] += len as u64;
+            }
+            EventKind::Fence | EventKind::DFence => {
+                if let Some(e) = open.remove(&ev.tid) {
+                    if e.stores > 0 {
+                        let index = counters.entry(ev.tid).or_insert(0);
+                        out.push(Epoch {
+                            tid: ev.tid,
+                            index: *index,
+                            start_ns: e.start_ns,
+                            end_ns: ev.at_ns,
+                            lines: e.lines,
+                            bytes: e.bytes,
+                            nt_bytes: e.nt_bytes,
+                            stores: e.stores,
+                            nt_stores: e.nt_stores,
+                            bytes_by_cat: e.bytes_by_cat,
+                            tx: e.tx,
+                            durable: ev.kind == EventKind::DFence,
+                        });
+                        *index += 1;
+                    }
+                }
+            }
+            EventKind::TxBegin { id } => {
+                active_tx.insert(ev.tid, id);
+            }
+            EventKind::TxEnd { .. } => {
+                active_tx.remove(&ev.tid);
+            }
+            EventKind::Flush { .. } => {
+                // Ignored, per Section 5.1.
+            }
+        }
+    }
+
+    out
+}
+
+/// Epochs per second over the traced interval (Table 1's rightmost
+/// column). `duration_ns` is the simulated wall-clock length of the run.
+///
+/// Returns 0.0 for an empty interval.
+pub fn epochs_per_second(epoch_count: usize, duration_ns: u64) -> f64 {
+    if duration_ns == 0 {
+        return 0.0;
+    }
+    epoch_count as f64 * 1e9 / duration_ns as f64
+}
+
+/// Fraction of singleton epochs that wrote fewer than 10 bytes
+/// ("Of the singletons, we saw that 60% updated fewer than 10 bytes" —
+/// Section 5.1). Returns `None` when there are no singletons.
+pub fn small_singleton_fraction(epochs: &[Epoch]) -> Option<f64> {
+    let singles: Vec<_> = epochs.iter().filter(|e| e.is_singleton()).collect();
+    if singles.is_empty() {
+        return None;
+    }
+    let small = singles.iter().filter(|e| e.bytes < 10).count();
+    Some(small as f64 / singles.len() as f64)
+}
+
+/// Fraction of PM bytes written with non-temporal stores
+/// (Consequence 10: "about 96% of writes in PMFS and 67% in Mnemosyne
+/// use NTIs"). Returns `None` for a trace with no PM bytes.
+pub fn nt_fraction(epochs: &[Epoch]) -> Option<f64> {
+    let total: u64 = epochs.iter().map(|e| e.bytes).sum();
+    if total == 0 {
+        return None;
+    }
+    let nt: u64 = epochs.iter().map(|e| e.nt_bytes).sum();
+    Some(nt as f64 / total as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceBuffer;
+
+    fn t0() -> Tid {
+        Tid(0)
+    }
+
+    #[test]
+    fn empty_trace_no_epochs() {
+        assert!(split_epochs(&[]).is_empty());
+    }
+
+    #[test]
+    fn fence_without_stores_is_not_an_epoch() {
+        let mut t = TraceBuffer::new();
+        t.fence(t0(), 1);
+        t.fence(t0(), 2);
+        assert!(split_epochs(t.events()).is_empty());
+    }
+
+    #[test]
+    fn stores_between_fences_form_epochs() {
+        let mut t = TraceBuffer::new();
+        t.pm_store(t0(), 0, 8, false, Category::UserData, 1);
+        t.pm_store(t0(), 64, 8, false, Category::UserData, 2);
+        t.fence(t0(), 3);
+        t.pm_store(t0(), 128, 8, true, Category::RedoLog, 4);
+        t.dfence(t0(), 5);
+        let e = split_epochs(t.events());
+        assert_eq!(e.len(), 2);
+        assert_eq!(e[0].unique_lines(), 2);
+        assert!(!e[0].durable);
+        assert_eq!(e[0].index, 0);
+        assert_eq!(e[1].unique_lines(), 1);
+        assert!(e[1].durable);
+        assert_eq!(e[1].nt_bytes, 8);
+        assert_eq!(e[1].index, 1);
+    }
+
+    #[test]
+    fn trailing_unfenced_stores_dropped() {
+        let mut t = TraceBuffer::new();
+        t.pm_store(t0(), 0, 8, false, Category::UserData, 1);
+        assert!(split_epochs(t.events()).is_empty());
+    }
+
+    #[test]
+    fn repeated_line_counts_once() {
+        let mut t = TraceBuffer::new();
+        t.pm_store(t0(), 0, 8, false, Category::UserData, 1);
+        t.pm_store(t0(), 8, 8, false, Category::UserData, 2);
+        t.fence(t0(), 3);
+        let e = split_epochs(t.events());
+        assert_eq!(e[0].unique_lines(), 1);
+        assert!(e[0].is_singleton());
+        assert_eq!(e[0].bytes, 16);
+    }
+
+    #[test]
+    fn cross_line_store_spans_lines() {
+        let mut t = TraceBuffer::new();
+        t.pm_store(t0(), 60, 8, false, Category::UserData, 1);
+        t.fence(t0(), 2);
+        let e = split_epochs(t.events());
+        assert_eq!(e[0].unique_lines(), 2);
+    }
+
+    #[test]
+    fn threads_have_independent_epochs() {
+        let mut t = TraceBuffer::new();
+        t.pm_store(Tid(0), 0, 8, false, Category::UserData, 1);
+        t.pm_store(Tid(1), 64, 8, false, Category::UserData, 2);
+        t.fence(Tid(0), 3);
+        t.fence(Tid(1), 4);
+        let e = split_epochs(t.events());
+        assert_eq!(e.len(), 2);
+        assert_eq!(e[0].tid, Tid(0));
+        assert_eq!(e[1].tid, Tid(1));
+        assert_eq!(e[0].index, 0);
+        assert_eq!(e[1].index, 0);
+    }
+
+    #[test]
+    fn tx_attribution() {
+        let mut t = TraceBuffer::new();
+        t.pm_store(t0(), 0, 8, false, Category::UserData, 1);
+        t.fence(t0(), 2);
+        t.tx_begin(t0(), 42, 3);
+        t.pm_store(t0(), 64, 8, false, Category::UserData, 4);
+        t.fence(t0(), 5);
+        t.tx_end(t0(), 42, 6);
+        t.pm_store(t0(), 128, 8, false, Category::UserData, 7);
+        t.fence(t0(), 8);
+        let e = split_epochs(t.events());
+        assert_eq!(e[0].tx, None);
+        assert_eq!(e[1].tx, Some(42));
+        assert_eq!(e[2].tx, None);
+    }
+
+    #[test]
+    fn category_byte_attribution() {
+        let mut t = TraceBuffer::new();
+        t.pm_store(t0(), 0, 8, false, Category::UserData, 1);
+        t.pm_store(t0(), 64, 24, false, Category::UndoLog, 2);
+        t.fence(t0(), 3);
+        let e = split_epochs(t.events());
+        assert_eq!(e[0].cat_bytes(Category::UserData), 8);
+        assert_eq!(e[0].cat_bytes(Category::UndoLog), 24);
+        assert_eq!(e[0].cat_bytes(Category::RedoLog), 0);
+    }
+
+    #[test]
+    fn epochs_per_second_math() {
+        assert_eq!(epochs_per_second(0, 0), 0.0);
+        let r = epochs_per_second(1_000, 1_000_000); // 1000 epochs in 1 ms
+        assert!((r - 1e9 / 1e3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn small_singleton_fraction_math() {
+        let mut t = TraceBuffer::new();
+        t.pm_store(t0(), 0, 4, false, Category::AllocMeta, 1); // small singleton
+        t.fence(t0(), 2);
+        t.pm_store(t0(), 64, 32, false, Category::UserData, 3); // big singleton
+        t.fence(t0(), 4);
+        let e = split_epochs(t.events());
+        assert_eq!(small_singleton_fraction(&e), Some(0.5));
+        assert_eq!(small_singleton_fraction(&[]), None);
+    }
+
+    #[test]
+    fn nt_fraction_math() {
+        let mut t = TraceBuffer::new();
+        t.pm_store(t0(), 0, 8, true, Category::RedoLog, 1);
+        t.pm_store(t0(), 64, 24, false, Category::UserData, 2);
+        t.fence(t0(), 3);
+        let e = split_epochs(t.events());
+        assert_eq!(nt_fraction(&e), Some(0.25));
+        assert_eq!(nt_fraction(&[]), None);
+    }
+
+    #[test]
+    fn flushes_are_ignored() {
+        let mut t = TraceBuffer::new();
+        t.pm_store(t0(), 0, 8, false, Category::UserData, 1);
+        t.flush(t0(), 0, 2);
+        t.flush(t0(), 64, 2);
+        t.fence(t0(), 3);
+        let e = split_epochs(t.events());
+        assert_eq!(e.len(), 1);
+        assert_eq!(e[0].unique_lines(), 1);
+    }
+}

@@ -1,0 +1,396 @@
+//! Per-thread persistent log slots shared by both engines.
+
+use memsim::{Machine, PmWriter};
+use pmem::{Addr, AddrRange};
+use pmtrace::{Category, Tid};
+
+use crate::{ClearPolicy, TxError};
+
+pub(crate) const SLOT_MAGIC: u64 = 0x504d_5458_4c4f_4721; // "PMTXLOG!"
+pub(crate) const ENTRY_VALID: u32 = 0xabcd_1234;
+/// Fixed log record: header (valid u32, len u32, addr u64, seq u64)
+/// plus payload.
+const REC_BYTES: u64 = 512;
+const REC_HDR: u64 = 24;
+/// Largest single loggable write.
+pub(crate) const MAX_ENTRY_DATA: usize = (REC_BYTES - REC_HDR) as usize;
+
+/// Durable status of a per-thread transaction slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxStatus {
+    /// No transaction in flight; log logically empty.
+    Idle,
+    /// A transaction is writing; on crash, an undo log rolls back and a
+    /// redo log is discarded.
+    Active,
+    /// Commit marker durable; on crash, a redo log replays and an undo
+    /// log is simply discarded.
+    Committed,
+}
+
+impl TxStatus {
+    pub(crate) fn to_u32(self) -> u32 {
+        match self {
+            TxStatus::Idle => 0,
+            TxStatus::Active => 1,
+            TxStatus::Committed => 2,
+        }
+    }
+
+    pub(crate) fn from_u32(v: u32) -> TxStatus {
+        match v {
+            1 => TxStatus::Active,
+            2 => TxStatus::Committed,
+            _ => TxStatus::Idle,
+        }
+    }
+}
+
+/// One thread's persistent log: a descriptor line followed by a *ring*
+/// of fixed-size records, as in Mnemosyne's and NVML's log buffers.
+/// Because the append cursor keeps advancing, consecutive transactions
+/// write fresh lines — a record's line is only revisited by its own
+/// commit-time clear (the intra-transaction self-dependency the paper
+/// attributes to "NVML sets and clears its log entries") and, much
+/// later, by a wrapped-around append.
+#[derive(Debug, Clone)]
+pub struct LogSlot {
+    base: Addr,
+    size: u64,
+    n_recs: u64,
+    /// Volatile append cursor (record index). Recovery rescans.
+    cursor: u64,
+    /// Monotone record sequence (orders recovery replay/rollback).
+    seq: u64,
+    /// Volatile index of live records: (record addr, target addr, len).
+    entries: Vec<(Addr, Addr, u32)>,
+}
+
+impl LogSlot {
+    pub(crate) fn new(base: Addr, size: u64) -> LogSlot {
+        assert!(size >= 64 + 4 * REC_BYTES, "log slot must hold at least 4 records");
+        LogSlot {
+            base,
+            size,
+            n_recs: (size - 64) / REC_BYTES,
+            cursor: 0,
+            seq: 1,
+            entries: Vec::new(),
+        }
+    }
+
+    /// First address of this slot (descriptor line).
+    pub fn base(&self) -> Addr {
+        self.base
+    }
+
+    /// Slot capacity in bytes (descriptor + record ring).
+    pub fn size_bytes(&self) -> u64 {
+        self.size
+    }
+
+    fn rec_addr(&self, idx: u64) -> Addr {
+        self.base + 64 + idx * REC_BYTES
+    }
+
+    /// Format the descriptor (status Idle) persistently.
+    pub(crate) fn format(&self, m: &mut Machine, tid: Tid) {
+        let mut w = PmWriter::new(tid);
+        w.write_u64(m, self.base, SLOT_MAGIC, Category::LogMeta);
+        w.write_u32(m, self.base + 8, TxStatus::Idle.to_u32(), Category::LogMeta);
+        w.ordering_fence(m);
+    }
+
+    /// Durable status read.
+    pub(crate) fn status(&self, m: &mut Machine, tid: Tid) -> TxStatus {
+        TxStatus::from_u32(m.load_u32(tid, self.base + 8))
+    }
+
+    /// Persist a status change in its own epoch (a `LogMeta` singleton).
+    pub(crate) fn set_status(&self, m: &mut Machine, w: &mut PmWriter, status: TxStatus) {
+        w.write_u32(m, self.base + 8, status.to_u32(), Category::LogMeta);
+        if status == TxStatus::Committed {
+            w.durability_fence(m);
+        } else {
+            w.ordering_fence(m);
+        }
+    }
+
+    /// Append a record. `nt` selects non-temporal stores (Mnemosyne
+    /// redo) vs. cacheable stores + flushes (NVML undo). Always ends
+    /// with an ordering fence — one epoch per log record.
+    pub(crate) fn append(
+        &mut self,
+        m: &mut Machine,
+        w: &mut PmWriter,
+        target: Addr,
+        data: &[u8],
+        nt: bool,
+        cat: Category,
+    ) -> Result<(), TxError> {
+        if data.len() > MAX_ENTRY_DATA {
+            return Err(TxError::EntryTooLarge { len: data.len() });
+        }
+        if self.entries.len() as u64 >= self.n_recs {
+            return Err(TxError::LogFull);
+        }
+        let at = self.rec_addr(self.cursor);
+        let mut header = [0u8; REC_HDR as usize];
+        header[0..4].copy_from_slice(&ENTRY_VALID.to_le_bytes());
+        header[4..8].copy_from_slice(&(data.len() as u32).to_le_bytes());
+        header[8..16].copy_from_slice(&target.to_le_bytes());
+        header[16..24].copy_from_slice(&self.seq.to_le_bytes());
+        if nt {
+            w.write_nt(m, at, &header, cat);
+            w.write_nt(m, at + REC_HDR, data, cat);
+        } else {
+            w.write(m, at, &header, cat);
+            w.write(m, at + REC_HDR, data, cat);
+        }
+        w.ordering_fence(m);
+        self.entries.push((at, target, data.len() as u32));
+        self.cursor = (self.cursor + 1) % self.n_recs;
+        self.seq += 1;
+        Ok(())
+    }
+
+    /// Number of live (uncleared) entries in this slot.
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Replay targets: `(target addr, data)` for every live entry, in
+    /// append order, read back from PM.
+    pub(crate) fn read_entries(&self, m: &mut Machine, tid: Tid) -> Vec<(Addr, Vec<u8>)> {
+        self.entries
+            .iter()
+            .map(|&(at, target, len)| (target, m.load_vec(tid, at + REC_HDR, len as usize)))
+            .collect()
+    }
+
+    /// Clear every entry: per [`ClearPolicy::PerEntry`], "each ... in
+    /// its own epoch" (Section 5.1's singleton factory); per
+    /// [`ClearPolicy::Batched`], all under one fence.
+    pub(crate) fn clear_entries(&mut self, m: &mut Machine, w: &mut PmWriter, policy: ClearPolicy) {
+        let entries = std::mem::take(&mut self.entries);
+        let any = !entries.is_empty();
+        for (at, _, _) in entries {
+            w.write_u32(m, at, 0, Category::LogMeta);
+            if policy == ClearPolicy::PerEntry {
+                w.ordering_fence(m);
+            }
+        }
+        if policy == ClearPolicy::Batched && any {
+            w.ordering_fence(m);
+        }
+    }
+
+    /// Recovery-time scan of durable entries: every valid record in the
+    /// ring, in append (sequence) order.
+    pub(crate) fn scan_durable(&self, m: &mut Machine, tid: Tid) -> Vec<(Addr, Vec<u8>)> {
+        let mut found: Vec<(u64, Addr, Vec<u8>)> = Vec::new();
+        for idx in 0..self.n_recs {
+            let at = self.rec_addr(idx);
+            if m.load_u32(tid, at) != ENTRY_VALID {
+                continue;
+            }
+            let len = (m.load_u32(tid, at + 4) as usize).min(MAX_ENTRY_DATA);
+            let target = m.load_u64(tid, at + 8);
+            let seq = m.load_u64(tid, at + 16);
+            let data = m.load_vec(tid, at + REC_HDR, len);
+            found.push((seq, target, data));
+        }
+        found.sort_unstable_by_key(|(seq, _, _)| *seq);
+        found.into_iter().map(|(_, t, d)| (t, d)).collect()
+    }
+
+    /// Clear every durable record in the ring (recovery truncation).
+    pub(crate) fn clear_durable(&self, m: &mut Machine, w: &mut PmWriter) {
+        let tid = w.tid();
+        for idx in 0..self.n_recs {
+            let at = self.rec_addr(idx);
+            if m.load_u32(tid, at) == ENTRY_VALID {
+                w.write_u32(m, at, 0, Category::LogMeta);
+            }
+        }
+        w.ordering_fence(m);
+    }
+
+    /// Rebuild the volatile view of a slot after recovery decided the
+    /// log is logically empty.
+    pub(crate) fn reset_volatile(&mut self) {
+        self.entries.clear();
+        self.cursor = 0;
+    }
+}
+
+/// Split a region into `threads` equal slots.
+pub(crate) fn carve_slots(region: AddrRange, threads: u32) -> Vec<LogSlot> {
+    assert!(threads > 0, "need at least one thread");
+    let per = region.len / threads as u64 / 64 * 64;
+    assert!(
+        per >= 64 + 4 * REC_BYTES,
+        "log region too small: {} bytes / {threads} threads",
+        region.len
+    );
+    (0..threads as u64)
+        .map(|i| LogSlot::new(region.base + i * per, per))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim::MachineConfig;
+
+    fn setup() -> (Machine, LogSlot) {
+        let mut m = Machine::new(MachineConfig::asplos17());
+        let base = m.config().map.pm.base;
+        let slot = LogSlot::new(base, 64 * 1024);
+        slot.format(&mut m, Tid(0));
+        (m, slot)
+    }
+
+    #[test]
+    fn format_sets_idle() {
+        let (mut m, slot) = setup();
+        assert_eq!(slot.status(&mut m, Tid(0)), TxStatus::Idle);
+    }
+
+    #[test]
+    fn append_and_scan_round_trip() {
+        let (mut m, mut slot) = setup();
+        let mut w = PmWriter::new(Tid(0));
+        slot.append(&mut m, &mut w, 0x1_2345_6780, b"hello", true, Category::RedoLog)
+            .unwrap();
+        slot.append(&mut m, &mut w, 0x1_2345_6800, b"world!!!", false, Category::UndoLog)
+            .unwrap();
+        let got = slot.scan_durable(&mut m, Tid(0));
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0], (0x1_2345_6780, b"hello".to_vec()));
+        assert_eq!(got[1], (0x1_2345_6800, b"world!!!".to_vec()));
+    }
+
+    #[test]
+    fn clear_entries_stops_scan() {
+        let (mut m, mut slot) = setup();
+        let mut w = PmWriter::new(Tid(0));
+        slot.append(&mut m, &mut w, 0x1_0000_0000, &[1; 16], false, Category::UndoLog)
+            .unwrap();
+        slot.clear_entries(&mut m, &mut w, ClearPolicy::PerEntry);
+        let got = slot.scan_durable(&mut m, Tid(0));
+        assert!(got.is_empty());
+        assert_eq!(slot.entry_count(), 0);
+    }
+
+    #[test]
+    fn ring_appends_use_fresh_records_until_wrap() {
+        let (mut m, mut slot) = setup();
+        let mut w = PmWriter::new(Tid(0));
+        let n = slot.n_recs;
+        let mut addrs = std::collections::HashSet::new();
+        for i in 0..n {
+            slot.append(&mut m, &mut w, 0x1_0000_0000 + i * 8, &[7; 8], true, Category::RedoLog)
+                .unwrap();
+            addrs.insert(slot.entries.last().unwrap().0);
+            slot.clear_entries(&mut m, &mut w, ClearPolicy::PerEntry);
+        }
+        assert_eq!(addrs.len() as u64, n, "every record slot used once before wrap");
+        // Next append wraps to the first record.
+        slot.append(&mut m, &mut w, 0x1_0000_0000, &[9; 8], true, Category::RedoLog).unwrap();
+        assert_eq!(slot.entries[0].0, slot.rec_addr(0));
+    }
+
+    #[test]
+    fn reuse_after_clear_does_not_resurrect_old_entries() {
+        let (mut m, mut slot) = setup();
+        let mut w = PmWriter::new(Tid(0));
+        for _ in 0..3 {
+            slot.append(&mut m, &mut w, 0x1_0000_0000, &[7; 32], true, Category::RedoLog)
+                .unwrap();
+        }
+        slot.clear_entries(&mut m, &mut w, ClearPolicy::PerEntry);
+        slot.append(&mut m, &mut w, 0x1_0000_0040, &[9; 8], true, Category::RedoLog)
+            .unwrap();
+        let got = slot.scan_durable(&mut m, Tid(0));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, 0x1_0000_0040);
+    }
+
+    #[test]
+    fn oversized_entry_rejected() {
+        let (mut m, mut slot) = setup();
+        let mut w = PmWriter::new(Tid(0));
+        let big = vec![0u8; MAX_ENTRY_DATA + 1];
+        assert_eq!(
+            slot.append(&mut m, &mut w, 0x1_0000_0000, &big, false, Category::UndoLog),
+            Err(TxError::EntryTooLarge { len: MAX_ENTRY_DATA + 1 })
+        );
+    }
+
+    #[test]
+    fn log_full_detected() {
+        let mut m = Machine::new(MachineConfig::asplos17());
+        let base = m.config().map.pm.base;
+        let mut slot = LogSlot::new(base, 64 + 4 * REC_BYTES);
+        slot.format(&mut m, Tid(0));
+        let mut w = PmWriter::new(Tid(0));
+        for _ in 0..4 {
+            slot.append(&mut m, &mut w, 0x1_0000_0000, &[0; 64], false, Category::UndoLog)
+                .unwrap();
+        }
+        assert_eq!(
+            slot.append(&mut m, &mut w, 0x1_0000_0000, &[0; 64], false, Category::UndoLog),
+            Err(TxError::LogFull)
+        );
+    }
+
+    #[test]
+    fn status_transitions_are_durable() {
+        let (mut m, slot) = setup();
+        let mut w = PmWriter::new(Tid(0));
+        slot.set_status(&mut m, &mut w, TxStatus::Active);
+        slot.set_status(&mut m, &mut w, TxStatus::Committed);
+        let img = m.crash(memsim::CrashSpec::DropVolatile);
+        let mut m2 = Machine::from_image(MachineConfig::asplos17(), &img);
+        let slot2 = LogSlot::new(slot.base(), 64 * 1024);
+        assert_eq!(slot2.status(&mut m2, Tid(0)), TxStatus::Committed);
+    }
+
+    #[test]
+    fn scan_orders_by_sequence_across_wrap() {
+        let mut m = Machine::new(MachineConfig::asplos17());
+        let base = m.config().map.pm.base;
+        let mut slot = LogSlot::new(base, 64 + 4 * REC_BYTES);
+        slot.format(&mut m, Tid(0));
+        let mut w = PmWriter::new(Tid(0));
+        // Fill, clear, then append 3 (wrapping cursor position).
+        for _ in 0..3 {
+            slot.append(&mut m, &mut w, 1 << 33, &[0; 8], true, Category::RedoLog).unwrap();
+        }
+        slot.clear_entries(&mut m, &mut w, ClearPolicy::PerEntry);
+        for i in 0..3u64 {
+            slot.append(&mut m, &mut w, (1 << 33) + i, &[i as u8; 8], true, Category::RedoLog)
+                .unwrap();
+        }
+        let got = slot.scan_durable(&mut m, Tid(0));
+        let targets: Vec<Addr> = got.iter().map(|(t, _)| *t).collect();
+        assert_eq!(targets, vec![1 << 33, (1 << 33) + 1, (1 << 33) + 2]);
+    }
+
+    #[test]
+    fn carve_slots_disjoint() {
+        let region = AddrRange::new(4 << 30, 1 << 20);
+        let slots = carve_slots(region, 4);
+        assert_eq!(slots.len(), 4);
+        for pair in slots.windows(2) {
+            assert!(pair[0].base() + pair[0].size_bytes() <= pair[1].base());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_region_panics() {
+        carve_slots(AddrRange::new(0, 1024), 4);
+    }
+}

@@ -1,0 +1,159 @@
+//! Engine-independent transactional memory access.
+
+use crate::{RedoTxEngine, TxError, UndoTxEngine};
+use memsim::Machine;
+use pmem::Addr;
+use pmtrace::{Category, Tid};
+
+/// Uniform read/write interface over an open transaction, implemented
+/// by both engines so persistent data structures (the `pmds` crate) can
+/// be written once and mounted over either library — the way WHISPER
+/// runs hash tables over NVML and red-black trees over Mnemosyne.
+///
+/// Reads have read-your-writes semantics: an undo engine writes in
+/// place, a redo engine overlays its volatile buffer.
+pub trait TxMem {
+    /// Transactional read of `len` bytes.
+    fn tx_read(&mut self, m: &mut Machine, tid: Tid, addr: Addr, len: usize) -> Vec<u8>;
+
+    /// Transactional write.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the engine's [`TxError`]s (no open transaction, log
+    /// capacity).
+    fn tx_write(
+        &mut self,
+        m: &mut Machine,
+        tid: Tid,
+        addr: Addr,
+        bytes: &[u8],
+        cat: Category,
+    ) -> Result<(), TxError>;
+
+    /// Transactional little-endian `u64` read.
+    fn tx_read_u64(&mut self, m: &mut Machine, tid: Tid, addr: Addr) -> u64 {
+        let v = self.tx_read(m, tid, addr, 8);
+        u64::from_le_bytes(v.try_into().expect("8 bytes"))
+    }
+
+    /// Transactional little-endian `u64` write.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TxMem::tx_write`].
+    fn tx_write_u64(
+        &mut self,
+        m: &mut Machine,
+        tid: Tid,
+        addr: Addr,
+        val: u64,
+        cat: Category,
+    ) -> Result<(), TxError> {
+        self.tx_write(m, tid, addr, &val.to_le_bytes(), cat)
+    }
+
+    /// Transactional little-endian `u32` read.
+    fn tx_read_u32(&mut self, m: &mut Machine, tid: Tid, addr: Addr) -> u32 {
+        let v = self.tx_read(m, tid, addr, 4);
+        u32::from_le_bytes(v.try_into().expect("4 bytes"))
+    }
+
+    /// Transactional little-endian `u32` write.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TxMem::tx_write`].
+    fn tx_write_u32(
+        &mut self,
+        m: &mut Machine,
+        tid: Tid,
+        addr: Addr,
+        val: u32,
+        cat: Category,
+    ) -> Result<(), TxError> {
+        self.tx_write(m, tid, addr, &val.to_le_bytes(), cat)
+    }
+}
+
+impl TxMem for UndoTxEngine {
+    fn tx_read(&mut self, m: &mut Machine, tid: Tid, addr: Addr, len: usize) -> Vec<u8> {
+        // Undo logging writes in place; plain loads are current.
+        m.load_vec(tid, addr, len)
+    }
+
+    fn tx_write(
+        &mut self,
+        m: &mut Machine,
+        tid: Tid,
+        addr: Addr,
+        bytes: &[u8],
+        cat: Category,
+    ) -> Result<(), TxError> {
+        self.set(m, tid, addr, bytes, cat)
+    }
+}
+
+impl TxMem for RedoTxEngine {
+    fn tx_read(&mut self, m: &mut Machine, tid: Tid, addr: Addr, len: usize) -> Vec<u8> {
+        self.read(m, tid, addr, len)
+    }
+
+    fn tx_write(
+        &mut self,
+        m: &mut Machine,
+        tid: Tid,
+        addr: Addr,
+        bytes: &[u8],
+        cat: Category,
+    ) -> Result<(), TxError> {
+        self.write(m, tid, addr, bytes, cat)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim::MachineConfig;
+    use pmem::AddrRange;
+
+    fn setup() -> (Machine, Addr) {
+        let m = Machine::new(MachineConfig::asplos17());
+        let data = m.config().map.pm.base + (1 << 20);
+        (m, data)
+    }
+
+    #[test]
+    fn both_engines_read_their_writes() {
+        let (mut m, data) = setup();
+        let log = AddrRange::new(m.config().map.pm.base, 1 << 20);
+        let tid = Tid(0);
+
+        let mut undo = UndoTxEngine::format(&mut m, log, 4);
+        undo.begin(&mut m, tid).unwrap();
+        undo.tx_write_u64(&mut m, tid, data, 11, Category::UserData).unwrap();
+        assert_eq!(undo.tx_read_u64(&mut m, tid, data), 11);
+        undo.commit(&mut m, tid).unwrap();
+
+        let (mut m, data) = setup();
+        let log = AddrRange::new(m.config().map.pm.base, 1 << 20);
+        let mut redo = RedoTxEngine::format(&mut m, log, 4);
+        redo.begin(&mut m, tid).unwrap();
+        redo.tx_write_u64(&mut m, tid, data, 22, Category::UserData).unwrap();
+        assert_eq!(redo.tx_read_u64(&mut m, tid, data), 22);
+        redo.commit(&mut m, tid).unwrap();
+        assert_eq!(m.load_u64(tid, data), 22);
+    }
+
+    #[test]
+    fn u32_helpers() {
+        let (mut m, data) = setup();
+        let log = AddrRange::new(m.config().map.pm.base, 1 << 20);
+        let tid = Tid(0);
+        let mut undo = UndoTxEngine::format(&mut m, log, 4);
+        undo.begin(&mut m, tid).unwrap();
+        undo.tx_write_u32(&mut m, tid, data, 0xdead_beef, Category::UserData).unwrap();
+        assert_eq!(undo.tx_read_u32(&mut m, tid, data), 0xdead_beef);
+        undo.commit(&mut m, tid).unwrap();
+    }
+}

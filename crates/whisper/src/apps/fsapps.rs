@@ -1,0 +1,255 @@
+//! The filesystem applications: NFS, Exim, and MySQL over PMFS
+//! (Section 3.2.3).
+//!
+//! "WHISPER includes three common applications to store and access
+//! files in PM using PMFS. These applications are unmodified popular
+//! open-source programs." What reaches PM is therefore exactly the
+//! syscall stream each program makes; the servers themselves (RPC
+//! decoding, SMTP, SQL parsing and buffer-pool logic) are volatile
+//! work, and each driver's pacing (filebench clients, postal's
+//! 1000 msgs/min, sysbench connections) sets the epoch *rate* — which
+//! is why Table 1 spans 6250 epochs/s (Exim) to 250 K (NFS).
+
+use super::{AppRun, VolatileArena};
+use crate::workloads::{self, FileserverOp};
+use memsim::{Machine, MachineConfig};
+use pmem::AddrRange;
+use pmfs::{Pmfs, PmfsConfig};
+use pmtrace::Tid;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const THREADS: u32 = 4;
+
+fn build_fs(m: &mut Machine) -> (Pmfs, AddrRange) {
+    let region = AddrRange::new(m.config().map.pm.base, 96 << 20);
+    let cfg = PmfsConfig {
+        data_blocks: 16_384, // 64 MB of data
+        inodes: 2048,
+        journal_bytes: 128 * 1024,
+    };
+    let fs = Pmfs::mkfs(m, Tid(0), region, cfg).expect("mkfs");
+    (fs, region)
+}
+
+/// NFS: an exported PMFS volume driven by filebench's `fileserver`
+/// profile (Table 1: 8 clients, 8 NFS threads).
+pub fn nfs(ops: usize, seed: u64) -> AppRun {
+    let mut m = Machine::new(MachineConfig::asplos17());
+    // mkfs and export setup are untraced.
+    m.trace_mut().set_enabled(false);
+    let (mut fs, _) = build_fs(&mut m);
+    let mut arena = VolatileArena::new(&mut m, 2 << 20);
+    fs.mkdir(&mut m, Tid(0), "/export").expect("mkdir");
+    let n_files = 64;
+    // 8 logical NFS clients multiplexed onto the 4 hardware threads.
+    m.trace_mut().set_enabled(true);
+    let mut jitter = SmallRng::seed_from_u64(seed ^ 0x9f5);
+    for (i, op) in workloads::fileserver(n_files, ops, 65_536, seed).into_iter().enumerate() {
+        let client = i % 8;
+        let tid = Tid((client % THREADS as usize) as u32);
+        // RPC decode, export lookup, reply marshalling.
+        arena.work(&mut m, tid, 90);
+        // The 8 clients think in parallel, so about half the requests
+        // arrive back to back with another client's — the overlap that
+        // produces NFS's cross-thread dependencies on the shared
+        // journal, bitmaps, and directories (Figure 5: 5%).
+        if jitter.gen_bool(0.5) {
+            m.advance_ns(jitter.gen_range(100_000..210_000));
+        }
+        let path = |f: u64| format!("/export/f{f:04}");
+        match op {
+            FileserverOp::CreateWrite { file, size } => {
+                let p = path(file);
+                let _ = fs.unlink(&mut m, tid, &p);
+                fs.create(&mut m, tid, &p).expect("create");
+                fs.write(&mut m, tid, &p, 0, &vec![file as u8; size.min(100_000)])
+                    .expect("write");
+            }
+            FileserverOp::Append { file, size } => {
+                let p = path(file);
+                if fs.stat(&mut m, tid, &p).is_ok() {
+                    let _ = fs.append(&mut m, tid, &p, &vec![file as u8; size.min(16_384)]);
+                }
+            }
+            FileserverOp::ReadWhole { file } => {
+                let _ = fs.read_file(&mut m, tid, &path(file));
+            }
+            FileserverOp::Stat { file } => {
+                let _ = fs.stat(&mut m, tid, &path(file));
+            }
+            FileserverOp::Delete { file } => {
+                let _ = fs.unlink(&mut m, tid, &path(file));
+            }
+        }
+    }
+    AppRun::collect("nfs", "filebench fileserver / 8 clients", m)
+}
+
+/// Exim: mail delivery over PMFS spool and mailboxes, paced like
+/// postal at 1000 msgs/min (Table 1: 100 KB messages, 250 mailboxes —
+/// message bodies scaled to 24 KB, see DESIGN.md).
+pub fn exim(msgs: usize, seed: u64) -> AppRun {
+    let mut m = Machine::new(MachineConfig::asplos17());
+    // mkfs and mailbox setup are untraced.
+    m.trace_mut().set_enabled(false);
+    let (mut fs, _) = build_fs(&mut m);
+    let mut arena = VolatileArena::new(&mut m, 2 << 20);
+    fs.mkdir(&mut m, Tid(0), "/spool").expect("mkdir");
+    fs.mkdir(&mut m, Tid(0), "/mbox").expect("mkdir");
+    fs.create(&mut m, Tid(0), "/mainlog").expect("log");
+    let n_mailboxes = 250;
+    let mut pace = SmallRng::seed_from_u64(seed ^ 0xe41);
+
+    m.trace_mut().set_enabled(true);
+    for (i, msg) in workloads::postal(n_mailboxes, msgs, 24_576, seed).into_iter().enumerate() {
+        let tid = Tid((i % THREADS as usize) as u32);
+        // SMTP session + routing + the three child processes' work.
+        arena.work(&mut m, tid, 150);
+        // postal pacing: ~1000 msgs/min; most deliveries are spaced
+        // out, an occasional pair overlaps (the rare cross-thread
+        // dependency, Figure 5: 1.16%).
+        if pace.gen_bool(0.75) {
+            m.advance_ns(29_300_000);
+        }
+        let spool = format!("/spool/m{i:06}");
+        let mbox = format!("/mbox/u{:03}", msg.mailbox);
+        // 1. Receive into the spool.
+        fs.create(&mut m, tid, &spool).expect("spool");
+        fs.write(&mut m, tid, &spool, 0, &vec![i as u8; msg.size.min(32_768)])
+            .expect("spool write");
+        // SMTP DATA phase completes; the delivery child takes over.
+        m.advance_ns(300_000);
+        // 2. Append to the per-user mailbox (rotate if huge).
+        if fs.stat(&mut m, tid, &mbox).map(|s| s.size > 1 << 20).unwrap_or(false) {
+            fs.truncate(&mut m, tid, &mbox, 0).expect("rotate");
+        }
+        if fs.stat(&mut m, tid, &mbox).is_err() {
+            fs.create(&mut m, tid, &mbox).expect("mbox");
+        }
+        let body = fs.read_file(&mut m, tid, &spool).expect("read spool");
+        fs.append(&mut m, tid, &mbox, &body).expect("deliver");
+        // Delivery bookkeeping before logging.
+        m.advance_ns(300_000);
+        // 3. Log the delivery.
+        fs.append(&mut m, tid, "/mainlog", format!("delivered m{i} to {mbox}\n").as_bytes())
+            .expect("log");
+        // 4. Remove the spool file.
+        fs.unlink(&mut m, tid, &spool).expect("unspool");
+    }
+    AppRun::collect("exim", "postal / 250 mailboxes, paced", m)
+}
+
+/// MySQL: sysbench OLTP-complex over table/index/binlog files on PMFS
+/// (Table 1: 4 clients, one 10 M-row table — scaled).
+pub fn mysql(txs: usize, seed: u64) -> AppRun {
+    let mut m = Machine::new(MachineConfig::asplos17());
+    // mkfs and table loading are untraced.
+    m.trace_mut().set_enabled(false);
+    let (mut fs, _) = build_fs(&mut m);
+    let mut arena = VolatileArena::new(&mut m, 4 << 20);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xdb);
+    // Table file: rows packed 100 B each in 4 KB pages; plus binlog.
+    fs.create(&mut m, Tid(0), "/ibdata").expect("table");
+    fs.create(&mut m, Tid(0), "/binlog").expect("binlog");
+    let n_rows = 4096usize;
+    const ROW: usize = 100;
+    // Pre-extend the table file (untraced load phase).
+    m.trace_mut().set_enabled(false);
+    let total = n_rows * ROW;
+    for off in (0..total).step_by(4096) {
+        fs.write(&mut m, Tid(0), "/ibdata", off as u64, &[1u8; 4096]).expect("load");
+    }
+    m.trace_mut().set_enabled(true);
+    let row_off = |r: u64| r * ROW as u64;
+
+    for (i, tx) in workloads::oltp(n_rows, txs, seed).into_iter().enumerate() {
+        let tid = Tid((i % THREADS as usize) as u32);
+        // Parser, optimizer, buffer pool — the bulk of MySQL's work.
+        arena.work(&mut m, tid, 450);
+        for r in &tx.point_selects {
+            let _ = fs.read(&mut m, tid, "/ibdata", row_off(*r), ROW);
+        }
+        let (start, len) = tx.range;
+        let _ = fs.read(&mut m, tid, "/ibdata", row_off(start % n_rows as u64), (len as usize * ROW).min(16_384));
+        for r in &tx.updates {
+            // Per-statement planning/execution time separates the
+            // statements' metadata updates beyond the 50us window.
+            m.advance_ns(120_000);
+            fs.write(&mut m, tid, "/ibdata", row_off(*r), &[rng.gen::<u8>(); ROW])
+                .expect("update");
+        }
+        // insert+delete pair modeled as a row rewrite + tombstone.
+        m.advance_ns(120_000);
+        fs.write(&mut m, tid, "/ibdata", row_off(tx.insert_delete), &[0u8; ROW])
+            .expect("insert/delete");
+        // Binlog record for the write set.
+        m.advance_ns(120_000);
+        fs.append(&mut m, tid, "/binlog", &vec![i as u8; 256]).expect("binlog");
+    }
+    AppRun::collect("mysql", "sysbench OLTP-complex / 4 clients", m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmtrace::analysis;
+
+    #[test]
+    fn nfs_runs_with_large_epochs() {
+        let run = nfs(150, 21);
+        let epochs = analysis::split_epochs(&run.events);
+        let hist = analysis::epoch_size_histogram(&epochs);
+        // Figure 4: PMFS apps have a ≥64-line mode from 4 KB blocks.
+        assert!(hist.buckets[6] > 0, "no 64-line epochs: {hist}");
+        assert!(hist.singleton_fraction() < 0.7, "PMFS is not singleton-dominated");
+    }
+
+    #[test]
+    fn nfs_has_cross_dependencies() {
+        // Figure 5: NFS shows the most cross-deps (5%) — shared
+        // directories, bitmaps, and the journal.
+        let run = nfs(200, 23);
+        let epochs = analysis::split_epochs(&run.events);
+        let deps = analysis::dependencies(&epochs);
+        assert!(deps.cross_dep_epochs > 0, "expected some cross-deps");
+    }
+
+    #[test]
+    fn exim_rate_is_orders_of_magnitude_lower() {
+        let e = exim(20, 25);
+        let n = nfs(200, 25);
+        let eps = |r: &AppRun| {
+            analysis::epochs_per_second(analysis::split_epochs(&r.events).len(), r.duration_ns)
+        };
+        assert!(
+            eps(&n) > eps(&e) * 10.0,
+            "nfs {} vs exim {} epochs/s",
+            eps(&n),
+            eps(&e)
+        );
+    }
+
+    #[test]
+    fn exim_delivers_mail_durably() {
+        let run = exim(10, 26);
+        assert!(!run.events.is_empty());
+        // All spool files must be gone (delivered then unlinked).
+        // (Validated inside the run by expect()s; the trace existing
+        // and ending cleanly is the signal here.)
+    }
+
+    #[test]
+    fn mysql_low_self_dependencies() {
+        // Figure 5: MySQL has the lowest self-dep share (17.9%) — "few
+        // metadata writes" and sub-50µs windows rarely spanned.
+        let run = mysql(60, 27);
+        let epochs = analysis::split_epochs(&run.events);
+        let deps = analysis::dependencies(&epochs);
+        assert!(
+            deps.self_fraction() < 0.45,
+            "mysql self-dep {} should be the suite's lowest",
+            deps.self_fraction()
+        );
+    }
+}

@@ -1,0 +1,212 @@
+//! Memcached over Mnemosyne-style transactions (Section 3.2.2).
+//!
+//! "Memcached is an in-memory key-value store used by web applications
+//! as an object cache ... It stores objects in a hash table and an LRU
+//! replacement policy. We modified Memcached to allocate the hash table
+//! in PM segments, ensured that all accesses to PM execute atomically
+//! in durable transactions, and replaced all locks used for
+//! synchronizing concurrent access to the table with transactions."
+//!
+//! Each former lock region is one transaction: a SET runs the
+//! hash-insert transaction then the LRU-update transaction; a GET is
+//! volatile except for memcached's lazy LRU bump (items are only
+//! re-linked if they have not been touched recently), which keeps PM
+//! write traffic low at memslap's 5 % SET mix.
+
+use super::{AppRun, VolatileArena};
+use crate::region::RegionPlanner;
+use crate::workloads::{self, MemslapOp};
+use memsim::{Machine, MachineConfig, PmWriter};
+use pmalloc::ShardedSlab;
+use pmem::Addr;
+use pmds::{PHashMap, PLruList};
+use pmtrace::Tid;
+use pmtx::RedoTxEngine;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+const THREADS: u32 = 4;
+
+pub(crate) struct Memcached {
+    pub(crate) eng: RedoTxEngine,
+    pub(crate) alloc: ShardedSlab,
+    pub(crate) table: PHashMap,
+    pub(crate) lru: PLruList,
+    /// Volatile map key → LRU node (memcached keeps such pointers in
+    /// its item headers; ours lives in DRAM like the rest of the item
+    /// bookkeeping).
+    pub(crate) lru_nodes: HashMap<u64, Addr>,
+    #[allow(dead_code)] // recovery handle, used by crash tests
+    pub(crate) log_region: pmem::AddrRange,
+    #[allow(dead_code)] // recovery handle, used by crash tests
+    pub(crate) table_head: Addr,
+}
+
+impl Memcached {
+    pub(crate) fn build(m: &mut Machine) -> Memcached {
+        let mut plan = RegionPlanner::new(m.config().map.pm);
+        let log_region = plan.take(8 << 20);
+        let table_region = plan.take(PHashMap::region_bytes(512));
+        let lru_region = plan.take(64);
+        let mut eng = RedoTxEngine::format(m, log_region, THREADS);
+        let mut w = PmWriter::new(Tid(0));
+        // Mnemosyne's allocator keeps per-thread arenas.
+        let heap = plan.take(ShardedSlab::region_bytes(64 << 20, THREADS as usize));
+        let alloc = ShardedSlab::format(m, &mut w, heap.base, 64 << 20, THREADS as usize);
+        eng.begin(m, Tid(0)).expect("setup tx");
+        let table = PHashMap::create(m, &mut eng, Tid(0), table_region, 512).expect("table");
+        let lru = PLruList::create(m, &mut eng, Tid(0), lru_region).expect("lru");
+        eng.commit(m, Tid(0)).expect("setup");
+        Memcached {
+            eng,
+            alloc,
+            table,
+            lru,
+            lru_nodes: HashMap::new(),
+            log_region,
+            table_head: table_region.base,
+        }
+    }
+
+    fn set(&mut self, m: &mut Machine, tid: Tid, key: u64, val: &[u8], capacity: usize) {
+        let kb = key.to_le_bytes();
+        self.alloc.select(tid.0 as usize);
+        // Lock region 1: the hash table.
+        self.eng.begin(m, tid).expect("tx");
+        let fresh = self
+            .table
+            .insert(m, &mut self.eng, tid, &mut self.alloc, &kb, val)
+            .expect("insert");
+        self.eng.commit(m, tid).expect("commit");
+        // Lock region 2: the LRU list — only touched for fresh items;
+        // overwrites just refresh the item's volatile access stamp
+        // (memcached's lazy LRU maintenance).
+        if fresh {
+            self.eng.begin(m, tid).expect("tx");
+            let node = self
+                .lru
+                .push_front(m, &mut self.eng, tid, &mut self.alloc, key)
+                .expect("lru push");
+            self.lru_nodes.insert(key, node);
+            if self.lru_nodes.len() > capacity {
+                if let Some(victim) = self
+                    .lru
+                    .pop_back(m, &mut self.eng, tid, &mut self.alloc)
+                    .expect("evict")
+                {
+                    self.lru_nodes.remove(&victim);
+                    self.table
+                        .remove(m, &mut self.eng, tid, &mut self.alloc, &victim.to_le_bytes())
+                        .expect("evict item");
+                }
+            }
+            self.eng.commit(m, tid).expect("commit");
+        }
+    }
+
+    fn get(&mut self, m: &mut Machine, tid: Tid, key: u64, lazy_touch: bool) -> Option<Vec<u8>> {
+        let v = self.table.get(m, &mut self.eng, tid, &key.to_le_bytes());
+        if v.is_some() && lazy_touch {
+            if let Some(&node) = self.lru_nodes.get(&key) {
+                self.eng.begin(m, tid).expect("tx");
+                self.lru.touch(m, &mut self.eng, tid, node).expect("touch");
+                self.eng.commit(m, tid).expect("commit");
+            }
+        }
+        v
+    }
+}
+
+/// Run memslap (Table 1: 4 clients, 5 % SET).
+pub fn run(ops: usize, seed: u64) -> AppRun {
+    let mut m = Machine::new(MachineConfig::asplos17());
+    // Setup is untraced: the measured interval is the memslap run.
+    m.trace_mut().set_enabled(false);
+    let mut mc = Memcached::build(&mut m);
+    let mut arena = VolatileArena::new(&mut m, 2 << 20);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5eed);
+    let keyspace = (ops / 2).clamp(64, 4000);
+    let capacity = keyspace;
+
+    m.trace_mut().set_enabled(true);
+    for (i, op) in workloads::memslap(keyspace, ops, 5, seed).into_iter().enumerate() {
+        let tid = Tid((i % THREADS as usize) as u32);
+        // Protocol parsing, connection state, item header checks.
+        arena.work(&mut m, tid, 250);
+        // Connection turnaround between requests.
+        m.advance_ns(4_500);
+        match op {
+            MemslapOp::Get { key } => {
+                // Lazy LRU: memcached only re-links items idle for a
+                // while, so touches are rare.
+                let lazy = rng.gen_range(0..128) == 0;
+                if mc.get(&mut m, tid, key, lazy).is_none() {
+                    // Cache miss: the web app would fetch and SET.
+                    mc.set(&mut m, tid, key, &[key as u8; 64], capacity);
+                }
+            }
+            MemslapOp::Set { key, vsize } => {
+                mc.set(&mut m, tid, key, &vec![key as u8; vsize.min(256)], capacity);
+            }
+        }
+    }
+
+    AppRun::collect("memcached", "memslap / 4 clients, 5% SET", m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim::CrashSpec;
+    use pmtrace::analysis;
+
+    #[test]
+    fn transactions_small_and_epochs_singleton_heavy() {
+        let run = run(400, 11);
+        let epochs = analysis::split_epochs(&run.events);
+        let median = analysis::tx_stats(&epochs).median().unwrap();
+        assert!((3..=25).contains(&median), "memcached median {median}");
+        let hist = analysis::epoch_size_histogram(&epochs);
+        assert!(hist.singleton_fraction() > 0.5, "singletons {}", hist.singleton_fraction());
+    }
+
+    #[test]
+    fn mnemosyne_nt_fraction_substantial() {
+        // Consequence 10: ~67% of Mnemosyne's writes are NT (redo log).
+        let run = run(400, 11);
+        let epochs = analysis::split_epochs(&run.events);
+        let nt = analysis::nt_fraction(&epochs).unwrap();
+        assert!(nt > 0.35 && nt < 0.95, "NT fraction {nt}");
+    }
+
+    #[test]
+    fn cache_behaves_like_lru() {
+        let mut m = Machine::new(MachineConfig::asplos17());
+        let mut mc = Memcached::build(&mut m);
+        for key in 0..5u64 {
+            mc.set(&mut m, Tid(0), key, b"value-xx", 3);
+        }
+        // Capacity 3: keys 0 and 1 evicted.
+        assert!(mc.get(&mut m, Tid(0), 0, false).is_none());
+        assert!(mc.get(&mut m, Tid(0), 4, false).is_some());
+        assert_eq!(mc.lru.len(&mut m, Tid(0)), 3);
+    }
+
+    #[test]
+    fn committed_sets_survive_crash() {
+        let mut m = Machine::new(MachineConfig::asplos17());
+        let mut mc = Memcached::build(&mut m);
+        mc.set(&mut m, Tid(2), 99, b"cached!!", 100);
+        let log = mc.log_region;
+        let head = mc.table_head;
+        let img = m.crash(CrashSpec::DropVolatile);
+        let mut m2 = Machine::from_image(MachineConfig::asplos17(), &img);
+        let mut eng2 = RedoTxEngine::recover(&mut m2, Tid(0), log, THREADS);
+        let table2 = PHashMap::open(&mut m2, Tid(0), head).unwrap();
+        assert_eq!(
+            table2.get(&mut m2, &mut eng2, Tid(0), &99u64.to_le_bytes()).as_deref(),
+            Some(&b"cached!!"[..])
+        );
+    }
+}

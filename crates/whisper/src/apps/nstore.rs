@@ -1,0 +1,411 @@
+//! N-store: a persistent-memory RDBMS (paper Section 3.2.1).
+//!
+//! "N-store is a RDBMS for PM inspired by the design of H-store. It
+//! models the database as partitions of tables and each DB thread
+//! executes transactions on a single partition independent of others.
+//! ... Among the six back-end engines in N-store, we chose the
+//! optimized write-ahead log (OPTWAL) engine. ... OPTWAL places tables
+//! and indexes in these segments and uses an undo log to atomically
+//! update them."
+//!
+//! Per the paper's Section 5.2, N-store's write amplification
+//! (200–1400 %) comes "largely due to its PM allocator that uses a
+//! buddy system" — so tuples here come from [`pmalloc::BuddyAlloc`],
+//! whose split/merge cascades generate exactly that metadata traffic.
+//! Each partition header (per-thread txid/count words) is rewritten by
+//! every writing transaction, one of the self-dependency sources the
+//! paper attributes to native applications.
+
+use super::{AppRun, VolatileArena};
+use crate::region::RegionPlanner;
+use crate::workloads::{self, TpccTx, YcsbOp};
+use memsim::{Machine, MachineConfig, PmWriter};
+use pmalloc::{BuddyAlloc, PmAllocator};
+use pmem::Addr;
+use pmds::{PBTree, PHashMap};
+use pmtrace::{Category, Tid};
+use pmtx::{TxMem, UndoTxEngine};
+
+const THREADS: u32 = 4;
+const FIELD_BYTES: usize = 10;
+const FIELDS: usize = 10;
+/// Tuple: key u64 + 10 fields × 10 B = 108, buddy rounds to 128.
+const TUPLE_BYTES: u64 = 8 + (FIELDS * FIELD_BYTES) as u64;
+
+pub(crate) struct NStore {
+    pub(crate) eng: UndoTxEngine,
+    pub(crate) alloc: BuddyAlloc,
+    /// Primary index: key → tuple address.
+    pub(crate) index: PHashMap,
+    /// Ordered secondary index (OPTWAL "places tables and indexes in
+    /// these segments" — a persistent B-tree, as in PMFS metadata).
+    pub(crate) ordered: PBTree,
+    /// Per-partition (per-thread) header: last txid + tuple count.
+    pub(crate) partitions: Vec<Addr>,
+    #[allow(dead_code)] // recovery handle, used by crash tests
+    pub(crate) log_region: pmem::AddrRange,
+    #[allow(dead_code)] // recovery handle, used by crash tests
+    pub(crate) index_head: Addr,
+}
+
+impl NStore {
+    pub(crate) fn build(m: &mut Machine) -> NStore {
+        let mut plan = RegionPlanner::new(m.config().map.pm);
+        let log_region = plan.take(8 << 20);
+        let heap_region = plan.take(512 << 20);
+        let index_region = plan.take(PHashMap::region_bytes(1024));
+        let part_region = plan.take(64 * THREADS as u64);
+
+        let ordered_region = plan.take(pmds::BTREE_REGION_BYTES);
+        let mut eng = UndoTxEngine::format(m, log_region, THREADS);
+        let mut w = PmWriter::new(Tid(0));
+        let mut alloc = BuddyAlloc::format(m, &mut w, heap_region);
+        eng.begin(m, Tid(0)).expect("fresh engine");
+        let index = PHashMap::create(m, &mut eng, Tid(0), index_region, 1024).expect("index");
+        let ordered =
+            PBTree::create(m, &mut eng, Tid(0), &mut alloc, ordered_region).expect("ordered index");
+        eng.commit(m, Tid(0)).expect("setup");
+        NStore {
+            eng,
+            alloc,
+            index,
+            ordered,
+            partitions: (0..THREADS as u64).map(|i| part_region.base + i * 64).collect(),
+            log_region,
+            index_head: index_region.base,
+        }
+    }
+
+    /// Stamp the partition header (txid, tuple count delta) — two
+    /// same-line writes per writing transaction.
+    fn stamp_partition(&mut self, m: &mut Machine, tid: Tid, delta: i64) {
+        let hdr = self.partitions[tid.0 as usize];
+        let txid = self.eng.tx_read_u64(m, tid, hdr);
+        self.eng
+            .tx_write_u64(m, tid, hdr, txid + 1, Category::AppMeta)
+            .expect("partition txid");
+        let count = self.eng.tx_read_u64(m, tid, hdr + 8);
+        self.eng
+            .tx_write_u64(m, tid, hdr + 8, count.checked_add_signed(delta).expect("count"), Category::AppMeta)
+            .expect("partition count");
+    }
+
+    /// Insert a tuple: buddy allocation (split cascade), field writes,
+    /// index insert. Caller holds the transaction.
+    fn insert_tuple(&mut self, m: &mut Machine, tid: Tid, key: u64, fill: u8) -> Addr {
+        let mut w = PmWriter::new(tid);
+        let tuple = self.alloc.alloc(m, &mut w, TUPLE_BYTES).expect("heap");
+        self.eng.tx_write_u64(m, tid, tuple, key, Category::UserData).expect("key");
+        // set_varchar-style per-field writes (Figure 2's PM_STRCPY).
+        for f in 0..FIELDS {
+            self.eng
+                .tx_write(m, tid, tuple + 8 + (f * FIELD_BYTES) as u64, &[fill; FIELD_BYTES], Category::UserData)
+                .expect("field");
+        }
+        self.index
+            .insert(m, &mut self.eng, tid, &mut self.alloc, &key.to_le_bytes(), &tuple.to_le_bytes())
+            .expect("index");
+        self.ordered
+            .insert(m, &mut self.eng, tid, &mut self.alloc, key, tuple)
+            .expect("ordered index");
+        tuple
+    }
+
+    /// Ordered scan over the secondary index (TPC-C order-status style).
+    pub(crate) fn scan(&mut self, m: &mut Machine, tid: Tid, lo: u64, hi: u64) -> Vec<(u64, Addr)> {
+        self.ordered.range(m, tid, lo, hi)
+    }
+
+    fn find_tuple(&mut self, m: &mut Machine, tid: Tid, key: u64) -> Option<Addr> {
+        self.index
+            .get(m, &mut self.eng, tid, &key.to_le_bytes())
+            .map(|v| u64::from_le_bytes(v.try_into().expect("addr")))
+    }
+
+    fn update_fields(&mut self, m: &mut Machine, tid: Tid, tuple: Addr, fields: u8, fill: u8) {
+        for f in 0..(fields as usize).min(FIELDS) {
+            self.eng
+                .tx_write(m, tid, tuple + 8 + (f * FIELD_BYTES) as u64, &[fill; FIELD_BYTES], Category::UserData)
+                .expect("field");
+        }
+    }
+}
+
+/// YCSB without driver overhead (gem5-style, for Figures 6 and 10).
+pub fn run_ycsb_unpaced(ops: usize, seed: u64) -> AppRun {
+    run_ycsb_inner(ops, seed, false)
+}
+
+/// Run the YCSB-like workload (Table 1: 4 clients, 80 % writes).
+pub fn run_ycsb(ops: usize, seed: u64) -> AppRun {
+    run_ycsb_inner(ops, seed, true)
+}
+
+pub(crate) fn run_ycsb_inner(ops: usize, seed: u64, paced: bool) -> AppRun {
+    let mut m = Machine::new(MachineConfig::asplos17());
+    // Build + load are untraced: the measured interval is steady state.
+    m.trace_mut().set_enabled(false);
+    let mut db = NStore::build(&mut m);
+    let mut arena = VolatileArena::new(&mut m, 1 << 20);
+    let n_keys = ops.clamp(64, 40_000);
+    for key in 0..n_keys as u64 {
+        let tid = Tid((key % THREADS as u64) as u32);
+        db.eng.begin(&mut m, tid).expect("load tx");
+        db.insert_tuple(&mut m, tid, key, 0xAB);
+        db.eng.commit(&mut m, tid).expect("load commit");
+    }
+    m.trace_mut().set_enabled(true);
+
+    for (i, op) in workloads::ycsb(n_keys, ops, 80, seed).into_iter().enumerate() {
+        let tid = Tid((i % THREADS as usize) as u32);
+        arena.work(&mut m, tid, if paced { 800 } else { 40 });
+        match op {
+            YcsbOp::Read { key } => {
+                if let Some(t) = db.find_tuple(&mut m, tid, key) {
+                    let _ = m.load_vec(tid, t, TUPLE_BYTES as usize);
+                }
+            }
+            YcsbOp::Update { key, fields } => {
+                if let Some(t) = db.find_tuple(&mut m, tid, key) {
+                    db.eng.begin(&mut m, tid).expect("tx");
+                    db.update_fields(&mut m, tid, t, fields, i as u8);
+                    db.stamp_partition(&mut m, tid, 0);
+                    db.eng.commit(&mut m, tid).expect("commit");
+                }
+            }
+            YcsbOp::Insert { key } => {
+                db.eng.begin(&mut m, tid).expect("tx");
+                db.insert_tuple(&mut m, tid, key, i as u8);
+                db.stamp_partition(&mut m, tid, 1);
+                db.eng.commit(&mut m, tid).expect("commit");
+            }
+        }
+    }
+
+    AppRun::collect("nstore-ycsb", "YCSB like / 4 clients, 80% writes", m)
+}
+
+/// Run the TPC-C-like workload (Table 1: 4 clients, 40 % writes).
+pub fn run_tpcc(txs: usize, seed: u64) -> AppRun {
+    let mut m = Machine::new(MachineConfig::asplos17());
+    // Build + load are untraced: the measured interval is steady state.
+    m.trace_mut().set_enabled(false);
+    let mut db = NStore::build(&mut m);
+    let mut arena = VolatileArena::new(&mut m, 1 << 20);
+    let n_customers = 200;
+    let n_items = 400;
+    for key in 0..(n_customers + n_items) as u64 {
+        let key = if key < n_customers as u64 { key } else { 1_000_000 + key };
+        let tid = Tid((key % THREADS as u64) as u32);
+        db.eng.begin(&mut m, tid).expect("load tx");
+        db.insert_tuple(&mut m, tid, key, 1);
+        db.eng.commit(&mut m, tid).expect("load commit");
+    }
+    m.trace_mut().set_enabled(true);
+
+    let mut next_order: u64 = 2_000_000;
+    for (i, tx) in workloads::tpcc(n_customers, n_items, txs, seed).into_iter().enumerate() {
+        let tid = Tid((i % THREADS as usize) as u32);
+        arena.work(&mut m, tid, 2600);
+        match tx {
+            TpccTx::NewOrder { customer, items } => {
+                db.eng.begin(&mut m, tid).expect("tx");
+                // Order row + one order-line row per item + stock update.
+                db.insert_tuple(&mut m, tid, next_order, customer as u8);
+                next_order += 1;
+                for item in &items {
+                    db.insert_tuple(&mut m, tid, next_order, *item as u8);
+                    next_order += 1;
+                    if let Some(stock) = db.find_tuple(&mut m, tid, 1_000_000 + n_customers as u64 + item) {
+                        db.update_fields(&mut m, tid, stock, 2, 2);
+                    }
+                }
+                db.stamp_partition(&mut m, tid, 1 + items.len() as i64);
+                db.eng.commit(&mut m, tid).expect("commit");
+            }
+            TpccTx::Payment { customer, amount } => {
+                db.eng.begin(&mut m, tid).expect("tx");
+                if let Some(c) = db.find_tuple(&mut m, tid, customer) {
+                    db.update_fields(&mut m, tid, c, 3, amount as u8);
+                }
+                db.stamp_partition(&mut m, tid, 0);
+                db.eng.commit(&mut m, tid).expect("commit");
+            }
+            TpccTx::OrderStatus { customer } => {
+                if let Some(c) = db.find_tuple(&mut m, tid, customer) {
+                    let _ = m.load_vec(tid, c, TUPLE_BYTES as usize);
+                }
+                // Scan the customer's recent orders via the ordered index.
+                let hits = db.scan(&mut m, tid, 2_000_000, 2_000_000 + 64);
+                for (_, t) in hits.iter().take(4) {
+                    let _ = m.load_vec(tid, *t, TUPLE_BYTES as usize);
+                }
+                arena.work(&mut m, tid, 40);
+            }
+        }
+    }
+
+    AppRun::collect("nstore-tpcc", "TPC-C like / 4 clients, 40% writes", m)
+}
+
+/// The OPTSP (optimized shadow-paging) engine variant: updates write a
+/// complete new tuple version, make it durable, then atomically swing
+/// an 8-byte index pointer — "atomic transactions may not be needed for
+/// some data structures, such as ... copy-on-write trees" (Section 2).
+/// No undo log, no per-field records: a whole transaction is three
+/// epochs (version + pointer swing + reclamation), which is why the
+/// paper's engine comparison motivates OPTWAL only for workloads that
+/// need in-place mutation.
+pub fn run_ycsb_sp(ops: usize, seed: u64) -> AppRun {
+    let mut m = Machine::new(MachineConfig::asplos17());
+    m.trace_mut().set_enabled(false);
+    let mut plan = RegionPlanner::new(m.config().map.pm);
+    let heap_region = plan.take(512 << 20);
+    let n_keys = ops.clamp(64, 40_000);
+    // Direct pointer-array index, H-store partition style.
+    let index = plan.take(n_keys as u64 * 8);
+    let mut w = PmWriter::new(Tid(0));
+    let mut alloc = BuddyAlloc::format(&mut m, &mut w, heap_region);
+    let mut arena = VolatileArena::new(&mut m, 1 << 20);
+
+    // Load: one version per key.
+    let write_version = |m: &mut Machine, alloc: &mut BuddyAlloc, tid: Tid, key: u64, fill: u8| {
+        let mut w = PmWriter::new(tid);
+        let tuple = alloc.alloc(m, &mut w, TUPLE_BYTES).expect("heap");
+        w.write_u64(m, tuple, key, Category::UserData);
+        w.write(m, tuple + 8, &[fill; FIELDS * FIELD_BYTES], Category::UserData);
+        // The whole version becomes durable before it is published.
+        w.durability_fence(m);
+        // Atomic 8-byte pointer swing publishes it.
+        let slot = index.base + key * 8;
+        let old = m.load_u64(tid, slot);
+        w.write_u64(m, slot, tuple, Category::AppMeta);
+        w.durability_fence(m);
+        if old != 0 {
+            // Reclaim the previous version (crash here only leaks).
+            alloc.free(m, &mut w, old).expect("old version");
+        }
+        tuple
+    };
+    for key in 0..n_keys as u64 {
+        write_version(&mut m, &mut alloc, Tid((key % THREADS as u64) as u32), key, 0xAB);
+    }
+    m.trace_mut().set_enabled(true);
+
+    for (i, op) in workloads::ycsb(n_keys, ops, 80, seed).into_iter().enumerate() {
+        let tid = Tid((i % THREADS as usize) as u32);
+        arena.work(&mut m, tid, 800);
+        match op {
+            YcsbOp::Read { key } => {
+                let t = m.load_u64(tid, index.base + key * 8);
+                if t != 0 {
+                    let _ = m.load_vec(tid, t, TUPLE_BYTES as usize);
+                }
+            }
+            YcsbOp::Update { key, .. } => {
+                let id = m.fresh_tx_id(tid);
+                m.tx_begin(tid, id);
+                write_version(&mut m, &mut alloc, tid, key, i as u8);
+                m.tx_end(tid, id);
+            }
+            YcsbOp::Insert { key } => {
+                let id = m.fresh_tx_id(tid);
+                m.tx_begin(tid, id);
+                write_version(&mut m, &mut alloc, tid, key % n_keys as u64, i as u8);
+                m.tx_end(tid, id);
+            }
+        }
+    }
+
+    AppRun::collect("nstore-ycsb-sp", "YCSB like / OPTSP shadow-paging engine", m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim::CrashSpec;
+    use pmtrace::analysis;
+
+    #[test]
+    fn ycsb_runs_and_is_write_heavy() {
+        let run = run_ycsb(300, 5);
+        let epochs = analysis::split_epochs(&run.events);
+        assert!(!epochs.is_empty());
+        let stats = analysis::tx_stats(&epochs);
+        let median = stats.median().unwrap();
+        assert!(
+            (10..=80).contains(&median),
+            "YCSB median {median} outside the paper's 5-50 band neighborhood"
+        );
+    }
+
+    #[test]
+    fn tpcc_transactions_are_much_larger() {
+        let y = run_ycsb(200, 5);
+        let t = run_tpcc(100, 5);
+        let ym = analysis::tx_stats(&analysis::split_epochs(&y.events)).median().unwrap();
+        let tm = analysis::tx_stats(&analysis::split_epochs(&t.events)).median().unwrap();
+        assert!(tm > ym * 2, "TPC-C median {tm} vs YCSB {ym}");
+        assert!(tm > 100, "TPC-C well over a hundred epochs: {tm}");
+    }
+
+    #[test]
+    fn shadow_paging_is_far_cheaper_per_tx() {
+        // The copy-on-write engine needs no log: a handful of epochs
+        // per transaction vs OPTWAL's dozens.
+        let wal = run_ycsb(300, 5);
+        let sp = run_ycsb_sp(300, 5);
+        let med = |r: &AppRun| {
+            analysis::tx_stats(&analysis::split_epochs(&r.events)).median().unwrap()
+        };
+        assert!(
+            med(&sp) * 3 <= med(&wal),
+            "OPTSP median {} vs OPTWAL {}",
+            med(&sp),
+            med(&wal)
+        );
+        // And its amplification is mostly allocator metadata.
+        let amp = analysis::amplification(&analysis::split_epochs(&sp.events));
+        assert!(amp.amplification().unwrap() < 2.0, "SP amplification {:?}", amp.amplification());
+    }
+
+    #[test]
+    fn shadow_paging_versions_are_published_atomically() {
+        // Reads through the pointer array always see a complete tuple:
+        // the version is durable before the swing.
+        let run = run_ycsb_sp(200, 9);
+        assert!(!run.events.is_empty());
+    }
+
+    #[test]
+    fn buddy_allocator_amplifies_writes() {
+        let run = run_ycsb(300, 6);
+        let epochs = analysis::split_epochs(&run.events);
+        let amp = analysis::amplification(&epochs);
+        let a = amp.amplification().unwrap();
+        assert!(a > 1.0, "N-store amplification {a} should exceed 100%");
+    }
+
+    #[test]
+    fn committed_data_survives_crash() {
+        let mut m = Machine::new(MachineConfig::asplos17());
+        let mut db = NStore::build(&mut m);
+        let tid = Tid(0);
+        db.eng.begin(&mut m, tid).unwrap();
+        let tuple = db.insert_tuple(&mut m, tid, 42, 0xCD);
+        db.eng.commit(&mut m, tid).unwrap();
+        // Uncommitted update, then crash.
+        db.eng.begin(&mut m, tid).unwrap();
+        db.update_fields(&mut m, tid, tuple, 10, 0xEE);
+        let log = db.log_region;
+        let index_head = db.index_head;
+        let img = m.crash(CrashSpec::Adversarial { seed: 5 });
+        let mut m2 = Machine::from_image(MachineConfig::asplos17(), &img);
+        let mut eng2 = UndoTxEngine::recover(&mut m2, Tid(0), log, THREADS);
+        let index2 = PHashMap::open(&mut m2, Tid(0), index_head).unwrap();
+        let taddr = index2.get(&mut m2, &mut eng2, Tid(0), &42u64.to_le_bytes()).expect("tuple indexed");
+        let taddr = u64::from_le_bytes(taddr.try_into().unwrap());
+        let field = m2.load_vec(Tid(0), taddr + 8, FIELD_BYTES);
+        assert_eq!(field, vec![0xCD; FIELD_BYTES], "uncommitted update rolled back");
+    }
+}

@@ -1,0 +1,246 @@
+//! Vacation: the STAMP travel-reservation OLTP system, made persistent
+//! with Mnemosyne-style transactions (Section 3.2.2).
+//!
+//! "Vacation is an OLTP system that emulates a travel reservation
+//! system. It implements a key-value store using red black trees and
+//! linked lists to track customers and their reservations. Several
+//! client threads perform a number of transactions to make reservations
+//! and cancellations. ... We modified Vacation to allocate red black
+//! trees and linked lists in PM segments using Mnemosyne."
+//!
+//! Vacation's "global counters of the number of cars/flights/rooms ...
+//! updated in transactions" are the paper's canonical cross-thread
+//! dependency source; clients here update them periodically (STAMP
+//! batches such statistics), keeping cross-deps present but rare, as in
+//! Figure 5. The workload is query-heavy, so PM is a tiny share of
+//! traffic (Figure 6: 0.36 %).
+
+use super::{AppRun, VolatileArena};
+use crate::region::RegionPlanner;
+use memsim::{Machine, MachineConfig, PmWriter};
+use pmalloc::{PmAllocator, ShardedSlab};
+use pmem::Addr;
+use pmds::PRbTree;
+use pmtrace::{Category, Tid};
+use pmtx::{RedoTxEngine, TxMem};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const THREADS: u32 = 4;
+/// Reservation list node: next u64, resource u64, count u64.
+const RNODE_BYTES: u64 = 24;
+
+pub(crate) struct Vacation {
+    pub(crate) eng: RedoTxEngine,
+    pub(crate) alloc: ShardedSlab,
+    /// Resource tables: cars, flights, rooms (item → seats available).
+    pub(crate) tables: [PRbTree; 3],
+    /// Customer reservation-list heads (customer id → list head ptr).
+    pub(crate) customers: PRbTree,
+    /// Global counters of cars/flights/rooms, one line each.
+    pub(crate) counters: [Addr; 3],
+    #[allow(dead_code)] // recovery handle, used by crash tests
+    pub(crate) log_region: pmem::AddrRange,
+}
+
+impl Vacation {
+    pub(crate) fn build(m: &mut Machine, n_items: u64) -> Vacation {
+        let mut plan = RegionPlanner::new(m.config().map.pm);
+        let log_region = plan.take(8 << 20);
+        let mut eng = RedoTxEngine::format(m, log_region, THREADS);
+        let mut w = PmWriter::new(Tid(0));
+        // Mnemosyne's allocator keeps per-thread arenas.
+        let heap = plan.take(ShardedSlab::region_bytes(64 << 20, THREADS as usize));
+        let mut alloc = ShardedSlab::format(m, &mut w, heap.base, 64 << 20, THREADS as usize);
+        eng.begin(m, Tid(0)).expect("setup tx");
+        let tables = [(); 3].map(|_| {
+            PRbTree::create(m, &mut eng, Tid(0), &mut alloc, plan.take(pmds::RBTREE_REGION_BYTES))
+                .expect("table")
+        });
+        let customers = PRbTree::create(
+            m,
+            &mut eng,
+            Tid(0),
+            &mut alloc,
+            plan.take(pmds::RBTREE_REGION_BYTES),
+        )
+        .expect("customers");
+        eng.commit(m, Tid(0)).expect("setup");
+        let counter_region = plan.take(3 * 64);
+        let counters = [0u64, 1, 2].map(|i| counter_region.base + i * 64);
+        // Populate resources (untraced load phase).
+        m.trace_mut().set_enabled(false);
+        for table in &tables {
+            for item in 0..n_items {
+                eng.begin(m, Tid(0)).expect("load tx");
+                table
+                    .insert(m, &mut eng, Tid(0), &mut alloc, item, 100)
+                    .expect("load");
+                eng.commit(m, Tid(0)).expect("load");
+            }
+        }
+        m.trace_mut().set_enabled(true);
+        Vacation {
+            eng,
+            alloc,
+            tables,
+            customers,
+            counters,
+            log_region,
+        }
+    }
+
+    /// Reserve one unit of `item` in table `t` for `customer`.
+    fn reserve(&mut self, m: &mut Machine, tid: Tid, t: usize, item: u64, customer: u64, update_counter: bool) {
+        self.alloc.select(tid.0 as usize);
+        self.eng.begin(m, tid).expect("tx");
+        if let Some(avail) = self.tables[t].get(m, &mut self.eng, tid, item) {
+            if avail > 0 {
+                self.tables[t]
+                    .insert(m, &mut self.eng, tid, &mut self.alloc, item, avail - 1)
+                    .expect("update avail");
+                // Prepend to the customer's reservation linked list.
+                let head = self.customers.get(m, &mut self.eng, tid, customer).unwrap_or(0);
+                let mut w = PmWriter::new(tid);
+                let node = self.alloc.alloc(m, &mut w, RNODE_BYTES).expect("heap");
+                self.eng.tx_write_u64(m, tid, node, head, Category::UserData).expect("node");
+                self.eng
+                    .tx_write_u64(m, tid, node + 8, (t as u64) << 32 | item, Category::UserData)
+                    .expect("node");
+                self.eng.tx_write_u64(m, tid, node + 16, 1, Category::UserData).expect("node");
+                self.customers
+                    .insert(m, &mut self.eng, tid, &mut self.alloc, customer, node)
+                    .expect("customer");
+                if update_counter {
+                    let c = self.eng.read_u64(m, tid, self.counters[t]);
+                    self.eng
+                        .write_u64(m, tid, self.counters[t], c + 1, Category::AppMeta)
+                        .expect("counter");
+                }
+            }
+        }
+        self.eng.commit(m, tid).expect("commit");
+    }
+
+    /// Update the price/availability of an item (the common small tx).
+    fn update_price(&mut self, m: &mut Machine, tid: Tid, t: usize, item: u64, price: u64) {
+        self.alloc.select(tid.0 as usize);
+        self.eng.begin(m, tid).expect("tx");
+        if self.tables[t].get(m, &mut self.eng, tid, item).is_some() {
+            self.tables[t]
+                .insert(m, &mut self.eng, tid, &mut self.alloc, item, price)
+                .expect("price");
+        }
+        self.eng.commit(m, tid).expect("commit");
+    }
+
+    /// Read-only customer query: walk the reservation list.
+    fn query_customer(&mut self, m: &mut Machine, tid: Tid, customer: u64) -> u64 {
+        let mut n = 0;
+        if let Some(mut node) = self.customers.get(m, &mut self.eng, tid, customer) {
+            while node != 0 && n < 64 {
+                n += 1;
+                node = m.load_u64(tid, node);
+            }
+        }
+        n
+    }
+}
+
+/// Reservation mix with trimmed volatile phases (gem5-style, for
+/// Figures 6 and 10).
+pub fn run_unpaced(transactions: usize, seed: u64) -> AppRun {
+    run_inner(transactions, seed, false)
+}
+
+/// Run the reservation mix (Table 1: 4 clients).
+pub fn run(transactions: usize, seed: u64) -> AppRun {
+    run_inner(transactions, seed, true)
+}
+
+pub(crate) fn run_inner(transactions: usize, seed: u64, paced: bool) -> AppRun {
+    let mut m = Machine::new(MachineConfig::asplos17());
+    // Build + load are untraced: the measured interval is steady state.
+    m.trace_mut().set_enabled(false);
+    let n_items = (transactions as u64 / 2).clamp(64, 4000);
+    let mut v = Vacation::build(&mut m, n_items);
+    let mut arena = VolatileArena::new(&mut m, 2 << 20);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n_customers = n_items / 2 + 1;
+
+    m.trace_mut().set_enabled(true);
+    for i in 0..transactions {
+        let tid = Tid((i % THREADS as usize) as u32);
+        // STAMP's volatile query machinery: each transaction runs
+        // several manager/tree searches over volatile state before the
+        // few persistent updates — vacation is the suite's most
+        // volatile-heavy app (Figure 6: 0.36% PM).
+        arena.work(&mut m, tid, if paced { 12_000 } else { 520 });
+        let t = rng.gen_range(0..3);
+        let item = rng.gen_range(0..n_items);
+        let customer = rng.gen_range(0..n_customers);
+        match rng.gen_range(0..100) {
+            0..=54 => v.update_price(&mut m, tid, t, item, rng.gen_range(1..500)),
+            55..=89 => {
+                let update_counter = rng.gen_range(0..16) == 0;
+                v.reserve(&mut m, tid, t, item, customer, update_counter);
+            }
+            _ => {
+                let _ = v.query_customer(&mut m, tid, customer);
+            }
+        }
+    }
+
+    AppRun::collect("vacation", "4 clients, reservation mix", m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim::CrashSpec;
+    use pmtrace::analysis;
+
+    #[test]
+    fn transactions_are_small() {
+        // Figure 3: Mnemosyne apps have the smallest medians (~4-8).
+        let run = run(300, 6);
+        let epochs = analysis::split_epochs(&run.events);
+        let median = analysis::tx_stats(&epochs).median().unwrap();
+        assert!((3..=15).contains(&median), "vacation median {median}");
+    }
+
+    #[test]
+    fn pm_fraction_lowest_of_suite() {
+        let run = run(300, 6);
+        let f = run.stats.pm_fraction();
+        assert!(f < 0.03, "vacation PM fraction {f}");
+    }
+
+    #[test]
+    fn cross_deps_exist_but_rare() {
+        let run = run(500, 8);
+        let epochs = analysis::split_epochs(&run.events);
+        let deps = analysis::dependencies(&epochs);
+        assert!(deps.cross_fraction() < 0.15, "cross {}", deps.cross_fraction());
+        assert!(deps.self_fraction() > 0.2, "self {}", deps.self_fraction());
+    }
+
+    #[test]
+    fn reservations_survive_crash() {
+        let mut m = Machine::new(MachineConfig::asplos17());
+        let mut v = Vacation::build(&mut m, 16);
+        v.reserve(&mut m, Tid(0), 0, 3, 1, true);
+        let avail_before = v.tables[0].get(&mut m, &mut v.eng, Tid(0), 3).unwrap();
+        assert_eq!(avail_before, 99);
+        let log = v.log_region;
+        let img = m.crash(CrashSpec::DropVolatile);
+        let mut m2 = Machine::from_image(MachineConfig::asplos17(), &img);
+        let mut eng2 = RedoTxEngine::recover(&mut m2, Tid(0), log, THREADS);
+        // The table header is at a deterministic planner offset; rather
+        // than re-derive it, check via the persistent tree re-opened
+        // from the same machine image through the original handle.
+        let avail_after = v.tables[0].get(&mut m2, &mut eng2, Tid(0), 3).unwrap();
+        assert_eq!(avail_after, 99, "committed reservation durable");
+        v.tables[0].check_invariants(&mut m2, Tid(0)).unwrap();
+    }
+}

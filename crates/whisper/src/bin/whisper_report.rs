@@ -1,0 +1,152 @@
+//! `whisper-report` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! whisper-report [EXPERIMENT] [--scale X] [--seed N] [--apps a,b,c]
+//!                [--dump-traces DIR] [--from-trace FILE]
+//!
+//! EXPERIMENT: table1 | fig3 | fig4 | fig5 | fig6 | fig10 |
+//!             amplification | ntfraction | smallwrites |
+//!             consequences | all (default)
+//! ```
+//!
+//! `--dump-traces DIR` archives each application's event stream as a
+//! binary `.wtr` file (the `pmtrace::codec` format); `--from-trace
+//! FILE` re-analyzes such an archive offline instead of running a
+//! workload.
+
+use whisper::report;
+use whisper::suite::{analyze, run_app, AppResult, SuiteConfig, APP_NAMES};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiment = "all".to_string();
+    let mut cfg = SuiteConfig::standard();
+    let mut apps: Vec<String> = APP_NAMES.iter().map(|s| s.to_string()).collect();
+    let mut dump_dir: Option<String> = None;
+    let mut from_trace: Option<String> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                cfg.scale = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--scale needs a number"));
+            }
+            "--seed" => {
+                i += 1;
+                cfg.seed = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--apps" => {
+                i += 1;
+                apps = args
+                    .get(i)
+                    .unwrap_or_else(|| die("--apps needs a comma-separated list"))
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .collect();
+            }
+            "--dump-traces" => {
+                i += 1;
+                dump_dir = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| die("--dump-traces needs a directory"))
+                        .clone(),
+                );
+            }
+            "--from-trace" => {
+                i += 1;
+                from_trace = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| die("--from-trace needs a file"))
+                        .clone(),
+                );
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: whisper-report [table1|fig3|fig4|fig5|fig6|fig10|amplification|ntfraction|smallwrites|all] [--scale X] [--seed N] [--apps a,b,c]"
+                );
+                return;
+            }
+            exp if !exp.starts_with('-') => experiment = exp.to_string(),
+            other => die(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+
+    for a in &apps {
+        if !APP_NAMES.contains(&a.as_str()) {
+            die(&format!("unknown app {a:?}; valid: {APP_NAMES:?}"));
+        }
+    }
+
+    if let Some(path) = from_trace {
+        // Offline mode: analyze an archived trace instead of running.
+        let bytes = std::fs::read(&path)
+            .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+        let events = pmtrace::decode_events(&bytes)
+            .unwrap_or_else(|e| die(&format!("cannot decode {path}: {e}")));
+        let duration_ns = events.last().map(|e| e.at_ns).unwrap_or(0);
+        let run = whisper::apps::AppRun {
+            name: path.clone(),
+            workload: "archived trace".into(),
+            events,
+            stats: memsim::MemStats::default(),
+            duration_ns,
+            threads: 4,
+        };
+        let analysis = analyze(&run);
+        let results = vec![AppResult { run, analysis }];
+        println!("{}", report::all(&results));
+        return;
+    }
+
+    eprintln!(
+        "running {} app(s) at scale {} (seed {})...",
+        apps.len(),
+        cfg.scale,
+        cfg.seed
+    );
+    let results: Vec<AppResult> = apps
+        .iter()
+        .map(|name| {
+            eprintln!("  {name}...");
+            let r = run_app(name, &cfg);
+            if let Some(dir) = &dump_dir {
+                std::fs::create_dir_all(dir)
+                    .unwrap_or_else(|e| die(&format!("cannot create {dir}: {e}")));
+                let path = format!("{dir}/{name}.wtr");
+                std::fs::write(&path, pmtrace::encode_events(&r.run.events))
+                    .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+                eprintln!("    trace archived to {path}");
+            }
+            r
+        })
+        .collect();
+
+    let text = match experiment.as_str() {
+        "table1" => report::table1(&results),
+        "fig3" => report::fig3(&results),
+        "fig4" => report::fig4(&results),
+        "fig5" => report::fig5(&results),
+        "fig6" => report::fig6(&results),
+        "fig10" => report::fig10(&results),
+        "amplification" => report::amplification(&results),
+        "ntfraction" => report::nt_fraction(&results),
+        "smallwrites" => report::small_writes(&results),
+        "consequences" => report::consequences(&results),
+        "all" => report::all(&results),
+        other => die(&format!("unknown experiment {other:?}")),
+    };
+    println!("{text}");
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("whisper-report: {msg}");
+    std::process::exit(2);
+}

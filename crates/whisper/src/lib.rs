@@ -1,0 +1,43 @@
+//! WHISPER — the Wisconsin–HP Labs Suite for Persistence, reproduced.
+//!
+//! This crate is the top of the reproduction: the ten crash-recoverable
+//! PM applications of Table 1, their workload generators, the suite
+//! runner, and the report code that regenerates every table and figure
+//! in the paper's evaluation.
+//!
+//! | Benchmark | Access layer | Workload |
+//! |-----------|--------------|----------|
+//! | [`apps::echo`] | native custom transactions | echo-test, 4 clients |
+//! | [`apps::nstore`] | native (OPTWAL) | YCSB-like and TPC-C-like |
+//! | [`apps::redis`] | library / NVML-style undo | redis-cli lru-test |
+//! | [`apps::ctree`] | library / NVML-style undo | 4-client inserts |
+//! | [`apps::hashmap`] | library / NVML-style undo | 4-client inserts |
+//! | [`apps::vacation`] | library / Mnemosyne-style redo | travel reservations |
+//! | [`apps::memcached`] | library / Mnemosyne-style redo | memslap, 5% SET |
+//! | [`apps::nfs`] | filesystem / PMFS | filebench fileserver |
+//! | [`apps::exim`] | filesystem / PMFS | postal, paced |
+//! | [`apps::mysql`] | filesystem / PMFS | sysbench OLTP-complex |
+//!
+//! Every application runs on the instrumented [`memsim::Machine`],
+//! produces a [`pmtrace`] event stream plus DRAM/PM access counters,
+//! and is built from the substrate crates exactly as the original apps
+//! were built from Mnemosyne, NVML, PMFS, and custom engines.
+//!
+//! # Quick start
+//!
+//! ```no_run
+//! use whisper::suite::{SuiteConfig, run_app};
+//!
+//! let cfg = SuiteConfig::quick();
+//! let result = run_app("hashmap", &cfg);
+//! println!("epochs/s: {:.0}", result.analysis.epochs_per_sec);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod region;
+pub mod report;
+pub mod suite;
+pub mod workloads;

@@ -1,0 +1,202 @@
+//! Suite driver: run applications, analyze traces, bundle results.
+
+use crate::apps::{self, AppRun};
+use hops::{figure10_bars, HopsConfig, PersistModel, TimingConfig};
+use pmtrace::analysis::{
+    self, AmplificationReport, DepStats, EpochSizeHistogram, TxStats,
+};
+
+/// The eleven Table 1 rows (ten applications; N-store contributes two
+/// workloads).
+pub const APP_NAMES: [&str; 11] = [
+    "echo",
+    "nstore-ycsb",
+    "nstore-tpcc",
+    "redis",
+    "ctree",
+    "hashmap",
+    "vacation",
+    "memcached",
+    "nfs",
+    "exim",
+    "mysql",
+];
+
+/// The six applications the paper runs under gem5 for Figures 6 and 10.
+pub const SIM_APPS: [&str; 6] = ["echo", "nstore-ycsb", "redis", "ctree", "hashmap", "vacation"];
+
+/// Suite-wide knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct SuiteConfig {
+    /// Multiplier on each workload's base operation count. The paper's
+    /// full counts (e.g. 8 M transactions) are scaled so the whole
+    /// suite runs in seconds; every reported metric is a rate or a
+    /// distribution, insensitive to duration.
+    pub scale: f64,
+    /// Master seed for workloads and interleavings.
+    pub seed: u64,
+}
+
+impl SuiteConfig {
+    /// Fast configuration for unit tests and smoke runs.
+    pub fn quick() -> SuiteConfig {
+        SuiteConfig {
+            scale: 0.05,
+            seed: 42,
+        }
+    }
+
+    /// The default, statistically stable configuration.
+    pub fn standard() -> SuiteConfig {
+        SuiteConfig {
+            scale: 1.0,
+            seed: 42,
+        }
+    }
+
+    fn ops(&self, base: usize) -> usize {
+        ((base as f64 * self.scale) as usize).max(20)
+    }
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        SuiteConfig::standard()
+    }
+}
+
+/// Everything computed from one application's trace — the inputs to
+/// every table and figure.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// Total epochs in the trace.
+    pub epoch_count: usize,
+    /// Table 1's rightmost column.
+    pub epochs_per_sec: f64,
+    /// Figure 3's statistic.
+    pub tx_stats: TxStats,
+    /// Figure 4.
+    pub size_hist: EpochSizeHistogram,
+    /// Figure 5.
+    pub deps: DepStats,
+    /// Section 5.2 write amplification.
+    pub amplification: AmplificationReport,
+    /// Consequence 10's NT-store byte fraction.
+    pub nt_fraction: Option<f64>,
+    /// Section 5.1: singletons under 10 bytes.
+    pub small_singleton_fraction: Option<f64>,
+    /// Figure 6: PM share of all memory accesses.
+    pub pm_fraction: f64,
+    /// Figure 10: normalized runtime per persistence model.
+    pub fig10: Vec<(PersistModel, f64)>,
+}
+
+/// One suite row: the raw run plus its analysis.
+#[derive(Debug)]
+pub struct AppResult {
+    /// The application run.
+    pub run: AppRun,
+    /// Its analysis.
+    pub analysis: Analysis,
+}
+
+/// Analyze a finished run.
+pub fn analyze(run: &AppRun) -> Analysis {
+    let epochs = analysis::split_epochs(&run.events);
+    let fig10 = figure10_bars(&run.events, &TimingConfig::default(), &HopsConfig::default());
+    Analysis {
+        epoch_count: epochs.len(),
+        epochs_per_sec: analysis::epochs_per_second(epochs.len(), run.duration_ns),
+        tx_stats: analysis::tx_stats(&epochs),
+        size_hist: analysis::epoch_size_histogram(&epochs),
+        deps: analysis::dependencies(&epochs),
+        amplification: analysis::amplification(&epochs),
+        nt_fraction: analysis::nt_fraction(&epochs),
+        small_singleton_fraction: analysis::small_singleton_fraction(&epochs),
+        pm_fraction: run.stats.pm_fraction(),
+        fig10,
+    }
+}
+
+/// Run one application by Table 1 name.
+///
+/// For the six gem5-subset applications, Figure 10 is replayed from a
+/// second, *unpaced* run — mirroring the paper's methodology, where
+/// Table 1 rates come from real-hardware runs with full client stacks
+/// while Figures 6 and 10 come from trimmed full-system simulations.
+///
+/// # Panics
+///
+/// Panics on an unknown name; the valid names are [`APP_NAMES`].
+pub fn run_app(name: &str, cfg: &SuiteConfig) -> AppResult {
+    let seed = cfg.seed;
+    let run = match name {
+        "echo" => apps::echo::run(cfg.ops(20_000), seed),
+        "nstore-ycsb" => apps::nstore::run_ycsb(cfg.ops(16_000), seed),
+        "nstore-tpcc" => apps::nstore::run_tpcc(cfg.ops(3_000), seed),
+        "redis" => apps::redis::run(cfg.ops(20_000), seed),
+        "ctree" => apps::ctree(cfg.ops(16_000), seed),
+        "hashmap" => apps::hashmap(cfg.ops(16_000), seed),
+        "vacation" => apps::vacation::run(cfg.ops(10_000), seed),
+        "memcached" => apps::memcached::run(cfg.ops(20_000), seed),
+        "nfs" => apps::nfs(cfg.ops(4_000), seed),
+        "exim" => apps::exim(cfg.ops(400), seed),
+        "mysql" => apps::mysql(cfg.ops(1_500), seed),
+        other => panic!("unknown application {other:?}; expected one of {APP_NAMES:?}"),
+    };
+    let mut analysis = analyze(&run);
+    if SIM_APPS.contains(&name) {
+        let sim_ops = |base: usize| cfg.ops(base) / 2;
+        let sim = match name {
+            "echo" => apps::echo::run_unpaced(sim_ops(20_000), seed),
+            "nstore-ycsb" => apps::nstore::run_ycsb_unpaced(sim_ops(16_000), seed),
+            "redis" => apps::redis::run_unpaced(sim_ops(20_000), seed),
+            "ctree" => apps::micro::ctree_unpaced(sim_ops(16_000), seed),
+            "hashmap" => apps::micro::hashmap_unpaced(sim_ops(16_000), seed),
+            "vacation" => apps::vacation::run_unpaced(sim_ops(10_000), seed),
+            _ => unreachable!("SIM_APPS covered above"),
+        };
+        analysis.fig10 =
+            figure10_bars(&sim.events, &TimingConfig::default(), &HopsConfig::default());
+    }
+    AppResult { run, analysis }
+}
+
+/// Run the whole suite in Table 1 order.
+pub fn run_suite(cfg: &SuiteConfig) -> Vec<AppResult> {
+    APP_NAMES.iter().map(|n| run_app(n, cfg)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_app_dispatches_every_name() {
+        let cfg = SuiteConfig {
+            scale: 0.008,
+            seed: 1,
+        };
+        for name in APP_NAMES {
+            let r = run_app(name, &cfg);
+            assert_eq!(r.run.name, name, "name round-trips");
+            assert!(r.analysis.epoch_count > 0, "{name}: no epochs recorded");
+            assert!(r.analysis.epochs_per_sec > 0.0, "{name}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown application")]
+    fn unknown_app_panics() {
+        run_app("nope", &SuiteConfig::quick());
+    }
+
+    #[test]
+    fn analysis_fig10_has_five_bars() {
+        let r = run_app("hashmap", &SuiteConfig { scale: 0.01, seed: 2 });
+        assert_eq!(r.analysis.fig10.len(), 5);
+        let base = r.analysis.fig10[0];
+        assert_eq!(base.0, PersistModel::X86Nvm);
+        assert!((base.1 - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,56 @@
+//! HOPS vs. x86-64 persistence: the paper's Section 6 in two parts.
+//!
+//! Part 1 drives the *functional* persist-buffer model through the
+//! paper's worked example (`mov A,10; ofence; mov A,20; dfence`) and a
+//! cross-thread dependency, showing multi-versioning and epoch-ordered
+//! draining.
+//!
+//! Part 2 runs the `hashmap` benchmark and replays its trace under all
+//! five Figure 10 configurations, printing normalized runtimes.
+//!
+//! Run with: `cargo run --release --example hops_vs_x86`
+
+use hops::{figure10_bars, HopsConfig, HopsSystem, TimingConfig};
+use pmem::{AddrRange, Line};
+
+fn main() {
+    // ---- Part 1: functional persist buffers ----
+    println!("== persist buffers, functionally ==");
+    let mut sys = HopsSystem::new(HopsConfig::default(), AddrRange::new(0, 1 << 20), 4);
+    sys.store(0, 0x100, &10u64.to_le_bytes());
+    sys.ofence(0); // a local timestamp bump — no flushing
+    sys.store(0, 0x100, &20u64.to_le_bytes());
+    println!(
+        "after `mov A,10; ofence; mov A,20`: {} buffered versions of A, durable A = {}",
+        sys.buffered_versions(0, Line::containing(0x100)),
+        sys.durable_u64(0x100)
+    );
+    sys.dfence(0);
+    println!("after dfence: durable A = {} (both versions drained in order)", sys.durable_u64(0x100));
+
+    // Cross-thread dependency: t1 overwrites a line t0 still buffers.
+    let mut sys = HopsSystem::new(HopsConfig::default(), AddrRange::new(0, 1 << 20), 4);
+    sys.store(0, 0x200, &1u64.to_le_bytes());
+    sys.store(1, 0x200, &2u64.to_le_bytes()); // WAW conflict → dependency pointer
+    sys.dfence(1);
+    println!(
+        "cross-thread WAW: draining t1 first drained t0 (t0 PB len = {}), durable = {}",
+        sys.pb_len(0),
+        sys.durable_u64(0x200)
+    );
+
+    // ---- Part 2: Figure 10 on a real trace ----
+    println!("\n== Figure 10 replay (hashmap micro-benchmark) ==");
+    let run = whisper::apps::micro::hashmap_unpaced(3000, 7);
+    let bars = figure10_bars(&run.events, &TimingConfig::default(), &HopsConfig::default());
+    for (model, norm) in &bars {
+        let gain = (1.0 - norm) * 100.0;
+        println!("{model:>16}: {norm:.3}  ({gain:+.1}% vs x86-64 NVM)");
+    }
+    let hops = bars.iter().find(|(m, _)| format!("{m}") == "HOPS (NVM)").expect("bar").1;
+    println!(
+        "\nHOPS makes data persistent without explicit flushes and gains {:.1}% \
+         (paper: 24.3% on average).",
+        (1.0 - hops) * 100.0
+    );
+}

@@ -1,0 +1,53 @@
+//! A tour of the PMFS-style filesystem: synchronous persistence,
+//! journaled metadata, and mount-time recovery.
+//!
+//! Run with: `cargo run --example pmfs_tour`
+
+use memsim::{CrashSpec, Machine, MachineConfig};
+use pmem::AddrRange;
+use pmfs::{Pmfs, PmfsConfig};
+use pmtrace::{analysis, Tid};
+
+fn main() {
+    let mut m = Machine::new(MachineConfig::asplos17());
+    let region = AddrRange::new(m.config().map.pm.base, 64 << 20);
+    let tid = Tid(0);
+    let mut fs = Pmfs::mkfs(&mut m, tid, region, PmfsConfig::default()).expect("mkfs");
+    println!("formatted a {} MB PMFS volume", region.len >> 20);
+
+    // Build a mail-spool-like tree and write synchronously.
+    fs.mkdir(&mut m, tid, "/mail").expect("mkdir");
+    fs.create(&mut m, tid, "/mail/inbox").expect("create");
+    m.trace_mut().clear();
+    fs.append(&mut m, tid, "/mail/inbox", &vec![7u8; 8192]).expect("append");
+    let epochs = analysis::split_epochs(m.trace().events());
+    let hist = analysis::epoch_size_histogram(&epochs);
+    let amp = analysis::amplification(&epochs);
+    println!(
+        "an 8 KB append produced {} epochs — sizes {} — data written with NTIs, \
+         amplification {:.0}% (paper: ~10%)",
+        epochs.len(),
+        hist,
+        amp.amplification().unwrap_or(0.0) * 100.0
+    );
+    println!("write() returned ⇒ the data is already durable (no fsync needed)");
+
+    // Directory listing and stat.
+    for name in fs.readdir(&mut m, tid, "/mail").expect("readdir") {
+        let st = fs.stat(&mut m, tid, &format!("/mail/{name}")).expect("stat");
+        println!("  /mail/{name}: {} bytes (ino {})", st.size, st.ino);
+    }
+
+    // Crash in the middle of nothing: a clean mount.
+    let img = m.crash(CrashSpec::DropVolatile);
+    let mut m2 = Machine::from_image(MachineConfig::asplos17(), &img);
+    let (mut fs2, rolled_back) = Pmfs::mount(&mut m2, tid, region).expect("mount");
+    println!(
+        "\nremounted after power failure (journal rollback: {rolled_back}); \
+         inbox holds {} bytes",
+        fs2.stat(&mut m2, tid, "/mail/inbox").expect("stat").size
+    );
+    let data = fs2.read_file(&mut m2, tid, "/mail/inbox").expect("read");
+    assert_eq!(data, vec![7u8; 8192]);
+    println!("contents verified intact");
+}

@@ -1,0 +1,65 @@
+//! WHISPER's epoch-level analysis on one application, end to end.
+//!
+//! Runs the NVML-style `ctree` micro-benchmark on the instrumented
+//! machine and prints every Section 5 statistic computed from its
+//! trace: epoch rate, transaction sizes, epoch-size histogram,
+//! dependencies, write amplification by category, and the DRAM/PM
+//! traffic split.
+//!
+//! Run with: `cargo run --release --example whisper_analysis`
+
+use pmtrace::analysis;
+
+fn main() {
+    let run = whisper::suite::run_app(
+        "ctree",
+        &whisper::suite::SuiteConfig {
+            scale: 0.2,
+            seed: 42,
+        },
+    );
+    let epochs = analysis::split_epochs(&run.run.events);
+
+    println!("== {} / {} ==", run.run.name, run.run.workload);
+    println!(
+        "{} epochs in {:.1} ms of simulated time → {:.2} M epochs/s (Table 1)",
+        epochs.len(),
+        run.run.duration_ns as f64 / 1e6,
+        run.analysis.epochs_per_sec / 1e6
+    );
+
+    let tx = &run.analysis.tx_stats;
+    println!(
+        "\ntransactions: {} observed, median {} epochs, mean {:.1}, max {} (Figure 3)",
+        tx.tx_count(),
+        tx.median().unwrap_or(0),
+        tx.mean().unwrap_or(0.0),
+        tx.max().unwrap_or(0)
+    );
+
+    println!("\nepoch sizes (Figure 4): {}", run.analysis.size_hist);
+    println!(
+        "  → {:.0}% singletons; of those, {:.0}% wrote <10 bytes (paper: 75% / 60%)",
+        run.analysis.size_hist.singleton_fraction() * 100.0,
+        run.analysis.small_singleton_fraction.unwrap_or(0.0) * 100.0
+    );
+
+    println!(
+        "\ndependencies within 50us (Figure 5): self {:.1}%, cross {:.2}%",
+        run.analysis.deps.self_fraction() * 100.0,
+        run.analysis.deps.cross_fraction() * 100.0
+    );
+
+    println!("\nwrite amplification (Section 5.2): {}", run.analysis.amplification);
+
+    println!(
+        "\nmemory traffic (Figure 6): {} — PM is {:.2}% of all accesses",
+        run.run.stats,
+        run.analysis.pm_fraction * 100.0
+    );
+
+    println!("\nFigure 10 (normalized runtime):");
+    for (model, norm) in &run.analysis.fig10 {
+        println!("  {model:>16}: {norm:.3}");
+    }
+}

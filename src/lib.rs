@@ -1,0 +1,48 @@
+//! WHISPER suite — umbrella crate.
+//!
+//! A from-scratch Rust reproduction of *An Analysis of Persistent
+//! Memory Use with WHISPER* (ASPLOS 2017): the ten-application WHISPER
+//! benchmark suite, its trace framework and epoch-level analysis, and
+//! the Hands-Off Persistence System (HOPS), all running on a simulated
+//! persistent-memory substrate.
+//!
+//! This crate re-exports every workspace crate so downstream users can
+//! depend on one package:
+//!
+//! * [`pmem`] — simulated NVM/DRAM devices and crash images
+//! * [`memsim`] — cache hierarchy, x86-64 persistence instructions,
+//!   adversarial crash modes
+//! * [`pmtrace`] — the trace framework and the Section 5 analyses
+//! * [`pmalloc`] — the three persistent allocator designs
+//! * [`pmtx`] — redo (Mnemosyne-style) and undo (NVML-style)
+//!   transaction engines
+//! * [`pmds`] — crash-recoverable persistent data structures
+//! * [`pmfs`] — the PMFS-style filesystem
+//! * [`hops`] — persist buffers, `ofence`/`dfence`, and the Figure 10
+//!   timing models
+//! * [`whisper`] — the ten applications, workloads, suite runner, and
+//!   paper-table reports
+//!
+//! # Quick start
+//!
+//! ```no_run
+//! use whisper_suite::whisper::suite::{run_app, SuiteConfig};
+//!
+//! let result = run_app("hashmap", &SuiteConfig::quick());
+//! println!("{:.0} epochs/s", result.analysis.epochs_per_sec);
+//! ```
+//!
+//! See `examples/` for runnable walkthroughs and `whisper-report` for
+//! regenerating every table and figure in the paper.
+
+#![forbid(unsafe_code)]
+
+pub use hops;
+pub use memsim;
+pub use pmalloc;
+pub use pmds;
+pub use pmem;
+pub use pmfs;
+pub use pmtrace;
+pub use pmtx;
+pub use whisper;

@@ -1,0 +1,161 @@
+//! HOPS semantics across crates: the functional persist-buffer model
+//! and the timing replay must agree with the paper's Section 6 on
+//! traces produced by the real substrate.
+
+use hops::{replay, HopsConfig, HopsSystem, PersistModel, TimingConfig};
+use pmem::{AddrRange, Line};
+use proptest::prelude::*;
+
+#[test]
+fn fig10_ordering_on_real_app_traces() {
+    // On every simulated application's trace, the five models keep the
+    // paper's order and the paper's two headline relations hold:
+    // HOPS(NVM) beats x86-64(PWQ), and the PWQ helps HOPS far less
+    // than it helps x86-64.
+    for name in whisper::suite::SIM_APPS {
+        let cfg = whisper::suite::SuiteConfig {
+            scale: 0.015,
+            seed: 11,
+        };
+        let r = whisper::suite::run_app(name, &cfg);
+        let bars = &r.analysis.fig10;
+        let x86_gain = bars[0].1 - bars[1].1;
+        let hops_gain = bars[2].1 - bars[3].1;
+        assert!(
+            hops_gain < x86_gain,
+            "{name}: PWQ should matter less under HOPS ({hops_gain} vs {x86_gain})"
+        );
+        assert!(bars[2].1 < bars[1].1, "{name}: HOPS(NVM) must beat x86(PWQ)");
+    }
+}
+
+#[test]
+fn replay_is_deterministic() {
+    let r = whisper::suite::run_app(
+        "hashmap",
+        &whisper::suite::SuiteConfig {
+            scale: 0.01,
+            seed: 3,
+        },
+    );
+    let t = TimingConfig::default();
+    let h = HopsConfig::default();
+    let a = replay(&r.run.events, &t, &h, PersistModel::HopsNvm);
+    let b = replay(&r.run.events, &t, &h, PersistModel::HopsNvm);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn bigger_pb_never_hurts() {
+    let r = whisper::apps::micro::hashmap_unpaced(1500, 4);
+    let t = TimingConfig::default();
+    let mut last = u64::MAX;
+    for entries in [4usize, 8, 16, 32, 64] {
+        let h = HopsConfig {
+            pb_entries: entries,
+            flush_threshold: entries / 2,
+            ..HopsConfig::default()
+        };
+        let rt = replay(r.run_events(), &t, &h, PersistModel::HopsNvm).runtime_ns;
+        assert!(rt <= last, "{entries}-entry PB slower than smaller PB");
+        last = rt;
+    }
+}
+
+trait RunEvents {
+    fn run_events(&self) -> &[pmtrace::Event];
+}
+
+impl RunEvents for whisper::apps::AppRun {
+    fn run_events(&self) -> &[pmtrace::Event] {
+        &self.events
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Functional model: per-thread epoch-prefix durability holds for
+    /// arbitrary multi-threaded store/ofence interleavings and crash
+    /// seeds.
+    #[test]
+    fn epoch_prefix_durability(
+        script in proptest::collection::vec((0usize..3, 0u64..16, any::<bool>()), 1..40),
+        crash_seed in any::<u64>(),
+    ) {
+        let mut sys = HopsSystem::new(HopsConfig::default(), AddrRange::new(0, 1 << 20), 3);
+        // Per-thread: every epoch writes a fresh line with the epoch
+        // index so prefixes are checkable. Threads use disjoint lines.
+        let mut epoch_idx = [0u64; 3];
+        let mut committed: Vec<Vec<u64>> = vec![Vec::new(); 3];
+        for (tid, _key, fence) in script {
+            let e = epoch_idx[tid];
+            if e >= 64 {
+                continue;
+            }
+            let line = (tid as u64 * 64 + e) * 64;
+            sys.store(tid, line, &(e + 1).to_le_bytes());
+            committed[tid].push(e);
+            if fence {
+                sys.ofence(tid);
+                epoch_idx[tid] += 1;
+            }
+        }
+        let img = sys.crash(crash_seed);
+        for tid in 0..3usize {
+            // The durable epochs of each thread form a prefix.
+            let mut seen_gap = false;
+            for e in 0..64u64 {
+                let addr = (tid as u64 * 64 + e) * 64;
+                let v = u64::from_le_bytes(img.read_vec(addr, 8).try_into().unwrap());
+                if v == 0 {
+                    seen_gap = true;
+                } else {
+                    prop_assert!(
+                        !seen_gap,
+                        "thread {} epoch {} durable after a gap",
+                        tid,
+                        e
+                    );
+                    prop_assert_eq!(v, e + 1);
+                }
+            }
+        }
+    }
+
+    /// dfence makes everything the thread wrote durable, regardless of
+    /// what came before.
+    #[test]
+    fn dfence_drains_thread(
+        writes in proptest::collection::vec((0u64..32, any::<u64>()), 1..32),
+    ) {
+        let mut sys = HopsSystem::new(HopsConfig::default(), AddrRange::new(0, 1 << 20), 2);
+        for (i, (slot, val)) in writes.iter().enumerate() {
+            sys.store(0, slot * 64, &val.to_le_bytes());
+            if i % 3 == 0 {
+                sys.ofence(0);
+            }
+        }
+        sys.dfence(0);
+        prop_assert_eq!(sys.pb_len(0), 0);
+        // Durable state equals functional state for every written slot.
+        for (slot, _) in &writes {
+            let addr = slot * 64;
+            let functional = sys.load_vec(addr, 8);
+            let durable = sys.durable_u64(addr).to_le_bytes().to_vec();
+            prop_assert_eq!(functional, durable);
+        }
+    }
+
+    /// Multi-versioning: buffered version count for a line equals the
+    /// number of distinct epochs that wrote it (until capacity flushes).
+    #[test]
+    fn multiversion_counts(epochs in 1usize..8) {
+        let mut sys = HopsSystem::new(HopsConfig::default(), AddrRange::new(0, 1 << 20), 1);
+        for e in 0..epochs {
+            sys.store(0, 0x40, &(e as u64).to_le_bytes());
+            sys.ofence(0);
+        }
+        prop_assert_eq!(sys.buffered_versions(0, Line::containing(0x40)), epochs);
+    }
+}
