@@ -10,13 +10,13 @@
 //! 3. **Persist-buffer sizing** (Section 6.4): HOPS runtime under PB
 //!    capacities from 8 to 64 entries, replayed on a hashmap trace.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use hops::{replay, HopsConfig, PersistModel, TimingConfig};
 use memsim::{Machine, MachineConfig, PmWriter};
 use pmalloc::{BuddyAlloc, PmAllocator, SingleHeapAlloc, SlabBitmapAlloc};
 use pmem::AddrRange;
 use pmtrace::{analysis, Category, Tid};
 use pmtx::{ClearPolicy, MinTxEngine, RedoTxEngine, TxMem, UndoTxEngine};
+use whisper_bench::{criterion_group, criterion_main, Criterion};
 
 const TID: Tid = Tid(0);
 const WRITES_PER_TX: usize = 8;
@@ -29,7 +29,8 @@ fn epochs_per_tx_undo() -> usize {
     m.trace_mut().clear();
     eng.begin(&mut m, TID).unwrap();
     for i in 0..WRITES_PER_TX as u64 {
-        eng.tx_write_u64(&mut m, TID, data + i * 64, i, Category::UserData).unwrap();
+        eng.tx_write_u64(&mut m, TID, data + i * 64, i, Category::UserData)
+            .unwrap();
     }
     eng.commit(&mut m, TID).unwrap();
     analysis::split_epochs(m.trace().events()).len()
@@ -43,7 +44,8 @@ fn epochs_per_tx_redo() -> usize {
     m.trace_mut().clear();
     eng.begin(&mut m, TID).unwrap();
     for i in 0..WRITES_PER_TX as u64 {
-        eng.tx_write_u64(&mut m, TID, data + i * 64, i, Category::UserData).unwrap();
+        eng.tx_write_u64(&mut m, TID, data + i * 64, i, Category::UserData)
+            .unwrap();
     }
     eng.commit(&mut m, TID).unwrap();
     analysis::split_epochs(m.trace().events()).len()
@@ -57,7 +59,8 @@ fn epochs_per_tx_mintx() -> usize {
     m.trace_mut().clear();
     eng.begin(&mut m, TID).unwrap();
     for i in 0..WRITES_PER_TX as u64 {
-        eng.write_u64(&mut m, TID, data + i * 64, i, Category::UserData).unwrap();
+        eng.write_u64(&mut m, TID, data + i * 64, i, Category::UserData)
+            .unwrap();
     }
     eng.commit(&mut m, TID).unwrap();
     analysis::split_epochs(m.trace().events()).len()
@@ -72,7 +75,8 @@ fn epochs_per_tx_undo_batched() -> usize {
     m.trace_mut().clear();
     eng.begin(&mut m, TID).unwrap();
     for i in 0..WRITES_PER_TX as u64 {
-        eng.tx_write_u64(&mut m, TID, data + i * 64, i, Category::UserData).unwrap();
+        eng.tx_write_u64(&mut m, TID, data + i * 64, i, Category::UserData)
+            .unwrap();
     }
     eng.commit(&mut m, TID).unwrap();
     analysis::split_epochs(m.trace().events()).len()
@@ -92,8 +96,12 @@ fn bench_logging_discipline(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
-    group.bench_function("undo_tx", |b| b.iter(|| std::hint::black_box(epochs_per_tx_undo())));
-    group.bench_function("redo_tx", |b| b.iter(|| std::hint::black_box(epochs_per_tx_redo())));
+    group.bench_function("undo_tx", |b| {
+        b.iter(|| std::hint::black_box(epochs_per_tx_undo()))
+    });
+    group.bench_function("redo_tx", |b| {
+        b.iter(|| std::hint::black_box(epochs_per_tx_redo()))
+    });
     group.bench_function("undo_tx_batched_clears", |b| {
         b.iter(|| std::hint::black_box(epochs_per_tx_undo_batched()))
     });
@@ -111,7 +119,10 @@ fn alloc_cycle<A: PmAllocator>(m: &mut Machine, a: &mut A, rounds: usize) -> (us
         a.free(m, &mut w, p).expect("free");
     }
     let epochs = analysis::split_epochs(m.trace().events());
-    let meta: u64 = epochs.iter().map(|e| e.cat_bytes(Category::AllocMeta)).sum();
+    let meta: u64 = epochs
+        .iter()
+        .map(|e| e.cat_bytes(Category::AllocMeta))
+        .sum();
     (epochs.len(), meta)
 }
 
@@ -133,8 +144,11 @@ fn bench_allocators(c: &mut Criterion) {
     });
 
     let mut m = Machine::new(MachineConfig::asplos17());
-    let mut single =
-        SingleHeapAlloc::format(&mut m, &mut w, AddrRange::new(pm.base + (16 << 20), 16 << 20));
+    let mut single = SingleHeapAlloc::format(
+        &mut m,
+        &mut w,
+        AddrRange::new(pm.base + (16 << 20), 16 << 20),
+    );
     let (e, b) = alloc_cycle(&mut m, &mut single, rounds);
     eprintln!("[ablation:alloc] single-heap : {e} epochs, {b} metadata bytes / {rounds} cycles");
     group.bench_function("single_heap", |bch| {
@@ -142,7 +156,11 @@ fn bench_allocators(c: &mut Criterion) {
     });
 
     let mut m = Machine::new(MachineConfig::asplos17());
-    let mut buddy = BuddyAlloc::format(&mut m, &mut w, AddrRange::new(pm.base + (32 << 20), 16 << 20));
+    let mut buddy = BuddyAlloc::format(
+        &mut m,
+        &mut w,
+        AddrRange::new(pm.base + (32 << 20), 16 << 20),
+    );
     let (e, b) = alloc_cycle(&mut m, &mut buddy, rounds);
     eprintln!("[ablation:alloc] buddy       : {e} epochs, {b} metadata bytes / {rounds} cycles");
     group.bench_function("buddy", |bch| {
@@ -214,8 +232,12 @@ fn bench_pb_coalescing(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
-    group.bench_function("plain", |b| b.iter(|| std::hint::black_box(run_writes(false))));
-    group.bench_function("coalescing", |b| b.iter(|| std::hint::black_box(run_writes(true))));
+    group.bench_function("plain", |b| {
+        b.iter(|| std::hint::black_box(run_writes(false)))
+    });
+    group.bench_function("coalescing", |b| {
+        b.iter(|| std::hint::black_box(run_writes(true)))
+    });
     group.finish();
 }
 
@@ -228,7 +250,9 @@ fn bench_engine_comparison(c: &mut Criterion) {
     for r in [&wal, &sp] {
         let epochs = analysis::split_epochs(&r.events);
         let med = analysis::tx_stats(&epochs).median().unwrap_or(0);
-        let amp = analysis::amplification(&epochs).amplification().unwrap_or(0.0);
+        let amp = analysis::amplification(&epochs)
+            .amplification()
+            .unwrap_or(0.0);
         eprintln!(
             "[ablation:engine] {:<16} median {med:>3} epochs/tx, amplification {amp:.1}x",
             r.name

@@ -8,14 +8,15 @@
 //! Regenerate the full figure with
 //! `cargo run --release --bin whisper-report -- fig10`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use hops::{replay, HopsConfig, PersistModel, TimingConfig};
 use whisper::suite::{run_app, SuiteConfig, SIM_APPS};
+use whisper_bench::{criterion_group, criterion_main, Criterion};
 
 fn bench_fig10(c: &mut Criterion) {
     let cfg = SuiteConfig {
         scale: 0.02,
         seed: 42,
+        parallelism: 1,
     };
     let tcfg = TimingConfig::default();
     let hcfg = HopsConfig::default();

@@ -8,9 +8,9 @@
 //! Regenerate the full figure with
 //! `cargo run --release --bin whisper-report -- fig3`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use pmtrace::analysis;
 use whisper::suite::{run_app, SuiteConfig};
+use whisper_bench::{criterion_group, criterion_main, Criterion};
 
 const PAPER_MEDIANS: [(&str, u64); 8] = [
     ("echo", 307),
@@ -27,6 +27,7 @@ fn bench_fig3(c: &mut Criterion) {
     let cfg = SuiteConfig {
         scale: 0.02,
         seed: 42,
+        parallelism: 1,
     };
     let mut group = c.benchmark_group("fig3_tx_size");
     group.sample_size(10);

@@ -7,14 +7,15 @@
 //! Regenerate the full figure with
 //! `cargo run --release --bin whisper-report -- fig4`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use pmtrace::analysis;
 use whisper::suite::{run_app, SuiteConfig, APP_NAMES};
+use whisper_bench::{criterion_group, criterion_main, Criterion};
 
 fn bench_fig4(c: &mut Criterion) {
     let cfg = SuiteConfig {
         scale: 0.02,
         seed: 42,
+        parallelism: 1,
     };
     let mut group = c.benchmark_group("fig4_epoch_sizes");
     group.sample_size(10);
@@ -23,9 +24,7 @@ fn bench_fig4(c: &mut Criterion) {
     for name in APP_NAMES {
         let r = run_app(name, &cfg);
         let hist = analysis::epoch_size_histogram(&analysis::split_epochs(&r.run.events));
-        eprintln!(
-            "[fig4] {name:<12} {hist} (paper: ~75% singletons for native/library apps)"
-        );
+        eprintln!("[fig4] {name:<12} {hist} (paper: ~75% singletons for native/library apps)");
         group.bench_function(name, |b| {
             b.iter(|| {
                 let epochs = analysis::split_epochs(std::hint::black_box(&r.run.events));

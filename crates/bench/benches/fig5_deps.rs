@@ -8,9 +8,9 @@
 //! Regenerate the full figure with
 //! `cargo run --release --bin whisper-report -- fig5`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use pmtrace::analysis;
 use whisper::suite::{run_app, SuiteConfig, APP_NAMES};
+use whisper_bench::{criterion_group, criterion_main, Criterion};
 
 const PAPER_SELF: [(&str, f64); 11] = [
     ("echo", 54.5),
@@ -30,6 +30,7 @@ fn bench_fig5(c: &mut Criterion) {
     let cfg = SuiteConfig {
         scale: 0.02,
         seed: 42,
+        parallelism: 1,
     };
     let mut group = c.benchmark_group("fig5_dependencies");
     group.sample_size(10);
@@ -39,7 +40,11 @@ fn bench_fig5(c: &mut Criterion) {
         let r = run_app(name, &cfg);
         let epochs = analysis::split_epochs(&r.run.events);
         let deps = analysis::dependencies(&epochs);
-        let paper = PAPER_SELF.iter().find(|(n, _)| *n == name).map(|(_, v)| *v).unwrap_or(0.0);
+        let paper = PAPER_SELF
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0);
         eprintln!(
             "[fig5] {name:<12} self {:>5.1}% (paper {paper:>5.1}%), cross {:>6.3}%",
             deps.self_fraction() * 100.0,

@@ -9,13 +9,14 @@
 //! Regenerate the full figure with
 //! `cargo run --release --bin whisper-report -- fig6`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use whisper::suite::{run_app, SuiteConfig, SIM_APPS};
+use whisper_bench::{criterion_group, criterion_main, Criterion};
 
 fn bench_fig6(c: &mut Criterion) {
     let cfg = SuiteConfig {
         scale: 0.02,
         seed: 42,
+        parallelism: 1,
     };
     let mut group = c.benchmark_group("fig6_pm_traffic_share");
     group.sample_size(10);

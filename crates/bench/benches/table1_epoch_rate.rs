@@ -8,14 +8,15 @@
 //! Regenerate the full table with
 //! `cargo run --release --bin whisper-report -- table1`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use pmtrace::analysis;
 use whisper::suite::{run_app, SuiteConfig, APP_NAMES};
+use whisper_bench::{criterion_group, criterion_main, Criterion};
 
 fn bench_table1(c: &mut Criterion) {
     let cfg = SuiteConfig {
         scale: 0.02,
         seed: 42,
+        parallelism: 1,
     };
     let mut group = c.benchmark_group("table1_epochs_per_second");
     group.sample_size(10);

@@ -120,7 +120,9 @@ mod tests {
         for l in 0..32u64 {
             b.insert(Line(l));
         }
-        let fp = (1000..11_000u64).filter(|&l| b.may_contain(Line(l))).count();
+        let fp = (1000..11_000u64)
+            .filter(|&l| b.may_contain(Line(l)))
+            .count();
         assert!(fp < 500, "false-positive rate {fp}/10000 too high");
     }
 

@@ -1,11 +1,9 @@
 //! HOPS configuration.
 
-use serde::{Deserialize, Serialize};
-
 /// Persist-buffer sizing, from the paper's evaluation: "We evaluate
 /// HOPS with 32 entry PBs per thread, and flushing is launched at 16
 /// buffered entries" (Section 6.4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HopsConfig {
     /// Persist-buffer entries per hardware thread.
     pub pb_entries: usize,
@@ -38,7 +36,7 @@ impl Default for HopsConfig {
 /// durable through the cache hierarchy and controller (hundreds of ns
 /// on NVM-class media), which is what puts the paper's 15–40 %
 /// persistence overheads on the x86 critical path.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimingConfig {
     /// L1 hit (volatile access, and the store cost in every model).
     pub l1_hit_ns: u64,

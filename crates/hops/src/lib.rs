@@ -52,5 +52,7 @@ mod persist_buffer;
 
 pub use bloom::CountingBloom;
 pub use config::{HopsConfig, TimingConfig};
-pub use models::{figure10_bars, replay, replay_dpo, PersistModel, RuntimeReport};
+pub use models::{
+    fig10_invocations, figure10_bars, replay, replay_dpo, PersistModel, RuntimeReport,
+};
 pub use persist_buffer::HopsSystem;

@@ -23,11 +23,10 @@
 use crate::config::{HopsConfig, TimingConfig};
 use pmem::lines_spanning;
 use pmtrace::{Event, EventKind, Tid};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// The five persistence configurations of Figure 10.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PersistModel {
     /// `clwb`+`sfence`, durable at the NVM device (baseline).
     X86Nvm,
@@ -66,7 +65,7 @@ impl std::fmt::Display for PersistModel {
 }
 
 /// Replay result: per-thread and total runtimes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RuntimeReport {
     /// The configuration replayed.
     pub model: PersistModel,
@@ -114,12 +113,18 @@ pub fn replay(
     // Background drain rate: within an epoch, writes flush
     // "concurrently to the MCs", so the per-line unit is the persist
     // latency spread over the controllers and their queue depth.
-    let drain_unit = |model: PersistModel| match model {
-        PersistModel::HopsNvm | PersistModel::X86Nvm => cfg.pm_write_ns / (cfg.mem_controllers * 4),
-        PersistModel::HopsPwq | PersistModel::X86Pwq => cfg.pwq_ack_ns / (cfg.mem_controllers * 4),
-        PersistModel::Ideal => 1,
-    }
-    .max(1);
+    let drain_unit = |model: PersistModel| {
+        match model {
+            PersistModel::HopsNvm | PersistModel::X86Nvm => {
+                cfg.pm_write_ns / (cfg.mem_controllers * 4)
+            }
+            PersistModel::HopsPwq | PersistModel::X86Pwq => {
+                cfg.pwq_ack_ns / (cfg.mem_controllers * 4)
+            }
+            PersistModel::Ideal => 1,
+        }
+        .max(1)
+    };
     // A dfence waits at least for its final epoch's ACK at the
     // durability point.
     let dfence_floor = |model: PersistModel| match model {
@@ -257,16 +262,40 @@ pub fn replay_dpo(events: &[Event], cfg: &TimingConfig, hops_cfg: &HopsConfig) -
     r
 }
 
+thread_local! {
+    static FIG10_INVOCATIONS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// How many times [`figure10_bars`] has run on the current thread.
+///
+/// The five-model replay is the most expensive analysis step, so the
+/// suite driver promises to run it exactly once per trace; tests verify
+/// that promise by differencing this counter around a call. Per-thread
+/// so concurrently running tests (or suite workers) cannot observe each
+/// other's replays.
+pub fn fig10_invocations() -> u64 {
+    FIG10_INVOCATIONS.with(|c| c.get())
+}
+
 /// Replay all five models and return runtimes normalized to the
 /// x86-64(NVM) baseline, in [`PersistModel::ALL`] order — one cluster
 /// of Figure 10 bars.
-pub fn figure10_bars(events: &[Event], cfg: &TimingConfig, hops_cfg: &HopsConfig) -> Vec<(PersistModel, f64)> {
+pub fn figure10_bars(
+    events: &[Event],
+    cfg: &TimingConfig,
+    hops_cfg: &HopsConfig,
+) -> Vec<(PersistModel, f64)> {
+    FIG10_INVOCATIONS.with(|c| c.set(c.get() + 1));
     let base = replay(events, cfg, hops_cfg, PersistModel::X86Nvm).runtime_ns;
     PersistModel::ALL
         .iter()
         .map(|&m| {
             let r = replay(events, cfg, hops_cfg, m).runtime_ns;
-            let norm = if base == 0 { 0.0 } else { r as f64 / base as f64 };
+            let norm = if base == 0 {
+                0.0
+            } else {
+                r as f64 / base as f64
+            };
             (m, norm)
         })
         .collect()
@@ -306,7 +335,10 @@ mod tests {
         let h = HopsConfig::default();
         let bars = figure10_bars(&events, &cfg, &h);
         let get = |m: PersistModel| bars.iter().find(|(b, _)| *b == m).unwrap().1;
-        assert!((get(PersistModel::X86Nvm) - 1.0).abs() < 1e-9, "baseline is 1.0");
+        assert!(
+            (get(PersistModel::X86Nvm) - 1.0).abs() < 1e-9,
+            "baseline is 1.0"
+        );
         assert!(get(PersistModel::X86Pwq) < get(PersistModel::X86Nvm));
         assert!(get(PersistModel::HopsNvm) < get(PersistModel::X86Pwq));
         assert!(get(PersistModel::HopsPwq) <= get(PersistModel::HopsNvm));
@@ -338,7 +370,11 @@ mod tests {
         let dense = figure10_bars(&synth_trace(1000, 50), &cfg, &h);
         let sparse = figure10_bars(&synth_trace(1000, 2000), &cfg, &h);
         let gain = |bars: &[(PersistModel, f64)]| {
-            1.0 - bars.iter().find(|(m, _)| *m == PersistModel::HopsNvm).unwrap().1
+            1.0 - bars
+                .iter()
+                .find(|(m, _)| *m == PersistModel::HopsNvm)
+                .unwrap()
+                .1
         };
         assert!(
             gain(&dense) > gain(&sparse) * 2.0,

@@ -3,8 +3,7 @@
 use crate::bloom::CountingBloom;
 use crate::config::HopsConfig;
 use pmem::{lines_spanning, Addr, AddrRange, Line, PmDevice, PmImage, LINE_SIZE};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use pmrand::{Rng, SeedableRng, SmallRng};
 use std::collections::{HashMap, VecDeque};
 
 const LINE: usize = LINE_SIZE as usize;
@@ -100,7 +99,11 @@ impl HopsSystem {
     /// the multi-versioning that absorbs self-dependencies
     /// (Consequence 6).
     pub fn buffered_versions(&self, tid: usize, line: Line) -> usize {
-        self.threads[tid].pb.iter().filter(|e| e.line == line).count()
+        self.threads[tid]
+            .pb
+            .iter()
+            .filter(|e| e.line == line)
+            .count()
     }
 
     /// Lines written to the PM device so far.
@@ -352,7 +355,10 @@ mod tests {
                 if i < first_zero {
                     assert_eq!(v, (i + 1) as u64, "seed {seed}: prefix must be intact");
                 } else {
-                    assert_eq!(v, 0, "seed {seed}: epoch {i} durable before epoch {first_zero}");
+                    assert_eq!(
+                        v, 0,
+                        "seed {seed}: epoch {i} durable before epoch {first_zero}"
+                    );
                 }
             }
         }
@@ -369,7 +375,10 @@ mod tests {
             s.store(0, 0x40, &20u64.to_le_bytes());
             let img = s.crash(seed);
             let v = u64::from_le_bytes(img.read_vec(0x40, 8).try_into().unwrap());
-            assert!(v == 0 || v == 10 || v == 20, "seed {seed}: impossible value {v}");
+            assert!(
+                v == 0 || v == 10 || v == 20,
+                "seed {seed}: impossible value {v}"
+            );
         }
     }
 

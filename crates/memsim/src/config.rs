@@ -1,7 +1,6 @@
 //! Machine configuration.
 
 use pmem::AddressMap;
-use serde::{Deserialize, Serialize};
 
 /// Operation latencies in simulated nanoseconds.
 ///
@@ -9,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// DRAM and 160-cycle PM read/write latency; the trace machine is a
 /// 4 GHz Skylake. We use a 4 GHz clock (0.25 ns/cycle) so Table 3's
 /// numbers become DRAM 10 ns, PM 40 ns.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Latency {
     /// An L1 cache hit (load or store).
     pub l1_hit_ns: u64,
@@ -48,7 +47,7 @@ impl Default for Latency {
 }
 
 /// Full configuration of a simulated [`crate::Machine`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MachineConfig {
     /// Physical address map (DRAM + PM ranges).
     pub map: AddressMap,

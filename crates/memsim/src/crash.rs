@@ -2,8 +2,7 @@
 
 use crate::machine::Machine;
 use pmem::PmImage;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use pmrand::{Rng, SeedableRng, SmallRng};
 
 /// How a simulated power failure treats in-flight PM writes.
 ///

@@ -219,8 +219,7 @@ impl Machine {
                 self.pm_functional.read(addr, buf);
                 for (line, _, _) in lines_spanning(addr, buf.len()) {
                     let t = tid.0 as usize;
-                    let cached =
-                        self.dirty[t].contains(line) || self.read_cache[t].touch(line);
+                    let cached = self.dirty[t].contains(line) || self.read_cache[t].touch(line);
                     if cached {
                         self.clock_ns += self.cfg.lat.l1_hit_ns;
                     } else {
@@ -425,7 +424,8 @@ impl Machine {
         // pipeline across memory-controller banks.
         self.clock_ns += self.cfg.lat.sfence_ns;
         if drained > 0 {
-            self.clock_ns += self.cfg.lat.pm_write_ns + (drained - 1) * self.cfg.lat.pm_write_ns / 4;
+            self.clock_ns +=
+                self.cfg.lat.pm_write_ns + (drained - 1) * self.cfg.lat.pm_write_ns / 4;
         }
         if durable {
             self.trace.dfence(tid, self.clock_ns);
@@ -467,7 +467,13 @@ impl Machine {
     }
 
     pub(crate) fn crash_parts(self) -> CrashParts {
-        (self.pm_functional, self.pm_durable, self.dirty, self.pending, self.wcb)
+        (
+            self.pm_functional,
+            self.pm_durable,
+            self.dirty,
+            self.pending,
+            self.wcb,
+        )
     }
 }
 
@@ -562,7 +568,10 @@ mod tests {
         for i in 0..5u64 {
             mc.store(t, pa + i * 64, &[i as u8 + 1; 8], Category::UserData);
         }
-        assert!(mc.is_durable(pa, 8), "evicted line reached PM without a fence");
+        assert!(
+            mc.is_durable(pa, 8),
+            "evicted line reached PM without a fence"
+        );
         assert!(!mc.is_durable(pa + 4 * 64, 8));
     }
 
@@ -604,7 +613,11 @@ mod tests {
         mc.clflushopt(t, pa);
         mc.sfence(t);
         mc.load_vec(t, pa, 8);
-        assert_eq!(mc.stats().pm_reads, misses_before + 1, "clflushopt invalidates");
+        assert_eq!(
+            mc.stats().pm_reads,
+            misses_before + 1,
+            "clflushopt invalidates"
+        );
     }
 
     #[test]

@@ -1,13 +1,11 @@
 //! Access counters for the DRAM/PM traffic split (Figure 6).
 
-use serde::{Deserialize, Serialize};
-
 /// Per-run memory access counters, at 64 B line granularity: each load
 /// or store contributes one access per line it touches.
 ///
 /// Figure 6 of the paper reports "the proportion of PM accesses among
 /// all memory accesses" and finds >96% of accesses go to DRAM.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MemStats {
     /// DRAM line-accesses (loads + stores).
     pub dram_accesses: u64,

@@ -1,8 +1,8 @@
 //! Property tests for the persistence-instruction semantics.
 
 use memsim::{CrashSpec, Machine, MachineConfig, PmWriter};
+use miniprop::prelude::*;
 use pmtrace::{Category, Tid};
-use proptest::prelude::*;
 
 const TID: Tid = Tid(0);
 
@@ -14,7 +14,7 @@ enum MemOp {
 }
 
 fn scripts() -> impl Strategy<Value = Vec<MemOp>> {
-    proptest::collection::vec(
+    collection::vec(
         prop_oneof![
             (0u64..64, any::<u8>()).prop_map(|(slot, val)| MemOp::Store { slot, val }),
             (0u64..64, any::<u8>()).prop_map(|(slot, val)| MemOp::StoreNt { slot, val }),

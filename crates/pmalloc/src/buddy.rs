@@ -89,7 +89,12 @@ impl BuddyAlloc {
         let (payload_base, n_min_blocks, max_order) = Self::layout(region);
         w.write_u64(m, region.base, MAGIC, Category::AllocMeta);
         // Zero the metadata array; then stamp the root block's order.
-        w.write(m, region.base + 64, &vec![0u8; n_min_blocks as usize], Category::AllocMeta);
+        w.write(
+            m,
+            region.base + 64,
+            &vec![0u8; n_min_blocks as usize],
+            Category::AllocMeta,
+        );
         w.ordering_fence(m);
         let mut a = BuddyAlloc {
             region,
@@ -151,7 +156,14 @@ impl BuddyAlloc {
         a
     }
 
-    fn set_meta(&mut self, m: &mut Machine, w: &mut PmWriter, idx: u64, order: u8, allocated: bool) {
+    fn set_meta(
+        &mut self,
+        m: &mut Machine,
+        w: &mut PmWriter,
+        idx: u64,
+        order: u8,
+        allocated: bool,
+    ) {
         let byte = order | if allocated { ALLOCATED } else { 0 };
         self.meta[idx as usize] = byte;
         w.write(m, self.meta_addr(idx), &[byte], Category::AllocMeta);
@@ -321,7 +333,10 @@ mod tests {
         let (mut m, mut w, mut a) = setup();
         let p = a.alloc(&mut m, &mut w, 64).unwrap();
         assert!(a.free(&mut m, &mut w, p + 1).is_err());
-        assert!(a.free(&mut m, &mut w, p + 64).is_err(), "free of free block");
+        assert!(
+            a.free(&mut m, &mut w, p + 64).is_err(),
+            "free of free block"
+        );
         a.free(&mut m, &mut w, p).unwrap();
         assert!(a.free(&mut m, &mut w, p).is_err());
     }

@@ -81,7 +81,10 @@ impl std::fmt::Display for AllocError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             AllocError::OutOfMemory { requested } => {
-                write!(f, "persistent region exhausted for {requested}-byte request")
+                write!(
+                    f,
+                    "persistent region exhausted for {requested}-byte request"
+                )
             }
             AllocError::InvalidFree { addr } => {
                 write!(f, "free of unallocated address {addr:#x}")

@@ -37,7 +37,11 @@ impl ShardedSlab {
         assert!(n > 0, "need at least one shard");
         let shards = (0..n as u64)
             .map(|i| {
-                SlabBitmapAlloc::format(m, w, AddrRange::new(base + i * bytes_per_shard, bytes_per_shard))
+                SlabBitmapAlloc::format(
+                    m,
+                    w,
+                    AddrRange::new(base + i * bytes_per_shard, bytes_per_shard),
+                )
             })
             .collect();
         ShardedSlab { shards, current: 0 }
@@ -70,7 +74,9 @@ impl PmAllocator for ShardedSlab {
     }
 
     fn free(&mut self, m: &mut Machine, w: &mut PmWriter, addr: Addr) -> Result<(), AllocError> {
-        let owner = self.owner_of(addr).ok_or(AllocError::InvalidFree { addr })?;
+        let owner = self
+            .owner_of(addr)
+            .ok_or(AllocError::InvalidFree { addr })?;
         self.shards[owner].free(m, w, addr)
     }
 

@@ -78,13 +78,7 @@ impl SingleHeapAlloc {
         self.region.base + REGION_HEADER
     }
 
-    fn write_header(
-        m: &mut Machine,
-        w: &mut PmWriter,
-        hdr: Addr,
-        state: BlockState,
-        size: u64,
-    ) {
+    fn write_header(m: &mut Machine, w: &mut PmWriter, hdr: Addr, state: BlockState, size: u64) {
         w.write_u32(m, hdr, HDR_MAGIC, Category::AllocMeta);
         w.write_u32(m, hdr + 4, state.to_u32(), Category::AllocMeta);
         w.write_u64(m, hdr + 8, size, Category::AllocMeta);
@@ -125,13 +119,13 @@ impl SingleHeapAlloc {
     /// # Panics
     ///
     /// Panics if `region` does not hold a formatted heap.
-    pub fn recover(
-        m: &mut Machine,
-        tid: Tid,
-        region: AddrRange,
-    ) -> (SingleHeapAlloc, Vec<Addr>) {
+    pub fn recover(m: &mut Machine, tid: Tid, region: AddrRange) -> (SingleHeapAlloc, Vec<Addr>) {
         let magic = m.load_u64(tid, region.base);
-        assert_eq!(magic, MAGIC, "no single-heap allocator at {:#x}", region.base);
+        assert_eq!(
+            magic, MAGIC,
+            "no single-heap allocator at {:#x}",
+            region.base
+        );
         let mut w = PmWriter::new(tid);
         let mut a = SingleHeapAlloc {
             region,
@@ -192,7 +186,10 @@ impl SingleHeapAlloc {
         let mut merged: Vec<(Addr, u64, BlockState)> = Vec::new();
         for (addr, size, state) in entries {
             if let Some(last) = merged.last_mut() {
-                if last.2 == BlockState::Free && state == BlockState::Free && last.0 + last.1 == addr {
+                if last.2 == BlockState::Free
+                    && state == BlockState::Free
+                    && last.0 + last.1 == addr
+                {
                     last.1 += size;
                     self.stats.merges += 1;
                     continue;
@@ -230,7 +227,9 @@ impl SingleHeapAlloc {
         payload: Addr,
         state: BlockState,
     ) -> Result<(), AllocError> {
-        let hdr = payload.checked_sub(HEADER_BYTES).ok_or(AllocError::InvalidFree { addr: payload })?;
+        let hdr = payload
+            .checked_sub(HEADER_BYTES)
+            .ok_or(AllocError::InvalidFree { addr: payload })?;
         match self.blocks.get_mut(&hdr) {
             Some((_, st)) if *st != BlockState::Free => {
                 *st = state;
@@ -244,7 +243,9 @@ impl SingleHeapAlloc {
 
     /// Current state of the block whose payload starts at `payload`.
     pub fn state_of(&self, payload: Addr) -> Option<BlockState> {
-        self.blocks.get(&(payload.wrapping_sub(HEADER_BYTES))).map(|(_, s)| *s)
+        self.blocks
+            .get(&(payload.wrapping_sub(HEADER_BYTES)))
+            .map(|(_, s)| *s)
     }
 
     /// Allocation counters.
@@ -293,8 +294,13 @@ impl PmAllocator for SingleHeapAlloc {
     }
 
     fn free(&mut self, m: &mut Machine, w: &mut PmWriter, addr: Addr) -> Result<(), AllocError> {
-        let hdr = addr.checked_sub(HEADER_BYTES).ok_or(AllocError::InvalidFree { addr })?;
-        let (size, state) = *self.blocks.get(&hdr).ok_or(AllocError::InvalidFree { addr })?;
+        let hdr = addr
+            .checked_sub(HEADER_BYTES)
+            .ok_or(AllocError::InvalidFree { addr })?;
+        let (size, state) = *self
+            .blocks
+            .get(&hdr)
+            .ok_or(AllocError::InvalidFree { addr })?;
         if state == BlockState::Free {
             return Err(AllocError::InvalidFree { addr });
         }
@@ -386,7 +392,8 @@ mod tests {
         let (mut m, mut w, mut a) = setup();
         let p = a.alloc(&mut m, &mut w, 64).unwrap();
         assert_eq!(a.state_of(p), Some(BlockState::Volatile));
-        a.set_state(&mut m, &mut w, p, BlockState::Persistent).unwrap();
+        a.set_state(&mut m, &mut w, p, BlockState::Persistent)
+            .unwrap();
         assert_eq!(a.state_of(p), Some(BlockState::Persistent));
         // The state writes hit the same header line in distinct epochs:
         let epochs = pmtrace::analysis::split_epochs(m.trace().events());
@@ -397,7 +404,10 @@ mod tests {
     #[test]
     fn oom_and_invalid_ops() {
         let (mut m, mut w, mut a) = setup();
-        assert!(matches!(a.alloc(&mut m, &mut w, 0), Err(AllocError::BadSize { .. })));
+        assert!(matches!(
+            a.alloc(&mut m, &mut w, 0),
+            Err(AllocError::BadSize { .. })
+        ));
         assert!(matches!(
             a.alloc(&mut m, &mut w, 4 << 20),
             Err(AllocError::OutOfMemory { .. })
@@ -406,7 +416,9 @@ mod tests {
         assert!(a.free(&mut m, &mut w, p + 8).is_err());
         a.free(&mut m, &mut w, p).unwrap();
         assert!(a.free(&mut m, &mut w, p).is_err());
-        assert!(a.set_state(&mut m, &mut w, p, BlockState::Persistent).is_err());
+        assert!(a
+            .set_state(&mut m, &mut w, p, BlockState::Persistent)
+            .is_err());
     }
 
     #[test]
@@ -415,12 +427,17 @@ mod tests {
         let region = a.region();
         let pv = a.alloc(&mut m, &mut w, 64).unwrap(); // stays Volatile
         let pp = a.alloc(&mut m, &mut w, 64).unwrap();
-        a.set_state(&mut m, &mut w, pp, BlockState::Persistent).unwrap();
+        a.set_state(&mut m, &mut w, pp, BlockState::Persistent)
+            .unwrap();
         let img = m.crash(memsim::CrashSpec::DropVolatile);
         let mut m2 = Machine::from_image(MachineConfig::asplos17(), &img);
         let (a2, persistent) = SingleHeapAlloc::recover(&mut m2, Tid(0), region);
         assert_eq!(persistent, vec![pp]);
-        assert_eq!(a2.state_of(pv), Some(BlockState::Free), "volatile reclaimed");
+        assert_eq!(
+            a2.state_of(pv),
+            Some(BlockState::Free),
+            "volatile reclaimed"
+        );
         assert_eq!(a2.state_of(pp), Some(BlockState::Persistent));
     }
 
@@ -433,7 +450,8 @@ mod tests {
             for i in 0..6 {
                 let p = a.alloc(&mut m, &mut w, 64 + i * 32).unwrap();
                 if i % 2 == 0 {
-                    a.set_state(&mut m, &mut w, p, BlockState::Persistent).unwrap();
+                    a.set_state(&mut m, &mut w, p, BlockState::Persistent)
+                        .unwrap();
                     live.push(p);
                 } else if i % 3 == 0 {
                     a.free(&mut m, &mut w, p).unwrap();
@@ -463,8 +481,11 @@ mod tests {
         let mut w = PmWriter::new(Tid(0));
         let base = m.config().map.pm.base;
         // Region with room for exactly one minimal block.
-        let mut a =
-            SingleHeapAlloc::format(&mut m, &mut w, AddrRange::new(base, REGION_HEADER + MIN_BLOCK));
+        let mut a = SingleHeapAlloc::format(
+            &mut m,
+            &mut w,
+            AddrRange::new(base, REGION_HEADER + MIN_BLOCK),
+        );
         let p = a.alloc(&mut m, &mut w, 64).unwrap();
         assert_eq!(a.stats().splits, 0);
         a.free(&mut m, &mut w, p).unwrap();

@@ -95,7 +95,12 @@ impl SlabBitmapAlloc {
         );
         w.write_u64(m, region.base, MAGIC, Category::AllocMeta);
         // Zero the directory so recovery sees no slabs.
-        w.write(m, region.base + 64, &vec![0u8; (MAX_SLABS * DIR_ENTRY_BYTES) as usize], Category::AllocMeta);
+        w.write(
+            m,
+            region.base + 64,
+            &vec![0u8; (MAX_SLABS * DIR_ENTRY_BYTES) as usize],
+            Category::AllocMeta,
+        );
         w.ordering_fence(m);
         SlabBitmapAlloc {
             region,
@@ -158,9 +163,7 @@ impl SlabBitmapAlloc {
     fn grow(&mut self, m: &mut Machine, w: &mut PmWriter, ci: usize) -> Result<usize, AllocError> {
         let idx = self.slabs.len();
         let class = CLASSES[ci];
-        if idx as u64 >= MAX_SLABS
-            || self.slab_base(idx) + SLAB_BYTES > self.region.end()
-        {
+        if idx as u64 >= MAX_SLABS || self.slab_base(idx) + SLAB_BYTES > self.region.end() {
             return Err(AllocError::OutOfMemory { requested: class });
         }
         // Persist the directory claim; the bitmap area is zero (all
@@ -169,7 +172,12 @@ impl SlabBitmapAlloc {
         w.write_u32(m, entry, class as u32, Category::AllocMeta);
         w.write_u32(m, entry + 4, 1, Category::AllocMeta);
         // Zero the bitmap persistently in case the region is recycled.
-        w.write(m, self.slab_base(idx), &[0u8; BITMAP_BYTES as usize], Category::AllocMeta);
+        w.write(
+            m,
+            self.slab_base(idx),
+            &[0u8; BITMAP_BYTES as usize],
+            Category::AllocMeta,
+        );
         w.ordering_fence(m);
         self.slabs.push(SlabState {
             class,
@@ -347,7 +355,10 @@ mod tests {
     #[test]
     fn zero_and_oversize_rejected() {
         let (mut m, mut w, mut a) = setup();
-        assert_eq!(a.alloc(&mut m, &mut w, 0), Err(AllocError::BadSize { requested: 0 }));
+        assert_eq!(
+            a.alloc(&mut m, &mut w, 0),
+            Err(AllocError::BadSize { requested: 0 })
+        );
         assert!(matches!(
             a.alloc(&mut m, &mut w, 8192),
             Err(AllocError::BadSize { .. })
@@ -418,7 +429,7 @@ mod tests {
         let region = a.region();
         let live = a.alloc(&mut m, &mut w, 64).unwrap();
         let _leaked = a.alloc(&mut m, &mut w, 64).unwrap(); // never linked
-        // Crash and recover: the bitmap says two blocks are allocated.
+                                                            // Crash and recover: the bitmap says two blocks are allocated.
         let img = m.crash(memsim::CrashSpec::DropVolatile);
         let mut m2 = Machine::from_image(memsim::MachineConfig::asplos17(), &img);
         let mut a2 = SlabBitmapAlloc::recover(&mut m2, Tid(0), region);
@@ -450,8 +461,11 @@ mod tests {
         let mut w = PmWriter::new(Tid(0));
         let base = m.config().map.pm.base;
         // Room for the header and exactly one slab.
-        let mut a =
-            SlabBitmapAlloc::format(&mut m, &mut w, AddrRange::new(base, HEADER_BYTES + SLAB_BYTES));
+        let mut a = SlabBitmapAlloc::format(
+            &mut m,
+            &mut w,
+            AddrRange::new(base, HEADER_BYTES + SLAB_BYTES),
+        );
         let per_slab = SlabBitmapAlloc::blocks_per_slab(4096);
         for _ in 0..per_slab {
             a.alloc(&mut m, &mut w, 4096).unwrap();

@@ -1,23 +1,27 @@
 //! Property tests shared by all three allocator designs.
 
 use memsim::{CrashSpec, Machine, MachineConfig, PmWriter};
+use miniprop::prelude::*;
 use pmalloc::{BuddyAlloc, PmAllocator, SingleHeapAlloc, SlabBitmapAlloc};
 use pmem::AddrRange;
 use pmtrace::Tid;
-use proptest::prelude::*;
 use std::collections::BTreeMap;
 
 const TID: Tid = Tid(0);
 
 #[derive(Debug, Clone)]
 enum AllocOp {
-    Alloc { size: u64 },
+    Alloc {
+        size: u64,
+    },
     /// Free the i-th oldest live block (modulo live count).
-    Free { victim: usize },
+    Free {
+        victim: usize,
+    },
 }
 
 fn ops() -> impl Strategy<Value = Vec<AllocOp>> {
-    proptest::collection::vec(
+    collection::vec(
         prop_oneof![
             (1u64..3000).prop_map(|size| AllocOp::Alloc { size }),
             (0usize..64).prop_map(|victim| AllocOp::Free { victim }),
@@ -39,7 +43,10 @@ fn drive<A: PmAllocator>(m: &mut Machine, a: &mut A, script: &[AllocOp]) {
             AllocOp::Alloc { size } => {
                 match a.alloc(m, &mut w, *size) {
                     Ok(p) => {
-                        assert!(a.region().contains_span(p, *size as usize), "block outside region");
+                        assert!(
+                            a.region().contains_span(p, *size as usize),
+                            "block outside region"
+                        );
                         // No overlap with any live block (checking the
                         // requested extents).
                         for (&q, &qs) in &live {
@@ -60,10 +67,7 @@ fn drive<A: PmAllocator>(m: &mut Machine, a: &mut A, script: &[AllocOp]) {
                 a.free(m, &mut w, k).expect("freeing a live block succeeds");
             }
         }
-        assert!(
-            a.allocated_bytes() as i128 >= 0,
-            "accounting went negative"
-        );
+        assert!(a.allocated_bytes() as i128 >= 0, "accounting went negative");
     }
     // Free everything: accounting returns to zero.
     for (&p, _) in live.clone().iter() {

@@ -82,7 +82,9 @@ impl PBTree {
 
     /// Number of keys (sums the per-thread count shards).
     pub fn len(&self, m: &mut Machine, tid: Tid) -> u64 {
-        (0..COUNT_SHARDS).map(|s| m.load_u64(tid, self.base + 64 + s * 64)).sum()
+        (0..COUNT_SHARDS)
+            .map(|s| m.load_u64(tid, self.base + 64 + s * 64))
+            .sum()
     }
 
     /// Whether the tree is empty.
@@ -99,7 +101,13 @@ impl PBTree {
     ) -> Result<(), DsError> {
         let shard = self.base + 64 + (tid.0 as u64 % COUNT_SHARDS) * 64;
         let n = e.tx_read_u64(m, tid, shard);
-        e.tx_write_u64(m, tid, shard, n.checked_add_signed(delta).expect("count"), Category::AppMeta)?;
+        e.tx_write_u64(
+            m,
+            tid,
+            shard,
+            n.checked_add_signed(delta).expect("count"),
+            Category::AppMeta,
+        )?;
         Ok(())
     }
 
@@ -129,7 +137,13 @@ impl PBTree {
         e.tx_read_u32(m, tid, n + O_NKEYS) as usize
     }
 
-    fn set_nkeys<E: TxMem>(m: &mut Machine, e: &mut E, tid: Tid, n: Addr, v: usize) -> Result<(), DsError> {
+    fn set_nkeys<E: TxMem>(
+        m: &mut Machine,
+        e: &mut E,
+        tid: Tid,
+        n: Addr,
+        v: usize,
+    ) -> Result<(), DsError> {
         e.tx_write_u32(m, tid, n + O_NKEYS, v as u32, Category::UserData)?;
         Ok(())
     }
@@ -152,10 +166,16 @@ impl PBTree {
         let leaf = Self::is_leaf(m, e, tid, n);
         let nk = Self::nkeys(m, e, tid, n);
         let keys_raw = e.tx_read(m, tid, n + O_KEYS, nk * 8);
-        let keys = keys_raw.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().expect("8"))).collect();
+        let keys = keys_raw
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8")))
+            .collect();
         let np = if leaf { nk } else { nk + 1 };
         let ptrs_raw = e.tx_read(m, tid, n + O_PTRS, np * 8);
-        let ptrs = ptrs_raw.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().expect("8"))).collect();
+        let ptrs = ptrs_raw
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8")))
+            .collect();
         (leaf, keys, ptrs)
     }
 
@@ -217,7 +237,15 @@ impl PBTree {
         out
     }
 
-    fn range_walk(&self, m: &mut Machine, tid: Tid, n: Addr, lo: u64, hi: u64, out: &mut Vec<(u64, u64)>) {
+    fn range_walk(
+        &self,
+        m: &mut Machine,
+        tid: Tid,
+        n: Addr,
+        lo: u64,
+        hi: u64,
+        out: &mut Vec<(u64, u64)>,
+    ) {
         let leaf = m.load_u32(tid, n + O_LEAF) != 0;
         let nk = m.load_u32(tid, n + O_NKEYS) as usize;
         if leaf {
@@ -453,7 +481,14 @@ impl PBTree {
                     pk[i - 1] = *lkeys.last().expect("nonempty");
                     Self::write_node(m, e, tid, parent, &pk, &pptrs)?;
                 }
-                Self::write_node(m, e, tid, left, &lkeys[..lkeys.len() - 1], &lptrs[..lptrs.len() - 1])?;
+                Self::write_node(
+                    m,
+                    e,
+                    tid,
+                    left,
+                    &lkeys[..lkeys.len() - 1],
+                    &lptrs[..lptrs.len() - 1],
+                )?;
                 Self::write_node(m, e, tid, child, &ckeys, &cptrs)?;
                 return Ok(child);
             }
@@ -563,8 +598,16 @@ impl PBTree {
         }
         for i in 0..=nk {
             let child = m.load_u64(tid, n + O_PTRS + i as u64 * 8);
-            let clo = if i == 0 { lo } else { Some(m.load_u64(tid, n + O_KEYS + (i as u64 - 1) * 8)) };
-            let chi = if i == nk { hi } else { Some(m.load_u64(tid, n + O_KEYS + i as u64 * 8)) };
+            let clo = if i == 0 {
+                lo
+            } else {
+                Some(m.load_u64(tid, n + O_KEYS + (i as u64 - 1) * 8))
+            };
+            let chi = if i == nk {
+                hi
+            } else {
+                Some(m.load_u64(tid, n + O_KEYS + i as u64 * 8))
+            };
             self.check_node(m, tid, child, clo, chi, depth + 1, false, leaf_depth)?;
         }
         Ok(())
@@ -592,8 +635,11 @@ mod tests {
         let pm = m.config().map.pm;
         let mut eng = UndoTxEngine::format(&mut m, AddrRange::new(pm.base, 16 << 20), 4);
         let mut w = memsim::PmWriter::new(TID);
-        let alloc =
-            SlabBitmapAlloc::format(&mut m, &mut w, AddrRange::new(pm.base + (16 << 20), 64 << 20));
+        let alloc = SlabBitmapAlloc::format(
+            &mut m,
+            &mut w,
+            AddrRange::new(pm.base + (16 << 20), 64 << 20),
+        );
         let mut alloc = alloc;
         eng.begin(&mut m, TID).unwrap();
         let tree = PBTree::create(
@@ -605,7 +651,12 @@ mod tests {
         )
         .unwrap();
         eng.commit(&mut m, TID).unwrap();
-        Fix { m, eng, alloc, tree }
+        Fix {
+            m,
+            eng,
+            alloc,
+            tree,
+        }
     }
 
     fn tx<T>(fx: &mut Fix, f: impl FnOnce(&mut Fix) -> T) -> T {
@@ -619,8 +670,14 @@ mod tests {
     fn insert_get_update() {
         let mut fx = setup();
         tx(&mut fx, |fx| {
-            assert!(fx.tree.insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, 5, 50).unwrap());
-            assert!(!fx.tree.insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, 5, 55).unwrap());
+            assert!(fx
+                .tree
+                .insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, 5, 50)
+                .unwrap());
+            assert!(!fx
+                .tree
+                .insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, 5, 55)
+                .unwrap());
         });
         assert_eq!(fx.tree.get(&mut fx.m, &mut fx.eng, TID, 5), Some(55));
         assert_eq!(fx.tree.get(&mut fx.m, &mut fx.eng, TID, 6), None);
@@ -632,12 +689,18 @@ mod tests {
         let mut fx = setup();
         for i in 0..300u64 {
             tx(&mut fx, |fx| {
-                fx.tree.insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, i, i * 3).unwrap();
+                fx.tree
+                    .insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, i, i * 3)
+                    .unwrap();
             });
         }
         fx.tree.check_invariants(&mut fx.m, TID).unwrap();
         for i in 0..300u64 {
-            assert_eq!(fx.tree.get(&mut fx.m, &mut fx.eng, TID, i), Some(i * 3), "key {i}");
+            assert_eq!(
+                fx.tree.get(&mut fx.m, &mut fx.eng, TID, i),
+                Some(i * 3),
+                "key {i}"
+            );
         }
         assert_eq!(fx.tree.len(&mut fx.m, TID), 300);
     }
@@ -647,7 +710,9 @@ mod tests {
         let mut fx = setup();
         tx(&mut fx, |fx| {
             for i in (0..100u64).rev() {
-                fx.tree.insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, i * 2, i).unwrap();
+                fx.tree
+                    .insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, i * 2, i)
+                    .unwrap();
             }
         });
         let got = fx.tree.range(&mut fx.m, TID, 10, 30);
@@ -665,18 +730,24 @@ mod tests {
         let mut model = std::collections::BTreeMap::new();
         let mut state = 0xfeed_u64;
         for _ in 0..600 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let key = state % 128;
             let op = (state >> 32) % 3;
             tx(&mut fx, |fx| match op {
                 0 | 1 => {
-                    let fresh =
-                        fx.tree.insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, key, state).unwrap();
+                    let fresh = fx
+                        .tree
+                        .insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, key, state)
+                        .unwrap();
                     assert_eq!(fresh, model.insert(key, state).is_none(), "insert {key}");
                 }
                 _ => {
-                    let removed =
-                        fx.tree.remove(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, key).unwrap();
+                    let removed = fx
+                        .tree
+                        .remove(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, key)
+                        .unwrap();
                     assert_eq!(removed, model.remove(&key).is_some(), "remove {key}");
                 }
             });
@@ -697,19 +768,25 @@ mod tests {
         let mut fx = setup();
         for i in 0..120u64 {
             tx(&mut fx, |fx| {
-                fx.tree.insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, i, i).unwrap();
+                fx.tree
+                    .insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, i, i)
+                    .unwrap();
             });
         }
         for i in 0..120u64 {
             let removed = tx(&mut fx, |fx| {
-                fx.tree.remove(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, i).unwrap()
+                fx.tree
+                    .remove(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, i)
+                    .unwrap()
             });
             assert!(removed, "key {i}");
             fx.tree.check_invariants(&mut fx.m, TID).unwrap();
         }
         assert!(fx.tree.is_empty(&mut fx.m, TID));
         tx(&mut fx, |fx| {
-            fx.tree.insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, 7, 7).unwrap();
+            fx.tree
+                .insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, 7, 7)
+                .unwrap();
         });
         assert_eq!(fx.tree.get(&mut fx.m, &mut fx.eng, TID, 7), Some(7));
     }
@@ -718,7 +795,9 @@ mod tests {
     fn remove_missing_is_false() {
         let mut fx = setup();
         let removed = tx(&mut fx, |fx| {
-            fx.tree.remove(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, 42).unwrap()
+            fx.tree
+                .remove(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, 42)
+                .unwrap()
         });
         assert!(!removed);
     }
@@ -729,12 +808,16 @@ mod tests {
         let base = fx.tree.base;
         for i in 0..80u64 {
             tx(&mut fx, |fx| {
-                fx.tree.insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, i * 13 % 97, i).unwrap();
+                fx.tree
+                    .insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, i * 13 % 97, i)
+                    .unwrap();
             });
         }
         // Crash mid-insert: the committed prefix must be intact.
         fx.eng.begin(&mut fx.m, TID).unwrap();
-        fx.tree.insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, 1000, 1, ).unwrap();
+        fx.tree
+            .insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, 1000, 1)
+            .unwrap();
         for seed in [3u64, 19, 41] {
             let img = Machine::from_image(MachineConfig::asplos17(), &fx.m.durable_image())
                 .crash(memsim::CrashSpec::Adversarial { seed });
@@ -744,7 +827,11 @@ mod tests {
                 UndoTxEngine::recover(&mut m2, TID, AddrRange::new(pm.base, 16 << 20), 4);
             let tree2 = PBTree::open(&mut m2, TID, base).unwrap();
             tree2.check_invariants(&mut m2, TID).unwrap();
-            assert_eq!(tree2.get(&mut m2, &mut eng2, TID, 1000), None, "seed {seed}");
+            assert_eq!(
+                tree2.get(&mut m2, &mut eng2, TID, 1000),
+                None,
+                "seed {seed}"
+            );
             assert_eq!(tree2.len(&mut m2, TID), 80, "seed {seed}");
         }
     }

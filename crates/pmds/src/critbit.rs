@@ -51,7 +51,10 @@ impl CritBitTree {
         tid: Tid,
         region: AddrRange,
     ) -> Result<CritBitTree, DsError> {
-        assert!(region.len >= CRITBIT_REGION_BYTES, "crit-bit region too small");
+        assert!(
+            region.len >= CRITBIT_REGION_BYTES,
+            "crit-bit region too small"
+        );
         eng.tx_write_u64(m, tid, region.base, MAGIC, Category::AppMeta)?;
         eng.tx_write_u64(m, tid, region.base + 8, 0, Category::AppMeta)?; // root
         Ok(CritBitTree { base: region.base })
@@ -71,7 +74,9 @@ impl CritBitTree {
 
     /// Number of keys (sums the per-thread count shards).
     pub fn len(&self, m: &mut Machine, tid: Tid) -> u64 {
-        (0..COUNT_SHARDS).map(|s| m.load_u64(tid, self.base + 64 + s * 64)).sum()
+        (0..COUNT_SHARDS)
+            .map(|s| m.load_u64(tid, self.base + 64 + s * 64))
+            .sum()
     }
 
     /// Whether the tree is empty.
@@ -213,7 +218,11 @@ impl CritBitTree {
         node[0..4].copy_from_slice(&TAG_INTERNAL.to_le_bytes());
         node[4..8].copy_from_slice(&otherbits.to_le_bytes());
         node[8..16].copy_from_slice(&byte_idx.to_le_bytes());
-        let (a, b) = if newdir == 0 { (leaf, displaced) } else { (displaced, leaf) };
+        let (a, b) = if newdir == 0 {
+            (leaf, displaced)
+        } else {
+            (displaced, leaf)
+        };
         node[16..24].copy_from_slice(&a.to_le_bytes());
         node[24..32].copy_from_slice(&b.to_le_bytes());
         eng.tx_write(m, tid, internal, &node, Category::UserData)?;
@@ -348,19 +357,26 @@ mod tests {
         let pm = m.config().map.pm;
         let mut eng = UndoTxEngine::format(&mut m, AddrRange::new(pm.base, 16 << 20), 4);
         let mut w = memsim::PmWriter::new(TID);
-        let alloc =
-            SlabBitmapAlloc::format(&mut m, &mut w, AddrRange::new(pm.base + (1 << 20), 16 << 20));
+        let alloc = SlabBitmapAlloc::format(
+            &mut m,
+            &mut w,
+            AddrRange::new(pm.base + (1 << 20), 16 << 20),
+        );
         eng.begin(&mut m, TID).unwrap();
-        let tree =
-            CritBitTree::create(
-                &mut m,
-                &mut eng,
-                TID,
-                AddrRange::new(pm.base + (20 << 20), CRITBIT_REGION_BYTES),
-            )
-            .unwrap();
+        let tree = CritBitTree::create(
+            &mut m,
+            &mut eng,
+            TID,
+            AddrRange::new(pm.base + (20 << 20), CRITBIT_REGION_BYTES),
+        )
+        .unwrap();
         eng.commit(&mut m, TID).unwrap();
-        Fix { m, eng, alloc, tree }
+        Fix {
+            m,
+            eng,
+            alloc,
+            tree,
+        }
     }
 
     fn tx<T>(fx: &mut Fix, f: impl FnOnce(&mut Fix) -> T) -> T {
@@ -374,7 +390,10 @@ mod tests {
     fn insert_get_single() {
         let mut fx = setup();
         tx(&mut fx, |fx| {
-            assert!(fx.tree.insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, b"key", 7).unwrap());
+            assert!(fx
+                .tree
+                .insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, b"key", 7)
+                .unwrap());
         });
         assert_eq!(fx.tree.get(&mut fx.m, &mut fx.eng, TID, b"key"), Some(7));
         assert_eq!(fx.tree.get(&mut fx.m, &mut fx.eng, TID, b"other"), None);
@@ -385,8 +404,13 @@ mod tests {
     fn update_existing_key() {
         let mut fx = setup();
         tx(&mut fx, |fx| {
-            fx.tree.insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, b"k", 1).unwrap();
-            let fresh = fx.tree.insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, b"k", 2).unwrap();
+            fx.tree
+                .insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, b"k", 1)
+                .unwrap();
+            let fresh = fx
+                .tree
+                .insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, b"k", 2)
+                .unwrap();
             assert!(!fresh);
         });
         assert_eq!(fx.tree.get(&mut fx.m, &mut fx.eng, TID, b"k"), Some(2));
@@ -399,22 +423,35 @@ mod tests {
         let mut model = std::collections::BTreeMap::new();
         let mut state = 12345u64;
         for i in 0..200u64 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let key = format!("key-{:04}", state % 500);
             tx(&mut fx, |fx| {
                 fx.tree
-                    .insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, key.as_bytes(), i)
+                    .insert(
+                        &mut fx.m,
+                        &mut fx.eng,
+                        TID,
+                        &mut fx.alloc,
+                        key.as_bytes(),
+                        i,
+                    )
                     .unwrap();
             });
             model.insert(key, i);
         }
         assert_eq!(fx.tree.len(&mut fx.m, TID), model.len() as u64);
         for (k, v) in &model {
-            assert_eq!(fx.tree.get(&mut fx.m, &mut fx.eng, TID, k.as_bytes()), Some(*v));
+            assert_eq!(
+                fx.tree.get(&mut fx.m, &mut fx.eng, TID, k.as_bytes()),
+                Some(*v)
+            );
         }
         // In-order traversal matches the model's key order.
         let mut keys = Vec::new();
-        fx.tree.for_each(&mut fx.m, TID, |k, _| keys.push(k.to_vec()));
+        fx.tree
+            .for_each(&mut fx.m, TID, |k, _| keys.push(k.to_vec()));
         let model_keys: Vec<Vec<u8>> = model.keys().map(|k| k.as_bytes().to_vec()).collect();
         assert_eq!(keys, model_keys);
     }
@@ -423,8 +460,13 @@ mod tests {
     fn remove_root_leaf() {
         let mut fx = setup();
         tx(&mut fx, |fx| {
-            fx.tree.insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, b"solo", 1).unwrap();
-            assert!(fx.tree.remove(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, b"solo").unwrap());
+            fx.tree
+                .insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, b"solo", 1)
+                .unwrap();
+            assert!(fx
+                .tree
+                .remove(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, b"solo")
+                .unwrap());
         });
         assert!(fx.tree.is_empty(&mut fx.m, TID));
         assert_eq!(fx.tree.get(&mut fx.m, &mut fx.eng, TID, b"solo"), None);
@@ -437,21 +479,34 @@ mod tests {
         tx(&mut fx, |fx| {
             for (i, k) in keys.iter().enumerate() {
                 fx.tree
-                    .insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, k.as_bytes(), i as u64)
+                    .insert(
+                        &mut fx.m,
+                        &mut fx.eng,
+                        TID,
+                        &mut fx.alloc,
+                        k.as_bytes(),
+                        i as u64,
+                    )
                     .unwrap();
             }
         });
         for (i, k) in keys.iter().enumerate() {
             if i % 3 == 0 {
                 let removed = tx(&mut fx, |fx| {
-                    fx.tree.remove(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, k.as_bytes()).unwrap()
+                    fx.tree
+                        .remove(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, k.as_bytes())
+                        .unwrap()
                 });
                 assert!(removed, "{k}");
             }
         }
         for (i, k) in keys.iter().enumerate() {
             let expect = if i % 3 == 0 { None } else { Some(i as u64) };
-            assert_eq!(fx.tree.get(&mut fx.m, &mut fx.eng, TID, k.as_bytes()), expect, "{k}");
+            assert_eq!(
+                fx.tree.get(&mut fx.m, &mut fx.eng, TID, k.as_bytes()),
+                expect,
+                "{k}"
+            );
         }
     }
 
@@ -459,13 +514,21 @@ mod tests {
     fn remove_missing_is_false() {
         let mut fx = setup();
         tx(&mut fx, |fx| {
-            fx.tree.insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, b"present", 1).unwrap();
-            assert!(!fx.tree.remove(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, b"absent").unwrap());
+            fx.tree
+                .insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, b"present", 1)
+                .unwrap();
+            assert!(!fx
+                .tree
+                .remove(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, b"absent")
+                .unwrap());
         });
         // Empty-tree remove:
         let mut fx2 = setup();
         tx(&mut fx2, |fx| {
-            assert!(!fx.tree.remove(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, b"x").unwrap());
+            assert!(!fx
+                .tree
+                .remove(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, b"x")
+                .unwrap());
         });
     }
 
@@ -475,7 +538,8 @@ mod tests {
         fx.eng.begin(&mut fx.m, TID).unwrap();
         let big = vec![1u8; MAX_KEY + 1];
         assert!(matches!(
-            fx.tree.insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, &big, 0),
+            fx.tree
+                .insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, &big, 0),
             Err(DsError::TooLarge { .. })
         ));
         fx.eng.abort(&mut fx.m, TID).unwrap();
@@ -488,7 +552,14 @@ mod tests {
         tx(&mut fx, |fx| {
             for i in 0..10u64 {
                 fx.tree
-                    .insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, &i.to_be_bytes(), i * 10)
+                    .insert(
+                        &mut fx.m,
+                        &mut fx.eng,
+                        TID,
+                        &mut fx.alloc,
+                        &i.to_be_bytes(),
+                        i * 10,
+                    )
                     .unwrap();
             }
         });
@@ -498,7 +569,10 @@ mod tests {
         let mut eng2 = UndoTxEngine::recover(&mut m2, TID, AddrRange::new(pm.base, 16 << 20), 4);
         let tree2 = CritBitTree::open(&mut m2, TID, base).unwrap();
         for i in 0..10u64 {
-            assert_eq!(tree2.get(&mut m2, &mut eng2, TID, &i.to_be_bytes()), Some(i * 10));
+            assert_eq!(
+                tree2.get(&mut m2, &mut eng2, TID, &i.to_be_bytes()),
+                Some(i * 10)
+            );
         }
     }
 
@@ -508,17 +582,30 @@ mod tests {
             let mut fx = setup();
             let base = fx.tree.base;
             tx(&mut fx, |fx| {
-                fx.tree.insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, b"committed", 1).unwrap();
+                fx.tree
+                    .insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, b"committed", 1)
+                    .unwrap();
             });
             fx.eng.begin(&mut fx.m, TID).unwrap();
-            fx.tree.insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, b"torn", 2).unwrap();
+            fx.tree
+                .insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, b"torn", 2)
+                .unwrap();
             let img = fx.m.crash(memsim::CrashSpec::Adversarial { seed });
             let mut m2 = Machine::from_image(MachineConfig::asplos17(), &img);
             let pm = m2.config().map.pm;
-            let mut eng2 = UndoTxEngine::recover(&mut m2, TID, AddrRange::new(pm.base, 16 << 20), 4);
+            let mut eng2 =
+                UndoTxEngine::recover(&mut m2, TID, AddrRange::new(pm.base, 16 << 20), 4);
             let tree2 = CritBitTree::open(&mut m2, TID, base).unwrap();
-            assert_eq!(tree2.get(&mut m2, &mut eng2, TID, b"committed"), Some(1), "seed {seed}");
-            assert_eq!(tree2.get(&mut m2, &mut eng2, TID, b"torn"), None, "seed {seed}");
+            assert_eq!(
+                tree2.get(&mut m2, &mut eng2, TID, b"committed"),
+                Some(1),
+                "seed {seed}"
+            );
+            assert_eq!(
+                tree2.get(&mut m2, &mut eng2, TID, b"torn"),
+                None,
+                "seed {seed}"
+            );
             assert_eq!(tree2.len(&mut m2, TID), 1, "seed {seed}");
         }
     }

@@ -101,7 +101,13 @@ impl PHashMap {
     ) -> Result<(), DsError> {
         let shard = self.head + SHARDS_OFF + (tid.0 as u64 % COUNT_SHARDS) * 64;
         let n = eng.tx_read_u64(m, tid, shard);
-        eng.tx_write_u64(m, tid, shard, n.checked_add_signed(delta).expect("count"), Category::AppMeta)?;
+        eng.tx_write_u64(
+            m,
+            tid,
+            shard,
+            n.checked_add_signed(delta).expect("count"),
+            Category::AppMeta,
+        )?;
         Ok(())
     }
 
@@ -163,7 +169,13 @@ impl PHashMap {
             let old_vlen = eng.tx_read_u32(m, tid, node + 12) as usize;
             if old_vlen == val.len() {
                 // Overwrite in place.
-                eng.tx_write(m, tid, node + NODE_HDR + key.len() as u64, val, Category::UserData)?;
+                eng.tx_write(
+                    m,
+                    tid,
+                    node + NODE_HDR + key.len() as u64,
+                    val,
+                    Category::UserData,
+                )?;
             } else {
                 // Replace the node.
                 let next = eng.tx_read_u64(m, tid, node);
@@ -342,7 +354,9 @@ mod tests {
     fn replace_same_size_in_place() {
         let mut fx = setup();
         tx(&mut fx, |fx| {
-            fx.map.insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, b"k", b"aaa").unwrap();
+            fx.map
+                .insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, b"k", b"aaa")
+                .unwrap();
         });
         let allocs_before = fx.alloc.stats().allocs;
         tx(&mut fx, |fx| {
@@ -352,7 +366,11 @@ mod tests {
                 .unwrap();
             assert!(!fresh);
         });
-        assert_eq!(fx.alloc.stats().allocs, allocs_before, "no realloc for same size");
+        assert_eq!(
+            fx.alloc.stats().allocs,
+            allocs_before,
+            "no realloc for same size"
+        );
         assert_eq!(
             fx.map.get(&mut fx.m, &mut fx.eng, TID, b"k").as_deref(),
             Some(&b"bbb"[..])
@@ -364,11 +382,20 @@ mod tests {
     fn replace_different_size_reallocates() {
         let mut fx = setup();
         tx(&mut fx, |fx| {
-            fx.map.insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, b"k", b"short").unwrap();
+            fx.map
+                .insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, b"k", b"short")
+                .unwrap();
         });
         tx(&mut fx, |fx| {
             fx.map
-                .insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, b"k", b"a-much-longer-value")
+                .insert(
+                    &mut fx.m,
+                    &mut fx.eng,
+                    TID,
+                    &mut fx.alloc,
+                    b"k",
+                    b"a-much-longer-value",
+                )
                 .unwrap();
         });
         assert_eq!(
@@ -383,11 +410,17 @@ mod tests {
     fn remove_unlinks_and_frees() {
         let mut fx = setup();
         tx(&mut fx, |fx| {
-            fx.map.insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, b"x", b"1").unwrap();
-            fx.map.insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, b"y", b"2").unwrap();
+            fx.map
+                .insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, b"x", b"1")
+                .unwrap();
+            fx.map
+                .insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, b"y", b"2")
+                .unwrap();
         });
         let removed = tx(&mut fx, |fx| {
-            fx.map.remove(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, b"x").unwrap()
+            fx.map
+                .remove(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, b"x")
+                .unwrap()
         });
         assert!(removed);
         assert_eq!(fx.map.get(&mut fx.m, &mut fx.eng, TID, b"x"), None);
@@ -397,7 +430,9 @@ mod tests {
         );
         assert_eq!(fx.map.len(&mut fx.m, TID), 1);
         let removed_again = tx(&mut fx, |fx| {
-            fx.map.remove(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, b"x").unwrap()
+            fx.map
+                .remove(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, b"x")
+                .unwrap()
         });
         assert!(!removed_again);
     }
@@ -418,8 +453,15 @@ mod tests {
         eng.commit(&mut m, TID).unwrap();
         for i in 0..20u32 {
             eng.begin(&mut m, TID).unwrap();
-            map.insert(&mut m, &mut eng, TID, &mut alloc, &i.to_le_bytes(), &[i as u8; 5])
-                .unwrap();
+            map.insert(
+                &mut m,
+                &mut eng,
+                TID,
+                &mut alloc,
+                &i.to_le_bytes(),
+                &[i as u8; 5],
+            )
+            .unwrap();
             eng.commit(&mut m, TID).unwrap();
         }
         for i in 0..20u32 {
@@ -430,7 +472,8 @@ mod tests {
         }
         // Remove from middle of chain.
         eng.begin(&mut m, TID).unwrap();
-        map.remove(&mut m, &mut eng, TID, &mut alloc, &7u32.to_le_bytes()).unwrap();
+        map.remove(&mut m, &mut eng, TID, &mut alloc, &7u32.to_le_bytes())
+            .unwrap();
         eng.commit(&mut m, TID).unwrap();
         assert_eq!(map.get(&mut m, &mut eng, TID, &7u32.to_le_bytes()), None);
         assert_eq!(map.len(&mut m, TID), 19);
@@ -441,7 +484,9 @@ mod tests {
         let mut fx = setup();
         fx.eng.begin(&mut fx.m, TID).unwrap();
         let big = vec![0u8; MAX_ITEM + 1];
-        let r = fx.map.insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, b"k", &big);
+        let r = fx
+            .map
+            .insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, b"k", &big);
         assert!(matches!(r, Err(DsError::TooLarge { .. })));
         fx.eng.abort(&mut fx.m, TID).unwrap();
     }
@@ -451,7 +496,16 @@ mod tests {
         let mut fx = setup();
         let head = fx.map.head;
         tx(&mut fx, |fx| {
-            fx.map.insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, b"persist", b"me").unwrap();
+            fx.map
+                .insert(
+                    &mut fx.m,
+                    &mut fx.eng,
+                    TID,
+                    &mut fx.alloc,
+                    b"persist",
+                    b"me",
+                )
+                .unwrap();
         });
         let img = fx.m.crash(CrashSpec::DropVolatile);
         let mut m2 = Machine::from_image(MachineConfig::asplos17(), &img);
@@ -471,7 +525,16 @@ mod tests {
             let mut fx = setup();
             let head = fx.map.head;
             tx(&mut fx, |fx| {
-                fx.map.insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, b"stable", b"val").unwrap();
+                fx.map
+                    .insert(
+                        &mut fx.m,
+                        &mut fx.eng,
+                        TID,
+                        &mut fx.alloc,
+                        b"stable",
+                        b"val",
+                    )
+                    .unwrap();
             });
             // Crash mid-insert of a second key.
             fx.eng.begin(&mut fx.m, TID).unwrap();
@@ -481,8 +544,7 @@ mod tests {
             let img = fx.m.crash(CrashSpec::Adversarial { seed });
             let mut m2 = Machine::from_image(MachineConfig::asplos17(), &img);
             let pm = m2.config().map.pm;
-            let mut eng2 =
-                UndoTxEngine::recover(&mut m2, TID, AddrRange::new(pm.base, 1 << 20), 4);
+            let mut eng2 = UndoTxEngine::recover(&mut m2, TID, AddrRange::new(pm.base, 1 << 20), 4);
             let map2 = PHashMap::open(&mut m2, TID, head).unwrap();
             assert_eq!(
                 map2.get(&mut m2, &mut eng2, TID, b"stable").as_deref(),
@@ -513,7 +575,9 @@ mod tests {
         let mut fx = setup();
         tx(&mut fx, |fx| {
             for i in 0..10u8 {
-                fx.map.insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, &[i], &[i, i]).unwrap();
+                fx.map
+                    .insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, &[i], &[i, i])
+                    .unwrap();
             }
         });
         let mut seen = Vec::new();

@@ -26,8 +26,8 @@
 
 mod btree;
 mod critbit;
-mod hashmap;
 mod hashfn;
+mod hashmap;
 mod lru;
 mod plog;
 mod rbtree;

@@ -8,7 +8,7 @@ use pmtrace::{Category, Tid};
 use pmtx::TxMem;
 
 const MAGIC: u64 = 0x504c_5255_4c49_5354; // "PLRULIST"
-// Node: prev u64, next u64, payload u64
+                                          // Node: prev u64, next u64, payload u64
 const NODE_BYTES: u64 = 24;
 
 /// A persistent doubly-linked list maintained in LRU order, as used by
@@ -246,9 +246,16 @@ mod tests {
         let pm = m.config().map.pm;
         let mut eng = UndoTxEngine::format(&mut m, AddrRange::new(pm.base, 1 << 20), 4);
         let mut w = memsim::PmWriter::new(TID);
-        let alloc = SlabBitmapAlloc::format(&mut m, &mut w, AddrRange::new(pm.base + (1 << 20), 4 << 20));
+        let alloc =
+            SlabBitmapAlloc::format(&mut m, &mut w, AddrRange::new(pm.base + (1 << 20), 4 << 20));
         eng.begin(&mut m, TID).unwrap();
-        let lru = PLruList::create(&mut m, &mut eng, TID, AddrRange::new(pm.base + (6 << 20), 64)).unwrap();
+        let lru = PLruList::create(
+            &mut m,
+            &mut eng,
+            TID,
+            AddrRange::new(pm.base + (6 << 20), 64),
+        )
+        .unwrap();
         eng.commit(&mut m, TID).unwrap();
         Fix { m, eng, alloc, lru }
     }
@@ -265,7 +272,9 @@ mod tests {
         let mut fx = setup();
         tx(&mut fx, |fx| {
             for p in [1u64, 2, 3] {
-                fx.lru.push_front(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, p).unwrap();
+                fx.lru
+                    .push_front(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, p)
+                    .unwrap();
             }
         });
         assert_eq!(fx.lru.payloads(&mut fx.m, TID), vec![3, 2, 1]);
@@ -276,7 +285,11 @@ mod tests {
     fn touch_moves_to_front() {
         let mut fx = setup();
         let nodes = tx(&mut fx, |fx| {
-            [1u64, 2, 3].map(|p| fx.lru.push_front(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, p).unwrap())
+            [1u64, 2, 3].map(|p| {
+                fx.lru
+                    .push_front(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, p)
+                    .unwrap()
+            })
         });
         tx(&mut fx, |fx| {
             fx.lru.touch(&mut fx.m, &mut fx.eng, TID, nodes[0]).unwrap(); // payload 1
@@ -288,7 +301,9 @@ mod tests {
     fn touch_of_head_is_noop() {
         let mut fx = setup();
         let n = tx(&mut fx, |fx| {
-            fx.lru.push_front(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, 9).unwrap()
+            fx.lru
+                .push_front(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, 9)
+                .unwrap()
         });
         tx(&mut fx, |fx| {
             fx.lru.touch(&mut fx.m, &mut fx.eng, TID, n).unwrap();
@@ -301,11 +316,15 @@ mod tests {
         let mut fx = setup();
         tx(&mut fx, |fx| {
             for p in [1u64, 2, 3] {
-                fx.lru.push_front(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, p).unwrap();
+                fx.lru
+                    .push_front(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, p)
+                    .unwrap();
             }
         });
         let evicted = tx(&mut fx, |fx| {
-            fx.lru.pop_back(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc).unwrap()
+            fx.lru
+                .pop_back(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc)
+                .unwrap()
         });
         assert_eq!(evicted, Some(1));
         assert_eq!(fx.lru.payloads(&mut fx.m, TID), vec![3, 2]);
@@ -316,7 +335,9 @@ mod tests {
     fn pop_back_empty_is_none() {
         let mut fx = setup();
         let evicted = tx(&mut fx, |fx| {
-            fx.lru.pop_back(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc).unwrap()
+            fx.lru
+                .pop_back(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc)
+                .unwrap()
         });
         assert_eq!(evicted, None);
     }
@@ -325,10 +346,16 @@ mod tests {
     fn remove_middle_node() {
         let mut fx = setup();
         let nodes = tx(&mut fx, |fx| {
-            [1u64, 2, 3].map(|p| fx.lru.push_front(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, p).unwrap())
+            [1u64, 2, 3].map(|p| {
+                fx.lru
+                    .push_front(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, p)
+                    .unwrap()
+            })
         });
         let payload = tx(&mut fx, |fx| {
-            fx.lru.remove(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, nodes[1]).unwrap()
+            fx.lru
+                .remove(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, nodes[1])
+                .unwrap()
         });
         assert_eq!(payload, 2);
         assert_eq!(fx.lru.payloads(&mut fx.m, TID), vec![3, 1]);
@@ -339,13 +366,22 @@ mod tests {
         let mut fx = setup();
         tx(&mut fx, |fx| {
             for p in 0..5u64 {
-                fx.lru.push_front(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, p).unwrap();
+                fx.lru
+                    .push_front(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, p)
+                    .unwrap();
             }
-            while fx.lru.pop_back(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc).unwrap().is_some() {}
+            while fx
+                .lru
+                .pop_back(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc)
+                .unwrap()
+                .is_some()
+            {}
         });
         assert!(fx.lru.is_empty(&mut fx.m, TID));
         tx(&mut fx, |fx| {
-            fx.lru.push_front(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, 42).unwrap();
+            fx.lru
+                .push_front(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, 42)
+                .unwrap();
         });
         assert_eq!(fx.lru.payloads(&mut fx.m, TID), vec![42]);
     }
@@ -356,7 +392,9 @@ mod tests {
         let base = fx.lru.base;
         tx(&mut fx, |fx| {
             for p in [10u64, 20] {
-                fx.lru.push_front(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, p).unwrap();
+                fx.lru
+                    .push_front(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, p)
+                    .unwrap();
             }
         });
         let img = fx.m.crash(memsim::CrashSpec::DropVolatile);

@@ -90,7 +90,13 @@ impl PLog {
         eng.tx_write_u32(m, tid, at, data.len() as u32, Category::UserData)?;
         eng.tx_write(m, tid, at + 4, data, Category::UserData)?;
         // Publishing the new length is what commits the record.
-        eng.tx_write_u64(m, tid, self.region.base + 8, used + rec_padded, Category::AppMeta)?;
+        eng.tx_write_u64(
+            m,
+            tid,
+            self.region.base + 8,
+            used + rec_padded,
+            Category::AppMeta,
+        )?;
         Ok(())
     }
 
@@ -113,7 +119,12 @@ impl PLog {
     /// # Errors
     ///
     /// Engine errors.
-    pub fn truncate<E: TxMem>(&self, m: &mut Machine, eng: &mut E, tid: Tid) -> Result<(), DsError> {
+    pub fn truncate<E: TxMem>(
+        &self,
+        m: &mut Machine,
+        eng: &mut E,
+        tid: Tid,
+    ) -> Result<(), DsError> {
         eng.tx_write_u64(m, tid, self.region.base + 8, 0, Category::AppMeta)?;
         Ok(())
     }
@@ -144,9 +155,13 @@ mod tests {
         let (mut m, mut eng, plog) = setup();
         eng.begin(&mut m, TID).unwrap();
         plog.append(&mut m, &mut eng, TID, b"first").unwrap();
-        plog.append(&mut m, &mut eng, TID, b"second-record").unwrap();
+        plog.append(&mut m, &mut eng, TID, b"second-record")
+            .unwrap();
         eng.commit(&mut m, TID).unwrap();
-        assert_eq!(plog.records(&mut m, TID), vec![b"first".to_vec(), b"second-record".to_vec()]);
+        assert_eq!(
+            plog.records(&mut m, TID),
+            vec![b"first".to_vec(), b"second-record".to_vec()]
+        );
     }
 
     #[test]

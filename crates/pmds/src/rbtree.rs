@@ -8,7 +8,7 @@ use pmtrace::{Category, Tid};
 use pmtx::TxMem;
 
 const MAGIC: u64 = 0x5052_4254_5245_4521; // "PRBTREE!"
-// Node: key u64, val u64, left u64, right u64, parent u64, color u64
+                                          // Node: key u64, val u64, left u64, right u64, parent u64, color u64
 const NODE_BYTES: u64 = 48;
 const KEY: u64 = 0;
 const VAL: u64 = 8;
@@ -56,14 +56,20 @@ impl PRbTree {
         alloc: &mut A,
         region: AddrRange,
     ) -> Result<PRbTree, DsError> {
-        assert!(region.len >= RBTREE_REGION_BYTES, "rb-tree region too small");
+        assert!(
+            region.len >= RBTREE_REGION_BYTES,
+            "rb-tree region too small"
+        );
         let mut w = memsim::PmWriter::new(tid);
         let nil = alloc.alloc(m, &mut w, NODE_BYTES)?;
         eng.tx_write_u64(m, tid, nil + COLOR, BLACK, Category::UserData)?;
         eng.tx_write_u64(m, tid, region.base, MAGIC, Category::AppMeta)?;
         eng.tx_write_u64(m, tid, region.base + 8, nil, Category::AppMeta)?; // root
         eng.tx_write_u64(m, tid, region.base + 24, nil, Category::AppMeta)?; // nil
-        Ok(PRbTree { base: region.base, nil })
+        Ok(PRbTree {
+            base: region.base,
+            nil,
+        })
     }
 
     /// Re-attach after a crash.
@@ -81,7 +87,9 @@ impl PRbTree {
 
     /// Number of keys (sums the per-thread count shards).
     pub fn len(&self, m: &mut Machine, tid: Tid) -> u64 {
-        (0..COUNT_SHARDS).map(|s| m.load_u64(tid, self.base + 64 + s * 64)).sum()
+        (0..COUNT_SHARDS)
+            .map(|s| m.load_u64(tid, self.base + 64 + s * 64))
+            .sum()
     }
 
     fn bump_count<E: TxMem>(
@@ -93,7 +101,13 @@ impl PRbTree {
     ) -> Result<(), DsError> {
         let shard = self.base + 64 + (tid.0 as u64 % COUNT_SHARDS) * 64;
         let n = e.tx_read_u64(m, tid, shard);
-        e.tx_write_u64(m, tid, shard, n.checked_add_signed(delta).expect("count"), Category::AppMeta)?;
+        e.tx_write_u64(
+            m,
+            tid,
+            shard,
+            n.checked_add_signed(delta).expect("count"),
+            Category::AppMeta,
+        )?;
         Ok(())
     }
 
@@ -123,7 +137,13 @@ impl PRbTree {
         e.tx_read_u64(m, tid, self.base + 8)
     }
 
-    fn set_root<E: TxMem>(&self, m: &mut Machine, e: &mut E, tid: Tid, n: u64) -> Result<(), DsError> {
+    fn set_root<E: TxMem>(
+        &self,
+        m: &mut Machine,
+        e: &mut E,
+        tid: Tid,
+        n: u64,
+    ) -> Result<(), DsError> {
         e.tx_write_u64(m, tid, self.base + 8, n, Category::UserData)?;
         Ok(())
     }
@@ -146,7 +166,13 @@ impl PRbTree {
         (n != self.nil).then(|| self.g(m, e, tid, n, VAL))
     }
 
-    fn rotate_left<E: TxMem>(&self, m: &mut Machine, e: &mut E, tid: Tid, x: Addr) -> Result<(), DsError> {
+    fn rotate_left<E: TxMem>(
+        &self,
+        m: &mut Machine,
+        e: &mut E,
+        tid: Tid,
+        x: Addr,
+    ) -> Result<(), DsError> {
         let y = self.g(m, e, tid, x, RIGHT);
         let yl = self.g(m, e, tid, y, LEFT);
         self.s(m, e, tid, x, RIGHT, yl)?;
@@ -167,7 +193,13 @@ impl PRbTree {
         Ok(())
     }
 
-    fn rotate_right<E: TxMem>(&self, m: &mut Machine, e: &mut E, tid: Tid, x: Addr) -> Result<(), DsError> {
+    fn rotate_right<E: TxMem>(
+        &self,
+        m: &mut Machine,
+        e: &mut E,
+        tid: Tid,
+        x: Addr,
+    ) -> Result<(), DsError> {
         let y = self.g(m, e, tid, x, LEFT);
         let yr = self.g(m, e, tid, y, RIGHT);
         self.s(m, e, tid, x, LEFT, yr)?;
@@ -236,7 +268,13 @@ impl PRbTree {
         Ok(true)
     }
 
-    fn insert_fixup<E: TxMem>(&self, m: &mut Machine, e: &mut E, tid: Tid, mut z: Addr) -> Result<(), DsError> {
+    fn insert_fixup<E: TxMem>(
+        &self,
+        m: &mut Machine,
+        e: &mut E,
+        tid: Tid,
+        mut z: Addr,
+    ) -> Result<(), DsError> {
         loop {
             let zp0 = self.g(m, e, tid, z, PARENT);
             if self.g(m, e, tid, zp0, COLOR) != RED {
@@ -287,7 +325,14 @@ impl PRbTree {
         Ok(())
     }
 
-    fn transplant<E: TxMem>(&self, m: &mut Machine, e: &mut E, tid: Tid, u: Addr, v: Addr) -> Result<(), DsError> {
+    fn transplant<E: TxMem>(
+        &self,
+        m: &mut Machine,
+        e: &mut E,
+        tid: Tid,
+        u: Addr,
+        v: Addr,
+    ) -> Result<(), DsError> {
         let up = self.g(m, e, tid, u, PARENT);
         if up == self.nil {
             self.set_root(m, e, tid, v)?;
@@ -367,7 +412,13 @@ impl PRbTree {
         Ok(true)
     }
 
-    fn delete_fixup<E: TxMem>(&self, m: &mut Machine, e: &mut E, tid: Tid, mut x: Addr) -> Result<(), DsError> {
+    fn delete_fixup<E: TxMem>(
+        &self,
+        m: &mut Machine,
+        e: &mut E,
+        tid: Tid,
+        mut x: Addr,
+    ) -> Result<(), DsError> {
         while x != self.root(m, e, tid) && self.g(m, e, tid, x, COLOR) == BLACK {
             let xp = self.g(m, e, tid, x, PARENT);
             if x == self.g(m, e, tid, xp, LEFT) {
@@ -390,7 +441,7 @@ impl PRbTree {
                         self.s(m, e, tid, w, COLOR, RED)?;
                         self.rotate_right(m, e, tid, w)?;
                         let xp2 = self.g(m, e, tid, x, PARENT);
-                    w = self.g(m, e, tid, xp2, RIGHT);
+                        w = self.g(m, e, tid, xp2, RIGHT);
                     }
                     let xp = self.g(m, e, tid, x, PARENT);
                     let xpc = self.g(m, e, tid, xp, COLOR);
@@ -421,7 +472,7 @@ impl PRbTree {
                         self.s(m, e, tid, w, COLOR, RED)?;
                         self.rotate_left(m, e, tid, w)?;
                         let xp2 = self.g(m, e, tid, x, PARENT);
-                    w = self.g(m, e, tid, xp2, LEFT);
+                        w = self.g(m, e, tid, xp2, LEFT);
                     }
                     let xp = self.g(m, e, tid, x, PARENT);
                     let xpc = self.g(m, e, tid, xp, COLOR);
@@ -537,8 +588,11 @@ mod tests {
         let pm = m.config().map.pm;
         let mut eng = RedoTxEngine::format(&mut m, AddrRange::new(pm.base, 4 << 20), 4);
         let mut w = memsim::PmWriter::new(TID);
-        let alloc =
-            SlabBitmapAlloc::format(&mut m, &mut w, AddrRange::new(pm.base + (4 << 20), 16 << 20));
+        let alloc = SlabBitmapAlloc::format(
+            &mut m,
+            &mut w,
+            AddrRange::new(pm.base + (4 << 20), 16 << 20),
+        );
         let mut alloc = alloc;
         eng.begin(&mut m, TID).unwrap();
         let tree = PRbTree::create(
@@ -550,7 +604,12 @@ mod tests {
         )
         .unwrap();
         eng.commit(&mut m, TID).unwrap();
-        Fix { m, eng, alloc, tree }
+        Fix {
+            m,
+            eng,
+            alloc,
+            tree,
+        }
     }
 
     fn tx<T>(fx: &mut Fix, f: impl FnOnce(&mut Fix) -> T) -> T {
@@ -564,8 +623,14 @@ mod tests {
     fn insert_get_update() {
         let mut fx = setup();
         tx(&mut fx, |fx| {
-            assert!(fx.tree.insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, 10, 100).unwrap());
-            assert!(!fx.tree.insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, 10, 200).unwrap());
+            assert!(fx
+                .tree
+                .insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, 10, 100)
+                .unwrap());
+            assert!(!fx
+                .tree
+                .insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, 10, 200)
+                .unwrap());
         });
         assert_eq!(fx.tree.get(&mut fx.m, &mut fx.eng, TID, 10), Some(200));
         assert_eq!(fx.tree.get(&mut fx.m, &mut fx.eng, TID, 11), None);
@@ -580,7 +645,9 @@ mod tests {
         // keep invariants.
         for i in 0..100u64 {
             tx(&mut fx, |fx| {
-                fx.tree.insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, i, i * 2).unwrap();
+                fx.tree
+                    .insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, i, i * 2)
+                    .unwrap();
             });
         }
         fx.tree.check_invariants(&mut fx.m, TID).unwrap();
@@ -600,18 +667,24 @@ mod tests {
         let mut model = std::collections::BTreeMap::new();
         let mut state = 777u64;
         for _ in 0..300 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let key = state % 64;
             let op = (state >> 32) % 3;
             tx(&mut fx, |fx| match op {
                 0 | 1 => {
-                    let fresh =
-                        fx.tree.insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, key, state).unwrap();
+                    let fresh = fx
+                        .tree
+                        .insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, key, state)
+                        .unwrap();
                     assert_eq!(fresh, model.insert(key, state).is_none());
                 }
                 _ => {
-                    let removed =
-                        fx.tree.remove(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, key).unwrap();
+                    let removed = fx
+                        .tree
+                        .remove(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, key)
+                        .unwrap();
                     assert_eq!(removed, model.remove(&key).is_some());
                 }
             });
@@ -629,12 +702,16 @@ mod tests {
         let keys: Vec<u64> = vec![50, 25, 75, 10, 30, 60, 90, 5, 15, 27, 35];
         tx(&mut fx, |fx| {
             for &k in &keys {
-                fx.tree.insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, k, k).unwrap();
+                fx.tree
+                    .insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, k, k)
+                    .unwrap();
             }
         });
         for &k in &keys {
             let removed = tx(&mut fx, |fx| {
-                fx.tree.remove(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, k).unwrap()
+                fx.tree
+                    .remove(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, k)
+                    .unwrap()
             });
             assert!(removed, "key {k}");
             fx.tree.check_invariants(&mut fx.m, TID).unwrap();
@@ -646,7 +723,9 @@ mod tests {
     fn remove_missing_is_false() {
         let mut fx = setup();
         let removed = tx(&mut fx, |fx| {
-            fx.tree.remove(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, 42).unwrap()
+            fx.tree
+                .remove(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, 42)
+                .unwrap()
         });
         assert!(!removed);
     }
@@ -657,7 +736,9 @@ mod tests {
         let base = fx.tree.base;
         for i in 0..40u64 {
             tx(&mut fx, |fx| {
-                fx.tree.insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, i * 7 % 41, i).unwrap();
+                fx.tree
+                    .insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, i * 7 % 41, i)
+                    .unwrap();
             });
         }
         let img = fx.m.crash(memsim::CrashSpec::DropVolatile);
@@ -676,12 +757,16 @@ mod tests {
             let base = fx.tree.base;
             for i in 0..20u64 {
                 tx(&mut fx, |fx| {
-                    fx.tree.insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, i, i).unwrap();
+                    fx.tree
+                        .insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, i, i)
+                        .unwrap();
                 });
             }
             // Crash mid-insert (uncommitted redo tx: data untouched).
             fx.eng.begin(&mut fx.m, TID).unwrap();
-            fx.tree.insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, 1000, 1, ).unwrap();
+            fx.tree
+                .insert(&mut fx.m, &mut fx.eng, TID, &mut fx.alloc, 1000, 1)
+                .unwrap();
             let img = fx.m.crash(memsim::CrashSpec::Adversarial { seed });
             let mut m2 = Machine::from_image(MachineConfig::asplos17(), &img);
             let pm = m2.config().map.pm;
@@ -689,12 +774,13 @@ mod tests {
             let tree2 = PRbTree::open(&mut m2, TID, base).unwrap();
             tree2.check_invariants(&mut m2, TID).unwrap();
             assert_eq!(tree2.len(&mut m2, TID), 20, "seed {seed}");
-            let mut eng2 = RedoTxEngine::format(
-                &mut m2,
-                AddrRange::new(pm.base + (40 << 20), 4 << 20),
-                4,
+            let mut eng2 =
+                RedoTxEngine::format(&mut m2, AddrRange::new(pm.base + (40 << 20), 4 << 20), 4);
+            assert_eq!(
+                tree2.get(&mut m2, &mut eng2, TID, 1000),
+                None,
+                "seed {seed}"
             );
-            assert_eq!(tree2.get(&mut m2, &mut eng2, TID, 1000), None, "seed {seed}");
         }
     }
 }

@@ -1,7 +1,6 @@
 //! The simulated physical address map.
 
 use crate::Addr;
-use serde::{Deserialize, Serialize};
 
 /// Which kind of memory an address belongs to.
 ///
@@ -9,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// the ~96% of accesses that are volatile, PM for the rest. WHISPER
 /// "assumes heterogeneous memory" (Section 3) and HOPS earmarks "a
 /// specific range of physical memory ... for PM" (Section 6).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemoryKind {
     /// Volatile DRAM: contents are lost on a crash.
     Dram,
@@ -27,7 +26,7 @@ impl std::fmt::Display for MemoryKind {
 }
 
 /// A half-open byte address range `[base, base+len)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct AddrRange {
     /// First address in the range.
     pub base: Addr,
@@ -65,7 +64,7 @@ impl AddrRange {
 /// assert_eq!(map.kind_of(map.dram.base), Some(MemoryKind::Dram));
 /// assert_eq!(map.kind_of(map.pm.base), Some(MemoryKind::Pm));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AddressMap {
     /// The volatile region.
     pub dram: AddrRange,

@@ -1,13 +1,13 @@
 //! Property tests for the media layer.
 
+use miniprop::prelude::*;
 use pmem::{lines_spanning, AddrRange, Line, PmDevice, PmImage, LINE_SIZE};
-use proptest::prelude::*;
 
 const RANGE_LEN: u64 = 1 << 16;
 
 fn spans() -> impl Strategy<Value = Vec<(u64, Vec<u8>)>> {
-    proptest::collection::vec(
-        (0u64..RANGE_LEN - 512, proptest::collection::vec(any::<u8>(), 1..300)),
+    collection::vec(
+        (0u64..RANGE_LEN - 512, collection::vec(any::<u8>(), 1..300)),
         1..24,
     )
 }

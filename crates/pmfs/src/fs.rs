@@ -149,7 +149,12 @@ impl Pmfs {
         self.meta_write(m, w, byte_addr, &[byte & !mask]);
     }
 
-    fn alloc_inode(&mut self, m: &mut Machine, w: &mut PmWriter, mode: u32) -> Result<u32, FsError> {
+    fn alloc_inode(
+        &mut self,
+        m: &mut Machine,
+        w: &mut PmWriter,
+        mode: u32,
+    ) -> Result<u32, FsError> {
         let tid = w.tid();
         let total = self.layout.inodes;
         for i in 0..total {
@@ -207,7 +212,12 @@ impl Pmfs {
                 ind = self.alloc_block(m, w)?;
                 // A fresh indirect block must be zeroed; PMFS zeroes
                 // pages with non-temporal stores.
-                w.write_nt(m, self.layout.block_addr(ind), &[0u8; BLOCK_SIZE as usize], Category::FsMeta);
+                w.write_nt(
+                    m,
+                    self.layout.block_addr(ind),
+                    &[0u8; BLOCK_SIZE as usize],
+                    Category::FsMeta,
+                );
                 w.ordering_fence(m);
                 self.meta_write_u64(m, w, inode + I_INDIRECT, ind);
             }
@@ -326,7 +336,12 @@ impl Pmfs {
         }
         let block = self.ensure_block(m, w, dir, nblocks)?;
         // Zero the new directory block so stale entries cannot appear.
-        w.write_nt(m, self.layout.block_addr(block), &[0u8; BLOCK_SIZE as usize], Category::FsMeta);
+        w.write_nt(
+            m,
+            self.layout.block_addr(block),
+            &[0u8; BLOCK_SIZE as usize],
+            Category::FsMeta,
+        );
         w.ordering_fence(m);
         self.meta_write_u64(m, w, inode + I_SIZE, (nblocks + 1) * BLOCK_SIZE);
         let at = self.layout.block_addr(block);
@@ -457,7 +472,13 @@ impl Pmfs {
     /// # Errors
     ///
     /// As for [`Pmfs::write`].
-    pub fn append(&mut self, m: &mut Machine, tid: Tid, path: &str, data: &[u8]) -> Result<(), FsError> {
+    pub fn append(
+        &mut self,
+        m: &mut Machine,
+        tid: Tid,
+        path: &str,
+        data: &[u8],
+    ) -> Result<(), FsError> {
         let (ino, _) = self.resolve(m, tid, path)?;
         let size = m.load_u64(tid, self.layout.inode_addr(ino) + I_SIZE);
         self.write(m, tid, path, size, data)
@@ -567,7 +588,12 @@ impl Pmfs {
         // Clear the inode (mode, size, pointers).
         self.meta_write_u32(m, &mut w, inode + I_MODE, MODE_FREE);
         self.meta_write_u64(m, &mut w, inode + I_SIZE, 0);
-        self.meta_write(m, &mut w, inode + I_DIRECT, &[0u8; (DIRECT_PTRS as usize + 1) * 8]);
+        self.meta_write(
+            m,
+            &mut w,
+            inode + I_DIRECT,
+            &[0u8; (DIRECT_PTRS as usize + 1) * 8],
+        );
         self.journal.end_op(m, &mut w);
         Ok(())
     }
@@ -580,7 +606,13 @@ impl Pmfs {
     ///
     /// [`FsError::NotFound`], [`FsError::Exists`] if `to` exists,
     /// path errors.
-    pub fn rename(&mut self, m: &mut Machine, tid: Tid, from: &str, to: &str) -> Result<(), FsError> {
+    pub fn rename(
+        &mut self,
+        m: &mut Machine,
+        tid: Tid,
+        from: &str,
+        to: &str,
+    ) -> Result<(), FsError> {
         let from_parts = self.split_path(from)?;
         let to_parts = self.split_path(to)?;
         let Some((from_name, from_parent)) = from_parts.split_last() else {
@@ -589,8 +621,12 @@ impl Pmfs {
         let Some((to_name, to_parent)) = to_parts.split_last() else {
             return Err(FsError::BadPath { path: to.into() });
         };
-        let from_dir = self.resolve(m, tid, &format!("/{}", from_parent.join("/")))?.0;
-        let to_dir = self.resolve(m, tid, &format!("/{}", to_parent.join("/")))?.0;
+        let from_dir = self
+            .resolve(m, tid, &format!("/{}", from_parent.join("/")))?
+            .0;
+        let to_dir = self
+            .resolve(m, tid, &format!("/{}", to_parent.join("/")))?
+            .0;
         let Some((ino, old_dent)) = self.lookup(m, tid, from_dir, from_name) else {
             return Err(FsError::NotFound { path: from.into() });
         };
@@ -641,7 +677,12 @@ impl Pmfs {
         }
         self.meta_write_u32(m, &mut w, inode + I_MODE, MODE_FREE);
         self.meta_write_u64(m, &mut w, inode + I_SIZE, 0);
-        self.meta_write(m, &mut w, inode + I_DIRECT, &[0u8; (DIRECT_PTRS as usize + 1) * 8]);
+        self.meta_write(
+            m,
+            &mut w,
+            inode + I_DIRECT,
+            &[0u8; (DIRECT_PTRS as usize + 1) * 8],
+        );
         self.journal.end_op(m, &mut w);
         Ok(())
     }
@@ -651,7 +692,12 @@ impl Pmfs {
     /// # Errors
     ///
     /// [`FsError::NotFound`], [`FsError::NotDir`].
-    pub fn readdir(&mut self, m: &mut Machine, tid: Tid, path: &str) -> Result<Vec<String>, FsError> {
+    pub fn readdir(
+        &mut self,
+        m: &mut Machine,
+        tid: Tid,
+        path: &str,
+    ) -> Result<Vec<String>, FsError> {
         let (ino, _) = self.resolve(m, tid, path)?;
         if self.inode_mode(m, tid, ino) != MODE_DIR {
             return Err(FsError::NotDir { path: path.into() });
@@ -685,7 +731,13 @@ impl Pmfs {
     ///
     /// [`FsError::NotFound`], [`FsError::IsDir`],
     /// [`FsError::FileTooBig`] if `new_size` is larger than the file.
-    pub fn truncate(&mut self, m: &mut Machine, tid: Tid, path: &str, new_size: u64) -> Result<(), FsError> {
+    pub fn truncate(
+        &mut self,
+        m: &mut Machine,
+        tid: Tid,
+        path: &str,
+        new_size: u64,
+    ) -> Result<(), FsError> {
         let (ino, _) = self.resolve(m, tid, path)?;
         if self.inode_mode(m, tid, ino) == MODE_DIR {
             return Err(FsError::IsDir { path: path.into() });
@@ -764,7 +816,10 @@ mod tests {
     fn errors_surface_correctly() {
         let (mut m, mut fs, _) = setup();
         fs.create(&mut m, TID, "/f").unwrap();
-        assert!(matches!(fs.create(&mut m, TID, "/f"), Err(FsError::Exists { .. })));
+        assert!(matches!(
+            fs.create(&mut m, TID, "/f"),
+            Err(FsError::Exists { .. })
+        ));
         assert!(matches!(
             fs.read_file(&mut m, TID, "/missing"),
             Err(FsError::NotFound { .. })
@@ -808,7 +863,8 @@ mod tests {
         fs.create(&mut m, TID, "/huge").unwrap();
         // Past the direct range: 12 * 4096 = 49152.
         let off = 13 * 4096;
-        fs.write(&mut m, TID, "/huge", off, b"indirect-data").unwrap();
+        fs.write(&mut m, TID, "/huge", off, b"indirect-data")
+            .unwrap();
         assert_eq!(
             fs.read(&mut m, TID, "/huge", off, 13).unwrap(),
             b"indirect-data"
@@ -851,7 +907,10 @@ mod tests {
         fs.create(&mut m, TID, "/spool/msg").unwrap();
         fs.append(&mut m, TID, "/spool/msg", b"mail body").unwrap();
         fs.rename(&mut m, TID, "/spool/msg", "/inbox/msg").unwrap();
-        assert_eq!(fs.read_file(&mut m, TID, "/inbox/msg").unwrap(), b"mail body");
+        assert_eq!(
+            fs.read_file(&mut m, TID, "/inbox/msg").unwrap(),
+            b"mail body"
+        );
         assert!(matches!(
             fs.read_file(&mut m, TID, "/spool/msg"),
             Err(FsError::NotFound { .. })
@@ -892,14 +951,26 @@ mod tests {
         let (mut m, mut fs, _) = setup();
         fs.mkdir(&mut m, TID, "/d").unwrap();
         fs.create(&mut m, TID, "/d/f").unwrap();
-        assert!(matches!(fs.rmdir(&mut m, TID, "/d"), Err(FsError::NotEmpty { .. })));
+        assert!(matches!(
+            fs.rmdir(&mut m, TID, "/d"),
+            Err(FsError::NotEmpty { .. })
+        ));
         fs.unlink(&mut m, TID, "/d/f").unwrap();
         fs.rmdir(&mut m, TID, "/d").unwrap();
-        assert!(matches!(fs.stat(&mut m, TID, "/d"), Err(FsError::NotFound { .. })));
+        assert!(matches!(
+            fs.stat(&mut m, TID, "/d"),
+            Err(FsError::NotFound { .. })
+        ));
         // Name reusable as a file afterwards.
         fs.create(&mut m, TID, "/d").unwrap();
-        assert!(matches!(fs.rmdir(&mut m, TID, "/d"), Err(FsError::NotDir { .. })));
-        assert!(matches!(fs.rmdir(&mut m, TID, "/"), Err(FsError::BadPath { .. })));
+        assert!(matches!(
+            fs.rmdir(&mut m, TID, "/d"),
+            Err(FsError::NotDir { .. })
+        ));
+        assert!(matches!(
+            fs.rmdir(&mut m, TID, "/"),
+            Err(FsError::BadPath { .. })
+        ));
     }
 
     #[test]
@@ -950,7 +1021,10 @@ mod tests {
                 "seed {seed}"
             );
             assert!(
-                matches!(fs2.stat(&mut m2, TID, "/torn"), Err(FsError::NotFound { .. })),
+                matches!(
+                    fs2.stat(&mut m2, TID, "/torn"),
+                    Err(FsError::NotFound { .. })
+                ),
                 "seed {seed}: torn create must roll back"
             );
             // The filesystem still works after recovery.
@@ -977,7 +1051,8 @@ mod tests {
         let (mut m, mut fs, _) = setup();
         fs.create(&mut m, TID, "/data").unwrap();
         for i in 0..8u64 {
-            fs.write(&mut m, TID, "/data", i * 4096, &[i as u8; 4096]).unwrap();
+            fs.write(&mut m, TID, "/data", i * 4096, &[i as u8; 4096])
+                .unwrap();
         }
         let epochs = pmtrace::analysis::split_epochs(m.trace().events());
         let nt = pmtrace::analysis::nt_fraction(&epochs).unwrap();
@@ -994,8 +1069,13 @@ mod tests {
             fs.append(&mut m, TID, "/amp", &[i as u8; 4096]).unwrap();
         }
         let epochs = pmtrace::analysis::split_epochs(m.trace().events());
-        let amp = pmtrace::analysis::amplification(&epochs).amplification().unwrap();
-        assert!(amp > 0.02 && amp < 0.5, "amplification {amp} out of PMFS range");
+        let amp = pmtrace::analysis::amplification(&epochs)
+            .amplification()
+            .unwrap();
+        assert!(
+            amp > 0.02 && amp < 0.5,
+            "amplification {amp} out of PMFS range"
+        );
     }
 
     #[test]

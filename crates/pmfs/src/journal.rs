@@ -90,7 +90,10 @@ impl Journal {
     /// Panics if the range exceeds a slot or the operation needs more
     /// slots than the ring holds.
     pub(crate) fn log_old(&mut self, m: &mut Machine, w: &mut PmWriter, addr: Addr, len: usize) {
-        assert!(len <= MAX_OLD, "metadata range of {len} bytes exceeds a journal slot");
+        assert!(
+            len <= MAX_OLD,
+            "metadata range of {len} bytes exceeds a journal slot"
+        );
         assert!(
             (self.entries.len() as u64) < self.n_slots,
             "operation needs more than {} journal slots",

@@ -98,7 +98,10 @@ impl Layout {
     }
 
     pub(crate) fn block_addr(&self, block: u64) -> Addr {
-        assert!(block >= 1 && block <= self.data_blocks, "block {block} out of range");
+        assert!(
+            block >= 1 && block <= self.data_blocks,
+            "block {block} out of range"
+        );
         self.data + (block - 1) * BLOCK_SIZE
     }
 

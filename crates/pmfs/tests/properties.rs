@@ -2,10 +2,10 @@
 //! crashes.
 
 use memsim::{CrashSpec, Machine, MachineConfig};
+use miniprop::prelude::*;
 use pmem::AddrRange;
 use pmfs::{FsError, Pmfs, PmfsConfig};
 use pmtrace::Tid;
-use proptest::prelude::*;
 use std::collections::BTreeMap;
 
 const TID: Tid = Tid(0);
@@ -21,11 +21,15 @@ enum FsOp {
 }
 
 fn ops() -> impl Strategy<Value = Vec<FsOp>> {
-    proptest::collection::vec(
+    collection::vec(
         prop_oneof![
             (0u8..8).prop_map(|f| FsOp::Create { f }),
             (0u8..8, 1u16..5000).prop_map(|(f, len)| FsOp::Append { f, len }),
-            (0u8..8, 0u16..4000, 1u16..2000).prop_map(|(f, off, len)| FsOp::Overwrite { f, off, len }),
+            (0u8..8, 0u16..4000, 1u16..2000).prop_map(|(f, off, len)| FsOp::Overwrite {
+                f,
+                off,
+                len
+            }),
             (0u8..8, 0u16..3000).prop_map(|(f, keep)| FsOp::Truncate { f, keep }),
             (0u8..8).prop_map(|f| FsOp::Unlink { f }),
             (0u8..8, 0u8..8).prop_map(|(f, to)| FsOp::Rename { f, to }),

@@ -17,9 +17,19 @@ pub struct AmplificationReport {
 }
 
 impl AmplificationReport {
+    /// Account one epoch (the streaming form of [`amplification`]).
+    pub fn push(&mut self, e: &Epoch) {
+        for (slot, add) in self.bytes_by_cat.iter_mut().zip(e.bytes_by_cat) {
+            *slot += add;
+        }
+    }
+
     /// Bytes recorded for one category.
     pub fn bytes(&self, cat: Category) -> u64 {
-        let idx = Category::ALL.iter().position(|c| *c == cat).expect("known category");
+        let idx = Category::ALL
+            .iter()
+            .position(|c| *c == cat)
+            .expect("known category");
         self.bytes_by_cat[idx]
     }
 
@@ -73,9 +83,7 @@ impl std::fmt::Display for AmplificationReport {
 pub fn amplification<'a>(epochs: impl IntoIterator<Item = &'a Epoch>) -> AmplificationReport {
     let mut r = AmplificationReport::default();
     for e in epochs {
-        for (slot, add) in r.bytes_by_cat.iter_mut().zip(e.bytes_by_cat) {
-            *slot += add;
-        }
+        r.push(e);
     }
     r
 }

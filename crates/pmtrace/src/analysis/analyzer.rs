@@ -1,0 +1,211 @@
+//! Single-pass streaming trace analysis.
+//!
+//! The suite driver needs every Section-5 statistic for every trace.
+//! Computing them with the per-metric functions walks the epoch vector
+//! seven times (transaction sizes, size histogram, dependencies,
+//! amplification, NT fraction, small-singleton fraction, epoch count);
+//! [`Analyzer`] folds all of them in **one** traversal, and
+//! [`Analyzer::analyze_events`] goes one step further by consuming
+//! epochs as [`for_each_epoch`](super::for_each_epoch) closes them, so
+//! the epoch vector is never materialized at all.
+//!
+//! The per-metric functions remain as thin wrappers over the same
+//! accumulators, so results are identical by construction.
+
+use super::{
+    AmplificationReport, DepStats, DepTracker, Epoch, EpochSizeHistogram, TxStats, TxStatsBuilder,
+};
+use crate::event::Event;
+
+/// Everything the single pass produces — one field per legacy
+/// per-metric function, plus the epoch count.
+#[derive(Debug, Clone)]
+pub struct TraceReport {
+    /// Total epochs in the trace.
+    pub epoch_count: usize,
+    /// Figure 3: epochs per durable transaction.
+    pub tx_stats: TxStats,
+    /// Figure 4: epoch-size histogram.
+    pub size_hist: EpochSizeHistogram,
+    /// Figure 5: self/cross dependency counts.
+    pub deps: DepStats,
+    /// Section 5.2: write amplification by category.
+    pub amplification: AmplificationReport,
+    /// Consequence 10: NT-store fraction of PM bytes (`None` if no
+    /// bytes were written).
+    pub nt_fraction: Option<f64>,
+    /// Section 5.1: fraction of singletons under 10 bytes (`None` if
+    /// there are no singletons).
+    pub small_singleton_fraction: Option<f64>,
+}
+
+/// Streaming fold of all Section-5 statistics.
+///
+/// Feed epochs in global execution order (the order
+/// [`split_epochs`](super::split_epochs) emits) — the dependency
+/// tracker is order-sensitive. Then call [`finish`](Analyzer::finish).
+#[derive(Debug, Default)]
+pub struct Analyzer {
+    epoch_count: usize,
+    tx: TxStatsBuilder,
+    size_hist: EpochSizeHistogram,
+    deps: DepTracker,
+    amplification: AmplificationReport,
+    total_bytes: u64,
+    nt_bytes: u64,
+    singletons: u64,
+    small_singletons: u64,
+}
+
+impl Analyzer {
+    /// A fresh accumulator.
+    pub fn new() -> Analyzer {
+        Analyzer::default()
+    }
+
+    /// Fold one epoch into every statistic.
+    pub fn push(&mut self, e: &Epoch) {
+        self.epoch_count += 1;
+        self.tx.push(e);
+        self.size_hist.push(e);
+        self.deps.push(e);
+        self.amplification.push(e);
+        self.total_bytes += e.bytes;
+        self.nt_bytes += e.nt_bytes;
+        if e.is_singleton() {
+            self.singletons += 1;
+            if e.bytes < 10 {
+                self.small_singletons += 1;
+            }
+        }
+    }
+
+    /// Finalize the report.
+    pub fn finish(self) -> TraceReport {
+        TraceReport {
+            epoch_count: self.epoch_count,
+            tx_stats: self.tx.finish(),
+            size_hist: self.size_hist,
+            deps: self.deps.stats(),
+            amplification: self.amplification,
+            nt_fraction: if self.total_bytes == 0 {
+                None
+            } else {
+                Some(self.nt_bytes as f64 / self.total_bytes as f64)
+            },
+            small_singleton_fraction: if self.singletons == 0 {
+                None
+            } else {
+                Some(self.small_singletons as f64 / self.singletons as f64)
+            },
+        }
+    }
+
+    /// Analyze already-split epochs in one pass.
+    pub fn analyze_epochs<'a>(epochs: impl IntoIterator<Item = &'a Epoch>) -> TraceReport {
+        let mut a = Analyzer::new();
+        for e in epochs {
+            a.push(e);
+        }
+        a.finish()
+    }
+
+    /// Analyze a raw event stream in one pass, splitting epochs and
+    /// folding statistics in the same traversal — each epoch is
+    /// dropped as soon as it has been accounted, so peak memory is one
+    /// open epoch per thread instead of the whole epoch vector.
+    pub fn analyze_events(events: &[Event]) -> TraceReport {
+        let mut a = Analyzer::new();
+        super::for_each_epoch(events, |e| a.push(&e));
+        a.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{
+        self, amplification, dependencies, epoch_size_histogram, nt_fraction,
+        small_singleton_fraction, split_epochs, tx_stats,
+    };
+    use crate::{Category, Tid, TraceBuffer};
+
+    /// A trace exercising every statistic: transactions, NT stores,
+    /// multiple threads, singletons, multi-line epochs, dependencies.
+    fn busy_trace() -> Vec<crate::Event> {
+        let mut t = TraceBuffer::new();
+        for i in 0..40u64 {
+            let tid = Tid((i % 3) as u32);
+            if i % 5 == 0 {
+                t.tx_begin(tid, i, i * 100);
+            }
+            let addr = (i % 7) * 64;
+            t.pm_store(
+                tid,
+                addr,
+                4 + (i % 12) as u32,
+                i % 4 == 0,
+                Category::UserData,
+                i * 100 + 10,
+            );
+            if i % 3 == 0 {
+                t.pm_store(tid, addr + 640, 200, false, Category::UndoLog, i * 100 + 20);
+            }
+            if i % 2 == 0 {
+                t.fence(tid, i * 100 + 30);
+            } else {
+                t.dfence(tid, i * 100 + 30);
+            }
+            if i % 5 == 4 {
+                t.tx_end(tid, i - 4, i * 100 + 40);
+            }
+        }
+        t.into_events()
+    }
+
+    #[test]
+    fn single_pass_matches_legacy_functions() {
+        let events = busy_trace();
+        let epochs = split_epochs(&events);
+        let report = Analyzer::analyze_events(&events);
+
+        assert_eq!(report.epoch_count, epochs.len());
+        assert_eq!(
+            report.tx_stats.epochs_per_tx,
+            tx_stats(&epochs).epochs_per_tx
+        );
+        assert_eq!(report.size_hist, epoch_size_histogram(&epochs));
+        assert_eq!(report.deps, dependencies(&epochs));
+        assert_eq!(report.amplification, amplification(&epochs));
+        assert_eq!(report.nt_fraction, nt_fraction(&epochs));
+        assert_eq!(
+            report.small_singleton_fraction,
+            small_singleton_fraction(&epochs)
+        );
+    }
+
+    #[test]
+    fn analyze_epochs_equals_analyze_events() {
+        let events = busy_trace();
+        let epochs = split_epochs(&events);
+        let from_epochs = Analyzer::analyze_epochs(&epochs);
+        let from_events = Analyzer::analyze_events(&events);
+        assert_eq!(from_epochs.epoch_count, from_events.epoch_count);
+        assert_eq!(from_epochs.deps, from_events.deps);
+        assert_eq!(from_epochs.size_hist, from_events.size_hist);
+        assert_eq!(
+            from_epochs.tx_stats.epochs_per_tx,
+            from_events.tx_stats.epochs_per_tx
+        );
+    }
+
+    #[test]
+    fn empty_trace_report() {
+        let report = Analyzer::analyze_events(&[]);
+        assert_eq!(report.epoch_count, 0);
+        assert_eq!(report.nt_fraction, None);
+        assert_eq!(report.small_singleton_fraction, None);
+        assert_eq!(report.tx_stats.tx_count(), 0);
+        assert_eq!(report.deps, analysis::DepStats::default());
+    }
+}

@@ -50,25 +50,25 @@ impl DepStats {
     }
 }
 
-/// Find WAW dependencies between epochs.
-///
-/// `epochs` must be in global execution order (as produced by
-/// [`super::split_epochs`] from a time-ordered trace). An epoch depends
-/// on the most recent earlier epoch that wrote any of its lines, if
-/// that epoch ended within [`DEP_WINDOW_NS`] of this epoch's start.
-pub fn dependencies(epochs: &[Epoch]) -> DepStats {
+/// Streaming accumulator behind [`dependencies`]: feed epochs in
+/// global execution order, then read [`stats`](DepTracker::stats).
+#[derive(Debug, Default)]
+pub struct DepTracker {
     // line -> (thread of last writer epoch, its end time)
-    let mut last_writer: HashMap<Line, (Tid, u64)> = HashMap::new();
-    let mut stats = DepStats {
-        total_epochs: epochs.len() as u64,
-        ..DepStats::default()
-    };
+    last_writer: HashMap<Line, (Tid, u64)>,
+    stats: DepStats,
+}
 
-    for e in epochs {
+impl DepTracker {
+    /// Account one epoch. An epoch depends on the most recent earlier
+    /// epoch that wrote any of its lines, if that epoch ended within
+    /// [`DEP_WINDOW_NS`] of this epoch's start.
+    pub fn push(&mut self, e: &Epoch) {
+        self.stats.total_epochs += 1;
         let mut self_dep = false;
         let mut cross_dep = false;
         for line in &e.lines {
-            if let Some(&(wtid, wend)) = last_writer.get(line) {
+            if let Some(&(wtid, wend)) = self.last_writer.get(line) {
                 let within = e.start_ns.saturating_sub(wend) <= DEP_WINDOW_NS;
                 if within {
                     if wtid == e.tid {
@@ -80,17 +80,32 @@ pub fn dependencies(epochs: &[Epoch]) -> DepStats {
             }
         }
         if self_dep {
-            stats.self_dep_epochs += 1;
+            self.stats.self_dep_epochs += 1;
         }
         if cross_dep {
-            stats.cross_dep_epochs += 1;
+            self.stats.cross_dep_epochs += 1;
         }
         for line in &e.lines {
-            last_writer.insert(*line, (e.tid, e.end_ns));
+            self.last_writer.insert(*line, (e.tid, e.end_ns));
         }
     }
 
-    stats
+    /// The counts accumulated so far.
+    pub fn stats(&self) -> DepStats {
+        self.stats
+    }
+}
+
+/// Find WAW dependencies between epochs.
+///
+/// `epochs` must be in global execution order (as produced by
+/// [`super::split_epochs`] from a time-ordered trace).
+pub fn dependencies(epochs: &[Epoch]) -> DepStats {
+    let mut t = DepTracker::default();
+    for e in epochs {
+        t.push(e);
+    }
+    t.stats()
 }
 
 #[cfg(test)]

@@ -53,6 +53,12 @@ impl EpochSizeHistogram {
         self.fraction(0)
     }
 
+    /// Account one epoch (the streaming form of
+    /// [`epoch_size_histogram`]).
+    pub fn push(&mut self, e: &Epoch) {
+        self.buckets[EpochSizeHistogram::bucket_for(e.unique_lines())] += 1;
+    }
+
     /// All bucket fractions, in label order.
     pub fn fractions(&self) -> [f64; 7] {
         let mut out = [0.0; 7];
@@ -76,7 +82,7 @@ impl std::fmt::Display for EpochSizeHistogram {
 pub fn epoch_size_histogram<'a>(epochs: impl IntoIterator<Item = &'a Epoch>) -> EpochSizeHistogram {
     let mut h = EpochSizeHistogram::default();
     for e in epochs {
-        h.buckets[EpochSizeHistogram::bucket_for(e.unique_lines())] += 1;
+        h.push(e);
     }
     h
 }

@@ -5,14 +5,16 @@
 //! analysis, we ignore cache flush operations." — Section 5.1.
 
 mod amplify;
+mod analyzer;
 mod deps;
 mod histogram;
 mod txstats;
 
 pub use amplify::{amplification, AmplificationReport};
-pub use deps::{dependencies, DepStats, DEP_WINDOW_NS};
+pub use analyzer::{Analyzer, TraceReport};
+pub use deps::{dependencies, DepStats, DepTracker, DEP_WINDOW_NS};
 pub use histogram::{epoch_size_histogram, EpochSizeHistogram, SIZE_BUCKET_LABELS};
-pub use txstats::{tx_stats, TxStats};
+pub use txstats::{tx_stats, TxStats, TxStatsBuilder};
 
 use crate::event::{Category, Event, EventKind, Tid, TxId};
 use pmem::{lines_spanning, Line};
@@ -60,7 +62,10 @@ impl Epoch {
 
     /// Bytes recorded for one category.
     pub fn cat_bytes(&self, cat: Category) -> u64 {
-        let idx = Category::ALL.iter().position(|c| *c == cat).expect("known category");
+        let idx = Category::ALL
+            .iter()
+            .position(|c| *c == cat)
+            .expect("known category");
         self.bytes_by_cat[idx]
     }
 }
@@ -77,27 +82,30 @@ struct OpenEpoch {
     tx: Option<TxId>,
 }
 
-/// Split a globally-ordered event stream into per-thread epochs.
+/// Walk a globally-ordered event stream and hand each closed epoch to
+/// `sink`, in fence-close (global execution) order — the order
+/// [`dependencies`] requires.
 ///
 /// Fences that close an empty epoch (no stores since the previous
 /// fence) produce nothing, matching the paper's store-centric epoch
 /// definition. A trailing run of stores with no closing fence is
 /// likewise dropped — it never became an ordering unit.
-pub fn split_epochs(events: &[Event]) -> Vec<Epoch> {
+///
+/// This is the single traversal both [`split_epochs`] (which collects)
+/// and [`Analyzer::analyze_events`] (which folds statistics without
+/// materializing the epoch vector) are built on.
+pub fn for_each_epoch(events: &[Event], mut sink: impl FnMut(Epoch)) {
     let mut open: HashMap<Tid, OpenEpoch> = HashMap::new();
     let mut counters: HashMap<Tid, u64> = HashMap::new();
     let mut active_tx: HashMap<Tid, TxId> = HashMap::new();
-    let mut out = Vec::new();
 
     for ev in events {
         match ev.kind {
             EventKind::PmStore { addr, len, nt, cat } => {
-                let e = open.entry(ev.tid).or_insert_with(|| OpenEpoch {
-                    start_ns: ev.at_ns,
-                    tx: active_tx.get(&ev.tid).copied(),
-                    ..OpenEpoch::default()
-                });
+                let e = open.entry(ev.tid).or_default();
                 if e.stores == 0 {
+                    // First store of the epoch fixes its start time and
+                    // transaction attribution.
                     e.start_ns = ev.at_ns;
                     e.tx = active_tx.get(&ev.tid).copied();
                 }
@@ -110,14 +118,17 @@ pub fn split_epochs(events: &[Event]) -> Vec<Epoch> {
                     e.nt_bytes += len as u64;
                     e.nt_stores += 1;
                 }
-                let idx = Category::ALL.iter().position(|c| *c == cat).expect("known category");
+                let idx = Category::ALL
+                    .iter()
+                    .position(|c| *c == cat)
+                    .expect("known category");
                 e.bytes_by_cat[idx] += len as u64;
             }
             EventKind::Fence | EventKind::DFence => {
                 if let Some(e) = open.remove(&ev.tid) {
                     if e.stores > 0 {
                         let index = counters.entry(ev.tid).or_insert(0);
-                        out.push(Epoch {
+                        sink(Epoch {
                             tid: ev.tid,
                             index: *index,
                             start_ns: e.start_ns,
@@ -146,7 +157,14 @@ pub fn split_epochs(events: &[Event]) -> Vec<Epoch> {
             }
         }
     }
+}
 
+/// Split a globally-ordered event stream into per-thread epochs.
+///
+/// See [`for_each_epoch`] for the epoch-boundary rules.
+pub fn split_epochs(events: &[Event]) -> Vec<Epoch> {
+    let mut out = Vec::new();
+    for_each_epoch(events, |e| out.push(e));
     out
 }
 
@@ -224,6 +242,30 @@ mod tests {
         assert!(e[1].durable);
         assert_eq!(e[1].nt_bytes, 8);
         assert_eq!(e[1].index, 1);
+    }
+
+    #[test]
+    fn start_time_attributed_after_empty_epoch_fence() {
+        // Regression: an empty-epoch fence (and a transaction begun
+        // before any store) must not disturb the next epoch's start
+        // time or transaction attribution — both come from the epoch's
+        // first store.
+        let mut t = TraceBuffer::new();
+        t.pm_store(t0(), 0, 8, false, Category::UserData, 1);
+        t.fence(t0(), 2);
+        t.fence(t0(), 3); // closes an empty epoch: produces nothing
+        t.tx_begin(t0(), 9, 4);
+        t.pm_store(t0(), 64, 8, false, Category::UserData, 50);
+        t.fence(t0(), 60);
+        let e = split_epochs(t.events());
+        assert_eq!(e.len(), 2);
+        assert_eq!(
+            e[1].start_ns, 50,
+            "start is the first store, not the fence or tx begin"
+        );
+        assert_eq!(e[1].end_ns, 60);
+        assert_eq!(e[1].tx, Some(9));
+        assert_eq!(e[1].index, 1, "empty epoch consumed no sequence number");
     }
 
     #[test]

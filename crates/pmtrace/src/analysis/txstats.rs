@@ -45,20 +45,41 @@ impl TxStats {
     }
 }
 
+/// Streaming accumulator behind [`tx_stats`]: feed epochs one at a
+/// time, then [`finish`](TxStatsBuilder::finish).
+#[derive(Debug, Default)]
+pub struct TxStatsBuilder {
+    per_tx: HashMap<(Tid, TxId), u64>,
+}
+
+impl TxStatsBuilder {
+    /// Account one epoch. Epochs outside any transaction are ignored,
+    /// as in the paper's transaction-size figure.
+    pub fn push(&mut self, e: &Epoch) {
+        if let Some(tx) = e.tx {
+            *self.per_tx.entry((e.tid, tx)).or_insert(0) += 1;
+        }
+    }
+
+    /// Produce the distribution, ordered by (thread, transaction id) so
+    /// the result is independent of hash-map iteration order.
+    pub fn finish(self) -> TxStats {
+        let mut keys: Vec<_> = self.per_tx.into_iter().collect();
+        keys.sort_unstable_by_key(|((tid, tx), _)| (*tid, *tx));
+        TxStats {
+            epochs_per_tx: keys.into_iter().map(|(_, n)| n).collect(),
+        }
+    }
+}
+
 /// Count epochs per transaction from a set of epochs. Epochs outside any
 /// transaction are ignored, as in the paper's transaction-size figure.
 pub fn tx_stats<'a>(epochs: impl IntoIterator<Item = &'a Epoch>) -> TxStats {
-    let mut per_tx: HashMap<(Tid, TxId), u64> = HashMap::new();
+    let mut b = TxStatsBuilder::default();
     for e in epochs {
-        if let Some(tx) = e.tx {
-            *per_tx.entry((e.tid, tx)).or_insert(0) += 1;
-        }
+        b.push(e);
     }
-    let mut keys: Vec<_> = per_tx.into_iter().collect();
-    keys.sort_unstable_by_key(|((tid, tx), _)| (*tid, *tx));
-    TxStats {
-        epochs_per_tx: keys.into_iter().map(|(_, n)| n).collect(),
-    }
+    b.finish()
 }
 
 #[cfg(test)]
@@ -112,7 +133,14 @@ mod tests {
         let mut t = TraceBuffer::new();
         for tid in [Tid(0), Tid(1)] {
             t.tx_begin(tid, 7, 0);
-            t.pm_store(tid, 64 * (tid.0 as u64 + 1) * 100, 8, false, Category::UserData, 1);
+            t.pm_store(
+                tid,
+                64 * (tid.0 as u64 + 1) * 100,
+                8,
+                false,
+                Category::UserData,
+                1,
+            );
             t.fence(tid, 2);
             t.tx_end(tid, 7, 3);
         }

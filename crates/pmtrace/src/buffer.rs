@@ -75,7 +75,15 @@ impl TraceBuffer {
     }
 
     /// Record a PM store.
-    pub fn pm_store(&mut self, tid: Tid, addr: Addr, len: u32, nt: bool, cat: Category, at_ns: u64) {
+    pub fn pm_store(
+        &mut self,
+        tid: Tid,
+        addr: Addr,
+        len: u32,
+        nt: bool,
+        cat: Category,
+        at_ns: u64,
+    ) {
         self.push(tid, at_ns, EventKind::PmStore { addr, len, nt, cat });
     }
 

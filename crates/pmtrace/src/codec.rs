@@ -44,7 +44,10 @@ impl std::fmt::Display for CodecError {
 impl std::error::Error for CodecError {}
 
 fn cat_code(c: Category) -> u8 {
-    Category::ALL.iter().position(|x| *x == c).expect("known category") as u8
+    Category::ALL
+        .iter()
+        .position(|x| *x == c)
+        .expect("known category") as u8
 }
 
 fn cat_from(code: u8) -> Option<Category> {
@@ -104,7 +107,9 @@ pub fn decode_events(bytes: &[u8]) -> Result<Vec<Event>, CodecError> {
                 addr: b,
                 len: a >> 8,
                 nt: tag == 1,
-                cat: cat_from((a & 0xff) as u8).ok_or(CodecError::BadTag { tag: (a & 0xff) as u8 })?,
+                cat: cat_from((a & 0xff) as u8).ok_or(CodecError::BadTag {
+                    tag: (a & 0xff) as u8,
+                })?,
             },
             2 => EventKind::Flush { addr: b },
             3 => EventKind::Fence,
@@ -152,7 +157,10 @@ mod tests {
     #[test]
     fn bad_header_rejected() {
         assert_eq!(decode_events(b"nonsense"), Err(CodecError::BadHeader));
-        assert_eq!(decode_events(b"WHISPR99\0\0\0\0\0\0\0\0"), Err(CodecError::BadHeader));
+        assert_eq!(
+            decode_events(b"WHISPR99\0\0\0\0\0\0\0\0"),
+            Err(CodecError::BadHeader)
+        );
     }
 
     #[test]
@@ -166,7 +174,10 @@ mod tests {
     fn bad_tag_detected() {
         let mut bytes = encode_events(&sample());
         bytes[16] = 0x7f; // first record's tag
-        assert!(matches!(decode_events(&bytes), Err(CodecError::BadTag { .. })));
+        assert!(matches!(
+            decode_events(&bytes),
+            Err(CodecError::BadTag { .. })
+        ));
     }
 
     #[test]

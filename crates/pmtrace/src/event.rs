@@ -1,14 +1,13 @@
 //! Trace event types.
 
 use pmem::Addr;
-use serde::{Deserialize, Serialize};
 
 /// A (hardware) thread identifier.
 ///
 /// The paper's simulated system has four cores with one hardware thread
 /// each (Table 3); the suite driver interleaves logical client threads
 /// onto these ids.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Tid(pub u32);
 
 impl std::fmt::Display for Tid {
@@ -28,7 +27,7 @@ pub type TxId = u64;
 /// logging"), and the write-amplification analysis (Section 5.2) needs
 /// bytes attributed to logs and allocators. Every store in the
 /// reproduction carries one of these tags.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Category {
     /// Application payload the user asked to persist.
     UserData,
@@ -76,7 +75,7 @@ impl std::fmt::Display for Category {
 }
 
 /// The kind of a trace event.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EventKind {
     /// A store to persistent memory (cacheable or non-temporal).
     PmStore {
@@ -113,7 +112,7 @@ pub enum EventKind {
 }
 
 /// One trace record: who, when (simulated nanoseconds), what.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Event {
     /// Issuing hardware thread.
     pub tid: Tid,

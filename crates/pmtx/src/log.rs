@@ -68,7 +68,10 @@ pub struct LogSlot {
 
 impl LogSlot {
     pub(crate) fn new(base: Addr, size: u64) -> LogSlot {
-        assert!(size >= 64 + 4 * REC_BYTES, "log slot must hold at least 4 records");
+        assert!(
+            size >= 64 + 4 * REC_BYTES,
+            "log slot must hold at least 4 records"
+        );
         LogSlot {
             base,
             size,
@@ -261,10 +264,24 @@ mod tests {
     fn append_and_scan_round_trip() {
         let (mut m, mut slot) = setup();
         let mut w = PmWriter::new(Tid(0));
-        slot.append(&mut m, &mut w, 0x1_2345_6780, b"hello", true, Category::RedoLog)
-            .unwrap();
-        slot.append(&mut m, &mut w, 0x1_2345_6800, b"world!!!", false, Category::UndoLog)
-            .unwrap();
+        slot.append(
+            &mut m,
+            &mut w,
+            0x1_2345_6780,
+            b"hello",
+            true,
+            Category::RedoLog,
+        )
+        .unwrap();
+        slot.append(
+            &mut m,
+            &mut w,
+            0x1_2345_6800,
+            b"world!!!",
+            false,
+            Category::UndoLog,
+        )
+        .unwrap();
         let got = slot.scan_durable(&mut m, Tid(0));
         assert_eq!(got.len(), 2);
         assert_eq!(got[0], (0x1_2345_6780, b"hello".to_vec()));
@@ -275,8 +292,15 @@ mod tests {
     fn clear_entries_stops_scan() {
         let (mut m, mut slot) = setup();
         let mut w = PmWriter::new(Tid(0));
-        slot.append(&mut m, &mut w, 0x1_0000_0000, &[1; 16], false, Category::UndoLog)
-            .unwrap();
+        slot.append(
+            &mut m,
+            &mut w,
+            0x1_0000_0000,
+            &[1; 16],
+            false,
+            Category::UndoLog,
+        )
+        .unwrap();
         slot.clear_entries(&mut m, &mut w, ClearPolicy::PerEntry);
         let got = slot.scan_durable(&mut m, Tid(0));
         assert!(got.is_empty());
@@ -290,14 +314,33 @@ mod tests {
         let n = slot.n_recs;
         let mut addrs = std::collections::HashSet::new();
         for i in 0..n {
-            slot.append(&mut m, &mut w, 0x1_0000_0000 + i * 8, &[7; 8], true, Category::RedoLog)
-                .unwrap();
+            slot.append(
+                &mut m,
+                &mut w,
+                0x1_0000_0000 + i * 8,
+                &[7; 8],
+                true,
+                Category::RedoLog,
+            )
+            .unwrap();
             addrs.insert(slot.entries.last().unwrap().0);
             slot.clear_entries(&mut m, &mut w, ClearPolicy::PerEntry);
         }
-        assert_eq!(addrs.len() as u64, n, "every record slot used once before wrap");
+        assert_eq!(
+            addrs.len() as u64,
+            n,
+            "every record slot used once before wrap"
+        );
         // Next append wraps to the first record.
-        slot.append(&mut m, &mut w, 0x1_0000_0000, &[9; 8], true, Category::RedoLog).unwrap();
+        slot.append(
+            &mut m,
+            &mut w,
+            0x1_0000_0000,
+            &[9; 8],
+            true,
+            Category::RedoLog,
+        )
+        .unwrap();
         assert_eq!(slot.entries[0].0, slot.rec_addr(0));
     }
 
@@ -306,12 +349,26 @@ mod tests {
         let (mut m, mut slot) = setup();
         let mut w = PmWriter::new(Tid(0));
         for _ in 0..3 {
-            slot.append(&mut m, &mut w, 0x1_0000_0000, &[7; 32], true, Category::RedoLog)
-                .unwrap();
+            slot.append(
+                &mut m,
+                &mut w,
+                0x1_0000_0000,
+                &[7; 32],
+                true,
+                Category::RedoLog,
+            )
+            .unwrap();
         }
         slot.clear_entries(&mut m, &mut w, ClearPolicy::PerEntry);
-        slot.append(&mut m, &mut w, 0x1_0000_0040, &[9; 8], true, Category::RedoLog)
-            .unwrap();
+        slot.append(
+            &mut m,
+            &mut w,
+            0x1_0000_0040,
+            &[9; 8],
+            true,
+            Category::RedoLog,
+        )
+        .unwrap();
         let got = slot.scan_durable(&mut m, Tid(0));
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].0, 0x1_0000_0040);
@@ -323,8 +380,17 @@ mod tests {
         let mut w = PmWriter::new(Tid(0));
         let big = vec![0u8; MAX_ENTRY_DATA + 1];
         assert_eq!(
-            slot.append(&mut m, &mut w, 0x1_0000_0000, &big, false, Category::UndoLog),
-            Err(TxError::EntryTooLarge { len: MAX_ENTRY_DATA + 1 })
+            slot.append(
+                &mut m,
+                &mut w,
+                0x1_0000_0000,
+                &big,
+                false,
+                Category::UndoLog
+            ),
+            Err(TxError::EntryTooLarge {
+                len: MAX_ENTRY_DATA + 1
+            })
         );
     }
 
@@ -336,11 +402,25 @@ mod tests {
         slot.format(&mut m, Tid(0));
         let mut w = PmWriter::new(Tid(0));
         for _ in 0..4 {
-            slot.append(&mut m, &mut w, 0x1_0000_0000, &[0; 64], false, Category::UndoLog)
-                .unwrap();
+            slot.append(
+                &mut m,
+                &mut w,
+                0x1_0000_0000,
+                &[0; 64],
+                false,
+                Category::UndoLog,
+            )
+            .unwrap();
         }
         assert_eq!(
-            slot.append(&mut m, &mut w, 0x1_0000_0000, &[0; 64], false, Category::UndoLog),
+            slot.append(
+                &mut m,
+                &mut w,
+                0x1_0000_0000,
+                &[0; 64],
+                false,
+                Category::UndoLog
+            ),
             Err(TxError::LogFull)
         );
     }
@@ -366,12 +446,20 @@ mod tests {
         let mut w = PmWriter::new(Tid(0));
         // Fill, clear, then append 3 (wrapping cursor position).
         for _ in 0..3 {
-            slot.append(&mut m, &mut w, 1 << 33, &[0; 8], true, Category::RedoLog).unwrap();
+            slot.append(&mut m, &mut w, 1 << 33, &[0; 8], true, Category::RedoLog)
+                .unwrap();
         }
         slot.clear_entries(&mut m, &mut w, ClearPolicy::PerEntry);
         for i in 0..3u64 {
-            slot.append(&mut m, &mut w, (1 << 33) + i, &[i as u8; 8], true, Category::RedoLog)
-                .unwrap();
+            slot.append(
+                &mut m,
+                &mut w,
+                (1 << 33) + i,
+                &[i as u8; 8],
+                true,
+                Category::RedoLog,
+            )
+            .unwrap();
         }
         let got = slot.scan_durable(&mut m, Tid(0));
         let targets: Vec<Addr> = got.iter().map(|(t, _)| *t).collect();

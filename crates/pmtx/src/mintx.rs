@@ -319,7 +319,8 @@ mod tests {
             m.trace_mut().clear();
             eng.begin(&mut m, tid).unwrap();
             for i in 0..writes as u64 {
-                eng.write_u64(&mut m, tid, data + i * 64, i, Category::UserData).unwrap();
+                eng.write_u64(&mut m, tid, data + i * 64, i, Category::UserData)
+                    .unwrap();
             }
             eng.commit(&mut m, tid).unwrap();
             let epochs = analysis::split_epochs(m.trace().events());
@@ -332,7 +333,8 @@ mod tests {
         let (mut m, mut eng, data) = setup();
         let tid = Tid(0);
         eng.begin(&mut m, tid).unwrap();
-        eng.write_u64(&mut m, tid, data, 77, Category::UserData).unwrap();
+        eng.write_u64(&mut m, tid, data, 77, Category::UserData)
+            .unwrap();
         assert_eq!(m.load_u64(tid, data), 0, "deferred: nothing in place yet");
         assert_eq!(eng.read(&mut m, tid, data, 8), 77u64.to_le_bytes());
         eng.commit(&mut m, tid).unwrap();
@@ -345,7 +347,8 @@ mod tests {
         let (mut m, mut eng, data) = setup();
         let tid = Tid(0);
         eng.begin(&mut m, tid).unwrap();
-        eng.write_u64(&mut m, tid, data, 5, Category::UserData).unwrap();
+        eng.write_u64(&mut m, tid, data, 5, Category::UserData)
+            .unwrap();
         // Crash before commit: buffer was volatile, log not written.
         let log = eng.region();
         let img = m.crash(CrashSpec::PersistAll);
@@ -360,7 +363,8 @@ mod tests {
         let (mut m, mut eng, data) = setup();
         let tid = Tid(0);
         eng.begin(&mut m, tid).unwrap();
-        eng.write_u64(&mut m, tid, data, 1234, Category::UserData).unwrap();
+        eng.write_u64(&mut m, tid, data, 1234, Category::UserData)
+            .unwrap();
         // Drive the first two epochs by hand via commit, then drop the
         // in-place writes: DropVolatile after commit keeps everything
         // (commit fenced data). Instead, crash adversarially many times
@@ -384,13 +388,17 @@ mod tests {
             let (mut m, mut eng, data) = setup();
             let tid = Tid(0);
             eng.begin(&mut m, tid).unwrap();
-            eng.write_u64(&mut m, tid, data, 1, Category::UserData).unwrap();
-            eng.write_u64(&mut m, tid, data + 64, 1, Category::UserData).unwrap();
+            eng.write_u64(&mut m, tid, data, 1, Category::UserData)
+                .unwrap();
+            eng.write_u64(&mut m, tid, data + 64, 1, Category::UserData)
+                .unwrap();
             eng.commit(&mut m, tid).unwrap();
             // Second tx: crash with everything in flight undetermined.
             eng.begin(&mut m, tid).unwrap();
-            eng.write_u64(&mut m, tid, data, 2, Category::UserData).unwrap();
-            eng.write_u64(&mut m, tid, data + 64, 2, Category::UserData).unwrap();
+            eng.write_u64(&mut m, tid, data, 2, Category::UserData)
+                .unwrap();
+            eng.write_u64(&mut m, tid, data + 64, 2, Category::UserData)
+                .unwrap();
             // Crash in the middle of commit: emulate by crashing right
             // after the log epoch would be durable — adversarial covers
             // all interleavings of the commit path's line subsets.
@@ -411,14 +419,19 @@ mod tests {
         let tid = Tid(0);
         for i in 1..=5u64 {
             eng.begin(&mut m, tid).unwrap();
-            eng.write_u64(&mut m, tid, data, i * 10, Category::UserData).unwrap();
+            eng.write_u64(&mut m, tid, data, i * 10, Category::UserData)
+                .unwrap();
             eng.commit(&mut m, tid).unwrap();
         }
         let log = eng.region();
         let img = m.crash(CrashSpec::DropVolatile);
         let mut m2 = Machine::from_image(MachineConfig::asplos17(), &img);
         let _ = MinTxEngine::recover(&mut m2, Tid(0), log, 4);
-        assert_eq!(m2.load_u64(Tid(0), data), 50, "only the latest generation replays");
+        assert_eq!(
+            m2.load_u64(Tid(0), data),
+            50,
+            "only the latest generation replays"
+        );
     }
 
     #[test]

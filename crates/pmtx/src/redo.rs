@@ -50,7 +50,9 @@ impl RedoTxEngine {
         for (i, s) in slots.iter().enumerate() {
             s.format(m, Tid(i as u32));
         }
-        let scratch = (0..threads).map(|_| m.alloc_dram(SCRATCH_BYTES, 64)).collect();
+        let scratch = (0..threads)
+            .map(|_| m.alloc_dram(SCRATCH_BYTES, 64))
+            .collect();
         RedoTxEngine {
             region,
             slots,
@@ -65,7 +67,9 @@ impl RedoTxEngine {
     /// transactions. `tid` is the recovery thread.
     pub fn recover(m: &mut Machine, tid: Tid, region: AddrRange, threads: u32) -> RedoTxEngine {
         let mut slots = carve_slots(region, threads);
-        let scratch = (0..threads).map(|_| m.alloc_dram(SCRATCH_BYTES, 64)).collect();
+        let scratch = (0..threads)
+            .map(|_| m.alloc_dram(SCRATCH_BYTES, 64))
+            .collect();
         let mut w = PmWriter::new(tid);
         for slot in &mut slots {
             let status = slot.status(m, tid);
@@ -149,7 +153,12 @@ impl RedoTxEngine {
         let active = self.active[t].as_mut().ok_or(TxError::NoTx)?;
         // Buffer in DRAM scratch (counts as volatile traffic).
         let off = active.scratch_cursor % (SCRATCH_BYTES - bytes.len().min(4096) as u64).max(1);
-        m.store(tid, scratch_base + off, &bytes[..bytes.len().min(4096)], cat);
+        m.store(
+            tid,
+            scratch_base + off,
+            &bytes[..bytes.len().min(4096)],
+            cat,
+        );
         active.scratch_cursor = off + bytes.len() as u64;
         active.writes.push((addr, bytes.to_vec(), cat));
         let mut w = PmWriter::new(tid);
@@ -257,7 +266,8 @@ mod tests {
         let (mut m, mut eng, data) = setup();
         let tid = Tid(0);
         eng.begin(&mut m, tid).unwrap();
-        eng.write_u64(&mut m, tid, data, 99, Category::UserData).unwrap();
+        eng.write_u64(&mut m, tid, data, 99, Category::UserData)
+            .unwrap();
         eng.commit(&mut m, tid).unwrap();
         assert!(m.is_durable(data, 8));
         assert_eq!(m.load_u64(tid, data), 99);
@@ -268,7 +278,8 @@ mod tests {
         let (mut m, mut eng, data) = setup();
         let tid = Tid(0);
         eng.begin(&mut m, tid).unwrap();
-        eng.write_u64(&mut m, tid, data, 42, Category::UserData).unwrap();
+        eng.write_u64(&mut m, tid, data, 42, Category::UserData)
+            .unwrap();
         // In-place data not yet written (redo buffers):
         assert_eq!(m.load_u64(tid, data), 0);
         // But the transaction reads its own write:
@@ -282,7 +293,8 @@ mod tests {
         let (mut m, mut eng, data) = setup();
         let tid = Tid(0);
         eng.begin(&mut m, tid).unwrap();
-        eng.write_u64(&mut m, tid, data, 13, Category::UserData).unwrap();
+        eng.write_u64(&mut m, tid, data, 13, Category::UserData)
+            .unwrap();
         eng.abort(&mut m, tid).unwrap();
         assert_eq!(m.load_u64(tid, data), 0);
         let img = m.crash(CrashSpec::PersistAll);
@@ -298,9 +310,13 @@ mod tests {
         let tid = Tid(0);
         m.store(tid, data, &[0xAA; 16], Category::UserData);
         eng.begin(&mut m, tid).unwrap();
-        eng.write(&mut m, tid, data + 4, &[0xBB; 4], Category::UserData).unwrap();
+        eng.write(&mut m, tid, data + 4, &[0xBB; 4], Category::UserData)
+            .unwrap();
         let v = eng.read(&mut m, tid, data, 12);
-        assert_eq!(v, [0xAA, 0xAA, 0xAA, 0xAA, 0xBB, 0xBB, 0xBB, 0xBB, 0xAA, 0xAA, 0xAA, 0xAA]);
+        assert_eq!(
+            v,
+            [0xAA, 0xAA, 0xAA, 0xAA, 0xBB, 0xBB, 0xBB, 0xBB, 0xAA, 0xAA, 0xAA, 0xAA]
+        );
         eng.abort(&mut m, tid).unwrap();
     }
 
@@ -323,7 +339,8 @@ mod tests {
         let (mut m, mut eng, data) = setup();
         let tid = Tid(0);
         eng.begin(&mut m, tid).unwrap();
-        eng.write_u64(&mut m, tid, data, 7, Category::UserData).unwrap();
+        eng.write_u64(&mut m, tid, data, 7, Category::UserData)
+            .unwrap();
         // Crash with everything in flight persisted — log entries are
         // durable but no commit marker.
         let img = m.crash(CrashSpec::PersistAll);
@@ -343,7 +360,8 @@ mod tests {
         let (mut m, mut eng, data) = setup();
         let tid = Tid(0);
         eng.begin(&mut m, tid).unwrap();
-        eng.write_u64(&mut m, tid, data, 1234, Category::UserData).unwrap();
+        eng.write_u64(&mut m, tid, data, 1234, Category::UserData)
+            .unwrap();
         // Reach into the commit sequence: set the marker durably, then
         // "crash" before the data writeback by dropping volatile state.
         let mut w = PmWriter::new(tid);
@@ -360,7 +378,8 @@ mod tests {
         let (mut m, mut eng, data) = setup();
         let tid = Tid(0);
         eng.begin(&mut m, tid).unwrap();
-        eng.write_u64(&mut m, tid, data, 5, Category::UserData).unwrap();
+        eng.write_u64(&mut m, tid, data, 5, Category::UserData)
+            .unwrap();
         eng.commit(&mut m, tid).unwrap();
         let img = m.crash(CrashSpec::DropVolatile);
         let mut m2 = Machine::from_image(MachineConfig::asplos17(), &img);
@@ -378,7 +397,8 @@ mod tests {
         let tid = Tid(0);
         for i in 0..20u64 {
             eng.begin(&mut m, tid).unwrap();
-            eng.write_u64(&mut m, tid, data + i * 8, i, Category::UserData).unwrap();
+            eng.write_u64(&mut m, tid, data + i * 8, i, Category::UserData)
+                .unwrap();
             eng.commit(&mut m, tid).unwrap();
         }
         for i in 0..20u64 {
@@ -398,7 +418,8 @@ mod tests {
             m.trace_mut().clear();
             eng.begin(&mut m, tid).unwrap();
             for i in 0..6u64 {
-                eng.write_u64(&mut m, tid, data + i * 64, i, Category::UserData).unwrap();
+                eng.write_u64(&mut m, tid, data + i * 64, i, Category::UserData)
+                    .unwrap();
             }
             eng.commit(&mut m, tid).unwrap();
             pmtrace::analysis::split_epochs(m.trace().events()).len()
@@ -414,7 +435,8 @@ mod tests {
         let tid = Tid(0);
         eng.begin(&mut m, tid).unwrap();
         for i in 0..5u64 {
-            eng.write_u64(&mut m, tid, data + i * 64, i, Category::UserData).unwrap();
+            eng.write_u64(&mut m, tid, data + i * 64, i, Category::UserData)
+                .unwrap();
         }
         eng.commit(&mut m, tid).unwrap();
         let epochs = pmtrace::analysis::split_epochs(m.trace().events());

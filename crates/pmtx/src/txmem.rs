@@ -131,7 +131,8 @@ mod tests {
 
         let mut undo = UndoTxEngine::format(&mut m, log, 4);
         undo.begin(&mut m, tid).unwrap();
-        undo.tx_write_u64(&mut m, tid, data, 11, Category::UserData).unwrap();
+        undo.tx_write_u64(&mut m, tid, data, 11, Category::UserData)
+            .unwrap();
         assert_eq!(undo.tx_read_u64(&mut m, tid, data), 11);
         undo.commit(&mut m, tid).unwrap();
 
@@ -139,7 +140,8 @@ mod tests {
         let log = AddrRange::new(m.config().map.pm.base, 1 << 20);
         let mut redo = RedoTxEngine::format(&mut m, log, 4);
         redo.begin(&mut m, tid).unwrap();
-        redo.tx_write_u64(&mut m, tid, data, 22, Category::UserData).unwrap();
+        redo.tx_write_u64(&mut m, tid, data, 22, Category::UserData)
+            .unwrap();
         assert_eq!(redo.tx_read_u64(&mut m, tid, data), 22);
         redo.commit(&mut m, tid).unwrap();
         assert_eq!(m.load_u64(tid, data), 22);
@@ -152,7 +154,8 @@ mod tests {
         let tid = Tid(0);
         let mut undo = UndoTxEngine::format(&mut m, log, 4);
         undo.begin(&mut m, tid).unwrap();
-        undo.tx_write_u32(&mut m, tid, data, 0xdead_beef, Category::UserData).unwrap();
+        undo.tx_write_u32(&mut m, tid, data, 0xdead_beef, Category::UserData)
+            .unwrap();
         assert_eq!(undo.tx_read_u32(&mut m, tid, data), 0xdead_beef);
         undo.commit(&mut m, tid).unwrap();
     }

@@ -231,7 +231,8 @@ mod tests {
         let (mut m, mut eng, data) = setup();
         let tid = Tid(0);
         eng.begin(&mut m, tid).unwrap();
-        eng.set_u64(&mut m, tid, data, 77, Category::UserData).unwrap();
+        eng.set_u64(&mut m, tid, data, 77, Category::UserData)
+            .unwrap();
         eng.commit(&mut m, tid).unwrap();
         assert!(m.is_durable(data, 8));
         assert_eq!(m.load_u64(tid, data), 77);
@@ -242,7 +243,8 @@ mod tests {
         let (mut m, mut eng, data) = setup();
         let tid = Tid(0);
         eng.begin(&mut m, tid).unwrap();
-        eng.set_u64(&mut m, tid, data, 5, Category::UserData).unwrap();
+        eng.set_u64(&mut m, tid, data, 5, Category::UserData)
+            .unwrap();
         // Undo logging writes in place: a plain load sees it.
         assert_eq!(m.load_u64(tid, data), 5);
         eng.commit(&mut m, tid).unwrap();
@@ -254,11 +256,13 @@ mod tests {
         let tid = Tid(0);
         // Seed committed state.
         eng.begin(&mut m, tid).unwrap();
-        eng.set_u64(&mut m, tid, data, 100, Category::UserData).unwrap();
+        eng.set_u64(&mut m, tid, data, 100, Category::UserData)
+            .unwrap();
         eng.commit(&mut m, tid).unwrap();
         // Mutate and abort.
         eng.begin(&mut m, tid).unwrap();
-        eng.set_u64(&mut m, tid, data, 200, Category::UserData).unwrap();
+        eng.set_u64(&mut m, tid, data, 200, Category::UserData)
+            .unwrap();
         assert_eq!(m.load_u64(tid, data), 200);
         eng.abort(&mut m, tid).unwrap();
         assert_eq!(m.load_u64(tid, data), 100);
@@ -270,17 +274,23 @@ mod tests {
         let (mut m, mut eng, data) = setup();
         let tid = Tid(0);
         eng.begin(&mut m, tid).unwrap();
-        eng.set_u64(&mut m, tid, data, 50, Category::UserData).unwrap();
+        eng.set_u64(&mut m, tid, data, 50, Category::UserData)
+            .unwrap();
         eng.commit(&mut m, tid).unwrap();
         // Second tx crashes mid-flight with all in-flight data persisted
         // (worst case for undo: new data durable, no commit marker).
         eng.begin(&mut m, tid).unwrap();
-        eng.set_u64(&mut m, tid, data, 999, Category::UserData).unwrap();
+        eng.set_u64(&mut m, tid, data, 999, Category::UserData)
+            .unwrap();
         let log = log_region(&m);
         let img = m.crash(CrashSpec::PersistAll);
         let mut m2 = Machine::from_image(MachineConfig::asplos17(), &img);
         let _ = UndoTxEngine::recover(&mut m2, Tid(0), log, 4);
-        assert_eq!(m2.load_u64(Tid(0), data), 50, "rolled back to committed value");
+        assert_eq!(
+            m2.load_u64(Tid(0), data),
+            50,
+            "rolled back to committed value"
+        );
     }
 
     #[test]
@@ -288,10 +298,12 @@ mod tests {
         let (mut m, mut eng, data) = setup();
         let tid = Tid(0);
         eng.begin(&mut m, tid).unwrap();
-        eng.set_u64(&mut m, tid, data, 50, Category::UserData).unwrap();
+        eng.set_u64(&mut m, tid, data, 50, Category::UserData)
+            .unwrap();
         eng.commit(&mut m, tid).unwrap();
         eng.begin(&mut m, tid).unwrap();
-        eng.set_u64(&mut m, tid, data, 999, Category::UserData).unwrap();
+        eng.set_u64(&mut m, tid, data, 999, Category::UserData)
+            .unwrap();
         let log = log_region(&m);
         let img = m.crash(CrashSpec::DropVolatile);
         let mut m2 = Machine::from_image(MachineConfig::asplos17(), &img);
@@ -307,13 +319,17 @@ mod tests {
             let (mut m, mut eng, data) = setup();
             let tid = Tid(0);
             eng.begin(&mut m, tid).unwrap();
-            eng.set_u64(&mut m, tid, data, 1, Category::UserData).unwrap();
-            eng.set_u64(&mut m, tid, data + 64, 1, Category::UserData).unwrap();
+            eng.set_u64(&mut m, tid, data, 1, Category::UserData)
+                .unwrap();
+            eng.set_u64(&mut m, tid, data + 64, 1, Category::UserData)
+                .unwrap();
             eng.commit(&mut m, tid).unwrap();
             // Second tx crashes mid-commit-path at an arbitrary point:
             eng.begin(&mut m, tid).unwrap();
-            eng.set_u64(&mut m, tid, data, 2, Category::UserData).unwrap();
-            eng.set_u64(&mut m, tid, data + 64, 2, Category::UserData).unwrap();
+            eng.set_u64(&mut m, tid, data, 2, Category::UserData)
+                .unwrap();
+            eng.set_u64(&mut m, tid, data + 64, 2, Category::UserData)
+                .unwrap();
             let log = log_region(&m);
             let img = m.crash(CrashSpec::Adversarial { seed });
             let mut m2 = Machine::from_image(MachineConfig::asplos17(), &img);
@@ -330,7 +346,8 @@ mod tests {
         let (mut m, mut eng, data) = setup();
         let tid = Tid(0);
         eng.begin(&mut m, tid).unwrap();
-        eng.set_u64(&mut m, tid, data, 31, Category::UserData).unwrap();
+        eng.set_u64(&mut m, tid, data, 31, Category::UserData)
+            .unwrap();
         let log = log_region(&m);
         let img = m.crash(CrashSpec::PersistAll);
         let mut m2 = Machine::from_image(MachineConfig::asplos17(), &img);
@@ -352,7 +369,8 @@ mod tests {
         let tid = Tid(0);
         eng.begin(&mut m, tid).unwrap();
         for i in 0..4u64 {
-            eng.set_u64(&mut m, tid, data + i * 64, i, Category::UserData).unwrap();
+            eng.set_u64(&mut m, tid, data + i * 64, i, Category::UserData)
+                .unwrap();
         }
         eng.commit(&mut m, tid).unwrap();
         let epochs = pmtrace::analysis::split_epochs(m.trace().events());
@@ -387,8 +405,10 @@ mod tests {
         let (mut m, mut eng, data) = setup();
         eng.begin(&mut m, Tid(0)).unwrap();
         eng.begin(&mut m, Tid(1)).unwrap();
-        eng.set_u64(&mut m, Tid(0), data, 10, Category::UserData).unwrap();
-        eng.set_u64(&mut m, Tid(1), data + 64, 20, Category::UserData).unwrap();
+        eng.set_u64(&mut m, Tid(0), data, 10, Category::UserData)
+            .unwrap();
+        eng.set_u64(&mut m, Tid(1), data + 64, 20, Category::UserData)
+            .unwrap();
         eng.commit(&mut m, Tid(0)).unwrap();
         eng.abort(&mut m, Tid(1)).unwrap();
         assert_eq!(m.load_u64(Tid(0), data), 10);

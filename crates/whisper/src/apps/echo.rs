@@ -22,12 +22,11 @@ use super::{AppRun, VolatileArena};
 use crate::region::RegionPlanner;
 use memsim::{Machine, MachineConfig, PmWriter};
 use pmalloc::{BlockState, PmAllocator, SingleHeapAlloc};
-use pmem::{Addr, AddrRange};
 use pmds::{PHashMap, PLog};
+use pmem::{Addr, AddrRange};
+use pmrand::{Rng, SeedableRng, SmallRng};
 use pmtrace::{Category, Tid};
 use pmtx::{TxMem, UndoTxEngine};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 const STATUS_INPROGRESS: u32 = 1;
 const STATUS_CREATED: u32 = 2;
@@ -72,7 +71,9 @@ impl EchoState {
             .map(|r| PLog::create(m, &mut eng, Tid(0), *r).expect("create log"))
             .collect();
         eng.commit(m, Tid(0)).expect("commit setup");
-        let descriptors = (0..ECHO_CLIENTS as u64).map(|i| desc_region.base + i * 64).collect();
+        let descriptors = (0..ECHO_CLIENTS as u64)
+            .map(|i| desc_region.base + i * 64)
+            .collect();
         EchoState {
             eng,
             alloc,
@@ -102,10 +103,18 @@ impl EchoState {
             let mut rec = [0u8; 24];
             rec[0..8].copy_from_slice(&key.to_le_bytes());
             rec[8..24].copy_from_slice(val);
-            self.client_logs[c].append(m, &mut self.eng, tid, &rec).expect("log append");
+            self.client_logs[c]
+                .append(m, &mut self.eng, tid, &rec)
+                .expect("log append");
         }
         self.eng
-            .tx_write_u32(m, tid, self.descriptors[c], STATUS_INPROGRESS, Category::AppMeta)
+            .tx_write_u32(
+                m,
+                tid,
+                self.descriptors[c],
+                STATUS_INPROGRESS,
+                Category::AppMeta,
+            )
             .expect("descriptor");
         self.eng.commit(m, tid).expect("client commit");
     }
@@ -125,9 +134,17 @@ impl EchoState {
             self.apply_update(m, master_tid, key, val);
         }
         self.eng
-            .tx_write_u32(m, master_tid, self.descriptors[client], STATUS_CREATED, Category::AppMeta)
+            .tx_write_u32(
+                m,
+                master_tid,
+                self.descriptors[client],
+                STATUS_CREATED,
+                Category::AppMeta,
+            )
             .expect("descriptor");
-        self.client_logs[client].truncate(m, &mut self.eng, master_tid).expect("truncate");
+        self.client_logs[client]
+            .truncate(m, &mut self.eng, master_tid)
+            .expect("truncate");
         self.eng.commit(m, master_tid).expect("master commit");
     }
 
@@ -150,14 +167,27 @@ impl EchoState {
             }
             None => (0, 1),
         };
-        self.eng.tx_write_u64(m, tid, node, prev, Category::UserData).expect("node");
-        self.eng.tx_write_u64(m, tid, node + 8, seq, Category::UserData).expect("node");
-        self.eng.tx_write(m, tid, node + 16, val, Category::UserData).expect("node");
+        self.eng
+            .tx_write_u64(m, tid, node, prev, Category::UserData)
+            .expect("node");
+        self.eng
+            .tx_write_u64(m, tid, node + 8, seq, Category::UserData)
+            .expect("node");
+        self.eng
+            .tx_write(m, tid, node + 16, val, Category::UserData)
+            .expect("node");
         self.alloc
             .set_state(m, &mut w, node, BlockState::Persistent)
             .expect("state");
         self.master
-            .insert(m, &mut self.eng, tid, &mut self.alloc, key, &node.to_le_bytes())
+            .insert(
+                m,
+                &mut self.eng,
+                tid,
+                &mut self.alloc,
+                key,
+                &node.to_le_bytes(),
+            )
             .expect("insert");
     }
 

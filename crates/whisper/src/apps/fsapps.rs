@@ -15,9 +15,8 @@ use crate::workloads::{self, FileserverOp};
 use memsim::{Machine, MachineConfig};
 use pmem::AddrRange;
 use pmfs::{Pmfs, PmfsConfig};
+use pmrand::{Rng, SeedableRng, SmallRng};
 use pmtrace::Tid;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 const THREADS: u32 = 4;
 
@@ -45,7 +44,10 @@ pub fn nfs(ops: usize, seed: u64) -> AppRun {
     // 8 logical NFS clients multiplexed onto the 4 hardware threads.
     m.trace_mut().set_enabled(true);
     let mut jitter = SmallRng::seed_from_u64(seed ^ 0x9f5);
-    for (i, op) in workloads::fileserver(n_files, ops, 65_536, seed).into_iter().enumerate() {
+    for (i, op) in workloads::fileserver(n_files, ops, 65_536, seed)
+        .into_iter()
+        .enumerate()
+    {
         let client = i % 8;
         let tid = Tid((client % THREADS as usize) as u32);
         // RPC decode, export lookup, reply marshalling.
@@ -102,7 +104,10 @@ pub fn exim(msgs: usize, seed: u64) -> AppRun {
     let mut pace = SmallRng::seed_from_u64(seed ^ 0xe41);
 
     m.trace_mut().set_enabled(true);
-    for (i, msg) in workloads::postal(n_mailboxes, msgs, 24_576, seed).into_iter().enumerate() {
+    for (i, msg) in workloads::postal(n_mailboxes, msgs, 24_576, seed)
+        .into_iter()
+        .enumerate()
+    {
         let tid = Tid((i % THREADS as usize) as u32);
         // SMTP session + routing + the three child processes' work.
         arena.work(&mut m, tid, 150);
@@ -121,7 +126,11 @@ pub fn exim(msgs: usize, seed: u64) -> AppRun {
         // SMTP DATA phase completes; the delivery child takes over.
         m.advance_ns(300_000);
         // 2. Append to the per-user mailbox (rotate if huge).
-        if fs.stat(&mut m, tid, &mbox).map(|s| s.size > 1 << 20).unwrap_or(false) {
+        if fs
+            .stat(&mut m, tid, &mbox)
+            .map(|s| s.size > 1 << 20)
+            .unwrap_or(false)
+        {
             fs.truncate(&mut m, tid, &mbox, 0).expect("rotate");
         }
         if fs.stat(&mut m, tid, &mbox).is_err() {
@@ -132,8 +141,13 @@ pub fn exim(msgs: usize, seed: u64) -> AppRun {
         // Delivery bookkeeping before logging.
         m.advance_ns(300_000);
         // 3. Log the delivery.
-        fs.append(&mut m, tid, "/mainlog", format!("delivered m{i} to {mbox}\n").as_bytes())
-            .expect("log");
+        fs.append(
+            &mut m,
+            tid,
+            "/mainlog",
+            format!("delivered m{i} to {mbox}\n").as_bytes(),
+        )
+        .expect("log");
         // 4. Remove the spool file.
         fs.unlink(&mut m, tid, &spool).expect("unspool");
     }
@@ -158,7 +172,8 @@ pub fn mysql(txs: usize, seed: u64) -> AppRun {
     m.trace_mut().set_enabled(false);
     let total = n_rows * ROW;
     for off in (0..total).step_by(4096) {
-        fs.write(&mut m, Tid(0), "/ibdata", off as u64, &[1u8; 4096]).expect("load");
+        fs.write(&mut m, Tid(0), "/ibdata", off as u64, &[1u8; 4096])
+            .expect("load");
     }
     m.trace_mut().set_enabled(true);
     let row_off = |r: u64| r * ROW as u64;
@@ -171,7 +186,13 @@ pub fn mysql(txs: usize, seed: u64) -> AppRun {
             let _ = fs.read(&mut m, tid, "/ibdata", row_off(*r), ROW);
         }
         let (start, len) = tx.range;
-        let _ = fs.read(&mut m, tid, "/ibdata", row_off(start % n_rows as u64), (len as usize * ROW).min(16_384));
+        let _ = fs.read(
+            &mut m,
+            tid,
+            "/ibdata",
+            row_off(start % n_rows as u64),
+            (len as usize * ROW).min(16_384),
+        );
         for r in &tx.updates {
             // Per-statement planning/execution time separates the
             // statements' metadata updates beyond the 50us window.
@@ -181,11 +202,18 @@ pub fn mysql(txs: usize, seed: u64) -> AppRun {
         }
         // insert+delete pair modeled as a row rewrite + tombstone.
         m.advance_ns(120_000);
-        fs.write(&mut m, tid, "/ibdata", row_off(tx.insert_delete), &[0u8; ROW])
-            .expect("insert/delete");
+        fs.write(
+            &mut m,
+            tid,
+            "/ibdata",
+            row_off(tx.insert_delete),
+            &[0u8; ROW],
+        )
+        .expect("insert/delete");
         // Binlog record for the write set.
         m.advance_ns(120_000);
-        fs.append(&mut m, tid, "/binlog", &vec![i as u8; 256]).expect("binlog");
+        fs.append(&mut m, tid, "/binlog", &vec![i as u8; 256])
+            .expect("binlog");
     }
     AppRun::collect("mysql", "sysbench OLTP-complex / 4 clients", m)
 }
@@ -202,7 +230,10 @@ mod tests {
         let hist = analysis::epoch_size_histogram(&epochs);
         // Figure 4: PMFS apps have a ≥64-line mode from 4 KB blocks.
         assert!(hist.buckets[6] > 0, "no 64-line epochs: {hist}");
-        assert!(hist.singleton_fraction() < 0.7, "PMFS is not singleton-dominated");
+        assert!(
+            hist.singleton_fraction() < 0.7,
+            "PMFS is not singleton-dominated"
+        );
     }
 
     #[test]

@@ -18,12 +18,11 @@ use crate::region::RegionPlanner;
 use crate::workloads::{self, MemslapOp};
 use memsim::{Machine, MachineConfig, PmWriter};
 use pmalloc::ShardedSlab;
-use pmem::Addr;
 use pmds::{PHashMap, PLruList};
+use pmem::Addr;
+use pmrand::{Rng, SeedableRng, SmallRng};
 use pmtrace::Tid;
 use pmtx::RedoTxEngine;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
 const THREADS: u32 = 4;
@@ -97,7 +96,13 @@ impl Memcached {
                 {
                     self.lru_nodes.remove(&victim);
                     self.table
-                        .remove(m, &mut self.eng, tid, &mut self.alloc, &victim.to_le_bytes())
+                        .remove(
+                            m,
+                            &mut self.eng,
+                            tid,
+                            &mut self.alloc,
+                            &victim.to_le_bytes(),
+                        )
                         .expect("evict item");
                 }
             }
@@ -130,7 +135,10 @@ pub fn run(ops: usize, seed: u64) -> AppRun {
     let capacity = keyspace;
 
     m.trace_mut().set_enabled(true);
-    for (i, op) in workloads::memslap(keyspace, ops, 5, seed).into_iter().enumerate() {
+    for (i, op) in workloads::memslap(keyspace, ops, 5, seed)
+        .into_iter()
+        .enumerate()
+    {
         let tid = Tid((i % THREADS as usize) as u32);
         // Protocol parsing, connection state, item header checks.
         arena.work(&mut m, tid, 250);
@@ -168,7 +176,11 @@ mod tests {
         let median = analysis::tx_stats(&epochs).median().unwrap();
         assert!((3..=25).contains(&median), "memcached median {median}");
         let hist = analysis::epoch_size_histogram(&epochs);
-        assert!(hist.singleton_fraction() > 0.5, "singletons {}", hist.singleton_fraction());
+        assert!(
+            hist.singleton_fraction() > 0.5,
+            "singletons {}",
+            hist.singleton_fraction()
+        );
     }
 
     #[test]
@@ -205,7 +217,9 @@ mod tests {
         let mut eng2 = RedoTxEngine::recover(&mut m2, Tid(0), log, THREADS);
         let table2 = PHashMap::open(&mut m2, Tid(0), head).unwrap();
         assert_eq!(
-            table2.get(&mut m2, &mut eng2, Tid(0), &99u64.to_le_bytes()).as_deref(),
+            table2
+                .get(&mut m2, &mut eng2, Tid(0), &99u64.to_le_bytes())
+                .as_deref(),
             Some(&b"cached!!"[..])
         );
     }

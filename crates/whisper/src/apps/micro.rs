@@ -16,10 +16,9 @@ use crate::region::RegionPlanner;
 use memsim::{Machine, MachineConfig, PmWriter};
 use pmalloc::ShardedSlab;
 use pmds::{CritBitTree, PHashMap};
+use pmrand::{Rng, SeedableRng, SmallRng};
 use pmtrace::Tid;
 use pmtx::UndoTxEngine;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 const THREADS: u32 = 4;
 
@@ -78,7 +77,8 @@ pub(crate) fn ctree_inner(ops: usize, seed: u64, paced: bool) -> AppRun {
     env.m.trace_mut().set_enabled(true);
     for i in 0..ops {
         let tid = Tid((i % THREADS as usize) as u32);
-        env.arena.work(&mut env.m, tid, if paced { 900 } else { 300 });
+        env.arena
+            .work(&mut env.m, tid, if paced { 900 } else { 300 });
         // The benchmark driver's per-op loop overhead.
         if paced {
             env.m.advance_ns(11_000);
@@ -87,8 +87,15 @@ pub(crate) fn ctree_inner(ops: usize, seed: u64, paced: bool) -> AppRun {
         env.alloc.select(tid.0 as usize);
         env.eng.begin(&mut env.m, tid).expect("tx");
         if rng.gen_range(0..100) < 85 {
-            tree.insert(&mut env.m, &mut env.eng, tid, &mut env.alloc, &key, i as u64)
-                .expect("insert");
+            tree.insert(
+                &mut env.m,
+                &mut env.eng,
+                tid,
+                &mut env.alloc,
+                &key,
+                i as u64,
+            )
+            .expect("insert");
         } else {
             tree.remove(&mut env.m, &mut env.eng, tid, &mut env.alloc, &key)
                 .expect("remove");
@@ -122,7 +129,8 @@ pub(crate) fn hashmap_inner(ops: usize, seed: u64, paced: bool) -> AppRun {
     env.m.trace_mut().set_enabled(true);
     for i in 0..ops {
         let tid = Tid((i % THREADS as usize) as u32);
-        env.arena.work(&mut env.m, tid, if paced { 850 } else { 280 });
+        env.arena
+            .work(&mut env.m, tid, if paced { 850 } else { 280 });
         if paced {
             env.m.advance_ns(6_500);
         }
@@ -130,8 +138,15 @@ pub(crate) fn hashmap_inner(ops: usize, seed: u64, paced: bool) -> AppRun {
         env.alloc.select(tid.0 as usize);
         env.eng.begin(&mut env.m, tid).expect("tx");
         if rng.gen_range(0..100) < 85 {
-            map.insert(&mut env.m, &mut env.eng, tid, &mut env.alloc, &key, &[i as u8; 32])
-                .expect("insert");
+            map.insert(
+                &mut env.m,
+                &mut env.eng,
+                tid,
+                &mut env.alloc,
+                &key,
+                &[i as u8; 32],
+            )
+            .expect("insert");
         } else {
             map.remove(&mut env.m, &mut env.eng, tid, &mut env.alloc, &key)
                 .expect("remove");

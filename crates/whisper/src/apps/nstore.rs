@@ -21,8 +21,8 @@ use crate::region::RegionPlanner;
 use crate::workloads::{self, TpccTx, YcsbOp};
 use memsim::{Machine, MachineConfig, PmWriter};
 use pmalloc::{BuddyAlloc, PmAllocator};
-use pmem::Addr;
 use pmds::{PBTree, PHashMap};
+use pmem::Addr;
 use pmtrace::{Category, Tid};
 use pmtx::{TxMem, UndoTxEngine};
 
@@ -70,7 +70,9 @@ impl NStore {
             alloc,
             index,
             ordered,
-            partitions: (0..THREADS as u64).map(|i| part_region.base + i * 64).collect(),
+            partitions: (0..THREADS as u64)
+                .map(|i| part_region.base + i * 64)
+                .collect(),
             log_region,
             index_head: index_region.base,
         }
@@ -86,7 +88,13 @@ impl NStore {
             .expect("partition txid");
         let count = self.eng.tx_read_u64(m, tid, hdr + 8);
         self.eng
-            .tx_write_u64(m, tid, hdr + 8, count.checked_add_signed(delta).expect("count"), Category::AppMeta)
+            .tx_write_u64(
+                m,
+                tid,
+                hdr + 8,
+                count.checked_add_signed(delta).expect("count"),
+                Category::AppMeta,
+            )
             .expect("partition count");
     }
 
@@ -95,15 +103,30 @@ impl NStore {
     fn insert_tuple(&mut self, m: &mut Machine, tid: Tid, key: u64, fill: u8) -> Addr {
         let mut w = PmWriter::new(tid);
         let tuple = self.alloc.alloc(m, &mut w, TUPLE_BYTES).expect("heap");
-        self.eng.tx_write_u64(m, tid, tuple, key, Category::UserData).expect("key");
+        self.eng
+            .tx_write_u64(m, tid, tuple, key, Category::UserData)
+            .expect("key");
         // set_varchar-style per-field writes (Figure 2's PM_STRCPY).
         for f in 0..FIELDS {
             self.eng
-                .tx_write(m, tid, tuple + 8 + (f * FIELD_BYTES) as u64, &[fill; FIELD_BYTES], Category::UserData)
+                .tx_write(
+                    m,
+                    tid,
+                    tuple + 8 + (f * FIELD_BYTES) as u64,
+                    &[fill; FIELD_BYTES],
+                    Category::UserData,
+                )
                 .expect("field");
         }
         self.index
-            .insert(m, &mut self.eng, tid, &mut self.alloc, &key.to_le_bytes(), &tuple.to_le_bytes())
+            .insert(
+                m,
+                &mut self.eng,
+                tid,
+                &mut self.alloc,
+                &key.to_le_bytes(),
+                &tuple.to_le_bytes(),
+            )
             .expect("index");
         self.ordered
             .insert(m, &mut self.eng, tid, &mut self.alloc, key, tuple)
@@ -125,7 +148,13 @@ impl NStore {
     fn update_fields(&mut self, m: &mut Machine, tid: Tid, tuple: Addr, fields: u8, fill: u8) {
         for f in 0..(fields as usize).min(FIELDS) {
             self.eng
-                .tx_write(m, tid, tuple + 8 + (f * FIELD_BYTES) as u64, &[fill; FIELD_BYTES], Category::UserData)
+                .tx_write(
+                    m,
+                    tid,
+                    tuple + 8 + (f * FIELD_BYTES) as u64,
+                    &[fill; FIELD_BYTES],
+                    Category::UserData,
+                )
                 .expect("field");
         }
     }
@@ -156,7 +185,10 @@ pub(crate) fn run_ycsb_inner(ops: usize, seed: u64, paced: bool) -> AppRun {
     }
     m.trace_mut().set_enabled(true);
 
-    for (i, op) in workloads::ycsb(n_keys, ops, 80, seed).into_iter().enumerate() {
+    for (i, op) in workloads::ycsb(n_keys, ops, 80, seed)
+        .into_iter()
+        .enumerate()
+    {
         let tid = Tid((i % THREADS as usize) as u32);
         arena.work(&mut m, tid, if paced { 800 } else { 40 });
         match op {
@@ -195,7 +227,11 @@ pub fn run_tpcc(txs: usize, seed: u64) -> AppRun {
     let n_customers = 200;
     let n_items = 400;
     for key in 0..(n_customers + n_items) as u64 {
-        let key = if key < n_customers as u64 { key } else { 1_000_000 + key };
+        let key = if key < n_customers as u64 {
+            key
+        } else {
+            1_000_000 + key
+        };
         let tid = Tid((key % THREADS as u64) as u32);
         db.eng.begin(&mut m, tid).expect("load tx");
         db.insert_tuple(&mut m, tid, key, 1);
@@ -204,7 +240,10 @@ pub fn run_tpcc(txs: usize, seed: u64) -> AppRun {
     m.trace_mut().set_enabled(true);
 
     let mut next_order: u64 = 2_000_000;
-    for (i, tx) in workloads::tpcc(n_customers, n_items, txs, seed).into_iter().enumerate() {
+    for (i, tx) in workloads::tpcc(n_customers, n_items, txs, seed)
+        .into_iter()
+        .enumerate()
+    {
         let tid = Tid((i % THREADS as usize) as u32);
         arena.work(&mut m, tid, 2600);
         match tx {
@@ -216,7 +255,9 @@ pub fn run_tpcc(txs: usize, seed: u64) -> AppRun {
                 for item in &items {
                     db.insert_tuple(&mut m, tid, next_order, *item as u8);
                     next_order += 1;
-                    if let Some(stock) = db.find_tuple(&mut m, tid, 1_000_000 + n_customers as u64 + item) {
+                    if let Some(stock) =
+                        db.find_tuple(&mut m, tid, 1_000_000 + n_customers as u64 + item)
+                    {
                         db.update_fields(&mut m, tid, stock, 2, 2);
                     }
                 }
@@ -273,7 +314,12 @@ pub fn run_ycsb_sp(ops: usize, seed: u64) -> AppRun {
         let mut w = PmWriter::new(tid);
         let tuple = alloc.alloc(m, &mut w, TUPLE_BYTES).expect("heap");
         w.write_u64(m, tuple, key, Category::UserData);
-        w.write(m, tuple + 8, &[fill; FIELDS * FIELD_BYTES], Category::UserData);
+        w.write(
+            m,
+            tuple + 8,
+            &[fill; FIELDS * FIELD_BYTES],
+            Category::UserData,
+        );
         // The whole version becomes durable before it is published.
         w.durability_fence(m);
         // Atomic 8-byte pointer swing publishes it.
@@ -288,11 +334,20 @@ pub fn run_ycsb_sp(ops: usize, seed: u64) -> AppRun {
         tuple
     };
     for key in 0..n_keys as u64 {
-        write_version(&mut m, &mut alloc, Tid((key % THREADS as u64) as u32), key, 0xAB);
+        write_version(
+            &mut m,
+            &mut alloc,
+            Tid((key % THREADS as u64) as u32),
+            key,
+            0xAB,
+        );
     }
     m.trace_mut().set_enabled(true);
 
-    for (i, op) in workloads::ycsb(n_keys, ops, 80, seed).into_iter().enumerate() {
+    for (i, op) in workloads::ycsb(n_keys, ops, 80, seed)
+        .into_iter()
+        .enumerate()
+    {
         let tid = Tid((i % THREADS as usize) as u32);
         arena.work(&mut m, tid, 800);
         match op {
@@ -317,7 +372,11 @@ pub fn run_ycsb_sp(ops: usize, seed: u64) -> AppRun {
         }
     }
 
-    AppRun::collect("nstore-ycsb-sp", "YCSB like / OPTSP shadow-paging engine", m)
+    AppRun::collect(
+        "nstore-ycsb-sp",
+        "YCSB like / OPTSP shadow-paging engine",
+        m,
+    )
 }
 
 #[cfg(test)]
@@ -343,8 +402,12 @@ mod tests {
     fn tpcc_transactions_are_much_larger() {
         let y = run_ycsb(200, 5);
         let t = run_tpcc(100, 5);
-        let ym = analysis::tx_stats(&analysis::split_epochs(&y.events)).median().unwrap();
-        let tm = analysis::tx_stats(&analysis::split_epochs(&t.events)).median().unwrap();
+        let ym = analysis::tx_stats(&analysis::split_epochs(&y.events))
+            .median()
+            .unwrap();
+        let tm = analysis::tx_stats(&analysis::split_epochs(&t.events))
+            .median()
+            .unwrap();
         assert!(tm > ym * 2, "TPC-C median {tm} vs YCSB {ym}");
         assert!(tm > 100, "TPC-C well over a hundred epochs: {tm}");
     }
@@ -356,7 +419,9 @@ mod tests {
         let wal = run_ycsb(300, 5);
         let sp = run_ycsb_sp(300, 5);
         let med = |r: &AppRun| {
-            analysis::tx_stats(&analysis::split_epochs(&r.events)).median().unwrap()
+            analysis::tx_stats(&analysis::split_epochs(&r.events))
+                .median()
+                .unwrap()
         };
         assert!(
             med(&sp) * 3 <= med(&wal),
@@ -366,7 +431,11 @@ mod tests {
         );
         // And its amplification is mostly allocator metadata.
         let amp = analysis::amplification(&analysis::split_epochs(&sp.events));
-        assert!(amp.amplification().unwrap() < 2.0, "SP amplification {:?}", amp.amplification());
+        assert!(
+            amp.amplification().unwrap() < 2.0,
+            "SP amplification {:?}",
+            amp.amplification()
+        );
     }
 
     #[test]
@@ -403,9 +472,15 @@ mod tests {
         let mut m2 = Machine::from_image(MachineConfig::asplos17(), &img);
         let mut eng2 = UndoTxEngine::recover(&mut m2, Tid(0), log, THREADS);
         let index2 = PHashMap::open(&mut m2, Tid(0), index_head).unwrap();
-        let taddr = index2.get(&mut m2, &mut eng2, Tid(0), &42u64.to_le_bytes()).expect("tuple indexed");
+        let taddr = index2
+            .get(&mut m2, &mut eng2, Tid(0), &42u64.to_le_bytes())
+            .expect("tuple indexed");
         let taddr = u64::from_le_bytes(taddr.try_into().unwrap());
         let field = m2.load_vec(Tid(0), taddr + 8, FIELD_BYTES);
-        assert_eq!(field, vec![0xCD; FIELD_BYTES], "uncommitted update rolled back");
+        assert_eq!(
+            field,
+            vec![0xCD; FIELD_BYTES],
+            "uncommitted update rolled back"
+        );
     }
 }

@@ -20,8 +20,8 @@ use crate::region::RegionPlanner;
 use crate::workloads;
 use memsim::{Machine, MachineConfig, PmWriter};
 use pmalloc::SlabBitmapAlloc;
-use pmem::Addr;
 use pmds::PHashMap;
+use pmem::Addr;
 use pmtrace::Tid;
 use pmtx::UndoTxEngine;
 use std::collections::VecDeque;
@@ -101,7 +101,14 @@ pub(crate) fn run_inner(ops: usize, seed: u64, paced: bool) -> AppRun {
                 if op.key % 8 == 0 {
                     r.eng.begin(&mut m, SERVER).expect("tx");
                     r.dict
-                        .insert(&mut m, &mut r.eng, SERVER, &mut r.alloc, &key, &[op.key as u8; 64])
+                        .insert(
+                            &mut m,
+                            &mut r.eng,
+                            SERVER,
+                            &mut r.alloc,
+                            &key,
+                            &[op.key as u8; 64],
+                        )
                         .expect("overwrite");
                     r.eng.commit(&mut m, SERVER).expect("commit");
                 }
@@ -110,7 +117,14 @@ pub(crate) fn run_inner(ops: usize, seed: u64, paced: bool) -> AppRun {
                 // Miss: SET, evicting if over capacity.
                 r.eng.begin(&mut m, SERVER).expect("tx");
                 r.dict
-                    .insert(&mut m, &mut r.eng, SERVER, &mut r.alloc, &key, &[op.key as u8; 64])
+                    .insert(
+                        &mut m,
+                        &mut r.eng,
+                        SERVER,
+                        &mut r.alloc,
+                        &key,
+                        &[op.key as u8; 64],
+                    )
                     .expect("insert");
                 r.eng.commit(&mut m, SERVER).expect("commit");
                 live.push_back(op.key);
@@ -155,7 +169,10 @@ mod tests {
             "self-dep fraction {} too low for an NVML app",
             deps.self_fraction()
         );
-        assert!(deps.cross_fraction() < 0.01, "single-threaded: no cross-deps");
+        assert!(
+            deps.cross_fraction() < 0.01,
+            "single-threaded: no cross-deps"
+        );
     }
 
     #[test]
@@ -164,7 +181,14 @@ mod tests {
         let mut r = Redis::build(&mut m);
         r.eng.begin(&mut m, SERVER).unwrap();
         r.dict
-            .insert(&mut m, &mut r.eng, SERVER, &mut r.alloc, b"cached", b"value")
+            .insert(
+                &mut m,
+                &mut r.eng,
+                SERVER,
+                &mut r.alloc,
+                b"cached",
+                b"value",
+            )
             .unwrap();
         r.eng.commit(&mut m, SERVER).unwrap();
         let log = r.log_region;

@@ -19,12 +19,11 @@ use super::{AppRun, VolatileArena};
 use crate::region::RegionPlanner;
 use memsim::{Machine, MachineConfig, PmWriter};
 use pmalloc::{PmAllocator, ShardedSlab};
-use pmem::Addr;
 use pmds::PRbTree;
+use pmem::Addr;
+use pmrand::{Rng, SeedableRng, SmallRng};
 use pmtrace::{Category, Tid};
 use pmtx::{RedoTxEngine, TxMem};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 const THREADS: u32 = 4;
 /// Reservation list node: next u64, resource u64, count u64.
@@ -54,8 +53,14 @@ impl Vacation {
         let mut alloc = ShardedSlab::format(m, &mut w, heap.base, 64 << 20, THREADS as usize);
         eng.begin(m, Tid(0)).expect("setup tx");
         let tables = [(); 3].map(|_| {
-            PRbTree::create(m, &mut eng, Tid(0), &mut alloc, plan.take(pmds::RBTREE_REGION_BYTES))
-                .expect("table")
+            PRbTree::create(
+                m,
+                &mut eng,
+                Tid(0),
+                &mut alloc,
+                plan.take(pmds::RBTREE_REGION_BYTES),
+            )
+            .expect("table")
         });
         let customers = PRbTree::create(
             m,
@@ -91,7 +96,15 @@ impl Vacation {
     }
 
     /// Reserve one unit of `item` in table `t` for `customer`.
-    fn reserve(&mut self, m: &mut Machine, tid: Tid, t: usize, item: u64, customer: u64, update_counter: bool) {
+    fn reserve(
+        &mut self,
+        m: &mut Machine,
+        tid: Tid,
+        t: usize,
+        item: u64,
+        customer: u64,
+        update_counter: bool,
+    ) {
         self.alloc.select(tid.0 as usize);
         self.eng.begin(m, tid).expect("tx");
         if let Some(avail) = self.tables[t].get(m, &mut self.eng, tid, item) {
@@ -100,14 +113,27 @@ impl Vacation {
                     .insert(m, &mut self.eng, tid, &mut self.alloc, item, avail - 1)
                     .expect("update avail");
                 // Prepend to the customer's reservation linked list.
-                let head = self.customers.get(m, &mut self.eng, tid, customer).unwrap_or(0);
+                let head = self
+                    .customers
+                    .get(m, &mut self.eng, tid, customer)
+                    .unwrap_or(0);
                 let mut w = PmWriter::new(tid);
                 let node = self.alloc.alloc(m, &mut w, RNODE_BYTES).expect("heap");
-                self.eng.tx_write_u64(m, tid, node, head, Category::UserData).expect("node");
                 self.eng
-                    .tx_write_u64(m, tid, node + 8, (t as u64) << 32 | item, Category::UserData)
+                    .tx_write_u64(m, tid, node, head, Category::UserData)
                     .expect("node");
-                self.eng.tx_write_u64(m, tid, node + 16, 1, Category::UserData).expect("node");
+                self.eng
+                    .tx_write_u64(
+                        m,
+                        tid,
+                        node + 8,
+                        (t as u64) << 32 | item,
+                        Category::UserData,
+                    )
+                    .expect("node");
+                self.eng
+                    .tx_write_u64(m, tid, node + 16, 1, Category::UserData)
+                    .expect("node");
                 self.customers
                     .insert(m, &mut self.eng, tid, &mut self.alloc, customer, node)
                     .expect("customer");
@@ -221,7 +247,11 @@ mod tests {
         let run = run(500, 8);
         let epochs = analysis::split_epochs(&run.events);
         let deps = analysis::dependencies(&epochs);
-        assert!(deps.cross_fraction() < 0.15, "cross {}", deps.cross_fraction());
+        assert!(
+            deps.cross_fraction() < 0.15,
+            "cross {}",
+            deps.cross_fraction()
+        );
         assert!(deps.self_fraction() > 0.2, "self {}", deps.self_fraction());
     }
 

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! whisper-report [EXPERIMENT] [--scale X] [--seed N] [--apps a,b,c]
+//!                [--parallel N] [--timing]
 //!                [--dump-traces DIR] [--from-trace FILE]
 //!
 //! EXPERIMENT: table1 | fig3 | fig4 | fig5 | fig6 | fig10 |
@@ -9,13 +10,20 @@
 //!             consequences | all (default)
 //! ```
 //!
+//! Applications run in parallel across one worker per core by default;
+//! `--parallel N` overrides the worker count (`--parallel 1` forces the
+//! serial runner). `--timing` runs the selected applications twice —
+//! serially, then in parallel — and reports both wall-clock times and
+//! the speedup instead of a paper table.
+//!
 //! `--dump-traces DIR` archives each application's event stream as a
 //! binary `.wtr` file (the `pmtrace::codec` format); `--from-trace
 //! FILE` re-analyzes such an archive offline instead of running a
 //! workload.
 
+use std::time::Instant;
 use whisper::report;
-use whisper::suite::{analyze, run_app, AppResult, SuiteConfig, APP_NAMES};
+use whisper::suite::{analyze, run_apps, AppResult, SuiteConfig, APP_NAMES};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -24,6 +32,7 @@ fn main() {
     let mut apps: Vec<String> = APP_NAMES.iter().map(|s| s.to_string()).collect();
     let mut dump_dir: Option<String> = None;
     let mut from_trace: Option<String> = None;
+    let mut timing = false;
 
     let mut i = 0;
     while i < args.len() {
@@ -42,6 +51,14 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--seed needs an integer"));
             }
+            "--parallel" => {
+                i += 1;
+                cfg.parallelism = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--parallel needs a worker count"));
+            }
+            "--timing" => timing = true,
             "--apps" => {
                 i += 1;
                 apps = args
@@ -69,7 +86,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: whisper-report [table1|fig3|fig4|fig5|fig6|fig10|amplification|ntfraction|smallwrites|all] [--scale X] [--seed N] [--apps a,b,c]"
+                    "usage: whisper-report [table1|fig3|fig4|fig5|fig6|fig10|amplification|ntfraction|smallwrites|all] [--scale X] [--seed N] [--apps a,b,c] [--parallel N] [--timing]"
                 );
                 return;
             }
@@ -84,11 +101,12 @@ fn main() {
             die(&format!("unknown app {a:?}; valid: {APP_NAMES:?}"));
         }
     }
+    let names: Vec<&str> = apps.iter().map(|s| s.as_str()).collect();
 
     if let Some(path) = from_trace {
         // Offline mode: analyze an archived trace instead of running.
-        let bytes = std::fs::read(&path)
-            .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+        let bytes =
+            std::fs::read(&path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
         let events = pmtrace::decode_events(&bytes)
             .unwrap_or_else(|e| die(&format!("cannot decode {path}: {e}")));
         let duration_ns = events.last().map(|e| e.at_ns).unwrap_or(0);
@@ -100,34 +118,41 @@ fn main() {
             duration_ns,
             threads: 4,
         };
+        // The Figure 10 table only renders the named gem5-subset apps,
+        // which an archive path can never match — skip the replay
+        // rather than pay for five passes nobody will see.
         let analysis = analyze(&run);
         let results = vec![AppResult { run, analysis }];
         println!("{}", report::all(&results));
         return;
     }
 
+    if timing {
+        run_timing_comparison(&names, &cfg);
+        return;
+    }
+
     eprintln!(
-        "running {} app(s) at scale {} (seed {})...",
-        apps.len(),
+        "running {} app(s) at scale {} (seed {}, {} worker{})...",
+        names.len(),
         cfg.scale,
-        cfg.seed
+        cfg.seed,
+        cfg.parallelism,
+        if cfg.parallelism == 1 { "" } else { "s" },
     );
-    let results: Vec<AppResult> = apps
-        .iter()
-        .map(|name| {
-            eprintln!("  {name}...");
-            let r = run_app(name, &cfg);
-            if let Some(dir) = &dump_dir {
-                std::fs::create_dir_all(dir)
-                    .unwrap_or_else(|e| die(&format!("cannot create {dir}: {e}")));
-                let path = format!("{dir}/{name}.wtr");
-                std::fs::write(&path, pmtrace::encode_events(&r.run.events))
-                    .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
-                eprintln!("    trace archived to {path}");
-            }
-            r
-        })
-        .collect();
+    let started = Instant::now();
+    let results = run_apps(&names, &cfg);
+    eprintln!("suite finished in {:.2?}", started.elapsed());
+
+    if let Some(dir) = &dump_dir {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| die(&format!("cannot create {dir}: {e}")));
+        for r in &results {
+            let path = format!("{dir}/{}.wtr", r.run.name);
+            std::fs::write(&path, pmtrace::encode_events(&r.run.events))
+                .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+            eprintln!("  trace archived to {path}");
+        }
+    }
 
     let text = match experiment.as_str() {
         "table1" => report::table1(&results),
@@ -144,6 +169,57 @@ fn main() {
         other => die(&format!("unknown experiment {other:?}")),
     };
     println!("{text}");
+}
+
+/// `--timing`: the suite wall-clock harness. Runs the selected apps
+/// serially and then with the configured parallelism, checks the two
+/// result sets agree, and prints the comparison.
+fn run_timing_comparison(names: &[&str], cfg: &SuiteConfig) {
+    let serial_cfg = SuiteConfig {
+        parallelism: 1,
+        ..*cfg
+    };
+    let workers = cfg.parallelism.max(2);
+    let parallel_cfg = SuiteConfig {
+        parallelism: workers,
+        ..*cfg
+    };
+
+    eprintln!(
+        "timing {} app(s) at scale {} (seed {})...",
+        names.len(),
+        cfg.scale,
+        cfg.seed
+    );
+
+    eprintln!("  serial run...");
+    let t0 = Instant::now();
+    let serial = run_apps(names, &serial_cfg);
+    let serial_elapsed = t0.elapsed();
+
+    eprintln!("  parallel run ({workers} workers)...");
+    let t1 = Instant::now();
+    let parallel = run_apps(names, &parallel_cfg);
+    let parallel_elapsed = t1.elapsed();
+
+    for (a, b) in serial.iter().zip(&parallel) {
+        if a.run.events != b.run.events || a.run.duration_ns != b.run.duration_ns {
+            die(&format!(
+                "determinism violation: {} differs between runners",
+                a.run.name
+            ));
+        }
+    }
+
+    let speedup = serial_elapsed.as_secs_f64() / parallel_elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "Suite wall-clock ({} apps, scale {}):",
+        names.len(),
+        cfg.scale
+    );
+    println!("  serial   (1 worker):  {serial_elapsed:>10.2?}");
+    println!("  parallel ({workers} workers): {parallel_elapsed:>10.2?}");
+    println!("  speedup: {speedup:.2}x  (results verified identical)");
 }
 
 fn die(msg: &str) -> ! {

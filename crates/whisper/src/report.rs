@@ -31,17 +31,94 @@ pub struct PaperRow {
 
 /// The paper's numbers, transcribed from Table 1 and Figures 3, 5, 6.
 pub const PAPER: [PaperRow; 11] = [
-    PaperRow { name: "echo", epochs_per_sec: 1.6e6, fig3_median: 307, fig5_self_pct: 54.5, fig5_cross_pct: 0.01, fig6_pm_pct: Some(5.49) },
-    PaperRow { name: "nstore-ycsb", epochs_per_sec: 5.0e6, fig3_median: 42, fig5_self_pct: 40.2, fig5_cross_pct: 0.003, fig6_pm_pct: Some(8.71) },
-    PaperRow { name: "nstore-tpcc", epochs_per_sec: 7.3e6, fig3_median: 197, fig5_self_pct: 27.18, fig5_cross_pct: 0.03, fig6_pm_pct: None },
-    PaperRow { name: "redis", epochs_per_sec: 1.3e6, fig3_median: 6, fig5_self_pct: 82.5, fig5_cross_pct: 0.0, fig6_pm_pct: Some(0.74) },
-    PaperRow { name: "ctree", epochs_per_sec: 1.0e6, fig3_median: 11, fig5_self_pct: 79.0, fig5_cross_pct: 0.0, fig6_pm_pct: Some(3.32) },
-    PaperRow { name: "hashmap", epochs_per_sec: 1.3e6, fig3_median: 11, fig5_self_pct: 81.0, fig5_cross_pct: 0.0, fig6_pm_pct: Some(2.6) },
-    PaperRow { name: "vacation", epochs_per_sec: 7.0e5, fig3_median: 4, fig5_self_pct: 40.0, fig5_cross_pct: 0.01, fig6_pm_pct: Some(0.36) },
-    PaperRow { name: "memcached", epochs_per_sec: 1.5e6, fig3_median: 4, fig5_self_pct: 63.5, fig5_cross_pct: 0.2, fig6_pm_pct: None },
-    PaperRow { name: "nfs", epochs_per_sec: 2.5e5, fig3_median: 2, fig5_self_pct: 55.0, fig5_cross_pct: 5.0, fig6_pm_pct: None },
-    PaperRow { name: "exim", epochs_per_sec: 6250.0, fig3_median: 5, fig5_self_pct: 45.27, fig5_cross_pct: 1.16, fig6_pm_pct: None },
-    PaperRow { name: "mysql", epochs_per_sec: 6.0e4, fig3_median: 7, fig5_self_pct: 17.89, fig5_cross_pct: 0.04, fig6_pm_pct: None },
+    PaperRow {
+        name: "echo",
+        epochs_per_sec: 1.6e6,
+        fig3_median: 307,
+        fig5_self_pct: 54.5,
+        fig5_cross_pct: 0.01,
+        fig6_pm_pct: Some(5.49),
+    },
+    PaperRow {
+        name: "nstore-ycsb",
+        epochs_per_sec: 5.0e6,
+        fig3_median: 42,
+        fig5_self_pct: 40.2,
+        fig5_cross_pct: 0.003,
+        fig6_pm_pct: Some(8.71),
+    },
+    PaperRow {
+        name: "nstore-tpcc",
+        epochs_per_sec: 7.3e6,
+        fig3_median: 197,
+        fig5_self_pct: 27.18,
+        fig5_cross_pct: 0.03,
+        fig6_pm_pct: None,
+    },
+    PaperRow {
+        name: "redis",
+        epochs_per_sec: 1.3e6,
+        fig3_median: 6,
+        fig5_self_pct: 82.5,
+        fig5_cross_pct: 0.0,
+        fig6_pm_pct: Some(0.74),
+    },
+    PaperRow {
+        name: "ctree",
+        epochs_per_sec: 1.0e6,
+        fig3_median: 11,
+        fig5_self_pct: 79.0,
+        fig5_cross_pct: 0.0,
+        fig6_pm_pct: Some(3.32),
+    },
+    PaperRow {
+        name: "hashmap",
+        epochs_per_sec: 1.3e6,
+        fig3_median: 11,
+        fig5_self_pct: 81.0,
+        fig5_cross_pct: 0.0,
+        fig6_pm_pct: Some(2.6),
+    },
+    PaperRow {
+        name: "vacation",
+        epochs_per_sec: 7.0e5,
+        fig3_median: 4,
+        fig5_self_pct: 40.0,
+        fig5_cross_pct: 0.01,
+        fig6_pm_pct: Some(0.36),
+    },
+    PaperRow {
+        name: "memcached",
+        epochs_per_sec: 1.5e6,
+        fig3_median: 4,
+        fig5_self_pct: 63.5,
+        fig5_cross_pct: 0.2,
+        fig6_pm_pct: None,
+    },
+    PaperRow {
+        name: "nfs",
+        epochs_per_sec: 2.5e5,
+        fig3_median: 2,
+        fig5_self_pct: 55.0,
+        fig5_cross_pct: 5.0,
+        fig6_pm_pct: None,
+    },
+    PaperRow {
+        name: "exim",
+        epochs_per_sec: 6250.0,
+        fig3_median: 5,
+        fig5_self_pct: 45.27,
+        fig5_cross_pct: 1.16,
+        fig6_pm_pct: None,
+    },
+    PaperRow {
+        name: "mysql",
+        epochs_per_sec: 6.0e4,
+        fig3_median: 7,
+        fig5_self_pct: 17.89,
+        fig5_cross_pct: 0.04,
+        fig6_pm_pct: None,
+    },
 ];
 
 /// Figure 10's average normalized runtimes as reported in Section 6.4.
@@ -71,9 +148,15 @@ fn fmt_rate(r: f64) -> String {
 pub fn table1(results: &[AppResult]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Table 1 — Epochs per second");
-    let _ = writeln!(out, "{:<14} {:>12} {:>12}", "benchmark", "measured", "paper");
+    let _ = writeln!(
+        out,
+        "{:<14} {:>12} {:>12}",
+        "benchmark", "measured", "paper"
+    );
     for r in results {
-        let paper = paper_row(&r.run.name).map(|p| fmt_rate(p.epochs_per_sec)).unwrap_or_default();
+        let paper = paper_row(&r.run.name)
+            .map(|p| fmt_rate(p.epochs_per_sec))
+            .unwrap_or_default();
         let _ = writeln!(
             out,
             "{:<14} {:>12} {:>12}",
@@ -88,14 +171,23 @@ pub fn table1(results: &[AppResult]) -> String {
 /// Figure 3: median epochs (ordering points) per transaction.
 pub fn fig3(results: &[AppResult]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 3 — Median transaction size (epochs per transaction)");
-    let _ = writeln!(out, "{:<14} {:>10} {:>10}", "benchmark", "measured", "paper");
+    let _ = writeln!(
+        out,
+        "Figure 3 — Median transaction size (epochs per transaction)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<14} {:>10} {:>10}",
+        "benchmark", "measured", "paper"
+    );
     for r in results {
         let Some(median) = r.analysis.tx_stats.median() else {
             let _ = writeln!(out, "{:<14} {:>10} {:>10}", r.run.name, "n/a", "");
             continue;
         };
-        let paper = paper_row(&r.run.name).map(|p| p.fig3_median.to_string()).unwrap_or_default();
+        let paper = paper_row(&r.run.name)
+            .map(|p| p.fig3_median.to_string())
+            .unwrap_or_default();
         let _ = writeln!(out, "{:<14} {:>10} {:>10}", r.run.name, median, paper);
     }
     out
@@ -104,7 +196,10 @@ pub fn fig3(results: &[AppResult]) -> String {
 /// Figure 4: distribution of epoch sizes in unique 64 B lines.
 pub fn fig4(results: &[AppResult]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 4 — Epoch size distribution (% of epochs per bucket)");
+    let _ = writeln!(
+        out,
+        "Figure 4 — Epoch size distribution (% of epochs per bucket)"
+    );
     let _ = write!(out, "{:<14}", "benchmark");
     for l in SIZE_BUCKET_LABELS {
         let _ = write!(out, "{l:>8}");
@@ -127,7 +222,10 @@ pub fn fig4(results: &[AppResult]) -> String {
 /// Figure 5: self- and cross-dependent epochs as % of all epochs.
 pub fn fig5(results: &[AppResult]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 5 — Epoch dependencies (% of total epochs, 50us window)");
+    let _ = writeln!(
+        out,
+        "Figure 5 — Epoch dependencies (% of total epochs, 50us window)"
+    );
     let _ = writeln!(
         out,
         "{:<14} {:>10} {:>10} {:>11} {:>11}",
@@ -152,10 +250,17 @@ pub fn fig5(results: &[AppResult]) -> String {
 pub fn fig6(results: &[AppResult]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Figure 6 — PM accesses as % of all memory accesses");
-    let _ = writeln!(out, "{:<14} {:>10} {:>10}", "benchmark", "measured", "paper");
+    let _ = writeln!(
+        out,
+        "{:<14} {:>10} {:>10}",
+        "benchmark", "measured", "paper"
+    );
     let mut sum = 0.0;
     let mut n = 0;
-    for r in results.iter().filter(|r| SIM_APPS.contains(&r.run.name.as_str())) {
+    for r in results
+        .iter()
+        .filter(|r| SIM_APPS.contains(&r.run.name.as_str()))
+    {
         let p = paper_row(&r.run.name).and_then(|p| p.fig6_pm_pct);
         let _ = writeln!(
             out,
@@ -168,7 +273,13 @@ pub fn fig6(results: &[AppResult]) -> String {
         n += 1;
     }
     if n > 0 {
-        let _ = writeln!(out, "{:<14} {:>9.2}% {:>9}", "average", sum / n as f64, "3.54%");
+        let _ = writeln!(
+            out,
+            "{:<14} {:>9.2}% {:>9}",
+            "average",
+            sum / n as f64,
+            "3.54%"
+        );
     }
     out
 }
@@ -213,7 +324,10 @@ pub fn fig10(results: &[AppResult]) -> String {
 /// Section 5.2: write amplification by access layer.
 pub fn amplification(results: &[AppResult]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Section 5.2 — Write amplification (overhead bytes per user byte)");
+    let _ = writeln!(
+        out,
+        "Section 5.2 — Write amplification (overhead bytes per user byte)"
+    );
     let _ = writeln!(out, "{:<14} {:>10}  paper", "benchmark", "measured");
     let paper_amp = |name: &str| match name {
         "nfs" | "exim" | "mysql" => "~0.1 (PMFS)",
@@ -229,7 +343,13 @@ pub fn amplification(results: &[AppResult]) -> String {
             .amplification()
             .map(|a| format!("{a:.2}x"))
             .unwrap_or_else(|| "n/a".into());
-        let _ = writeln!(out, "{:<14} {:>10}  {}", r.run.name, a, paper_amp(&r.run.name));
+        let _ = writeln!(
+            out,
+            "{:<14} {:>10}  {}",
+            r.run.name,
+            a,
+            paper_amp(&r.run.name)
+        );
     }
     out
 }
@@ -250,7 +370,13 @@ pub fn nt_fraction(results: &[AppResult]) -> String {
             .nt_fraction
             .map(|f| format!("{:.0}%", f * 100.0))
             .unwrap_or_else(|| "n/a".into());
-        let _ = writeln!(out, "{:<14} {:>10}  {}", r.run.name, v, paper_nt(&r.run.name));
+        let _ = writeln!(
+            out,
+            "{:<14} {:>10}  {}",
+            r.run.name,
+            v,
+            paper_nt(&r.run.name)
+        );
     }
     out
 }
@@ -258,7 +384,10 @@ pub fn nt_fraction(results: &[AppResult]) -> String {
 /// Section 5.1: fraction of singleton epochs under 10 bytes.
 pub fn small_writes(results: &[AppResult]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Section 5.1 — Singleton epochs writing <10 bytes (paper: ~60%)");
+    let _ = writeln!(
+        out,
+        "Section 5.1 — Singleton epochs writing <10 bytes (paper: ~60%)"
+    );
     let _ = writeln!(out, "{:<14} {:>10}", "benchmark", "measured");
     for r in results {
         let v = r
@@ -279,7 +408,10 @@ pub fn consequences(results: &[AppResult]) -> String {
     let _ = writeln!(out, "Section 5 Consequences — checked against this run");
     let get = |name: &str| results.iter().find(|r| r.run.name == name);
     let all_lib = |names: &[&str]| -> Vec<&AppResult> {
-        results.iter().filter(|r| names.contains(&r.run.name.as_str())).collect()
+        results
+            .iter()
+            .filter(|r| names.contains(&r.run.name.as_str()))
+            .collect()
     };
     let mut check = |id: u32, text: &str, pass: bool, evidence: String| {
         let mark = if pass { "PASS" } else { "mixed" };
@@ -321,7 +453,14 @@ pub fn consequences(results: &[AppResult]) -> String {
 
     // C3: singleton epochs dominate.
     let native_lib = all_lib(&[
-        "echo", "nstore-ycsb", "nstore-tpcc", "redis", "ctree", "hashmap", "vacation", "memcached",
+        "echo",
+        "nstore-ycsb",
+        "nstore-tpcc",
+        "redis",
+        "ctree",
+        "hashmap",
+        "vacation",
+        "memcached",
     ]);
     let avg_singleton = native_lib
         .iter()
@@ -332,7 +471,10 @@ pub fn consequences(results: &[AppResult]) -> String {
         3,
         "optimize for singleton epochs",
         avg_singleton > 0.5,
-        format!("native/library singleton average {:.0}%", avg_singleton * 100.0),
+        format!(
+            "native/library singleton average {:.0}%",
+            avg_singleton * 100.0
+        ),
     );
 
     // C4: byte-level persistence (singletons under 10 bytes).
@@ -345,7 +487,10 @@ pub fn consequences(results: &[AppResult]) -> String {
         4,
         "optimize for byte-level persistence",
         avg_small > 0.4,
-        format!("{:.0}% of singletons write <10 bytes on average", avg_small * 100.0),
+        format!(
+            "{:.0}% of singletons write <10 bytes on average",
+            avg_small * 100.0
+        ),
     );
 
     // C5: cross-deps exist but are uncommon.
@@ -362,7 +507,10 @@ pub fn consequences(results: &[AppResult]) -> String {
     );
 
     // C6: self-dependencies frequent -> multi-versioning pays.
-    let avg_self = results.iter().map(|r| r.analysis.deps.self_fraction()).sum::<f64>()
+    let avg_self = results
+        .iter()
+        .map(|r| r.analysis.deps.self_fraction())
+        .sum::<f64>()
         / results.len().max(1) as f64;
     check(
         6,
@@ -404,7 +552,9 @@ pub fn consequences(results: &[AppResult]) -> String {
     );
 
     // C10: cache bypass for low-locality data.
-    let nfs_nt = get("nfs").and_then(|r| r.analysis.nt_fraction).unwrap_or(0.0);
+    let nfs_nt = get("nfs")
+        .and_then(|r| r.analysis.nt_fraction)
+        .unwrap_or(0.0);
     check(
         10,
         "allow bypassing the cache for low-locality data",
@@ -422,7 +572,10 @@ pub fn consequences(results: &[AppResult]) -> String {
         11,
         "persistence hardware must not slow volatile accesses",
         avg_pm < 0.15,
-        format!("PM is only {:.1}% of traffic — DRAM dominates", avg_pm * 100.0),
+        format!(
+            "PM is only {:.1}% of traffic — DRAM dominates",
+            avg_pm * 100.0
+        ),
     );
 
     out
@@ -455,6 +608,7 @@ mod tests {
         let cfg = SuiteConfig {
             scale: 0.008,
             seed: 3,
+            parallelism: 1,
         };
         let results = vec![run_app("hashmap", &cfg), run_app("nfs", &cfg)];
         let text = all(&results);

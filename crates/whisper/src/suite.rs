@@ -1,10 +1,20 @@
 //! Suite driver: run applications, analyze traces, bundle results.
+//!
+//! Table 1 is a *throughput* table, so the driver itself is built for
+//! throughput: applications run in parallel across a scoped thread
+//! pool (each run is seeded and fully self-contained, so results are
+//! bit-identical to the serial order), and each trace is analyzed in a
+//! single streaming pass ([`pmtrace::analysis::Analyzer`]) instead of
+//! one walk per statistic.
 
 use crate::apps::{self, AppRun};
 use hops::{figure10_bars, HopsConfig, PersistModel, TimingConfig};
 use pmtrace::analysis::{
-    self, AmplificationReport, DepStats, EpochSizeHistogram, TxStats,
+    self, AmplificationReport, Analyzer, DepStats, EpochSizeHistogram, TxStats,
 };
+use pmtrace::Event;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// The eleven Table 1 rows (ten applications; N-store contributes two
 /// workloads).
@@ -23,7 +33,14 @@ pub const APP_NAMES: [&str; 11] = [
 ];
 
 /// The six applications the paper runs under gem5 for Figures 6 and 10.
-pub const SIM_APPS: [&str; 6] = ["echo", "nstore-ycsb", "redis", "ctree", "hashmap", "vacation"];
+pub const SIM_APPS: [&str; 6] = [
+    "echo",
+    "nstore-ycsb",
+    "redis",
+    "ctree",
+    "hashmap",
+    "vacation",
+];
 
 /// Suite-wide knobs.
 #[derive(Debug, Clone, Copy)]
@@ -35,6 +52,11 @@ pub struct SuiteConfig {
     pub scale: f64,
     /// Master seed for workloads and interleavings.
     pub seed: u64,
+    /// Worker threads [`run_suite`] fans applications out across.
+    /// `1` (or `0`) runs serially on the caller's thread. Parallelism
+    /// never changes results: every application run is seeded and
+    /// self-contained, and results come back in Table 1 order.
+    pub parallelism: usize,
 }
 
 impl SuiteConfig {
@@ -42,21 +64,30 @@ impl SuiteConfig {
     pub fn quick() -> SuiteConfig {
         SuiteConfig {
             scale: 0.05,
-            seed: 42,
+            ..SuiteConfig::standard()
         }
     }
 
-    /// The default, statistically stable configuration.
+    /// The default, statistically stable configuration: full scale,
+    /// one suite worker per available core.
     pub fn standard() -> SuiteConfig {
         SuiteConfig {
             scale: 1.0,
             seed: 42,
+            parallelism: default_parallelism(),
         }
     }
 
     fn ops(&self, base: usize) -> usize {
         ((base as f64 * self.scale) as usize).max(20)
     }
+}
+
+/// One suite worker per available core (1 if the count is unknown).
+pub fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 impl Default for SuiteConfig {
@@ -100,22 +131,35 @@ pub struct AppResult {
     pub analysis: Analysis,
 }
 
-/// Analyze a finished run.
+/// Analyze a finished run in a single streaming pass over its trace.
+///
+/// The Figure 10 timing replay is **not** performed here: it is by far
+/// the most expensive analysis step (five full-trace replays), and the
+/// right trace to replay depends on the application — the six gem5
+/// subset apps replay a second *unpaced* run, everything else replays
+/// the paced trace. [`run_app`] attaches it via [`fig10_for`];
+/// `Analysis::fig10` stays empty until someone does.
 pub fn analyze(run: &AppRun) -> Analysis {
-    let epochs = analysis::split_epochs(&run.events);
-    let fig10 = figure10_bars(&run.events, &TimingConfig::default(), &HopsConfig::default());
+    let report = Analyzer::analyze_events(&run.events);
     Analysis {
-        epoch_count: epochs.len(),
-        epochs_per_sec: analysis::epochs_per_second(epochs.len(), run.duration_ns),
-        tx_stats: analysis::tx_stats(&epochs),
-        size_hist: analysis::epoch_size_histogram(&epochs),
-        deps: analysis::dependencies(&epochs),
-        amplification: analysis::amplification(&epochs),
-        nt_fraction: analysis::nt_fraction(&epochs),
-        small_singleton_fraction: analysis::small_singleton_fraction(&epochs),
+        epoch_count: report.epoch_count,
+        epochs_per_sec: analysis::epochs_per_second(report.epoch_count, run.duration_ns),
+        tx_stats: report.tx_stats,
+        size_hist: report.size_hist,
+        deps: report.deps,
+        amplification: report.amplification,
+        nt_fraction: report.nt_fraction,
+        small_singleton_fraction: report.small_singleton_fraction,
         pm_fraction: run.stats.pm_fraction(),
-        fig10,
+        fig10: Vec::new(),
     }
+}
+
+/// One Figure 10 replay of a trace under all five persistence models,
+/// with the suite's default timing. Each trace should pass through
+/// here exactly once — the replay dominates analysis cost.
+pub fn fig10_for(events: &[Event]) -> Vec<(PersistModel, f64)> {
+    figure10_bars(events, &TimingConfig::default(), &HopsConfig::default())
 }
 
 /// Run one application by Table 1 name.
@@ -124,6 +168,9 @@ pub fn analyze(run: &AppRun) -> Analysis {
 /// second, *unpaced* run — mirroring the paper's methodology, where
 /// Table 1 rates come from real-hardware runs with full client stacks
 /// while Figures 6 and 10 come from trimmed full-system simulations.
+/// Every trace gets exactly one Figure 10 replay: the paced trace for
+/// regular apps, the unpaced trace for sim apps (the paced trace is
+/// never replayed just to be discarded).
 ///
 /// # Panics
 ///
@@ -145,7 +192,7 @@ pub fn run_app(name: &str, cfg: &SuiteConfig) -> AppResult {
         other => panic!("unknown application {other:?}; expected one of {APP_NAMES:?}"),
     };
     let mut analysis = analyze(&run);
-    if SIM_APPS.contains(&name) {
+    analysis.fig10 = if SIM_APPS.contains(&name) {
         let sim_ops = |base: usize| cfg.ops(base) / 2;
         let sim = match name {
             "echo" => apps::echo::run_unpaced(sim_ops(20_000), seed),
@@ -156,27 +203,65 @@ pub fn run_app(name: &str, cfg: &SuiteConfig) -> AppResult {
             "vacation" => apps::vacation::run_unpaced(sim_ops(10_000), seed),
             _ => unreachable!("SIM_APPS covered above"),
         };
-        analysis.fig10 =
-            figure10_bars(&sim.events, &TimingConfig::default(), &HopsConfig::default());
-    }
+        fig10_for(&sim.events)
+    } else {
+        fig10_for(&run.events)
+    };
     AppResult { run, analysis }
 }
 
-/// Run the whole suite in Table 1 order.
+/// Run the whole suite in Table 1 order, fanned out across
+/// `cfg.parallelism` scoped worker threads (serially when it is 1).
 pub fn run_suite(cfg: &SuiteConfig) -> Vec<AppResult> {
-    APP_NAMES.iter().map(|n| run_app(n, cfg)).collect()
+    run_apps(&APP_NAMES, cfg)
+}
+
+/// Run a chosen set of applications, in the given order.
+///
+/// Workers claim applications from a shared cursor, so a slow app
+/// (echo, nstore) does not serialize the rest behind it; results are
+/// reassembled into input order afterwards. Each [`run_app`] call
+/// builds its own machine, trace, and RNG from `cfg.seed`, so the
+/// result is identical — event-for-event — whatever the parallelism.
+pub fn run_apps(names: &[&str], cfg: &SuiteConfig) -> Vec<AppResult> {
+    let workers = cfg.parallelism.clamp(1, names.len().max(1));
+    if workers == 1 {
+        return names.iter().map(|n| run_app(n, cfg)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let finished: Mutex<Vec<(usize, AppResult)>> = Mutex::new(Vec::with_capacity(names.len()));
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(name) = names.get(i) else { break };
+                let result = run_app(name, cfg);
+                finished.lock().unwrap().push((i, result));
+            });
+        }
+    });
+
+    let mut slots = finished.into_inner().unwrap();
+    slots.sort_unstable_by_key(|(i, _)| *i);
+    slots.into_iter().map(|(_, r)| r).collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn test_cfg(scale: f64, seed: u64) -> SuiteConfig {
+        SuiteConfig {
+            scale,
+            seed,
+            parallelism: 1,
+        }
+    }
+
     #[test]
     fn run_app_dispatches_every_name() {
-        let cfg = SuiteConfig {
-            scale: 0.008,
-            seed: 1,
-        };
+        let cfg = test_cfg(0.008, 1);
         for name in APP_NAMES {
             let r = run_app(name, &cfg);
             assert_eq!(r.run.name, name, "name round-trips");
@@ -193,10 +278,71 @@ mod tests {
 
     #[test]
     fn analysis_fig10_has_five_bars() {
-        let r = run_app("hashmap", &SuiteConfig { scale: 0.01, seed: 2 });
+        let r = run_app("hashmap", &test_cfg(0.01, 2));
         assert_eq!(r.analysis.fig10.len(), 5);
         let base = r.analysis.fig10[0];
         assert_eq!(base.0, PersistModel::X86Nvm);
         assert!((base.1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig10_replayed_exactly_once_per_run_app() {
+        // The Figure 10 replay is the expensive step; the old driver
+        // replayed the paced trace, threw the result away, and replayed
+        // the unpaced trace for every sim app. The counter is
+        // per-thread, so parallel sibling tests cannot perturb it.
+        let cfg = test_cfg(0.008, 1);
+
+        let before = hops::fig10_invocations();
+        run_app("hashmap", &cfg); // gem5-subset app: unpaced replay only
+        assert_eq!(hops::fig10_invocations() - before, 1);
+
+        let before = hops::fig10_invocations();
+        run_app("memcached", &cfg); // regular app: paced replay only
+        assert_eq!(hops::fig10_invocations() - before, 1);
+    }
+
+    #[test]
+    fn analyze_leaves_fig10_to_the_caller() {
+        let r = apps::hashmap(50, 3);
+        let a = analyze(&r);
+        assert!(a.fig10.is_empty(), "analyze() must not pay for a replay");
+        assert!(a.epoch_count > 0);
+    }
+
+    #[test]
+    fn parallel_suite_matches_serial() {
+        let serial = SuiteConfig {
+            scale: 0.004,
+            seed: 11,
+            parallelism: 1,
+        };
+        let parallel = SuiteConfig {
+            parallelism: 4,
+            ..serial
+        };
+        let a = run_apps(&["hashmap", "ctree", "nfs", "exim", "redis"], &serial);
+        let b = run_apps(&["hashmap", "ctree", "nfs", "exim", "redis"], &parallel);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.run.name, y.run.name, "Table 1 order preserved");
+            assert_eq!(x.run.events, y.run.events, "{}: traces differ", x.run.name);
+            assert_eq!(x.run.stats, y.run.stats);
+            assert_eq!(x.run.duration_ns, y.run.duration_ns);
+            assert_eq!(x.analysis.fig10, y.analysis.fig10);
+        }
+    }
+
+    #[test]
+    fn oversized_parallelism_is_clamped() {
+        let cfg = SuiteConfig {
+            scale: 0.004,
+            seed: 5,
+            parallelism: 64,
+        };
+        let r = run_apps(&["hashmap", "exim"], &cfg);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].run.name, "hashmap");
+        assert_eq!(r[1].run.name, "exim");
     }
 }

@@ -7,8 +7,7 @@
 //! seeded iterator of operations, so every run of the suite is
 //! reproducible.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use pmrand::{Rng, SeedableRng, SmallRng};
 
 /// Zipfian key sampler (YCSB's default request distribution).
 ///
@@ -77,9 +76,11 @@ pub fn ycsb(n_keys: usize, ops: usize, write_pct: u32, seed: u64) -> Vec<YcsbOp>
     (0..ops)
         .map(|_| {
             let key = zipf.sample(&mut rng) as u64;
-            if rng.gen_range(0..100) < write_pct {
+            if rng.gen_range(0u32..100) < write_pct {
                 if rng.gen_range(0..10) == 0 {
-                    YcsbOp::Insert { key: key + n_keys as u64 }
+                    YcsbOp::Insert {
+                        key: key + n_keys as u64,
+                    }
                 } else {
                     YcsbOp::Update {
                         key,
@@ -166,7 +167,7 @@ pub fn memslap(n_keys: usize, ops: usize, set_pct: u32, seed: u64) -> Vec<Memsla
     (0..ops)
         .map(|_| {
             let key = zipf.sample(&mut rng) as u64;
-            if rng.gen_range(0..100) < set_pct {
+            if rng.gen_range(0u32..100) < set_pct {
                 MemslapOp::Set {
                     key,
                     vsize: rng.gen_range(32..=256),
@@ -245,7 +246,10 @@ pub fn fileserver(n_files: usize, ops: usize, mean_size: usize, seed: u64) -> Ve
             let size = rng.gen_range(mean_size / 2..=mean_size * 2);
             match rng.gen_range(0..100) {
                 0..=24 => FileserverOp::CreateWrite { file, size },
-                25..=44 => FileserverOp::Append { file, size: size / 4 },
+                25..=44 => FileserverOp::Append {
+                    file,
+                    size: size / 4,
+                },
                 45..=69 => FileserverOp::ReadWhole { file },
                 70..=89 => FileserverOp::Stat { file },
                 _ => FileserverOp::Delete { file },
@@ -337,7 +341,10 @@ mod tests {
     #[test]
     fn tpcc_mix_matches_split() {
         let txs = tpcc(100, 1000, 10_000, 3);
-        let orders = txs.iter().filter(|t| matches!(t, TpccTx::NewOrder { .. })).count();
+        let orders = txs
+            .iter()
+            .filter(|t| matches!(t, TpccTx::NewOrder { .. }))
+            .count();
         let frac = orders as f64 / txs.len() as f64;
         assert!((frac - 0.45).abs() < 0.02);
         for t in &txs {
@@ -350,7 +357,10 @@ mod tests {
     #[test]
     fn memslap_set_fraction() {
         let ops = memslap(1000, 10_000, 5, 11);
-        let sets = ops.iter().filter(|o| matches!(o, MemslapOp::Set { .. })).count();
+        let sets = ops
+            .iter()
+            .filter(|o| matches!(o, MemslapOp::Set { .. }))
+            .count();
         let frac = sets as f64 / ops.len() as f64;
         assert!((frac - 0.05).abs() < 0.01, "set fraction {frac}");
     }

@@ -26,7 +26,10 @@ fn main() {
         sys.durable_u64(0x100)
     );
     sys.dfence(0);
-    println!("after dfence: durable A = {} (both versions drained in order)", sys.durable_u64(0x100));
+    println!(
+        "after dfence: durable A = {} (both versions drained in order)",
+        sys.durable_u64(0x100)
+    );
 
     // Cross-thread dependency: t1 overwrites a line t0 still buffers.
     let mut sys = HopsSystem::new(HopsConfig::default(), AddrRange::new(0, 1 << 20), 4);
@@ -42,12 +45,20 @@ fn main() {
     // ---- Part 2: Figure 10 on a real trace ----
     println!("\n== Figure 10 replay (hashmap micro-benchmark) ==");
     let run = whisper::apps::micro::hashmap_unpaced(3000, 7);
-    let bars = figure10_bars(&run.events, &TimingConfig::default(), &HopsConfig::default());
+    let bars = figure10_bars(
+        &run.events,
+        &TimingConfig::default(),
+        &HopsConfig::default(),
+    );
     for (model, norm) in &bars {
         let gain = (1.0 - norm) * 100.0;
         println!("{model:>16}: {norm:.3}  ({gain:+.1}% vs x86-64 NVM)");
     }
-    let hops = bars.iter().find(|(m, _)| format!("{m}") == "HOPS (NVM)").expect("bar").1;
+    let hops = bars
+        .iter()
+        .find(|(m, _)| format!("{m}") == "HOPS (NVM)")
+        .expect("bar")
+        .1;
     println!(
         "\nHOPS makes data persistent without explicit flushes and gains {:.1}% \
          (paper: 24.3% on average).",

@@ -19,7 +19,8 @@ fn main() {
     fs.mkdir(&mut m, tid, "/mail").expect("mkdir");
     fs.create(&mut m, tid, "/mail/inbox").expect("create");
     m.trace_mut().clear();
-    fs.append(&mut m, tid, "/mail/inbox", &vec![7u8; 8192]).expect("append");
+    fs.append(&mut m, tid, "/mail/inbox", &vec![7u8; 8192])
+        .expect("append");
     let epochs = analysis::split_epochs(m.trace().events());
     let hist = analysis::epoch_size_histogram(&epochs);
     let amp = analysis::amplification(&epochs);
@@ -34,7 +35,9 @@ fn main() {
 
     // Directory listing and stat.
     for name in fs.readdir(&mut m, tid, "/mail").expect("readdir") {
-        let st = fs.stat(&mut m, tid, &format!("/mail/{name}")).expect("stat");
+        let st = fs
+            .stat(&mut m, tid, &format!("/mail/{name}"))
+            .expect("stat");
         println!("  /mail/{name}: {} bytes (ino {})", st.size, st.ino);
     }
 

@@ -31,8 +31,15 @@ fn main() {
     // Create the store and insert durably.
     eng.begin(&mut m, tid).expect("begin");
     let kv = PHashMap::create(&mut m, &mut eng, tid, table, 256).expect("create");
-    kv.insert(&mut m, &mut eng, tid, &mut alloc, b"paper", b"WHISPER (ASPLOS 2017)")
-        .expect("insert");
+    kv.insert(
+        &mut m,
+        &mut eng,
+        tid,
+        &mut alloc,
+        b"paper",
+        b"WHISPER (ASPLOS 2017)",
+    )
+    .expect("insert");
     kv.insert(&mut m, &mut eng, tid, &mut alloc, b"proposal", b"HOPS")
         .expect("insert");
     eng.commit(&mut m, tid).expect("commit");
@@ -47,7 +54,9 @@ fn main() {
     let mut m2 = Machine::from_image(MachineConfig::asplos17(), &image);
     let mut eng2 = UndoTxEngine::recover(&mut m2, tid, log, 4);
     let kv2 = PHashMap::open(&mut m2, tid, table.base).expect("open");
-    let v = kv2.get(&mut m2, &mut eng2, tid, b"paper").expect("key survived");
+    let v = kv2
+        .get(&mut m2, &mut eng2, tid, b"paper")
+        .expect("key survived");
     println!(
         "recovered: paper = {:?} ({} keys)",
         String::from_utf8_lossy(&v),

@@ -16,6 +16,7 @@ fn main() {
         &whisper::suite::SuiteConfig {
             scale: 0.2,
             seed: 42,
+            parallelism: 1,
         },
     );
     let epochs = analysis::split_epochs(&run.run.events);
@@ -50,7 +51,10 @@ fn main() {
         run.analysis.deps.cross_fraction() * 100.0
     );
 
-    println!("\nwrite amplification (Section 5.2): {}", run.analysis.amplification);
+    println!(
+        "\nwrite amplification (Section 5.2): {}",
+        run.analysis.amplification
+    );
 
     println!(
         "\nmemory traffic (Figure 6): {} — PM is {:.2}% of all accesses",

@@ -9,12 +9,12 @@
 //! subsets.
 
 use memsim::{CrashSpec, Machine, MachineConfig, PmWriter};
+use miniprop::prelude::*;
 use pmalloc::SlabBitmapAlloc;
 use pmds::PHashMap;
 use pmem::AddrRange;
 use pmtrace::{Category, Tid};
 use pmtx::{RedoTxEngine, TxMem, UndoTxEngine};
-use proptest::prelude::*;
 
 const TID: Tid = Tid(0);
 
@@ -40,7 +40,7 @@ proptest! {
     /// prefix of operations.
     #[test]
     fn hashmap_over_undo_recovers_committed_prefix(
-        ops in proptest::collection::vec(op_strategy(), 1..24),
+        ops in collection::vec(op_strategy(), 1..24),
         crash_after in 0usize..24,
         seed in any::<u64>(),
     ) {

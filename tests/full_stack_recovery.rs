@@ -35,13 +35,15 @@ fn filesystem_and_kv_store_coexist_across_crashes() {
     fs.create(&mut m, TID, "/db/wal").unwrap();
     for i in 0..8u8 {
         eng.begin(&mut m, TID).unwrap();
-        map.insert(&mut m, &mut eng, TID, &mut alloc, &[i], &[i; 16]).unwrap();
+        map.insert(&mut m, &mut eng, TID, &mut alloc, &[i], &[i; 16])
+            .unwrap();
         eng.commit(&mut m, TID).unwrap();
         fs.append(&mut m, TID, "/db/wal", &[i; 512]).unwrap();
     }
     // Crash with one fs op and one tx in flight.
     eng.begin(&mut m, TID).unwrap();
-    map.insert(&mut m, &mut eng, TID, &mut alloc, &[99], &[1; 16]).unwrap();
+    map.insert(&mut m, &mut eng, TID, &mut alloc, &[99], &[1; 16])
+        .unwrap();
 
     for seed in [1u64, 17, 33] {
         let img = Machine::from_image(MachineConfig::asplos17(), &m.durable_image())
@@ -58,7 +60,11 @@ fn filesystem_and_kv_store_coexist_across_crashes() {
                 "seed {seed}"
             );
         }
-        assert_eq!(map2.get(&mut m2, &mut eng2, TID, &[99]), None, "seed {seed}");
+        assert_eq!(
+            map2.get(&mut m2, &mut eng2, TID, &[99]),
+            None,
+            "seed {seed}"
+        );
     }
 }
 
@@ -88,10 +94,14 @@ fn every_structure_recovers_from_one_image() {
 
     for i in 0..12u64 {
         eng.begin(&mut m, TID).unwrap();
-        map.insert(&mut m, &mut eng, TID, &mut alloc, &i.to_le_bytes(), b"map").unwrap();
-        cb.insert(&mut m, &mut eng, TID, &mut alloc, &i.to_be_bytes(), i).unwrap();
-        rb.insert(&mut m, &mut eng, TID, &mut alloc, i, i * 2).unwrap();
-        plog.append(&mut m, &mut eng, TID, &i.to_le_bytes()).unwrap();
+        map.insert(&mut m, &mut eng, TID, &mut alloc, &i.to_le_bytes(), b"map")
+            .unwrap();
+        cb.insert(&mut m, &mut eng, TID, &mut alloc, &i.to_be_bytes(), i)
+            .unwrap();
+        rb.insert(&mut m, &mut eng, TID, &mut alloc, i, i * 2)
+            .unwrap();
+        plog.append(&mut m, &mut eng, TID, &i.to_le_bytes())
+            .unwrap();
         eng.commit(&mut m, TID).unwrap();
     }
 
@@ -110,7 +120,11 @@ fn every_structure_recovers_from_one_image() {
     assert_eq!(plog2.records(&mut m2, TID).len(), 12);
     rb2.check_invariants(&mut m2, TID).unwrap();
     for i in 0..12u64 {
-        assert_eq!(map2.get(&mut m2, &mut eng2, TID, &i.to_le_bytes()).as_deref(), Some(&b"map"[..]));
+        assert_eq!(
+            map2.get(&mut m2, &mut eng2, TID, &i.to_le_bytes())
+                .as_deref(),
+            Some(&b"map"[..])
+        );
         assert_eq!(cb2.get(&mut m2, &mut eng2, TID, &i.to_be_bytes()), Some(i));
         assert_eq!(rb2.get(&mut m2, &mut eng2, TID, i), Some(i * 2));
     }
@@ -129,5 +143,9 @@ fn media_write_accounting() {
     }
     assert_eq!(m.media_line_writes(), 0, "no media traffic before a fence");
     w.durability_fence(&mut m);
-    assert_eq!(m.media_line_writes(), 1, "100 stores, one line written back");
+    assert_eq!(
+        m.media_line_writes(),
+        1,
+        "100 stores, one line written back"
+    );
 }

@@ -3,8 +3,8 @@
 //! traces produced by the real substrate.
 
 use hops::{replay, HopsConfig, HopsSystem, PersistModel, TimingConfig};
+use miniprop::prelude::*;
 use pmem::{AddrRange, Line};
-use proptest::prelude::*;
 
 #[test]
 fn fig10_ordering_on_real_app_traces() {
@@ -16,6 +16,7 @@ fn fig10_ordering_on_real_app_traces() {
         let cfg = whisper::suite::SuiteConfig {
             scale: 0.015,
             seed: 11,
+            parallelism: 1,
         };
         let r = whisper::suite::run_app(name, &cfg);
         let bars = &r.analysis.fig10;
@@ -25,7 +26,10 @@ fn fig10_ordering_on_real_app_traces() {
             hops_gain < x86_gain,
             "{name}: PWQ should matter less under HOPS ({hops_gain} vs {x86_gain})"
         );
-        assert!(bars[2].1 < bars[1].1, "{name}: HOPS(NVM) must beat x86(PWQ)");
+        assert!(
+            bars[2].1 < bars[1].1,
+            "{name}: HOPS(NVM) must beat x86(PWQ)"
+        );
     }
 }
 
@@ -36,6 +40,7 @@ fn replay_is_deterministic() {
         &whisper::suite::SuiteConfig {
             scale: 0.01,
             seed: 3,
+            parallelism: 1,
         },
     );
     let t = TimingConfig::default();
@@ -80,7 +85,7 @@ proptest! {
     /// seeds.
     #[test]
     fn epoch_prefix_durability(
-        script in proptest::collection::vec((0usize..3, 0u64..16, any::<bool>()), 1..40),
+        script in collection::vec((0usize..3, 0u64..16, any::<bool>()), 1..40),
         crash_seed in any::<u64>(),
     ) {
         let mut sys = HopsSystem::new(HopsConfig::default(), AddrRange::new(0, 1 << 20), 3);
@@ -127,7 +132,7 @@ proptest! {
     /// what came before.
     #[test]
     fn dfence_drains_thread(
-        writes in proptest::collection::vec((0u64..32, any::<u64>()), 1..32),
+        writes in collection::vec((0u64..32, any::<u64>()), 1..32),
     ) {
         let mut sys = HopsSystem::new(HopsConfig::default(), AddrRange::new(0, 1 << 20), 2);
         for (i, (slot, val)) in writes.iter().enumerate() {

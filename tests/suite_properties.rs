@@ -12,6 +12,7 @@ fn results() -> Vec<AppResult> {
     let cfg = SuiteConfig {
         scale: 0.02,
         seed: 42,
+        parallelism: 1,
     };
     APP_NAMES.iter().map(|n| run_app(n, &cfg)).collect()
 }
@@ -27,8 +28,7 @@ fn suite_wide_paper_claims() {
         .iter()
         .filter(|r| SIM_APPS.contains(&r.run.name.as_str()))
         .collect();
-    let avg_pm: f64 =
-        sim.iter().map(|r| r.analysis.pm_fraction).sum::<f64>() / sim.len() as f64;
+    let avg_pm: f64 = sim.iter().map(|r| r.analysis.pm_fraction).sum::<f64>() / sim.len() as f64;
     assert!(
         avg_pm > 0.005 && avg_pm < 0.12,
         "average PM share {avg_pm} should be a few percent"
@@ -44,10 +44,22 @@ fn suite_wide_paper_claims() {
     medians.sort_unstable();
     let mid = medians[medians.len() / 2];
     assert!((5..=50).contains(&mid), "median tx size {mid} outside 5-50");
-    let echo = results.iter().find(|r| r.run.name == "echo").expect("echo ran");
-    let tpcc = results.iter().find(|r| r.run.name == "nstore-tpcc").expect("tpcc ran");
-    assert!(echo.analysis.tx_stats.median().unwrap() > 100, "echo well over a hundred");
-    assert!(tpcc.analysis.tx_stats.median().unwrap() > 100, "tpcc well over a hundred");
+    let echo = results
+        .iter()
+        .find(|r| r.run.name == "echo")
+        .expect("echo ran");
+    let tpcc = results
+        .iter()
+        .find(|r| r.run.name == "nstore-tpcc")
+        .expect("tpcc ran");
+    assert!(
+        echo.analysis.tx_stats.median().unwrap() > 100,
+        "echo well over a hundred"
+    );
+    assert!(
+        tpcc.analysis.tx_stats.median().unwrap() > 100,
+        "tpcc well over a hundred"
+    );
 
     // Abstract (c): "75% of epochs update exactly one 64B cache line"
     // — the native+library average is singleton-dominated.
@@ -74,10 +86,16 @@ fn suite_wide_paper_claims() {
             r.analysis.deps.cross_fraction()
         );
     }
-    let avg_self: f64 =
-        results.iter().map(|r| r.analysis.deps.self_fraction()).sum::<f64>() / results.len() as f64;
-    let avg_cross: f64 =
-        results.iter().map(|r| r.analysis.deps.cross_fraction()).sum::<f64>() / results.len() as f64;
+    let avg_self: f64 = results
+        .iter()
+        .map(|r| r.analysis.deps.self_fraction())
+        .sum::<f64>()
+        / results.len() as f64;
+    let avg_cross: f64 = results
+        .iter()
+        .map(|r| r.analysis.deps.cross_fraction())
+        .sum::<f64>()
+        / results.len() as f64;
     assert!(
         avg_self > 10.0 * avg_cross,
         "self-deps ({avg_self}) should dominate cross-deps ({avg_cross})"
@@ -103,9 +121,15 @@ fn suite_wide_paper_claims() {
 
     // Table 1's rate spread: native/library apps are orders of
     // magnitude faster than Exim.
-    let exim = results.iter().find(|r| r.run.name == "exim").expect("exim ran");
+    let exim = results
+        .iter()
+        .find(|r| r.run.name == "exim")
+        .expect("exim ran");
     for r in &results {
-        if matches!(r.run.name.as_str(), "echo" | "nstore-ycsb" | "redis" | "hashmap") {
+        if matches!(
+            r.run.name.as_str(),
+            "echo" | "nstore-ycsb" | "redis" | "hashmap"
+        ) {
             assert!(
                 r.analysis.epochs_per_sec > 50.0 * exim.analysis.epochs_per_sec,
                 "{} vs exim rate spread collapsed",
@@ -124,7 +148,11 @@ fn suite_wide_paper_claims() {
         assert!(pwq < x86, "{}: PWQ should help x86", r.run.name);
         assert!(hops < pwq, "{}: HOPS(NVM) should beat x86(PWQ)", r.run.name);
         assert!(hops_pwq <= hops, "{}", r.run.name);
-        assert!(ideal <= hops_pwq + 1e-9, "{}: IDEAL is the floor", r.run.name);
+        assert!(
+            ideal <= hops_pwq + 1e-9,
+            "{}: IDEAL is the floor",
+            r.run.name
+        );
     }
 
     // Consequence 10 shape: PMFS apps are NT-dominated; Mnemosyne apps
@@ -146,6 +174,7 @@ fn deterministic_across_runs() {
     let cfg = SuiteConfig {
         scale: 0.01,
         seed: 7,
+        parallelism: 1,
     };
     let a = run_app("hashmap", &cfg);
     let b = run_app("hashmap", &cfg);
@@ -156,9 +185,94 @@ fn deterministic_across_runs() {
 
 #[test]
 fn different_seeds_differ() {
-    let a = run_app("hashmap", &SuiteConfig { scale: 0.01, seed: 1 });
-    let b = run_app("hashmap", &SuiteConfig { scale: 0.01, seed: 2 });
-    assert_ne!(a.run.events.len(), b.run.events.len());
+    // Two seeds can legitimately produce the same *number* of events;
+    // what must differ is the event stream itself (and, with it, the
+    // access statistics).
+    let a = run_app(
+        "hashmap",
+        &SuiteConfig {
+            scale: 0.01,
+            seed: 1,
+            parallelism: 1,
+        },
+    );
+    let b = run_app(
+        "hashmap",
+        &SuiteConfig {
+            scale: 0.01,
+            seed: 2,
+            parallelism: 1,
+        },
+    );
+    assert_ne!(
+        a.run.events, b.run.events,
+        "seeds 1 and 2 produced identical traces"
+    );
+    assert!(
+        a.run.stats != b.run.stats || a.run.duration_ns != b.run.duration_ns,
+        "seeds 1 and 2 produced identical run statistics"
+    );
+}
+
+#[test]
+fn parallel_suite_matches_serial_runner() {
+    // The parallel runner must be a pure wall-clock optimization:
+    // per-app traces, access statistics, and simulated durations all
+    // bit-identical to the serial runner, in the same (Table 1) order.
+    let serial_cfg = SuiteConfig {
+        scale: 0.008,
+        seed: 42,
+        parallelism: 1,
+    };
+    let parallel_cfg = SuiteConfig {
+        parallelism: 4,
+        ..serial_cfg
+    };
+    let serial = whisper::suite::run_suite(&serial_cfg);
+    let parallel = whisper::suite::run_suite(&parallel_cfg);
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.run.name, p.run.name, "result order must be Table 1 order");
+        assert_eq!(s.run.events.len(), p.run.events.len(), "{}", s.run.name);
+        assert_eq!(s.run.stats, p.run.stats, "{}", s.run.name);
+        assert_eq!(s.run.duration_ns, p.run.duration_ns, "{}", s.run.name);
+        assert_eq!(s.run.events, p.run.events, "{}", s.run.name);
+        assert_eq!(
+            s.analysis.epoch_count, p.analysis.epoch_count,
+            "{}",
+            s.run.name
+        );
+        assert_eq!(s.analysis.fig10, p.analysis.fig10, "{}", s.run.name);
+    }
+}
+
+#[test]
+fn streaming_analyzer_matches_legacy_functions_on_real_trace() {
+    // The single-pass Analyzer must agree with the seven per-metric
+    // walks on a real application trace, not just synthetic streams.
+    let r = run_app(
+        "nstore-ycsb",
+        &SuiteConfig {
+            scale: 0.01,
+            seed: 42,
+            parallelism: 1,
+        },
+    );
+    let epochs = analysis::split_epochs(&r.run.events);
+    let report = analysis::Analyzer::analyze_events(&r.run.events);
+    assert_eq!(report.epoch_count, epochs.len());
+    assert_eq!(
+        report.tx_stats.epochs_per_tx,
+        analysis::tx_stats(&epochs).epochs_per_tx
+    );
+    assert_eq!(report.size_hist, analysis::epoch_size_histogram(&epochs));
+    assert_eq!(report.deps, analysis::dependencies(&epochs));
+    assert_eq!(report.amplification, analysis::amplification(&epochs));
+    assert_eq!(report.nt_fraction, analysis::nt_fraction(&epochs));
+    assert_eq!(
+        report.small_singleton_fraction,
+        analysis::small_singleton_fraction(&epochs)
+    );
 }
 
 #[test]
@@ -166,13 +280,21 @@ fn reports_cover_every_app() {
     let cfg = SuiteConfig {
         scale: 0.008,
         seed: 3,
+        parallelism: 1,
     };
     let results: Vec<AppResult> = APP_NAMES.iter().map(|n| run_app(n, &cfg)).collect();
     let all = whisper::report::all(&results);
     for name in APP_NAMES {
         assert!(all.contains(name), "report missing {name}");
     }
-    for heading in ["Table 1", "Figure 3", "Figure 4", "Figure 5", "Figure 6", "Figure 10"] {
+    for heading in [
+        "Table 1",
+        "Figure 3",
+        "Figure 4",
+        "Figure 5",
+        "Figure 6",
+        "Figure 10",
+    ] {
         assert!(all.contains(heading), "report missing {heading}");
     }
 }
@@ -181,8 +303,22 @@ fn reports_cover_every_app() {
 fn epoch_rate_is_scale_invariant() {
     // Table 1 reports a *rate*; halving the workload should not move it
     // much (the paper's full-scale runs are reproducible at any scale).
-    let small = run_app("ctree", &SuiteConfig { scale: 0.01, seed: 9 });
-    let large = run_app("ctree", &SuiteConfig { scale: 0.04, seed: 9 });
+    let small = run_app(
+        "ctree",
+        &SuiteConfig {
+            scale: 0.01,
+            seed: 9,
+            parallelism: 1,
+        },
+    );
+    let large = run_app(
+        "ctree",
+        &SuiteConfig {
+            scale: 0.04,
+            seed: 9,
+            parallelism: 1,
+        },
+    );
     let ratio = small.analysis.epochs_per_sec / large.analysis.epochs_per_sec;
     assert!(
         (0.6..=1.6).contains(&ratio),
@@ -194,7 +330,14 @@ fn epoch_rate_is_scale_invariant() {
 fn analysis_pipeline_consistency() {
     // The same trace analyzed twice gives identical statistics, and the
     // epoch count matches fence counts.
-    let r = run_app("redis", &SuiteConfig { scale: 0.01, seed: 5 });
+    let r = run_app(
+        "redis",
+        &SuiteConfig {
+            scale: 0.01,
+            seed: 5,
+            parallelism: 1,
+        },
+    );
     let e1 = analysis::split_epochs(&r.run.events);
     let e2 = analysis::split_epochs(&r.run.events);
     assert_eq!(e1.len(), e2.len());
@@ -202,7 +345,12 @@ fn analysis_pipeline_consistency() {
         .run
         .events
         .iter()
-        .filter(|e| matches!(e.kind, pmtrace::EventKind::Fence | pmtrace::EventKind::DFence))
+        .filter(|e| {
+            matches!(
+                e.kind,
+                pmtrace::EventKind::Fence | pmtrace::EventKind::DFence
+            )
+        })
         .count();
     assert!(e1.len() <= fences, "epochs cannot outnumber fences");
 }
