@@ -109,6 +109,7 @@ pub fn replay(
     hops_cfg: &HopsConfig,
     model: PersistModel,
 ) -> RuntimeReport {
+    pmobs::count!("hops.replay_events", events.len() as u64);
     let mut threads: HashMap<Tid, ThreadReplay> = HashMap::new();
     // Background drain rate: within an epoch, writes flush
     // "concurrently to the MCs", so the per-line unit is the persist
@@ -286,11 +287,16 @@ pub fn figure10_bars(
     hops_cfg: &HopsConfig,
 ) -> Vec<(PersistModel, f64)> {
     FIG10_INVOCATIONS.with(|c| c.set(c.get() + 1));
+    pmobs::count!("hops.fig10_replays");
     let base = replay(events, cfg, hops_cfg, PersistModel::X86Nvm).runtime_ns;
     PersistModel::ALL
         .iter()
         .map(|&m| {
             let r = replay(events, cfg, hops_cfg, m).runtime_ns;
+            // Simulated-clock domain: deterministic per (trace, config).
+            if pmobs::enabled() {
+                pmobs::record_sim_ns(&format!("fig10_runtime/{m}"), r);
+            }
             let norm = if base == 0 {
                 0.0
             } else {

@@ -150,15 +150,24 @@ impl HopsSystem {
                 epoch_ts: ts,
                 dep,
             });
+            if dep.is_some() {
+                pmobs::count!("hops.cross_thread_deps");
+            }
             self.threads[tid].bloom.insert(line);
             self.last_writer.insert(line, (tid, ts));
+            pmobs::high_water!(
+                "hops.pb_occupancy_highwater",
+                self.threads[tid].pb.len() as u64
+            );
             if self.threads[tid].pb.len() >= self.cfg.flush_threshold {
                 // Background flushing launches at the threshold.
+                pmobs::count!("hops.background_flushes");
                 self.flush_oldest_epoch(tid);
             }
             // A PB can never exceed its capacity: stall (flush) until
             // it fits.
             while self.threads[tid].pb.len() > self.cfg.pb_entries {
+                pmobs::count!("hops.pb_capacity_stalls");
                 self.flush_oldest_epoch(tid);
             }
         }
@@ -178,7 +187,10 @@ impl HopsSystem {
     /// wrap, where the PB drains so no buffered entry can outlive its
     /// epoch numbering.
     pub fn ofence(&mut self, tid: usize) {
+        pmobs::count!("hops.ofence");
         if self.threads[tid].ts >= u16::MAX as u64 {
+            // The wrap drain is the only time an ofence stalls.
+            pmobs::count!("hops.ofence_wrap_stalls");
             while !self.threads[tid].pb.is_empty() {
                 self.flush_oldest_epoch(tid);
             }
@@ -192,6 +204,12 @@ impl HopsSystem {
     /// `dfence`: end the epoch and stall until the thread's PB is
     /// flushed clean (Table 2).
     pub fn dfence(&mut self, tid: usize) {
+        pmobs::count!("hops.dfence");
+        pmobs::observe!(
+            "hops.dfence_stall_entries",
+            pmobs::Unit::Count,
+            self.threads[tid].pb.len() as u64
+        );
         self.threads[tid].ts += 1;
         while !self.threads[tid].pb.is_empty() {
             self.flush_oldest_epoch(tid);
@@ -217,6 +235,7 @@ impl HopsSystem {
                 if self.flushed_ts[src] < src_ts {
                     // Stall this flush on the source epoch (global TS
                     // register lookup), draining the source first.
+                    pmobs::count!("hops.cross_dep_flush_stalls");
                     self.flush_thread_through(src, src_ts);
                 }
             }
@@ -254,7 +273,22 @@ impl HopsSystem {
     /// positives are possible, false negatives are not.
     pub fn llc_miss_would_stall(&self, addr: Addr) -> bool {
         let line = Line::containing(addr);
-        self.threads.iter().any(|t| t.bloom.may_contain(line))
+        let maybe = self.threads.iter().any(|t| t.bloom.may_contain(line));
+        if pmobs::enabled() {
+            pmobs::count!("hops.bloom_probes");
+            if maybe {
+                pmobs::count!("hops.bloom_hits");
+                // The filter is conservative: check ground truth to
+                // count spurious stalls (never on the disabled path —
+                // the exact scan is what the Bloom filter exists to
+                // avoid).
+                let actual = (0..self.threads.len()).any(|t| self.has_buffered(t, line));
+                if !actual {
+                    pmobs::count!("hops.bloom_false_positives");
+                }
+            }
+        }
+        maybe
     }
 
     /// Durable `u64` at `addr` (test helper).
@@ -297,6 +331,27 @@ mod tests {
 
     fn sys() -> HopsSystem {
         HopsSystem::new(HopsConfig::default(), AddrRange::new(0, 1 << 20), 4)
+    }
+
+    #[test]
+    fn instruments_record_persist_buffer_activity() {
+        // Counters are global and monotonic, and sibling tests may run
+        // while recording is briefly enabled, so compare deltas with >=.
+        let count = |s: &pmobs::MetricsSnapshot, k: &str| s.counters.get(k).copied().unwrap_or(0);
+        let before = pmobs::global().snapshot();
+        pmobs::set_enabled(true);
+        let mut s = sys();
+        s.store(0, 0, &[1u8; 8]);
+        s.ofence(0);
+        s.store(0, 64, &[2u8; 8]);
+        s.dfence(0);
+        let _ = s.llc_miss_would_stall(0);
+        pmobs::set_enabled(false);
+        let after = pmobs::global().snapshot();
+        assert!(count(&after, "hops.ofence") > count(&before, "hops.ofence"));
+        assert!(count(&after, "hops.dfence") > count(&before, "hops.dfence"));
+        assert!(count(&after, "hops.bloom_probes") > count(&before, "hops.bloom_probes"));
+        assert!(after.gauges["hops.pb_occupancy_highwater"] >= 1);
     }
 
     #[test]

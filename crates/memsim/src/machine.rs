@@ -36,6 +36,11 @@ pub(crate) struct PendingLine {
 /// All operations name the issuing hardware thread ([`Tid`]); ids must
 /// be `< config.threads`. See the crate docs for the functional/durable
 /// split that makes application logic independent of the cache model.
+///
+/// When [`pmobs`] recording is enabled the machine also counts cache
+/// hits/misses, persistence instructions, and WCB/eviction drains under
+/// `memsim.*` — side-channel atomics that never touch the simulated
+/// clock or the trace, so instrumented runs stay bit-identical.
 #[derive(Debug)]
 pub struct Machine {
     cfg: MachineConfig,
@@ -221,9 +226,11 @@ impl Machine {
                     let t = tid.0 as usize;
                     let cached = self.dirty[t].contains(line) || self.read_cache[t].touch(line);
                     if cached {
+                        pmobs::count!("memsim.pm_load_hit");
                         self.clock_ns += self.cfg.lat.l1_hit_ns;
                     } else {
                         // A miss is memory traffic (Figure 6).
+                        pmobs::count!("memsim.pm_load_miss");
                         self.stats.pm_reads += 1;
                         self.clock_ns += self.cfg.lat.pm_read_ns;
                     }
@@ -277,6 +284,7 @@ impl Machine {
                 self.trace
                     .pm_store(tid, addr, bytes.len() as u32, false, cat, self.clock_ns);
                 for (line, _, _) in lines_spanning(addr, bytes.len()) {
+                    pmobs::count!("memsim.pm_store_lines");
                     self.clock_ns += self.cfg.lat.l1_hit_ns;
                     self.read_cache[tid.0 as usize].touch(line);
                     // A cacheable store supersedes any write-combining
@@ -315,6 +323,7 @@ impl Machine {
         self.trace
             .pm_store(tid, addr, bytes.len() as u32, true, cat, self.clock_ns);
         for (line, _, _) in lines_spanning(addr, bytes.len()) {
+            pmobs::count!("memsim.pm_nt_store_lines");
             self.clock_ns += self.cfg.lat.l1_hit_ns;
             // NT stores must not leave stale dirty cache state: the line
             // is written around the cache.
@@ -330,6 +339,7 @@ impl Machine {
             } else {
                 q.push_back(PendingLine { line, data, seq });
                 if q.len() > self.cfg.wcb_entries {
+                    pmobs::count!("memsim.wcb_overflow_drains");
                     let oldest = q.pop_front().expect("nonempty WCB");
                     self.media_write(oldest.line, &oldest.data);
                     self.clock_ns += self.cfg.lat.pm_write_ns;
@@ -358,6 +368,7 @@ impl Machine {
     /// beyond its issue cost.
     pub fn clwb(&mut self, tid: Tid, addr: Addr) {
         self.check_tid(tid);
+        pmobs::count!("memsim.clwb");
         let line = Line::containing(addr);
         self.trace.flush(tid, addr, self.clock_ns);
         self.clock_ns += self.cfg.lat.clwb_issue_ns;
@@ -384,6 +395,7 @@ impl Machine {
     /// the retention-vs-eviction difference between the two
     /// instructions.
     pub fn clflushopt(&mut self, tid: Tid, addr: Addr) {
+        pmobs::count!("memsim.clflushopt");
         self.clwb(tid, addr);
         let line = Line::containing(addr);
         for rc in &mut self.read_cache {
@@ -417,6 +429,12 @@ impl Machine {
         entries.extend(std::mem::take(&mut self.wcb[t]));
         entries.sort_unstable_by_key(|e| e.seq);
         let drained = entries.len() as u64;
+        if durable {
+            pmobs::count!("memsim.dfence");
+        } else {
+            pmobs::count!("memsim.sfence");
+        }
+        pmobs::observe!("memsim.fence_drain_lines", pmobs::Unit::Count, drained);
         for e in entries {
             self.media_write(e.line, &e.data);
         }
@@ -435,6 +453,7 @@ impl Machine {
     }
 
     fn write_back(&mut self, line: Line) {
+        pmobs::count!("memsim.dirty_evictions");
         let mut data = [0u8; LINE];
         self.pm_functional.read(line.base(), &mut data);
         self.media_write(line, &data);

@@ -37,17 +37,47 @@ impl MemStats {
             self.pm_total() as f64 / t as f64
         }
     }
+
+    /// Read share of PM traffic, in \[0,1\]; 0.0 when PM was untouched.
+    pub fn pm_read_fraction(&self) -> f64 {
+        let t = self.pm_total();
+        if t == 0 {
+            0.0
+        } else {
+            self.pm_reads as f64 / t as f64
+        }
+    }
+
+    /// Write share of PM traffic, in \[0,1\]; 0.0 when PM was untouched.
+    pub fn pm_write_fraction(&self) -> f64 {
+        let t = self.pm_total();
+        if t == 0 {
+            0.0
+        } else {
+            self.pm_writes as f64 / t as f64
+        }
+    }
+
+    /// Fold another run's counters into this one — how per-worker stats
+    /// from the parallel suite combine into suite-wide totals.
+    pub fn merge(&mut self, other: &MemStats) {
+        self.dram_accesses += other.dram_accesses;
+        self.pm_reads += other.pm_reads;
+        self.pm_writes += other.pm_writes;
+    }
 }
 
 impl std::fmt::Display for MemStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "dram:{} pm_r:{} pm_w:{} (pm {:.2}%)",
+            "dram:{} pm_r:{} pm_w:{} (pm {:.2}% of traffic; {:.0}%r/{:.0}%w of pm)",
             self.dram_accesses,
             self.pm_reads,
             self.pm_writes,
-            self.pm_fraction() * 100.0
+            self.pm_fraction() * 100.0,
+            self.pm_read_fraction() * 100.0,
+            self.pm_write_fraction() * 100.0
         )
     }
 }
@@ -75,5 +105,45 @@ mod tests {
     #[test]
     fn display_nonempty() {
         assert!(!format!("{}", MemStats::default()).is_empty());
+    }
+
+    #[test]
+    fn display_shows_pm_read_write_split() {
+        let s = MemStats {
+            dram_accesses: 90,
+            pm_reads: 4,
+            pm_writes: 6,
+        };
+        let text = format!("{s}");
+        assert!(text.contains("40%r/60%w"), "split missing from {text:?}");
+        assert!((s.pm_read_fraction() - 0.4).abs() < 1e-9);
+        assert!((s.pm_write_fraction() - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_adds_componentwise() {
+        let mut a = MemStats {
+            dram_accesses: 10,
+            pm_reads: 2,
+            pm_writes: 3,
+        };
+        let b = MemStats {
+            dram_accesses: 100,
+            pm_reads: 20,
+            pm_writes: 30,
+        };
+        a.merge(&b);
+        assert_eq!(
+            a,
+            MemStats {
+                dram_accesses: 110,
+                pm_reads: 22,
+                pm_writes: 33,
+            }
+        );
+        // Merging the default is a no-op.
+        let before = a;
+        a.merge(&MemStats::default());
+        assert_eq!(a, before);
     }
 }

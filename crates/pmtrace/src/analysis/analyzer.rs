@@ -115,8 +115,11 @@ impl Analyzer {
     /// dropped as soon as it has been accounted, so peak memory is one
     /// open epoch per thread instead of the whole epoch vector.
     pub fn analyze_events(events: &[Event]) -> TraceReport {
+        let _span = pmobs::span!("analyze");
         let mut a = Analyzer::new();
         super::for_each_epoch(events, |e| a.push(&e));
+        pmobs::count!("pmtrace.events_analyzed", events.len() as u64);
+        pmobs::count!("pmtrace.epochs_analyzed", a.epoch_count as u64);
         a.finish()
     }
 }

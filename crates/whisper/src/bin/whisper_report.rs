@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! whisper-report [EXPERIMENT] [--scale X] [--seed N] [--apps a,b,c]
-//!                [--parallel N] [--timing]
+//!                [--parallel N] [--timing] [--json PATH] [--quiet]
 //!                [--dump-traces DIR] [--from-trace FILE]
 //!
 //! EXPERIMENT: table1 | fig3 | fig4 | fig5 | fig6 | fig10 |
@@ -16,14 +16,21 @@
 //! serially, then in parallel — and reports both wall-clock times and
 //! the speedup instead of a paper table.
 //!
+//! `--json PATH` additionally writes the versioned machine-readable
+//! report (`whisper::json_report`, schema v1) to PATH and turns on
+//! `pmobs` metric recording so the report's `metrics` block is
+//! populated. Stdout carries only the report text; all diagnostics go
+//! to stderr through the `pmobs` logger, and `--quiet` silences
+//! everything below error level.
+//!
 //! `--dump-traces DIR` archives each application's event stream as a
 //! binary `.wtr` file (the `pmtrace::codec` format); `--from-trace
 //! FILE` re-analyzes such an archive offline instead of running a
 //! workload.
 
 use std::time::Instant;
-use whisper::report;
 use whisper::suite::{analyze, run_apps, AppResult, SuiteConfig, APP_NAMES};
+use whisper::{json_report, report};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,6 +39,7 @@ fn main() {
     let mut apps: Vec<String> = APP_NAMES.iter().map(|s| s.to_string()).collect();
     let mut dump_dir: Option<String> = None;
     let mut from_trace: Option<String> = None;
+    let mut json_path: Option<String> = None;
     let mut timing = false;
 
     let mut i = 0;
@@ -59,6 +67,15 @@ fn main() {
                     .unwrap_or_else(|| die("--parallel needs a worker count"));
             }
             "--timing" => timing = true,
+            "--quiet" => pmobs::logger::set_level(pmobs::Level::Error),
+            "--json" => {
+                i += 1;
+                json_path = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| die("--json needs an output path"))
+                        .clone(),
+                );
+            }
             "--apps" => {
                 i += 1;
                 apps = args
@@ -86,7 +103,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: whisper-report [table1|fig3|fig4|fig5|fig6|fig10|amplification|ntfraction|smallwrites|all] [--scale X] [--seed N] [--apps a,b,c] [--parallel N] [--timing]"
+                    "usage: whisper-report [table1|fig3|fig4|fig5|fig6|fig10|amplification|ntfraction|smallwrites|all] [--scale X] [--seed N] [--apps a,b,c] [--parallel N] [--timing] [--json PATH] [--quiet]"
                 );
                 return;
             }
@@ -102,6 +119,13 @@ fn main() {
         }
     }
     let names: Vec<&str> = apps.iter().map(|s| s.as_str()).collect();
+
+    // Metric recording stays off unless a machine-readable report was
+    // requested: instruments are provably non-perturbing, but the
+    // default run should still be the plain one.
+    if json_path.is_some() {
+        pmobs::set_enabled(true);
+    }
 
     if let Some(path) = from_trace {
         // Offline mode: analyze an archived trace instead of running.
@@ -123,6 +147,7 @@ fn main() {
         // rather than pay for five passes nobody will see.
         let analysis = analyze(&run);
         let results = vec![AppResult { run, analysis }];
+        write_json_report(&json_path, &results, &cfg);
         println!("{}", report::all(&results));
         return;
     }
@@ -132,7 +157,7 @@ fn main() {
         return;
     }
 
-    eprintln!(
+    pmobs::info!(
         "running {} app(s) at scale {} (seed {}, {} worker{})...",
         names.len(),
         cfg.scale,
@@ -142,7 +167,7 @@ fn main() {
     );
     let started = Instant::now();
     let results = run_apps(&names, &cfg);
-    eprintln!("suite finished in {:.2?}", started.elapsed());
+    pmobs::info!("suite finished in {:.2?}", started.elapsed());
 
     if let Some(dir) = &dump_dir {
         std::fs::create_dir_all(dir).unwrap_or_else(|e| die(&format!("cannot create {dir}: {e}")));
@@ -150,9 +175,11 @@ fn main() {
             let path = format!("{dir}/{}.wtr", r.run.name);
             std::fs::write(&path, pmtrace::encode_events(&r.run.events))
                 .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
-            eprintln!("  trace archived to {path}");
+            pmobs::info!("trace archived to {path}");
         }
     }
+
+    write_json_report(&json_path, &results, &cfg);
 
     let text = match experiment.as_str() {
         "table1" => report::table1(&results),
@@ -171,6 +198,18 @@ fn main() {
     println!("{text}");
 }
 
+/// Write the schema-v1 JSON document to `path` (no-op without
+/// `--json`). Snapshots the global pmobs registry last, so it includes
+/// everything the run recorded.
+fn write_json_report(path: &Option<String>, results: &[AppResult], cfg: &SuiteConfig) {
+    let Some(path) = path else { return };
+    let snap = pmobs::global().snapshot();
+    let doc = json_report::build(results, cfg, &snap);
+    std::fs::write(path, doc.to_pretty())
+        .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+    pmobs::info!("json report written to {path}");
+}
+
 /// `--timing`: the suite wall-clock harness. Runs the selected apps
 /// serially and then with the configured parallelism, checks the two
 /// result sets agree, and prints the comparison.
@@ -185,19 +224,19 @@ fn run_timing_comparison(names: &[&str], cfg: &SuiteConfig) {
         ..*cfg
     };
 
-    eprintln!(
+    pmobs::info!(
         "timing {} app(s) at scale {} (seed {})...",
         names.len(),
         cfg.scale,
         cfg.seed
     );
 
-    eprintln!("  serial run...");
+    pmobs::info!("serial run...");
     let t0 = Instant::now();
     let serial = run_apps(names, &serial_cfg);
     let serial_elapsed = t0.elapsed();
 
-    eprintln!("  parallel run ({workers} workers)...");
+    pmobs::info!("parallel run ({workers} workers)...");
     let t1 = Instant::now();
     let parallel = run_apps(names, &parallel_cfg);
     let parallel_elapsed = t1.elapsed();
@@ -223,6 +262,6 @@ fn run_timing_comparison(names: &[&str], cfg: &SuiteConfig) {
 }
 
 fn die(msg: &str) -> ! {
-    eprintln!("whisper-report: {msg}");
+    pmobs::error!("whisper-report: {msg}");
     std::process::exit(2);
 }

@@ -1,0 +1,406 @@
+//! Machine-readable suite report (`whisper-report --json`).
+//!
+//! One versioned JSON document bundling everything the text report
+//! shows — Table 1, Figures 3–6 and 10, the Section 5.2 byte
+//! accounting — plus the suite-wide [`MemStats`] totals and a dump of
+//! the [`pmobs`] metrics registry. The encoder is
+//! [`pmobs::json`]; no external serialization crate is involved.
+//!
+//! # Schema (version 1)
+//!
+//! ```text
+//! schema_version   u64     always 1 for this layout
+//! config           obj     {scale, seed, parallelism}
+//! table1           arr     one obj per app, Table 1 order:
+//!                          {name, workload, threads, epochs,
+//!                           duration_ns, epochs_per_sec,
+//!                           paper_epochs_per_sec}
+//! fig3             arr     {name, median, mean, max, tx_count,
+//!                           paper_median} — nulls when no transactions
+//! fig4             obj     {bucket_labels, apps: [{name, fractions}]}
+//! fig5             arr     {name, self_pct, cross_pct,
+//!                           paper_self_pct, paper_cross_pct}
+//! fig6             obj     {apps: [{name, pm_pct, paper_pm_pct}],
+//!                           average_pm_pct, paper_average_pm_pct}
+//!                          (gem5-subset apps only)
+//! fig10            obj     {models, apps: [{name, normalized}],
+//!                           average, paper_average}
+//! amplification    arr     {name, amplification, user_bytes,
+//!                           overhead_bytes, bytes_by_category}
+//! nt_fraction      arr     {name, fraction} — null when no PM bytes
+//! small_writes     arr     {name, fraction} — null when no singletons
+//! totals           obj     merged MemStats: {dram_accesses, pm_reads,
+//!                           pm_writes, pm_fraction, pm_read_fraction,
+//!                           pm_write_fraction}
+//! metrics          obj     {counters, gauges, histograms} from the
+//!                          pmobs registry; histograms carry
+//!                          {unit, count, sum, min, max, mean,
+//!                           p50, p90, p99}. Empty objects when
+//!                          recording was off.
+//! ```
+//!
+//! Clock-domain rule (see `pmobs::span`): metric names under `sim.*`
+//! are measured on the deterministic simulated clock and reproduce
+//! bit-for-bit for a fixed seed; `span.*` and `suite.queue_wait_ns/*`
+//! are host wall-clock and vary run to run.
+
+use crate::report::{PaperRow, PAPER, PAPER_FIG10_AVG};
+use crate::suite::{AppResult, SuiteConfig, SIM_APPS};
+use memsim::MemStats;
+use pmobs::metrics::HistogramSnapshot;
+use pmobs::{Json, MetricsSnapshot};
+use pmtrace::analysis::SIZE_BUCKET_LABELS;
+use pmtrace::Category;
+
+/// Version stamp of the report layout documented above.
+pub const SCHEMA_VERSION: u64 = 1;
+
+fn paper_row(name: &str) -> Option<&'static PaperRow> {
+    PAPER.iter().find(|r| r.name == name)
+}
+
+fn f64s(values: impl IntoIterator<Item = f64>) -> Vec<Json> {
+    values.into_iter().map(Json::from).collect()
+}
+
+fn table1(results: &[AppResult]) -> Json {
+    let rows: Vec<Json> = results
+        .iter()
+        .map(|r| {
+            Json::obj()
+                .field("name", r.run.name.as_str())
+                .field("workload", r.run.workload.as_str())
+                .field("threads", r.run.threads)
+                .field("epochs", r.analysis.epoch_count as u64)
+                .field("duration_ns", r.run.duration_ns)
+                .field("epochs_per_sec", r.analysis.epochs_per_sec)
+                .field(
+                    "paper_epochs_per_sec",
+                    paper_row(&r.run.name).map(|p| p.epochs_per_sec),
+                )
+        })
+        .collect();
+    Json::from(rows)
+}
+
+fn fig3(results: &[AppResult]) -> Json {
+    let rows: Vec<Json> = results
+        .iter()
+        .map(|r| {
+            let t = &r.analysis.tx_stats;
+            Json::obj()
+                .field("name", r.run.name.as_str())
+                .field("median", t.median())
+                .field("mean", t.mean())
+                .field("max", t.max())
+                .field("tx_count", t.tx_count() as u64)
+                .field(
+                    "paper_median",
+                    paper_row(&r.run.name).map(|p| p.fig3_median),
+                )
+        })
+        .collect();
+    Json::from(rows)
+}
+
+fn fig4(results: &[AppResult]) -> Json {
+    let labels: Vec<Json> = SIZE_BUCKET_LABELS.iter().map(|l| Json::from(*l)).collect();
+    let apps: Vec<Json> = results
+        .iter()
+        .map(|r| {
+            Json::obj()
+                .field("name", r.run.name.as_str())
+                .field("fractions", f64s(r.analysis.size_hist.fractions()))
+        })
+        .collect();
+    Json::obj()
+        .field("bucket_labels", labels)
+        .field("apps", apps)
+}
+
+fn fig5(results: &[AppResult]) -> Json {
+    let rows: Vec<Json> = results
+        .iter()
+        .map(|r| {
+            let p = paper_row(&r.run.name);
+            Json::obj()
+                .field("name", r.run.name.as_str())
+                .field("self_pct", r.analysis.deps.self_fraction() * 100.0)
+                .field("cross_pct", r.analysis.deps.cross_fraction() * 100.0)
+                .field("paper_self_pct", p.map(|p| p.fig5_self_pct))
+                .field("paper_cross_pct", p.map(|p| p.fig5_cross_pct))
+        })
+        .collect();
+    Json::from(rows)
+}
+
+fn fig6(results: &[AppResult]) -> Json {
+    let sim: Vec<&AppResult> = results
+        .iter()
+        .filter(|r| SIM_APPS.contains(&r.run.name.as_str()))
+        .collect();
+    let apps: Vec<Json> = sim
+        .iter()
+        .map(|r| {
+            Json::obj()
+                .field("name", r.run.name.as_str())
+                .field("pm_pct", r.analysis.pm_fraction * 100.0)
+                .field(
+                    "paper_pm_pct",
+                    paper_row(&r.run.name).and_then(|p| p.fig6_pm_pct),
+                )
+        })
+        .collect();
+    let average = if sim.is_empty() {
+        Json::Null
+    } else {
+        Json::from(
+            sim.iter()
+                .map(|r| r.analysis.pm_fraction * 100.0)
+                .sum::<f64>()
+                / sim.len() as f64,
+        )
+    };
+    Json::obj()
+        .field("apps", apps)
+        .field("average_pm_pct", average)
+        .field("paper_average_pm_pct", 3.54)
+}
+
+fn fig10(results: &[AppResult]) -> Json {
+    let models: Vec<Json> = PAPER_FIG10_AVG
+        .iter()
+        .map(|(m, _)| Json::from(m.to_string()))
+        .collect();
+    let sim: Vec<&AppResult> = results
+        .iter()
+        .filter(|r| SIM_APPS.contains(&r.run.name.as_str()) && !r.analysis.fig10.is_empty())
+        .collect();
+    let apps: Vec<Json> = sim
+        .iter()
+        .map(|r| {
+            Json::obj()
+                .field("name", r.run.name.as_str())
+                .field("normalized", f64s(r.analysis.fig10.iter().map(|(_, v)| *v)))
+        })
+        .collect();
+    let average = if sim.is_empty() {
+        Json::from(Vec::new())
+    } else {
+        f64s(
+            (0..PAPER_FIG10_AVG.len())
+                .map(|i| sim.iter().map(|r| r.analysis.fig10[i].1).sum::<f64>() / sim.len() as f64),
+        )
+        .into()
+    };
+    Json::obj()
+        .field("models", models)
+        .field("apps", apps)
+        .field("average", average)
+        .field(
+            "paper_average",
+            f64s(PAPER_FIG10_AVG.iter().map(|(_, v)| *v)),
+        )
+}
+
+fn amplification(results: &[AppResult]) -> Json {
+    let rows: Vec<Json> = results
+        .iter()
+        .map(|r| {
+            let a = &r.analysis.amplification;
+            let mut by_cat = Json::obj();
+            for cat in Category::ALL {
+                by_cat = by_cat.field(&cat.to_string(), a.bytes(cat));
+            }
+            Json::obj()
+                .field("name", r.run.name.as_str())
+                .field("amplification", a.amplification())
+                .field("user_bytes", a.user_bytes())
+                .field("overhead_bytes", a.overhead_bytes())
+                .field("bytes_by_category", by_cat)
+        })
+        .collect();
+    Json::from(rows)
+}
+
+fn fraction_rows(results: &[AppResult], pick: impl Fn(&AppResult) -> Option<f64>) -> Json {
+    let rows: Vec<Json> = results
+        .iter()
+        .map(|r| {
+            Json::obj()
+                .field("name", r.run.name.as_str())
+                .field("fraction", pick(r))
+        })
+        .collect();
+    Json::from(rows)
+}
+
+fn totals(results: &[AppResult]) -> Json {
+    let mut t = MemStats::default();
+    for r in results {
+        t.merge(&r.run.stats);
+    }
+    Json::obj()
+        .field("dram_accesses", t.dram_accesses)
+        .field("pm_reads", t.pm_reads)
+        .field("pm_writes", t.pm_writes)
+        .field("pm_fraction", t.pm_fraction())
+        .field("pm_read_fraction", t.pm_read_fraction())
+        .field("pm_write_fraction", t.pm_write_fraction())
+}
+
+fn histogram_json(h: &HistogramSnapshot) -> Json {
+    Json::obj()
+        .field("unit", h.unit.as_str())
+        .field("count", h.count)
+        .field("sum", h.sum)
+        .field("min", h.min)
+        .field("max", h.max)
+        .field("mean", h.mean())
+        .field("p50", h.percentile(50.0))
+        .field("p90", h.percentile(90.0))
+        .field("p99", h.percentile(99.0))
+}
+
+/// Serialize a [`MetricsSnapshot`]; empty objects when nothing was
+/// recorded (recording off).
+pub fn metrics_json(snap: &MetricsSnapshot) -> Json {
+    let mut counters = Json::obj();
+    for (name, v) in &snap.counters {
+        counters = counters.field(name, *v);
+    }
+    let mut gauges = Json::obj();
+    for (name, v) in &snap.gauges {
+        gauges = gauges.field(name, *v);
+    }
+    let mut histograms = Json::obj();
+    for (name, h) in &snap.histograms {
+        histograms = histograms.field(name, histogram_json(h));
+    }
+    Json::obj()
+        .field("counters", counters)
+        .field("gauges", gauges)
+        .field("histograms", histograms)
+}
+
+/// Assemble the full schema-version-1 report document.
+pub fn build(results: &[AppResult], cfg: &SuiteConfig, metrics: &MetricsSnapshot) -> Json {
+    Json::obj()
+        .field("schema_version", SCHEMA_VERSION)
+        .field(
+            "config",
+            Json::obj()
+                .field("scale", cfg.scale)
+                .field("seed", cfg.seed)
+                .field("parallelism", cfg.parallelism as u64),
+        )
+        .field("table1", table1(results))
+        .field("fig3", fig3(results))
+        .field("fig4", fig4(results))
+        .field("fig5", fig5(results))
+        .field("fig6", fig6(results))
+        .field("fig10", fig10(results))
+        .field("amplification", amplification(results))
+        .field(
+            "nt_fraction",
+            fraction_rows(results, |r| r.analysis.nt_fraction),
+        )
+        .field(
+            "small_writes",
+            fraction_rows(results, |r| r.analysis.small_singleton_fraction),
+        )
+        .field("totals", totals(results))
+        .field("metrics", metrics_json(metrics))
+}
+
+/// The top-level keys every version-1 document carries, in order —
+/// shared between [`build`], the tests, and CI validation.
+pub const REQUIRED_KEYS: [&str; 13] = [
+    "schema_version",
+    "config",
+    "table1",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig10",
+    "amplification",
+    "nt_fraction",
+    "small_writes",
+    "totals",
+    "metrics",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::{run_apps, SuiteConfig};
+
+    #[test]
+    fn report_round_trips_and_has_every_key() {
+        let cfg = SuiteConfig {
+            scale: 0.008,
+            seed: 7,
+            parallelism: 1,
+        };
+        let results = run_apps(&["hashmap", "nfs"], &cfg);
+        let doc = build(&results, &cfg, &MetricsSnapshot::default());
+        for key in REQUIRED_KEYS {
+            assert!(doc.get(key).is_some(), "missing {key}");
+        }
+        let parsed = pmobs::json::parse(&doc.to_pretty()).expect("pretty output parses");
+        // Integral floats normalize to integers on parse, so compare
+        // the re-encoded parsed form with itself round-tripped.
+        let again = pmobs::json::parse(&parsed.to_compact()).expect("compact output parses");
+        assert_eq!(again, parsed);
+        assert_eq!(
+            parsed.get("schema_version").and_then(|v| v.as_f64()),
+            Some(1.0)
+        );
+        assert_eq!(
+            parsed
+                .get("table1")
+                .and_then(|t| t.as_arr())
+                .map(|a| a.len()),
+            Some(2)
+        );
+        // hashmap is a gem5-subset app, so fig6/fig10 have one row each.
+        let fig6_apps = parsed.get("fig6").and_then(|f| f.get("apps")).unwrap();
+        assert_eq!(fig6_apps.as_arr().unwrap().len(), 1);
+        let fig10_apps = parsed.get("fig10").and_then(|f| f.get("apps")).unwrap();
+        assert_eq!(fig10_apps.as_arr().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn metrics_json_reflects_snapshot() {
+        let reg = pmobs::Registry::new();
+        reg.counter("a.count").add(3);
+        reg.gauge("a.high").observe(9);
+        reg.histogram("a.hist", pmobs::Unit::Nanos).record(100);
+        let doc = metrics_json(&reg.snapshot());
+        assert_eq!(
+            doc.get("counters")
+                .and_then(|c| c.get("a.count"))
+                .and_then(|v| v.as_f64()),
+            Some(3.0)
+        );
+        assert_eq!(
+            doc.get("gauges")
+                .and_then(|g| g.get("a.high"))
+                .and_then(|v| v.as_f64()),
+            Some(9.0)
+        );
+        let h = doc.get("histograms").and_then(|h| h.get("a.hist")).unwrap();
+        assert_eq!(h.get("count").and_then(|v| v.as_f64()), Some(1.0));
+        assert_eq!(h.get("unit").and_then(|v| v.as_str()), Some("ns"));
+    }
+
+    #[test]
+    fn empty_snapshot_serializes_to_empty_objects() {
+        let doc = metrics_json(&MetricsSnapshot::default());
+        assert_eq!(
+            doc.to_compact(),
+            r#"{"counters":{},"gauges":{},"histograms":{}}"#
+        );
+    }
+}

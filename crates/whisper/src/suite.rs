@@ -176,6 +176,9 @@ pub fn fig10_for(events: &[Event]) -> Vec<(PersistModel, f64)> {
 ///
 /// Panics on an unknown name; the valid names are [`APP_NAMES`].
 pub fn run_app(name: &str, cfg: &SuiteConfig) -> AppResult {
+    // Host wall-clock for the whole run+replay of this app; the
+    // simulated duration goes to the deterministic `sim.*` namespace.
+    let _span = pmobs::span!("suite.run", name);
     let seed = cfg.seed;
     let run = match name {
         "echo" => apps::echo::run(cfg.ops(20_000), seed),
@@ -207,6 +210,10 @@ pub fn run_app(name: &str, cfg: &SuiteConfig) -> AppResult {
     } else {
         fig10_for(&run.events)
     };
+    pmobs::count!("suite.apps_run");
+    if pmobs::enabled() {
+        pmobs::record_sim_ns(&format!("app_duration/{name}"), run.duration_ns);
+    }
     AppResult { run, analysis }
 }
 
@@ -225,8 +232,17 @@ pub fn run_suite(cfg: &SuiteConfig) -> Vec<AppResult> {
 /// result is identical — event-for-event — whatever the parallelism.
 pub fn run_apps(names: &[&str], cfg: &SuiteConfig) -> Vec<AppResult> {
     let workers = cfg.parallelism.clamp(1, names.len().max(1));
+    // Queue wait = time from suite dispatch until a worker claims the
+    // app; host wall-clock, so only sampled when recording is on.
+    let dispatched = pmobs::enabled().then(std::time::Instant::now);
     if workers == 1 {
-        return names.iter().map(|n| run_app(n, cfg)).collect();
+        return names
+            .iter()
+            .map(|n| {
+                note_queue_wait(n, dispatched);
+                run_app(n, cfg)
+            })
+            .collect();
     }
 
     let cursor = AtomicUsize::new(0);
@@ -236,6 +252,7 @@ pub fn run_apps(names: &[&str], cfg: &SuiteConfig) -> Vec<AppResult> {
             s.spawn(|| loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(name) = names.get(i) else { break };
+                note_queue_wait(name, dispatched);
                 let result = run_app(name, cfg);
                 finished.lock().unwrap().push((i, result));
             });
@@ -245,6 +262,17 @@ pub fn run_apps(names: &[&str], cfg: &SuiteConfig) -> Vec<AppResult> {
     let mut slots = finished.into_inner().unwrap();
     slots.sort_unstable_by_key(|(i, _)| *i);
     slots.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Record how long `name` sat queued before a worker picked it up.
+/// `dispatched` is `None` when recording was off at dispatch time.
+fn note_queue_wait(name: &str, dispatched: Option<std::time::Instant>) {
+    if let Some(t0) = dispatched {
+        let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        pmobs::global()
+            .histogram(&format!("suite.queue_wait_ns/{name}"), pmobs::Unit::Nanos)
+            .record(ns);
+    }
 }
 
 #[cfg(test)]
