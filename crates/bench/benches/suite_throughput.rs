@@ -1,0 +1,211 @@
+//! Tracked suite-throughput benchmark: wall-clock and simulated-op
+//! rates for the full 11-application WHISPER suite.
+//!
+//! Unlike the per-figure criterion benches, this one exists to be
+//! *committed*: its JSON output is the perf trajectory later PRs defend
+//! (see `BENCH_3.json` at the repo root). It runs `run_suite` end to
+//! end — applications, single-pass analysis, and the Figure 10 replay —
+//! so the number it reports is the ceiling on everything
+//! `whisper-report` can do.
+//!
+//! ```text
+//! cargo bench --bench suite_throughput -- [--scales quick,default]
+//!     [--samples N] [--parallel N] [--seed N] [--out PATH]
+//! ```
+//!
+//! Scales: `quick` = 0.05 (the CI configuration), `default` = 1.0 (the
+//! statistically stable configuration). Each scale runs `--samples`
+//! times (default 2) and reports every sample plus the best; rates are
+//! computed from the best wall-clock. `--out` writes the machine-
+//! readable document (schema below) via the in-tree `pmobs` encoder.
+//!
+//! ```text
+//! benchmark        "suite_throughput"
+//! schema_version   1
+//! seed, parallelism, samples
+//! scales           [{name, scale, wall_s (best), wall_s_samples,
+//!                    apps, trace_events, mem_accesses, epochs,
+//!                    events_per_sec, accesses_per_sec}]
+//! ```
+
+use pmobs::Json;
+use std::time::Instant;
+use whisper::suite::{run_suite, SuiteConfig};
+
+struct ScaleOutcome {
+    name: String,
+    scale: f64,
+    wall_s: Vec<f64>,
+    apps: u64,
+    trace_events: u64,
+    mem_accesses: u64,
+    epochs: u64,
+}
+
+fn run_scale(
+    name: &str,
+    scale: f64,
+    seed: u64,
+    parallelism: usize,
+    samples: usize,
+) -> ScaleOutcome {
+    let cfg = SuiteConfig {
+        scale,
+        seed,
+        parallelism,
+    };
+    let mut out = ScaleOutcome {
+        name: name.to_string(),
+        scale,
+        wall_s: Vec::with_capacity(samples),
+        apps: 0,
+        trace_events: 0,
+        mem_accesses: 0,
+        epochs: 0,
+    };
+    for i in 0..samples {
+        let t0 = Instant::now();
+        let results = run_suite(&cfg);
+        let wall = t0.elapsed().as_secs_f64();
+        out.wall_s.push(wall);
+        if i == 0 {
+            out.apps = results.len() as u64;
+            for r in &results {
+                out.trace_events += r.run.events.len() as u64;
+                out.mem_accesses += r.run.stats.total();
+                out.epochs += r.analysis.epoch_count as u64;
+            }
+        }
+        eprintln!("  {name} (scale {scale}): sample {} = {wall:.3}s", i + 1);
+    }
+    out
+}
+
+fn best(samples: &[f64]) -> f64 {
+    samples.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+fn scale_json(o: &ScaleOutcome) -> Json {
+    let wall = best(&o.wall_s);
+    Json::obj()
+        .field("name", o.name.as_str())
+        .field("scale", o.scale)
+        .field("wall_s", wall)
+        .field(
+            "wall_s_samples",
+            o.wall_s.iter().map(|&w| Json::from(w)).collect::<Vec<_>>(),
+        )
+        .field("apps", o.apps)
+        .field("trace_events", o.trace_events)
+        .field("mem_accesses", o.mem_accesses)
+        .field("epochs", o.epochs)
+        .field("events_per_sec", o.trace_events as f64 / wall)
+        .field("accesses_per_sec", o.mem_accesses as f64 / wall)
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("suite_throughput: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scales = vec![
+        ("quick".to_string(), 0.05f64),
+        ("default".to_string(), 1.0f64),
+    ];
+    let mut samples = 2usize;
+    let mut parallelism = 1usize;
+    let mut seed = 42u64;
+    let mut out_path: Option<String> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scales" => {
+                i += 1;
+                let spec = args.get(i).unwrap_or_else(|| die("--scales needs a list"));
+                scales = spec
+                    .split(',')
+                    .map(|s| match s.trim() {
+                        "quick" => ("quick".to_string(), 0.05),
+                        "default" => ("default".to_string(), 1.0),
+                        other => match other.parse::<f64>() {
+                            Ok(v) => (other.to_string(), v),
+                            Err(_) => die(&format!("unknown scale {other:?}")),
+                        },
+                    })
+                    .collect();
+            }
+            "--samples" => {
+                i += 1;
+                samples = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--samples needs a count"));
+            }
+            "--parallel" => {
+                i += 1;
+                parallelism = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--parallel needs a worker count"));
+            }
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--out" => {
+                i += 1;
+                out_path = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| die("--out needs a path"))
+                        .clone(),
+                );
+            }
+            // `cargo bench` passes `--bench` through to the target.
+            "--bench" => {}
+            other => die(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+
+    eprintln!("suite_throughput: seed {seed}, {parallelism} worker(s), {samples} sample(s)");
+    let outcomes: Vec<ScaleOutcome> = scales
+        .iter()
+        .map(|(name, scale)| run_scale(name, *scale, seed, parallelism, samples))
+        .collect();
+
+    println!("suite throughput (seed {seed}, {parallelism} worker(s)):");
+    for o in &outcomes {
+        let wall = best(&o.wall_s);
+        println!(
+            "  {:<8} scale {:<5} {:>8.3}s wall  {:>12.0} events/s  {:>12.0} accesses/s  ({} epochs)",
+            o.name,
+            o.scale,
+            wall,
+            o.trace_events as f64 / wall,
+            o.mem_accesses as f64 / wall,
+            o.epochs,
+        );
+    }
+
+    if let Some(path) = out_path {
+        let doc = Json::obj()
+            .field("benchmark", "suite_throughput")
+            .field("schema_version", 1u64)
+            .field("seed", seed)
+            .field("parallelism", parallelism as u64)
+            .field("samples", samples as u64)
+            .field(
+                "scales",
+                outcomes.iter().map(scale_json).collect::<Vec<_>>(),
+            );
+        std::fs::write(&path, doc.to_pretty())
+            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        eprintln!("results written to {path}");
+    }
+}

@@ -22,8 +22,8 @@
 
 use crate::config::{HopsConfig, TimingConfig};
 use pmem::lines_spanning;
+use pmem::FxHashMap;
 use pmtrace::{Event, EventKind, Tid};
-use std::collections::HashMap;
 
 /// The five persistence configurations of Figure 10.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -110,7 +110,7 @@ pub fn replay(
     model: PersistModel,
 ) -> RuntimeReport {
     pmobs::count!("hops.replay_events", events.len() as u64);
-    let mut threads: HashMap<Tid, ThreadReplay> = HashMap::new();
+    let mut threads: FxHashMap<Tid, ThreadReplay> = FxHashMap::default();
     // Background drain rate: within an epoch, writes flush
     // "concurrently to the MCs", so the per-line unit is the persist
     // latency spread over the controllers and their queue depth.

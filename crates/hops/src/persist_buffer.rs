@@ -2,9 +2,9 @@
 
 use crate::bloom::CountingBloom;
 use crate::config::HopsConfig;
-use pmem::{lines_spanning, Addr, AddrRange, Line, PmDevice, PmImage, LINE_SIZE};
+use pmem::{lines_spanning, Addr, AddrRange, FxHashMap, Line, PmDevice, PmImage, LINE_SIZE};
 use pmrand::{Rng, SeedableRng, SmallRng};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 const LINE: usize = LINE_SIZE as usize;
 
@@ -52,7 +52,7 @@ pub struct HopsSystem {
     /// Last buffered writer of each line: `(thread, epoch ts)` — the
     /// sticky-M / ownership information used to detect cross-thread
     /// dependencies when write permission moves.
-    last_writer: HashMap<Line, (usize, u64)>,
+    last_writer: FxHashMap<Line, (usize, u64)>,
     /// Global TS register at the LLC: per-thread flushed-through epoch
     /// timestamps.
     flushed_ts: Vec<u64>,
@@ -79,7 +79,7 @@ impl HopsSystem {
                     bloom: CountingBloom::for_persist_buffer(),
                 })
                 .collect(),
-            last_writer: HashMap::new(),
+            last_writer: FxHashMap::default(),
             flushed_ts: vec![0; threads],
             media_writes: 0,
         }
@@ -121,8 +121,7 @@ impl HopsSystem {
         self.functional.write(addr, bytes);
         let ts = self.threads[tid].ts;
         for (line, _, _) in lines_spanning(addr, bytes.len()) {
-            let mut data = [0u8; LINE];
-            self.functional.read(line.base(), &mut data);
+            let data = *self.functional.line_view(line);
             // Epoch coalescing (Section 6.3's future-work optimization):
             // a same-line store in the same epoch overwrites the
             // buffered entry instead of appending a version.

@@ -1,7 +1,7 @@
 //! Dirty-line tracking with LRU capacity eviction.
 
-use pmem::Line;
-use std::collections::{HashMap, VecDeque};
+use pmem::{FxHashMap, Line};
+use std::collections::VecDeque;
 
 /// Per-thread set of PM lines that are dirty in the L1 cache, with
 /// least-recently-*written* eviction once capacity is exceeded.
@@ -15,7 +15,7 @@ use std::collections::{HashMap, VecDeque};
 pub(crate) struct DirtySet {
     capacity: usize,
     /// line -> LRU stamp (monotone counter value at last write).
-    stamps: HashMap<Line, u64>,
+    stamps: FxHashMap<Line, u64>,
     /// Touch order with lazy invalidation: entries whose stamp no
     /// longer matches `stamps` are skipped at eviction time, making
     /// eviction amortized O(1) instead of a full scan.
@@ -28,7 +28,7 @@ impl DirtySet {
         assert!(capacity > 0, "dirty-set capacity must be positive");
         DirtySet {
             capacity,
-            stamps: HashMap::new(),
+            stamps: FxHashMap::default(),
             queue: VecDeque::new(),
             tick: 0,
         }
@@ -37,8 +37,16 @@ impl DirtySet {
     /// Mark `line` dirty (refreshing its LRU position). Returns the
     /// evicted line, if the insertion pushed the set over capacity.
     pub(crate) fn touch(&mut self, line: Line) -> Option<Line> {
+        self.touch_full(line).1
+    }
+
+    /// [`DirtySet::touch`] that additionally reports whether the line
+    /// was already present — in one hash operation, which is what the
+    /// read-cache hot path needs (a `contains` + `touch` pair would
+    /// look the key up twice). Capacity eviction is unchanged.
+    pub(crate) fn touch_full(&mut self, line: Line) -> (bool, Option<Line>) {
         self.tick += 1;
-        self.stamps.insert(line, self.tick);
+        let was_present = self.stamps.insert(line, self.tick).is_some();
         self.queue.push_back((line, self.tick));
         if self.stamps.len() > self.capacity {
             // Pop stale queue entries until the true LRU line surfaces.
@@ -46,13 +54,12 @@ impl DirtySet {
                 self.queue.pop_front();
                 if self.stamps.get(&l) == Some(&t) {
                     self.stamps.remove(&l);
-                    return Some(l);
+                    return (was_present, Some(l));
                 }
             }
             unreachable!("over-capacity set always has a queue-backed victim");
-        } else {
-            None
         }
+        (was_present, None)
     }
 
     /// Remove `line` (it was flushed or invalidated). Returns whether it
@@ -99,9 +106,7 @@ impl ReadSet {
 
     /// Reference `line`; returns true if it was already cached (hit).
     pub(crate) fn touch(&mut self, line: Line) -> bool {
-        let hit = self.inner.contains(line);
-        let _ = self.inner.touch(line);
-        hit
+        self.inner.touch_full(line).0
     }
 
     /// Drop `line` (a `clflushopt` invalidation).

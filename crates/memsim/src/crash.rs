@@ -54,7 +54,7 @@ impl Machine {
         };
 
         // clwb snapshots and WCB entries carry their own data.
-        for per_thread in pending.into_iter().chain(wcbs.into_iter().map(Vec::from)) {
+        for per_thread in pending.into_iter().chain(wcbs) {
             for e in per_thread {
                 if keep(&mut rng) {
                     img.set_line(e.line, e.data);

@@ -52,6 +52,7 @@ mod config;
 mod crash;
 mod machine;
 mod stats;
+mod wcb;
 mod writer;
 
 pub use config::{Latency, MachineConfig};

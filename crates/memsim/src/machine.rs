@@ -3,20 +3,22 @@
 use crate::cache::{DirtySet, ReadSet};
 use crate::config::MachineConfig;
 use crate::stats::MemStats;
-use pmem::{lines_spanning, Addr, DramDevice, Line, MemoryKind, PmDevice, PmImage, LINE_SIZE};
+use crate::wcb::WriteCombine;
+use pmem::{
+    lines_spanning, Addr, DramDevice, FxHashMap, Line, MemoryKind, PmDevice, PmImage, LINE_SIZE,
+};
 use pmtrace::{Category, Tid, TraceBuffer, TxId};
-use std::collections::VecDeque;
 
 const LINE: usize = LINE_SIZE as usize;
 
 /// What a crash hands to the crash model: functional PM, durable PM,
-/// dirty sets, pending flushes, and write-combining buffers.
+/// dirty sets, pending flushes, and (live) write-combining entries.
 pub(crate) type CrashParts = (
     PmDevice,
     PmDevice,
     Vec<DirtySet>,
     Vec<Vec<PendingLine>>,
-    Vec<VecDeque<PendingLine>>,
+    Vec<Vec<PendingLine>>,
 );
 
 /// A line-sized snapshot waiting to become durable.
@@ -56,8 +58,18 @@ pub struct Machine {
     read_cache: Vec<ReadSet>,
     /// Per-thread `clwb` snapshots awaiting an `sfence`.
     pending: Vec<Vec<PendingLine>>,
-    /// Per-thread write-combining buffers for non-temporal stores.
-    wcb: Vec<VecDeque<PendingLine>>,
+    /// Write-combining buffers for non-temporal stores (all threads).
+    wcb: WriteCombine,
+    /// line -> bitmask of threads holding the line dirty. Mirrors the
+    /// per-thread [`DirtySet`]s (every mutation goes through
+    /// [`Machine::dirty_touch`]/[`Machine::dirty_remove`]) so `clwb`'s
+    /// cross-thread holder search is one lookup instead of a probe of
+    /// every thread's set. A `u64` mask caps the machine at 64 threads,
+    /// asserted at construction (the paper's machine has 8).
+    dirty_index: FxHashMap<Line, u64>,
+    /// Reusable drain buffer for [`Machine::fence_impl`], so a fence
+    /// allocates nothing in steady state.
+    fence_scratch: Vec<PendingLine>,
     clock_ns: u64,
     trace: TraceBuffer,
     stats: MemStats,
@@ -82,6 +94,11 @@ impl Machine {
 
     fn with_pm_image(cfg: MachineConfig, image: Option<&PmImage>) -> Machine {
         assert!(cfg.threads > 0, "machine needs at least one thread");
+        assert!(
+            cfg.threads <= 64,
+            "dirty-line index is a u64 thread bitmask; {} threads exceed 64",
+            cfg.threads
+        );
         let (pm_functional, pm_durable) = match image {
             Some(img) => {
                 assert_eq!(img.range(), cfg.map.pm, "image does not match PM range");
@@ -97,7 +114,9 @@ impl Machine {
             dirty: (0..n).map(|_| DirtySet::new(cfg.l1_dirty_lines)).collect(),
             read_cache: (0..n).map(|_| ReadSet::new(cfg.l2_lines)).collect(),
             pending: vec![Vec::new(); n],
-            wcb: (0..n).map(|_| VecDeque::new()).collect(),
+            wcb: WriteCombine::new(n),
+            dirty_index: FxHashMap::default(),
+            fence_scratch: Vec::new(),
             clock_ns: 0,
             trace: TraceBuffer::new(),
             stats: MemStats::default(),
@@ -160,6 +179,47 @@ impl Machine {
             "thread {tid} out of range (machine has {} threads)",
             self.cfg.threads
         );
+    }
+
+    /// Mark `line` dirty for thread `t`, keeping [`Machine::dirty_index`]
+    /// in sync (including for the evicted victim, if any).
+    fn dirty_touch(&mut self, t: usize, line: Line) -> Option<Line> {
+        let victim = self.dirty[t].touch(line);
+        *self.dirty_index.entry(line).or_insert(0) |= 1 << t;
+        if let Some(v) = victim {
+            // The victim always differs from the just-touched line (a
+            // fresh touch is the newest stamp, never the LRU).
+            self.dirty_index_clear(t, v);
+        }
+        victim
+    }
+
+    /// Remove `line` from thread `t`'s dirty set, syncing the index.
+    fn dirty_remove(&mut self, t: usize, line: Line) {
+        if self.dirty[t].remove(line) {
+            self.dirty_index_clear(t, line);
+        }
+    }
+
+    fn dirty_index_clear(&mut self, t: usize, line: Line) {
+        if let Some(mask) = self.dirty_index.get_mut(&line) {
+            *mask &= !(1 << t);
+            if *mask == 0 {
+                self.dirty_index.remove(&line);
+            }
+        }
+    }
+
+    /// First thread holding `line` dirty, probing in the order
+    /// `tid, tid+1, … (mod threads)` — the issuing thread is the common
+    /// case. One index lookup plus bit arithmetic; equivalent to the
+    /// old per-thread probe loop because mask bits at or above
+    /// `cfg.threads` are never set.
+    fn dirty_holder_from(&self, tid: Tid, line: Line) -> Option<usize> {
+        let mask = *self.dirty_index.get(&line)?;
+        debug_assert_ne!(mask, 0, "index never stores an empty mask");
+        let d = mask.rotate_right(tid.0).trailing_zeros() as usize;
+        Some((tid.0 as usize + d) % 64)
     }
 
     fn kind_of(&self, addr: Addr, len: usize) -> MemoryKind {
@@ -291,10 +351,8 @@ impl Machine {
                     // entry for the line: the cache path now owns its
                     // durability (mixing NT and cacheable stores to one
                     // line is otherwise undefined on real hardware).
-                    for q in &mut self.wcb {
-                        q.retain(|e| e.line != line);
-                    }
-                    if let Some(victim) = self.dirty[tid.0 as usize].touch(line) {
+                    self.wcb.supersede(line);
+                    if let Some(victim) = self.dirty_touch(tid.0 as usize, line) {
                         self.write_back(victim);
                     }
                 }
@@ -325,25 +383,18 @@ impl Machine {
         for (line, _, _) in lines_spanning(addr, bytes.len()) {
             pmobs::count!("memsim.pm_nt_store_lines");
             self.clock_ns += self.cfg.lat.l1_hit_ns;
+            let t = tid.0 as usize;
             // NT stores must not leave stale dirty cache state: the line
             // is written around the cache.
-            self.dirty[tid.0 as usize].remove(line);
-            let mut data = [0u8; LINE];
-            self.pm_functional.read(line.base(), &mut data);
+            self.dirty_remove(t, line);
+            let data = *self.pm_functional.line_view(line);
             self.snap_seq += 1;
-            let seq = self.snap_seq;
-            let q = &mut self.wcb[tid.0 as usize];
-            if let Some(e) = q.iter_mut().find(|e| e.line == line) {
-                e.data = data; // write-combining
-                e.seq = seq;
-            } else {
-                q.push_back(PendingLine { line, data, seq });
-                if q.len() > self.cfg.wcb_entries {
-                    pmobs::count!("memsim.wcb_overflow_drains");
-                    let oldest = q.pop_front().expect("nonempty WCB");
-                    self.media_write(oldest.line, &oldest.data);
-                    self.clock_ns += self.cfg.lat.pm_write_ns;
-                }
+            let inserted = self.wcb.upsert(t, line, data, self.snap_seq);
+            if inserted && self.wcb.live_len(t) > self.cfg.wcb_entries {
+                pmobs::count!("memsim.wcb_overflow_drains");
+                let oldest = self.wcb.pop_oldest_live(t);
+                self.media_write(oldest.line, &oldest.data);
+                self.clock_ns += self.cfg.lat.pm_write_ns;
             }
         }
     }
@@ -367,20 +418,23 @@ impl Machine {
     /// `sfence` from this thread. Flushing a clean line is a no-op
     /// beyond its issue cost.
     pub fn clwb(&mut self, tid: Tid, addr: Addr) {
-        self.check_tid(tid);
         pmobs::count!("memsim.clwb");
+        self.clwb_line(tid, addr);
+    }
+
+    /// The shared `clwb`/`clflushopt` body: trace, issue cost, and the
+    /// dirty-line snapshot. Returns the affected line so `clflushopt`
+    /// does not recompute it.
+    fn clwb_line(&mut self, tid: Tid, addr: Addr) -> Line {
+        self.check_tid(tid);
         let line = Line::containing(addr);
         self.trace.flush(tid, addr, self.clock_ns);
         self.clock_ns += self.cfg.lat.clwb_issue_ns;
         // The line may be dirty in any thread's cache (coherence finds
         // it); check the issuing thread first as the common case.
-        let holder = (0..self.dirty.len())
-            .map(|i| (tid.0 as usize + i) % self.dirty.len())
-            .find(|&i| self.dirty[i].contains(line));
-        if let Some(i) = holder {
-            self.dirty[i].remove(line);
-            let mut data = [0u8; LINE];
-            self.pm_functional.read(line.base(), &mut data);
+        if let Some(i) = self.dirty_holder_from(tid, line) {
+            self.dirty_remove(i, line);
+            let data = *self.pm_functional.line_view(line);
             self.snap_seq += 1;
             self.pending[tid.0 as usize].push(PendingLine {
                 line,
@@ -388,16 +442,18 @@ impl Machine {
                 seq: self.snap_seq,
             });
         }
+        line
     }
 
     /// `clflushopt`: like [`Machine::clwb`] for durability, but also
     /// *invalidates* the line, so the next load is a memory access —
     /// the retention-vs-eviction difference between the two
-    /// instructions.
+    /// instructions. Counts under both `memsim.clflushopt` and
+    /// `memsim.clwb` (it issues one).
     pub fn clflushopt(&mut self, tid: Tid, addr: Addr) {
         pmobs::count!("memsim.clflushopt");
-        self.clwb(tid, addr);
-        let line = Line::containing(addr);
+        pmobs::count!("memsim.clwb");
+        let line = self.clwb_line(tid, addr);
         for rc in &mut self.read_cache {
             rc.invalidate(line);
         }
@@ -425,8 +481,11 @@ impl Machine {
         // Merge clwb snapshots and write-combining entries and drain
         // them in snapshot order, so the newest value of a line wins at
         // the device even when cacheable and non-temporal writes mixed.
-        let mut entries: Vec<PendingLine> = std::mem::take(&mut self.pending[t]);
-        entries.extend(std::mem::take(&mut self.wcb[t]));
+        // The scratch buffer is reused fence to fence, and `append`
+        // leaves `pending[t]`'s allocation in place.
+        let mut entries = std::mem::take(&mut self.fence_scratch);
+        entries.append(&mut self.pending[t]);
+        self.wcb.drain_thread(t, &mut entries);
         entries.sort_unstable_by_key(|e| e.seq);
         let drained = entries.len() as u64;
         if durable {
@@ -435,9 +494,10 @@ impl Machine {
             pmobs::count!("memsim.sfence");
         }
         pmobs::observe!("memsim.fence_drain_lines", pmobs::Unit::Count, drained);
-        for e in entries {
+        for e in entries.drain(..) {
             self.media_write(e.line, &e.data);
         }
+        self.fence_scratch = entries;
         // The first writeback pays full PM latency; subsequent ones
         // pipeline across memory-controller banks.
         self.clock_ns += self.cfg.lat.sfence_ns;
@@ -454,8 +514,7 @@ impl Machine {
 
     fn write_back(&mut self, line: Line) {
         pmobs::count!("memsim.dirty_evictions");
-        let mut data = [0u8; LINE];
-        self.pm_functional.read(line.base(), &mut data);
+        let data = *self.pm_functional.line_view(line);
         self.media_write(line, &data);
         self.clock_ns += self.cfg.lat.pm_write_ns;
     }
@@ -475,9 +534,17 @@ impl Machine {
     /// Whether the *current* functional contents of `[addr, addr+len)`
     /// are durable (would read back identically after `DropVolatile`).
     pub fn is_durable(&self, addr: Addr, len: usize) -> bool {
-        let f = self.pm_functional.read_vec(addr, len);
-        let d = self.pm_durable.read_vec(addr, len);
-        f == d
+        assert!(
+            self.pm_functional.range().contains_span(addr, len),
+            "PM read out of range: {addr:#x}+{len}"
+        );
+        // Compare through borrowed line views — no buffer materializes.
+        lines_spanning(addr, len).all(|(line, start, l)| {
+            let off = line.offset_of(start);
+            let f = self.pm_functional.line_view(line);
+            let d = self.pm_durable.line_view(line);
+            f[off..off + l] == d[off..off + l]
+        })
     }
 
     /// Snapshot of durable PM only (no in-flight writes).
@@ -486,12 +553,13 @@ impl Machine {
     }
 
     pub(crate) fn crash_parts(self) -> CrashParts {
+        let mut wcb = self.wcb;
         (
             self.pm_functional,
             self.pm_durable,
             self.dirty,
             self.pending,
-            self.wcb,
+            wcb.take_all_live(),
         )
     }
 }

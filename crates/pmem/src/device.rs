@@ -1,42 +1,174 @@
 //! The memory devices: sparse line-granular byte stores.
+//!
+//! Backing storage is a lazily-allocated page table rather than a
+//! `HashMap<Line, [u8; 64]>`: the device range is divided into 64 KiB
+//! pages (1024 lines), materialized on first write. A load or store is
+//! then two array indexings and a `memcpy` — no hashing, no per-line
+//! entry allocation — which matters because every simulated memory
+//! access in `memsim` bottoms out here. A 4 GiB range costs one
+//! pointer-sized slot per page (512 KiB of `None`s) until written.
 
 use crate::image::PmImage;
 use crate::line::{lines_spanning, Line, LINE_SIZE};
 use crate::range::AddrRange;
 use crate::Addr;
-use std::collections::HashMap;
 
-/// Backing storage shared by both device types: a sparse map from line
-/// number to 64 bytes. Unwritten bytes read as zero.
-#[derive(Debug, Clone, Default)]
+/// Lines per backing page: 1024 lines = 64 KiB of data. Small enough
+/// that sparse workloads don't over-allocate, large enough that the
+/// page-slot vector for a 4 GiB device stays in the hundreds of KiB.
+const PAGE_LINES: usize = 1024;
+const PAGE_BYTES: usize = PAGE_LINES * LINE_SIZE as usize;
+/// `u64` words in the per-page written bitmap.
+const PAGE_WORDS: usize = PAGE_LINES / 64;
+
+/// All-zero line returned when viewing storage that was never written.
+static ZERO_LINE: [u8; LINE_SIZE as usize] = [0; LINE_SIZE as usize];
+
+/// One 64 KiB backing page plus a written bitmap. The bitmap
+/// distinguishes a line explicitly written with zeros from one never
+/// written at all — the two read identically, but only the former
+/// appears in [`PmImage`] snapshots and `lines_in_use` counts, exactly
+/// as with the previous hash-map backing.
+#[derive(Debug, Clone)]
+struct Page {
+    bytes: [u8; PAGE_BYTES],
+    written: [u64; PAGE_WORDS],
+}
+
+impl Page {
+    fn new() -> Box<Page> {
+        Box::new(Page {
+            bytes: [0; PAGE_BYTES],
+            written: [0; PAGE_WORDS],
+        })
+    }
+
+    #[inline]
+    fn line_bytes(&self, slot: usize) -> &[u8; LINE_SIZE as usize] {
+        let off = slot * LINE_SIZE as usize;
+        self.bytes[off..off + LINE_SIZE as usize]
+            .try_into()
+            .expect("slot is line-sized")
+    }
+
+    /// Mark `slot` written; true if it was not written before.
+    #[inline]
+    fn mark_written(&mut self, slot: usize) -> bool {
+        let (word, bit) = (slot / 64, slot % 64);
+        let fresh = self.written[word] & (1 << bit) == 0;
+        self.written[word] |= 1 << bit;
+        fresh
+    }
+
+    #[inline]
+    fn is_written(&self, slot: usize) -> bool {
+        self.written[slot / 64] & (1 << (slot % 64)) != 0
+    }
+}
+
+/// Backing storage shared by both device types: a two-level page table
+/// over the device's line range. Unwritten bytes read as zero.
+#[derive(Debug, Clone)]
 struct LineStore {
-    lines: HashMap<Line, [u8; LINE_SIZE as usize]>,
+    /// Line number of the first line the range touches; all page/slot
+    /// arithmetic is relative to this, so a device based at 4 GiB does
+    /// not pay for the address space below it.
+    first_line: u64,
+    pages: Vec<Option<Box<Page>>>,
+    /// Distinct lines ever written (sum of written-bitmap popcounts).
+    live_lines: usize,
 }
 
 impl LineStore {
+    fn new(range: AddrRange) -> LineStore {
+        let first_line = Line::containing(range.base).0;
+        let last_line = if range.len == 0 {
+            first_line
+        } else {
+            Line::containing(range.end() - 1).0 + 1
+        };
+        let lines = (last_line - first_line) as usize;
+        LineStore {
+            first_line,
+            pages: vec![None; lines.div_ceil(PAGE_LINES)],
+            live_lines: 0,
+        }
+    }
+
+    /// Page index and slot for `line`, or `None` outside the table.
+    #[inline]
+    fn locate(&self, line: Line) -> Option<(usize, usize)> {
+        let idx = line.0.checked_sub(self.first_line)? as usize;
+        let page = idx / PAGE_LINES;
+        if page < self.pages.len() {
+            Some((page, idx % PAGE_LINES))
+        } else {
+            None
+        }
+    }
+
     fn read(&self, addr: Addr, buf: &mut [u8]) {
         let mut dst = 0;
         for (line, start, len) in lines_spanning(addr, buf.len()) {
             let off = line.offset_of(start);
-            match self.lines.get(&line) {
-                Some(data) => buf[dst..dst + len].copy_from_slice(&data[off..off + len]),
+            let (page, slot) = self.locate(line).expect("caller checked range");
+            match &self.pages[page] {
+                Some(p) => {
+                    let base = slot * LINE_SIZE as usize + off;
+                    buf[dst..dst + len].copy_from_slice(&p.bytes[base..base + len]);
+                }
                 None => buf[dst..dst + len].fill(0),
             }
             dst += len;
         }
     }
 
-    fn write(&mut self, addr: Addr, bytes: &[u8]) -> Vec<Line> {
-        let mut touched = Vec::new();
+    /// Write `bytes` at `addr`, invoking `on_line` once per line touched
+    /// (the hook replaces the `Vec<Line>` the old backing returned, so
+    /// endurance counting costs no allocation).
+    fn write(&mut self, addr: Addr, bytes: &[u8], mut on_line: impl FnMut(Line)) {
         let mut src = 0;
         for (line, start, len) in lines_spanning(addr, bytes.len()) {
             let off = line.offset_of(start);
-            let data = self.lines.entry(line).or_insert([0; LINE_SIZE as usize]);
-            data[off..off + len].copy_from_slice(&bytes[src..src + len]);
+            let (page, slot) = self.locate(line).expect("caller checked range");
+            let p = self.pages[page].get_or_insert_with(Page::new);
+            let base = slot * LINE_SIZE as usize + off;
+            p.bytes[base..base + len].copy_from_slice(&bytes[src..src + len]);
+            if p.mark_written(slot) {
+                self.live_lines += 1;
+            }
             src += len;
-            touched.push(line);
+            on_line(line);
         }
-        touched
+    }
+
+    /// Borrowed view of one line's 64 bytes (zeros if never written).
+    #[inline]
+    fn line_view(&self, line: Line) -> &[u8; LINE_SIZE as usize] {
+        match self.locate(line) {
+            Some((page, slot)) => match &self.pages[page] {
+                Some(p) => p.line_bytes(slot),
+                None => &ZERO_LINE,
+            },
+            None => &ZERO_LINE,
+        }
+    }
+
+    /// All written lines in ascending order (page-major iteration is
+    /// already sorted because pages partition the line range in order).
+    fn written_lines(&self) -> impl Iterator<Item = (Line, &[u8; LINE_SIZE as usize])> + '_ {
+        self.pages.iter().enumerate().flat_map(move |(pi, page)| {
+            page.iter().flat_map(move |p| {
+                (0..PAGE_LINES).filter_map(move |slot| {
+                    if p.is_written(slot) {
+                        let line = Line(self.first_line + (pi * PAGE_LINES + slot) as u64);
+                        Some((line, p.line_bytes(slot)))
+                    } else {
+                        None
+                    }
+                })
+            })
+        })
     }
 }
 
@@ -54,17 +186,21 @@ impl LineStore {
 pub struct PmDevice {
     range: AddrRange,
     store: LineStore,
-    line_writes: HashMap<Line, u64>,
+    /// Per-line endurance counters, paged like the data (8 KiB per
+    /// counter page, allocated on a page's first counted write).
+    line_writes: Vec<Option<Box<[u64; PAGE_LINES]>>>,
     total_line_writes: u64,
 }
 
 impl PmDevice {
     /// A fresh, zeroed device covering `range`.
     pub fn new(range: AddrRange) -> PmDevice {
+        let store = LineStore::new(range);
+        let counter_pages = store.pages.len();
         PmDevice {
             range,
-            store: LineStore::default(),
-            line_writes: HashMap::new(),
+            store,
+            line_writes: vec![None; counter_pages],
             total_line_writes: 0,
         }
     }
@@ -73,14 +209,11 @@ impl PmDevice {
     /// (write counters restart at zero — the media survived, the tally
     /// is per-run).
     pub fn from_image(image: &PmImage) -> PmDevice {
-        PmDevice {
-            range: image.range(),
-            store: LineStore {
-                lines: image.lines().map(|(l, d)| (l, *d)).collect(),
-            },
-            line_writes: HashMap::new(),
-            total_line_writes: 0,
+        let mut dev = PmDevice::new(image.range());
+        for (line, data) in image.lines() {
+            dev.store.write(line.base(), data, |_| {});
         }
+        dev
     }
 
     /// The address range this device decodes.
@@ -109,6 +242,14 @@ impl PmDevice {
         v
     }
 
+    /// Borrowed view of one cache line's current contents (zeros if the
+    /// line was never written). This is the allocation-free snapshot
+    /// path for `memsim`'s write-back machinery; the line need only
+    /// overlap the device range the way [`PmDevice::read`] would allow.
+    pub fn line_view(&self, line: Line) -> &[u8; LINE_SIZE as usize] {
+        self.store.line_view(line)
+    }
+
     /// Write bytes to the media. This is the durability point.
     ///
     /// # Panics
@@ -120,16 +261,25 @@ impl PmDevice {
             "PM write out of range: {addr:#x}+{}",
             bytes.len()
         );
-        let touched = self.store.write(addr, bytes);
-        self.total_line_writes += touched.len() as u64;
-        for line in touched {
-            *self.line_writes.entry(line).or_insert(0) += 1;
-        }
+        let first_line = self.store.first_line;
+        let counters = &mut self.line_writes;
+        let total = &mut self.total_line_writes;
+        self.store.write(addr, bytes, |line| {
+            let idx = (line.0 - first_line) as usize;
+            let page = counters[idx / PAGE_LINES].get_or_insert_with(|| Box::new([0; PAGE_LINES]));
+            page[idx % PAGE_LINES] += 1;
+            *total += 1;
+        });
     }
 
     /// How many times `line` has been written (endurance counter).
     pub fn line_writes(&self, line: Line) -> u64 {
-        self.line_writes.get(&line).copied().unwrap_or(0)
+        match self.store.locate(line) {
+            Some((page, slot)) => self.line_writes[page]
+                .as_ref()
+                .map_or(0, |counts| counts[slot]),
+            None => 0,
+        }
     }
 
     /// Total line writes across the device since construction.
@@ -139,12 +289,12 @@ impl PmDevice {
 
     /// Number of distinct lines ever written.
     pub fn lines_in_use(&self) -> usize {
-        self.store.lines.len()
+        self.store.live_lines
     }
 
     /// Snapshot the durable contents (what survives a power failure).
     pub fn image(&self) -> PmImage {
-        PmImage::from_lines(self.range, self.store.lines.iter().map(|(l, d)| (*l, *d)))
+        PmImage::from_lines(self.range, self.store.written_lines().map(|(l, d)| (l, *d)))
     }
 }
 
@@ -164,7 +314,7 @@ impl DramDevice {
     pub fn new(range: AddrRange) -> DramDevice {
         DramDevice {
             range,
-            store: LineStore::default(),
+            store: LineStore::new(range),
         }
     }
 
@@ -194,6 +344,12 @@ impl DramDevice {
         v
     }
 
+    /// Borrowed view of one cache line's current contents (zeros if the
+    /// line was never written).
+    pub fn line_view(&self, line: Line) -> &[u8; LINE_SIZE as usize] {
+        self.store.line_view(line)
+    }
+
     /// Write bytes.
     ///
     /// # Panics
@@ -205,7 +361,7 @@ impl DramDevice {
             "DRAM write out of range: {addr:#x}+{}",
             bytes.len()
         );
-        self.store.write(addr, bytes);
+        self.store.write(addr, bytes, |_| {});
     }
 }
 
@@ -296,5 +452,48 @@ mod tests {
         d.write(0, b"volatile");
         assert_eq!(d.read_vec(0, 8), b"volatile");
         // (No image() on DramDevice — enforced at compile time.)
+    }
+
+    #[test]
+    fn line_view_matches_read_and_zero_fallback() {
+        let mut d = dev();
+        d.write(130, b"view");
+        assert_eq!(d.line_view(Line(2)), &{
+            let mut want = [0u8; 64];
+            want[2..6].copy_from_slice(b"view");
+            want
+        });
+        // A never-written line views as all zeros without allocating.
+        assert_eq!(d.line_view(Line(3)), &[0u8; 64]);
+        // So does a line past the device range (mirrors line_writes).
+        assert_eq!(d.line_view(Line(1 << 40)), &[0u8; 64]);
+    }
+
+    #[test]
+    fn explicit_zero_write_is_live_and_imaged() {
+        let mut d = dev();
+        d.write(64, &[0u8; 64]);
+        assert_eq!(d.lines_in_use(), 1);
+        assert_eq!(d.image().line_count(), 1);
+    }
+
+    #[test]
+    fn high_base_range_is_cheap_and_correct() {
+        // A device based at 4 GiB must not allocate pages for the
+        // address space below it, and all arithmetic is base-relative.
+        let base = 4u64 << 30;
+        let mut d = PmDevice::new(AddrRange::new(base, 1 << 20));
+        d.write(base + 65_530, &[9; 12]); // straddles a page boundary
+        assert_eq!(d.read_vec(base + 65_530, 12), vec![9; 12]);
+        assert_eq!(d.lines_in_use(), 2);
+        assert_eq!(d.total_line_writes(), 2);
+    }
+
+    #[test]
+    fn page_spanning_write_round_trips() {
+        let mut d = dev();
+        let data: Vec<u8> = (0..200_000).map(|i| (i % 251) as u8).collect();
+        d.write(3, &data);
+        assert_eq!(d.read_vec(3, data.len()), data);
     }
 }

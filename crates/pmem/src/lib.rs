@@ -36,11 +36,13 @@
 #![warn(missing_docs)]
 
 mod device;
+pub mod hash;
 mod image;
 mod line;
 mod range;
 
 pub use device::{DramDevice, PmDevice};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use image::PmImage;
 pub use line::{lines_spanning, Line, LineSpan, LINE_SIZE};
 pub use range::{AddrRange, AddressMap, MemoryKind};

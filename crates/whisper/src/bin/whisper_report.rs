@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! whisper-report [EXPERIMENT] [--scale X] [--seed N] [--apps a,b,c]
-//!                [--parallel N] [--timing] [--json PATH] [--quiet]
-//!                [--dump-traces DIR] [--from-trace FILE]
+//!                [--parallel N] [--timing] [--json PATH] [--json-det PATH]
+//!                [--quiet] [--dump-traces DIR] [--from-trace FILE]
 //!
 //! EXPERIMENT: table1 | fig3 | fig4 | fig5 | fig6 | fig10 |
 //!             amplification | ntfraction | smallwrites |
@@ -23,6 +23,12 @@
 //! to stderr through the `pmobs` logger, and `--quiet` silences
 //! everything below error level.
 //!
+//! `--json-det PATH` writes only the deterministic subset of that
+//! report (`json_report::deterministic_subset`): everything keyed on
+//! `(scale, seed)` alone, with the host-dependent `config` and
+//! wall-clock `metrics` blocks removed. CI byte-compares this subset
+//! against the committed golden file.
+//!
 //! `--dump-traces DIR` archives each application's event stream as a
 //! binary `.wtr` file (the `pmtrace::codec` format); `--from-trace
 //! FILE` re-analyzes such an archive offline instead of running a
@@ -40,6 +46,7 @@ fn main() {
     let mut dump_dir: Option<String> = None;
     let mut from_trace: Option<String> = None;
     let mut json_path: Option<String> = None;
+    let mut json_det_path: Option<String> = None;
     let mut timing = false;
 
     let mut i = 0;
@@ -76,6 +83,14 @@ fn main() {
                         .clone(),
                 );
             }
+            "--json-det" => {
+                i += 1;
+                json_det_path = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| die("--json-det needs an output path"))
+                        .clone(),
+                );
+            }
             "--apps" => {
                 i += 1;
                 apps = args
@@ -103,7 +118,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: whisper-report [table1|fig3|fig4|fig5|fig6|fig10|amplification|ntfraction|smallwrites|all] [--scale X] [--seed N] [--apps a,b,c] [--parallel N] [--timing] [--json PATH] [--quiet]"
+                    "usage: whisper-report [table1|fig3|fig4|fig5|fig6|fig10|amplification|ntfraction|smallwrites|all] [--scale X] [--seed N] [--apps a,b,c] [--parallel N] [--timing] [--json PATH] [--json-det PATH] [--quiet]"
                 );
                 return;
             }
@@ -147,7 +162,7 @@ fn main() {
         // rather than pay for five passes nobody will see.
         let analysis = analyze(&run);
         let results = vec![AppResult { run, analysis }];
-        write_json_report(&json_path, &results, &cfg);
+        write_json_report(&json_path, &json_det_path, &results, &cfg);
         println!("{}", report::all(&results));
         return;
     }
@@ -179,7 +194,7 @@ fn main() {
         }
     }
 
-    write_json_report(&json_path, &results, &cfg);
+    write_json_report(&json_path, &json_det_path, &results, &cfg);
 
     let text = match experiment.as_str() {
         "table1" => report::table1(&results),
@@ -198,16 +213,31 @@ fn main() {
     println!("{text}");
 }
 
-/// Write the schema-v1 JSON document to `path` (no-op without
-/// `--json`). Snapshots the global pmobs registry last, so it includes
-/// everything the run recorded.
-fn write_json_report(path: &Option<String>, results: &[AppResult], cfg: &SuiteConfig) {
-    let Some(path) = path else { return };
+/// Write the schema-v1 JSON document to `path` and/or its deterministic
+/// subset to `det_path` (no-op without `--json`/`--json-det`).
+/// Snapshots the global pmobs registry last, so the full report
+/// includes everything the run recorded.
+fn write_json_report(
+    path: &Option<String>,
+    det_path: &Option<String>,
+    results: &[AppResult],
+    cfg: &SuiteConfig,
+) {
+    if path.is_none() && det_path.is_none() {
+        return;
+    }
     let snap = pmobs::global().snapshot();
     let doc = json_report::build(results, cfg, &snap);
-    std::fs::write(path, doc.to_pretty())
-        .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
-    pmobs::info!("json report written to {path}");
+    if let Some(path) = path {
+        std::fs::write(path, doc.to_pretty())
+            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        pmobs::info!("json report written to {path}");
+    }
+    if let Some(path) = det_path {
+        std::fs::write(path, json_report::deterministic_subset(&doc).to_pretty())
+            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        pmobs::info!("deterministic json report written to {path}");
+    }
 }
 
 /// `--timing`: the suite wall-clock harness. Runs the selected apps

@@ -313,6 +313,40 @@ pub fn build(results: &[AppResult], cfg: &SuiteConfig, metrics: &MetricsSnapshot
         .field("metrics", metrics_json(metrics))
 }
 
+/// The keys of the *deterministic* sections of the report: everything
+/// that depends only on `(scale, seed)` and therefore reproduces
+/// byte-for-byte across runs, hosts, and parallelism settings. Excluded
+/// are `config` (carries the host-dependent worker count) and `metrics`
+/// (host wall-clock histograms). The golden-report equivalence gate
+/// (`tests/golden_report.rs`, CI) compares exactly these sections, so
+/// any hot-path change to the simulator that perturbs results is caught
+/// mechanically.
+pub const DETERMINISTIC_KEYS: [&str; 11] = [
+    "schema_version",
+    "table1",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig10",
+    "amplification",
+    "nt_fraction",
+    "small_writes",
+    "totals",
+];
+
+/// Project the deterministic sections ([`DETERMINISTIC_KEYS`]) out of a
+/// full report document, preserving key order.
+pub fn deterministic_subset(doc: &Json) -> Json {
+    let mut out = Json::obj();
+    for key in DETERMINISTIC_KEYS {
+        if let Some(v) = doc.get(key) {
+            out = out.field(key, v.clone());
+        }
+    }
+    out
+}
+
 /// The top-level keys every version-1 document carries, in order —
 /// shared between [`build`], the tests, and CI validation.
 pub const REQUIRED_KEYS: [&str; 13] = [

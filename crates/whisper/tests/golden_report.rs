@@ -1,0 +1,55 @@
+//! Golden-report equivalence gate for the simulator hot path.
+//!
+//! The deterministic subset of the schema-v1 JSON report (Table 1,
+//! Figures 3–6/10, amplification, NT fraction, small writes, totals —
+//! everything keyed on `(scale, seed)` alone) is committed at
+//! `ci/golden_quick_report.json` for the quick configuration. Any
+//! change to the machine model, devices, or analysis that shifts a
+//! single byte of that subset fails here; performance work must leave
+//! it untouched. Regenerate deliberately with:
+//!
+//! ```text
+//! whisper-report --json-det ci/golden_quick_report.json \
+//!     --scale 0.05 --seed 42 --parallel 1 --quiet
+//! ```
+
+use pmobs::MetricsSnapshot;
+use whisper::json_report;
+use whisper::suite::{run_suite, SuiteConfig};
+
+#[test]
+fn quick_report_matches_committed_golden() {
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../ci/golden_quick_report.json"
+    );
+    let golden = std::fs::read_to_string(golden_path)
+        .expect("ci/golden_quick_report.json missing; regenerate with whisper-report --json-det");
+
+    let cfg = SuiteConfig::quick();
+    assert_eq!(
+        (cfg.scale, cfg.seed),
+        (0.05, 42),
+        "golden is keyed on quick()"
+    );
+    let results = run_suite(&cfg);
+
+    // The metrics snapshot only feeds the non-deterministic `metrics`
+    // block, which the subset drops — an empty one keeps the test
+    // independent of whatever pmobs recording is enabled.
+    let doc = json_report::build(&results, &cfg, &MetricsSnapshot::default());
+    let subset = json_report::deterministic_subset(&doc).to_pretty();
+
+    if subset != golden {
+        let mismatch = subset
+            .lines()
+            .zip(golden.lines())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| subset.lines().count().min(golden.lines().count()));
+        panic!(
+            "deterministic report diverged from golden (first differing line {}): \
+             the simulated machine no longer reproduces the committed results",
+            mismatch + 1
+        );
+    }
+}
