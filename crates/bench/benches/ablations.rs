@@ -97,16 +97,16 @@ fn bench_logging_discipline(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
     group.bench_function("undo_tx", |b| {
-        b.iter(|| std::hint::black_box(epochs_per_tx_undo()))
+        b.iter(|| std::hint::black_box(epochs_per_tx_undo()));
     });
     group.bench_function("redo_tx", |b| {
-        b.iter(|| std::hint::black_box(epochs_per_tx_redo()))
+        b.iter(|| std::hint::black_box(epochs_per_tx_redo()));
     });
     group.bench_function("undo_tx_batched_clears", |b| {
-        b.iter(|| std::hint::black_box(epochs_per_tx_undo_batched()))
+        b.iter(|| std::hint::black_box(epochs_per_tx_undo_batched()));
     });
     group.bench_function("ideal_3_epoch_tx", |b| {
-        b.iter(|| std::hint::black_box(epochs_per_tx_mintx()))
+        b.iter(|| std::hint::black_box(epochs_per_tx_mintx()));
     });
     group.finish();
 }
@@ -140,7 +140,7 @@ fn bench_allocators(c: &mut Criterion) {
     let (e, b) = alloc_cycle(&mut m, &mut slab, rounds);
     eprintln!("[ablation:alloc] slab-bitmap : {e} epochs, {b} metadata bytes / {rounds} cycles");
     group.bench_function("slab_bitmap", |bch| {
-        bch.iter(|| std::hint::black_box(alloc_cycle(&mut m, &mut slab, rounds)))
+        bch.iter(|| std::hint::black_box(alloc_cycle(&mut m, &mut slab, rounds)));
     });
 
     let mut m = Machine::new(MachineConfig::asplos17());
@@ -152,7 +152,7 @@ fn bench_allocators(c: &mut Criterion) {
     let (e, b) = alloc_cycle(&mut m, &mut single, rounds);
     eprintln!("[ablation:alloc] single-heap : {e} epochs, {b} metadata bytes / {rounds} cycles");
     group.bench_function("single_heap", |bch| {
-        bch.iter(|| std::hint::black_box(alloc_cycle(&mut m, &mut single, rounds)))
+        bch.iter(|| std::hint::black_box(alloc_cycle(&mut m, &mut single, rounds)));
     });
 
     let mut m = Machine::new(MachineConfig::asplos17());
@@ -164,7 +164,7 @@ fn bench_allocators(c: &mut Criterion) {
     let (e, b) = alloc_cycle(&mut m, &mut buddy, rounds);
     eprintln!("[ablation:alloc] buddy       : {e} epochs, {b} metadata bytes / {rounds} cycles");
     group.bench_function("buddy", |bch| {
-        bch.iter(|| std::hint::black_box(alloc_cycle(&mut m, &mut buddy, rounds)))
+        bch.iter(|| std::hint::black_box(alloc_cycle(&mut m, &mut buddy, rounds)));
     });
 
     group.finish();
@@ -195,7 +195,7 @@ fn bench_pb_sizing(c: &mut Criterion) {
         group.bench_function(format!("pb_{entries}"), |b| {
             b.iter(|| {
                 std::hint::black_box(replay(&run.events, &tcfg, &hcfg, PersistModel::HopsNvm))
-            })
+            });
         });
     }
     group.finish();
@@ -233,10 +233,10 @@ fn bench_pb_coalescing(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
     group.bench_function("plain", |b| {
-        b.iter(|| std::hint::black_box(run_writes(false)))
+        b.iter(|| std::hint::black_box(run_writes(false)));
     });
     group.bench_function("coalescing", |b| {
-        b.iter(|| std::hint::black_box(run_writes(true)))
+        b.iter(|| std::hint::black_box(run_writes(true)));
     });
     group.finish();
 }
@@ -263,10 +263,10 @@ fn bench_engine_comparison(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
     group.bench_function("optwal", |b| {
-        b.iter(|| std::hint::black_box(whisper::apps::nstore::run_ycsb(200, 3)))
+        b.iter(|| std::hint::black_box(whisper::apps::nstore::run_ycsb(200, 3)));
     });
     group.bench_function("optsp", |b| {
-        b.iter(|| std::hint::black_box(whisper::apps::nstore::run_ycsb_sp(200, 3)))
+        b.iter(|| std::hint::black_box(whisper::apps::nstore::run_ycsb_sp(200, 3)));
     });
     group.finish();
 }

@@ -183,7 +183,7 @@ mod tests {
             b.iter(|| {
                 calls += 1;
                 calls
-            })
+            });
         });
         group.finish();
         assert!(calls > 0, "benchmark closure never ran");

@@ -275,7 +275,7 @@ thread_local! {
 /// so concurrently running tests (or suite workers) cannot observe each
 /// other's replays.
 pub fn fig10_invocations() -> u64 {
-    FIG10_INVOCATIONS.with(|c| c.get())
+    FIG10_INVOCATIONS.with(std::cell::Cell::get)
 }
 
 /// Replay all five models and return runtimes normalized to the

@@ -276,6 +276,134 @@ mod tests {
         assert_eq!(out[0].seq, 5);
     }
 
+    /// Random interleavings against a naive all-live model.
+    ///
+    /// The model is the representation this module replaced: one
+    /// `Vec<PendingLine>` per thread holding only live entries, where
+    /// supersede is a linear `retain`. After every operation the live
+    /// counts must agree, pops and drains must return the model's
+    /// entries in the model's order, and the final `take_all_live`
+    /// must match queue-for-queue — i.e. tombstones plus compaction
+    /// are invisible.
+    mod model {
+        use super::*;
+        use miniprop::prelude::*;
+
+        const THREADS: usize = 3;
+
+        #[derive(Debug, Clone)]
+        enum WcbOp {
+            Upsert { t: usize, line: u64, byte: u8 },
+            Supersede { line: u64 },
+            PopOldest { t: usize },
+            DrainThread { t: usize },
+        }
+
+        fn ops() -> impl Strategy<Value = Vec<WcbOp>> {
+            collection::vec(
+                prop_oneof![
+                    (0usize..THREADS, 0u64..12, any::<u8>())
+                        .prop_map(|(t, line, byte)| WcbOp::Upsert { t, line, byte }),
+                    (0u64..12).prop_map(|line| WcbOp::Supersede { line }),
+                    (0usize..THREADS).prop_map(|t| WcbOp::PopOldest { t }),
+                    (0usize..THREADS).prop_map(|t| WcbOp::DrainThread { t }),
+                ],
+                1..120,
+            )
+        }
+
+        /// The naive reference: apply `op` to all-live per-thread Vecs.
+        fn model_apply(model: &mut [Vec<PendingLine>], op: &WcbOp, seq: u64) {
+            match *op {
+                WcbOp::Upsert { t, line, byte } => {
+                    let line = Line(line);
+                    let data = [byte; 64];
+                    match model[t].iter_mut().find(|e| e.line == line) {
+                        Some(e) => {
+                            e.data = data;
+                            e.seq = seq;
+                        }
+                        None => model[t].push(PendingLine { line, data, seq }),
+                    }
+                }
+                WcbOp::Supersede { line } => {
+                    for q in model.iter_mut() {
+                        q.retain(|e| e.line != Line(line));
+                    }
+                }
+                // Pops and drains are handled by the caller (they
+                // return values to compare).
+                WcbOp::PopOldest { .. } | WcbOp::DrainThread { .. } => {}
+            }
+        }
+
+        fn entries_eq(a: &PendingLine, b: &PendingLine) -> bool {
+            a.line == b.line && a.seq == b.seq && a.data == b.data
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            #[test]
+            fn matches_naive_all_live_model(script in ops()) {
+                let mut real = WriteCombine::new(THREADS);
+                let mut model: Vec<Vec<PendingLine>> =
+                    (0..THREADS).map(|_| Vec::new()).collect();
+                let mut seq = 0u64;
+
+                for op in &script {
+                    seq += 1;
+                    match *op {
+                        WcbOp::Upsert { t, line, byte } => {
+                            let fresh = real.upsert(t, Line(line), [byte; 64], seq);
+                            let model_fresh =
+                                !model[t].iter().any(|e| e.line == Line(line));
+                            prop_assert_eq!(fresh, model_fresh);
+                            model_apply(&mut model, op, seq);
+                        }
+                        WcbOp::Supersede { line } => {
+                            real.supersede(Line(line));
+                            model_apply(&mut model, op, seq);
+                        }
+                        WcbOp::PopOldest { t } => {
+                            // Only legal with a positive live count.
+                            if model[t].is_empty() {
+                                prop_assert_eq!(real.live_len(t), 0);
+                                continue;
+                            }
+                            let got = real.pop_oldest_live(t);
+                            let want = model[t].remove(0);
+                            prop_assert!(entries_eq(&got, &want));
+                        }
+                        WcbOp::DrainThread { t } => {
+                            let mut got = Vec::new();
+                            real.drain_thread(t, &mut got);
+                            let want = std::mem::take(&mut model[t]);
+                            prop_assert_eq!(got.len(), want.len());
+                            for (g, w) in got.iter().zip(&want) {
+                                prop_assert!(entries_eq(g, w));
+                            }
+                        }
+                    }
+                    // The live-entry sets agree after every step.
+                    for t in 0..THREADS {
+                        prop_assert_eq!(real.live_len(t), model[t].len());
+                    }
+                }
+
+                // Crash path: every buffer, live entries in queue order.
+                let got = real.take_all_live();
+                prop_assert_eq!(got.len(), model.len());
+                for (gq, wq) in got.iter().zip(&model) {
+                    prop_assert_eq!(gq.len(), wq.len());
+                    for (g, w) in gq.iter().zip(wq.iter()) {
+                        prop_assert!(entries_eq(g, w));
+                    }
+                }
+            }
+        }
+    }
+
     #[test]
     fn compaction_keeps_only_live() {
         let mut w = WriteCombine::new(1);

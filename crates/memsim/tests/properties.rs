@@ -48,7 +48,7 @@ proptest! {
                     MemOp::Store { slot, val } | MemOp::StoreNt { slot, val } => {
                         match op {
                             MemOp::Store { .. } => {
-                                w.write(&mut m, base + slot * 64, &[*val; 8], Category::UserData)
+                                w.write(&mut m, base + slot * 64, &[*val; 8], Category::UserData);
                             }
                             _ => w.write_nt(&mut m, base + slot * 64, &[*val; 8], Category::UserData),
                         }

@@ -13,6 +13,8 @@
 //! - deterministic: each test function derives its stream from the
 //!   test's name (override with `MINIPROP_SEED` for exploration).
 
+#![forbid(unsafe_code)]
+
 use pmrand::SeedableRng;
 pub use pmrand::SmallRng;
 

@@ -87,7 +87,7 @@ impl PmAllocator for ShardedSlab {
     }
 
     fn allocated_bytes(&self) -> u64 {
-        self.shards.iter().map(|s| s.allocated_bytes()).sum()
+        self.shards.iter().map(PmAllocator::allocated_bytes).sum()
     }
 }
 

@@ -431,7 +431,7 @@ mod tests {
         let _leaked = a.alloc(&mut m, &mut w, 64).unwrap(); // never linked
                                                             // Crash and recover: the bitmap says two blocks are allocated.
         let img = m.crash(memsim::CrashSpec::DropVolatile);
-        let mut m2 = Machine::from_image(memsim::MachineConfig::asplos17(), &img);
+        let mut m2 = Machine::from_image(MachineConfig::asplos17(), &img);
         let mut a2 = SlabBitmapAlloc::recover(&mut m2, Tid(0), region);
         assert_eq!(a2.allocated_bytes(), 128);
         let mut w2 = PmWriter::new(Tid(0));

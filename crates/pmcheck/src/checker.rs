@@ -1,0 +1,689 @@
+//! The streaming checker: one pass, per-line state machines.
+
+use crate::rules::{Rule, Severity};
+use pmem::{lines_spanning, FxHashMap, FxHashSet, Line};
+use pmtrace::{Event, EventKind, Tid, TxId};
+
+/// One rule violation, anchored to the event that triggered it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Error findings gate CI; warnings are diagnostics.
+    pub severity: Severity,
+    /// Thread the finding is attributed to.
+    pub tid: Tid,
+    /// Simulated timestamp of the triggering event (the trace's last
+    /// timestamp for end-of-trace findings).
+    pub at_ns: u64,
+    /// The 64 B line involved, if the rule is line-scoped
+    /// (`P-DOUBLE-FENCE` is not).
+    pub line: Option<Line>,
+    /// Ordinal of the thread's enclosing epoch (fences completed so
+    /// far on that thread).
+    pub epoch: u64,
+    /// The thread's active durable transaction, if any.
+    pub tx: Option<TxId>,
+    /// Human-readable one-liner.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} [{}] {} at {} ns (epoch {}{}): {}",
+            self.rule,
+            self.severity,
+            self.tid,
+            self.at_ns,
+            self.epoch,
+            match self.tx {
+                Some(id) => format!(", tx {id}"),
+                None => String::new(),
+            },
+            self.message
+        )
+    }
+}
+
+/// Everything one checking pass produced.
+#[derive(Debug, Clone, Default)]
+pub struct CheckReport {
+    /// All findings, in trigger order (end-of-trace findings last, in
+    /// line order).
+    pub findings: Vec<Finding>,
+    /// Events visited — exactly the trace length for a single pass
+    /// (asserted by the `single_pass` integration test).
+    pub events_visited: u64,
+}
+
+impl CheckReport {
+    /// Findings for one rule.
+    pub fn count(&self, rule: Rule) -> usize {
+        self.findings.iter().filter(|f| f.rule == rule).count()
+    }
+
+    /// Findings at one severity.
+    pub fn count_severity(&self, sev: Severity) -> usize {
+        self.findings.iter().filter(|f| f.severity == sev).count()
+    }
+
+    /// Error-severity findings — the CI gate.
+    pub fn errors(&self) -> usize {
+        self.count_severity(Severity::Error)
+    }
+
+    /// Warn-severity findings.
+    pub fn warnings(&self) -> usize {
+        self.count_severity(Severity::Warn)
+    }
+
+    /// `(rule, errors, warnings)` for every rule, in reporting order.
+    pub fn by_rule(&self) -> [(Rule, usize, usize); 5] {
+        let mut out = Rule::ALL.map(|r| (r, 0usize, 0usize));
+        for f in &self.findings {
+            let slot = &mut out[Rule::ALL
+                .iter()
+                .position(|r| *r == f.rule)
+                .expect("known rule")];
+            match f.severity {
+                Severity::Error => slot.1 += 1,
+                Severity::Warn => slot.2 += 1,
+            }
+        }
+        out
+    }
+}
+
+/// Durability progress of one cache line.
+///
+/// Absent from the map ⇒ *Clean*: never stored to (or explicitly
+/// reset). `Flushed`/`Durable` record which thread's fence is / was the
+/// covering ordering point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LineState {
+    /// Cacheable store landed; no covering flush yet.
+    Dirty {
+        /// Last storing thread.
+        by: Tid,
+    },
+    /// A `clwb`/`clflushopt` snapshot or an NT store is in flight;
+    /// durable once `by` fences.
+    Flushed {
+        /// Thread whose fence will complete the flush.
+        by: Tid,
+        /// When the covering operation was issued.
+        at_ns: u64,
+        /// True when the coverage is a write-combining NT store
+        /// (which may legally keep combining until the fence) rather
+        /// than a `clwb`/`clflushopt` snapshot.
+        nt: bool,
+    },
+    /// Flushed and fenced: persistent as of the fence.
+    Durable,
+}
+
+/// Per-thread bookkeeping.
+#[derive(Debug, Default)]
+struct ThreadState {
+    /// Fences completed — the current epoch ordinal.
+    epoch: u64,
+    /// Active durable transaction.
+    tx: Option<TxId>,
+    /// Lines stored (cacheably or NT) inside the active transaction.
+    tx_lines: FxHashSet<Line>,
+    /// Lines this thread stored in its current open epoch (cleared at
+    /// each fence) — the in-flight set for `P-CROSS-DEP`.
+    open_stores: FxHashSet<Line>,
+    /// Lines whose `Flushed` state is waiting on this thread's fence.
+    pending_flush: FxHashSet<Line>,
+    /// Whether any PM store or flush happened since the last fence.
+    pm_work: bool,
+    /// Whether this thread has fenced before (first fence is exempt
+    /// from `P-DOUBLE-FENCE`).
+    fenced_before: bool,
+}
+
+/// Streaming checker state. Feed globally-ordered events to
+/// [`push`](Checker::push), then [`finish`](Checker::finish);
+/// or use [`check_events`] for the common whole-trace case.
+#[derive(Debug, Default)]
+pub struct Checker {
+    lines: FxHashMap<Line, LineState>,
+    /// line → threads with an in-flight (unfenced) store to it.
+    in_flight: FxHashMap<Line, Vec<Tid>>,
+    threads: FxHashMap<Tid, ThreadState>,
+    findings: Vec<Finding>,
+    events_visited: u64,
+    last_ns: u64,
+}
+
+impl Checker {
+    /// A fresh checker (all lines clean).
+    pub fn new() -> Checker {
+        Checker::default()
+    }
+
+    fn report(
+        &mut self,
+        rule: Rule,
+        severity: Severity,
+        tid: Tid,
+        at_ns: u64,
+        line: Option<Line>,
+        message: String,
+    ) {
+        let t = self.threads.entry(tid).or_default();
+        self.findings.push(Finding {
+            rule,
+            severity,
+            tid,
+            at_ns,
+            line,
+            epoch: t.epoch,
+            tx: t.tx,
+            message,
+        });
+    }
+
+    /// Fold one event into the state machines. Call in global trace
+    /// order.
+    pub fn push(&mut self, ev: &Event) {
+        self.events_visited += 1;
+        self.last_ns = self.last_ns.max(ev.at_ns);
+        match ev.kind {
+            EventKind::PmStore { addr, len, nt, .. } => {
+                for (line, _, _) in lines_spanning(addr, len as usize) {
+                    self.on_store(ev.tid, ev.at_ns, line, nt);
+                }
+            }
+            EventKind::Flush { addr } => self.on_flush(ev.tid, ev.at_ns, Line::containing(addr)),
+            EventKind::Fence | EventKind::DFence => self.on_fence(ev.tid, ev.at_ns),
+            EventKind::TxBegin { id } => {
+                let t = self.threads.entry(ev.tid).or_default();
+                t.tx = Some(id);
+                t.tx_lines.clear();
+            }
+            EventKind::TxEnd { id } => self.on_tx_end(ev.tid, ev.at_ns, id),
+        }
+    }
+
+    fn on_store(&mut self, tid: Tid, at_ns: u64, line: Line, nt: bool) {
+        // P-CROSS-DEP: another thread has an unfenced store to this
+        // line. Reported once per conflicting (line, thread) pair —
+        // the entry is consumed so repeat stores do not multiply it.
+        let holders = self.in_flight.entry(line).or_default();
+        let racy = holders.iter().any(|h| *h != tid);
+        if !holders.contains(&tid) {
+            holders.push(tid);
+        }
+        if racy {
+            let others: Vec<String> = self.in_flight[&line]
+                .iter()
+                .filter(|h| **h != tid)
+                .map(ToString::to_string)
+                .collect();
+            self.report(
+                Rule::CrossDep,
+                Severity::Error,
+                tid,
+                at_ns,
+                Some(line),
+                format!(
+                    "store to {line} races in-flight store(s) from {} — no ordering fence between the epochs",
+                    others.join(",")
+                ),
+            );
+        }
+
+        let prev = self.lines.get(&line).copied();
+        if let Some(LineState::Flushed {
+            by,
+            at_ns: f_ns,
+            nt: was_nt,
+        }) = prev
+        {
+            if !was_nt {
+                // P-UNORDERED: a dependent store lands before the
+                // pending `clwb` was fenced — the snapshot taken at
+                // flush time no longer covers the line's newest data,
+                // and the flush itself has no ordering point yet.
+                // (An in-flight *NT* entry instead legally keeps
+                // write-combining, or is superseded by a cacheable
+                // store that takes over durability — neither is a
+                // violation on its own.)
+                self.report(
+                    Rule::Unordered,
+                    Severity::Error,
+                    tid,
+                    at_ns,
+                    Some(line),
+                    format!(
+                        "store to {line} before the flush issued by {by} at {f_ns} ns was fenced — the flushed data has no ordering point"
+                    ),
+                );
+            }
+            if by != tid || !nt {
+                if let Some(f) = self.threads.get_mut(&by) {
+                    f.pending_flush.remove(&line);
+                }
+            }
+        }
+        let next = if nt {
+            // An NT store bypasses the cache into the write-combining
+            // buffer: it is its own flush, pending this thread's fence.
+            LineState::Flushed {
+                by: tid,
+                at_ns,
+                nt: true,
+            }
+        } else {
+            LineState::Dirty { by: tid }
+        };
+        self.lines.insert(line, next);
+
+        let t = self.threads.entry(tid).or_default();
+        t.pm_work = true;
+        t.open_stores.insert(line);
+        if nt {
+            t.pending_flush.insert(line);
+        }
+        if t.tx.is_some() {
+            t.tx_lines.insert(line);
+        }
+    }
+
+    fn on_flush(&mut self, tid: Tid, at_ns: u64, line: Line) {
+        self.threads.entry(tid).or_default().pm_work = true;
+        match self.lines.get(&line).copied() {
+            None => self.report(
+                Rule::RedundantFlush,
+                Severity::Warn,
+                tid,
+                at_ns,
+                Some(line),
+                format!("flush of clean {line} — nothing was stored there"),
+            ),
+            Some(LineState::Durable) => self.report(
+                Rule::RedundantFlush,
+                Severity::Warn,
+                tid,
+                at_ns,
+                Some(line),
+                format!("flush of already-flushed-and-fenced {line}"),
+            ),
+            Some(LineState::Dirty { .. }) => {
+                self.lines.insert(
+                    line,
+                    LineState::Flushed {
+                        by: tid,
+                        at_ns,
+                        nt: false,
+                    },
+                );
+                self.threads
+                    .entry(tid)
+                    .or_default()
+                    .pending_flush
+                    .insert(line);
+            }
+            Some(LineState::Flushed { by, nt, .. }) => {
+                // Re-flush of a still-pending line: not redundant per
+                // the rule (only clean/durable lines are). For a
+                // pending `clwb` from another thread, the later flush
+                // takes over coverage; a pending *NT* entry drains on
+                // its storing thread's fence, which a foreign flush
+                // cannot accelerate, so its ownership is untouched.
+                if !nt && by != tid {
+                    if let Some(f) = self.threads.get_mut(&by) {
+                        f.pending_flush.remove(&line);
+                    }
+                    self.lines.insert(
+                        line,
+                        LineState::Flushed {
+                            by: tid,
+                            at_ns,
+                            nt: false,
+                        },
+                    );
+                    self.threads
+                        .entry(tid)
+                        .or_default()
+                        .pending_flush
+                        .insert(line);
+                }
+            }
+        }
+    }
+
+    fn on_fence(&mut self, tid: Tid, at_ns: u64) {
+        let t = self.threads.entry(tid).or_default();
+        let idle = !t.pm_work && t.fenced_before;
+        if idle {
+            // Report before the epoch counter advances: the useless
+            // fence belongs to the epoch it closes.
+            self.report(
+                Rule::DoubleFence,
+                Severity::Warn,
+                tid,
+                at_ns,
+                None,
+                "fence with no PM store or flush since the previous fence".to_string(),
+            );
+        }
+        let t = self.threads.entry(tid).or_default();
+        // Retire this thread's pending flushes and in-flight stores.
+        let pending: Vec<Line> = t.pending_flush.drain().collect();
+        let open: Vec<Line> = t.open_stores.drain().collect();
+        t.pm_work = false;
+        t.fenced_before = true;
+        t.epoch += 1;
+        for line in pending {
+            // The set can be momentarily stale (a dependent store or
+            // another thread's flush displaced the entry); only retire
+            // lines still waiting on this thread.
+            if let Some(LineState::Flushed { by, .. }) = self.lines.get(&line) {
+                if *by == tid {
+                    self.lines.insert(line, LineState::Durable);
+                }
+            }
+        }
+        for line in open {
+            if let Some(holders) = self.in_flight.get_mut(&line) {
+                holders.retain(|h| *h != tid);
+                if holders.is_empty() {
+                    self.in_flight.remove(&line);
+                }
+            }
+        }
+    }
+
+    fn on_tx_end(&mut self, tid: Tid, at_ns: u64, id: TxId) {
+        let t = self.threads.entry(tid).or_default();
+        let mut tx_lines: Vec<Line> = t.tx_lines.drain().collect();
+        tx_lines.sort_unstable();
+        // The transaction stays "active" through the commit checks so
+        // findings carry the committing tx as context.
+        for line in tx_lines {
+            match self.lines.get(&line).copied() {
+                Some(LineState::Dirty { by }) => self.report(
+                    Rule::Unflushed,
+                    Severity::Error,
+                    tid,
+                    at_ns,
+                    Some(line),
+                    format!("tx {id} committed while {line} (stored by {by}) is dirty with no covering clwb/clflushopt/NT store"),
+                ),
+                Some(LineState::Flushed { by, at_ns: f_ns, .. }) => self.report(
+                    Rule::Unordered,
+                    Severity::Error,
+                    tid,
+                    at_ns,
+                    Some(line),
+                    format!("tx {id} committed while the flush of {line} (issued by {by} at {f_ns} ns) awaits a fence"),
+                ),
+                Some(LineState::Durable) | None => {}
+            }
+        }
+        self.threads.entry(tid).or_default().tx = None;
+    }
+
+    /// End-of-trace scan: anything still dirty or pending is reported
+    /// at warn severity — the trace may simply have been cut before
+    /// the program's next persist point, so this is a heuristic, not a
+    /// proof (the tx-commit variants of the same states are errors).
+    pub fn finish(mut self) -> CheckReport {
+        let mut tail: Vec<(Line, LineState)> = self
+            .lines
+            .iter()
+            .filter(|(_, s)| !matches!(s, LineState::Durable))
+            .map(|(l, s)| (*l, *s))
+            .collect();
+        tail.sort_unstable_by_key(|(l, _)| *l);
+        let at_ns = self.last_ns;
+        for (line, state) in tail {
+            match state {
+                LineState::Dirty { by } => self.report(
+                    Rule::Unflushed,
+                    Severity::Warn,
+                    by,
+                    at_ns,
+                    Some(line),
+                    format!("{line} still dirty at trace end — stored but never flushed"),
+                ),
+                LineState::Flushed {
+                    by, at_ns: f_ns, ..
+                } => self.report(
+                    Rule::Unordered,
+                    Severity::Warn,
+                    by,
+                    at_ns,
+                    Some(line),
+                    format!("flush of {line} (issued at {f_ns} ns) never fenced before trace end"),
+                ),
+                LineState::Durable => unreachable!("filtered above"),
+            }
+        }
+        CheckReport {
+            findings: self.findings,
+            events_visited: self.events_visited,
+        }
+    }
+}
+
+/// Check a whole trace in one pass.
+pub fn check_events(events: &[Event]) -> CheckReport {
+    let _span = pmobs::span!("pmcheck");
+    let mut c = Checker::new();
+    for ev in events {
+        c.push(ev);
+    }
+    let report = c.finish();
+    pmobs::count!("pmcheck.events_checked", report.events_visited);
+    pmobs::count!("pmcheck.findings", report.findings.len() as u64);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmtrace::{Category, TraceBuffer};
+
+    const T0: Tid = Tid(0);
+    const T1: Tid = Tid(1);
+
+    fn ids(report: &CheckReport) -> Vec<&'static str> {
+        report.findings.iter().map(|f| f.rule.id()).collect()
+    }
+
+    #[test]
+    fn clean_discipline_has_no_findings() {
+        let mut t = TraceBuffer::new();
+        t.tx_begin(T0, 1, 0);
+        t.pm_store(T0, 0, 8, false, Category::UserData, 10);
+        t.flush(T0, 0, 20);
+        t.fence(T0, 30);
+        t.tx_end(T0, 1, 40);
+        let r = check_events(t.events());
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.events_visited, 5);
+    }
+
+    #[test]
+    fn nt_store_is_its_own_flush() {
+        let mut t = TraceBuffer::new();
+        t.tx_begin(T0, 1, 0);
+        t.pm_store(T0, 0, 8, true, Category::RedoLog, 10);
+        t.dfence(T0, 20);
+        t.tx_end(T0, 1, 30);
+        let r = check_events(t.events());
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn dirty_at_commit_is_unflushed_error() {
+        let mut t = TraceBuffer::new();
+        t.tx_begin(T0, 7, 0);
+        t.pm_store(T0, 128, 8, false, Category::UserData, 10);
+        t.tx_end(T0, 7, 20);
+        t.flush(T0, 128, 30); // late cleanup keeps trace end quiet
+        t.fence(T0, 40);
+        let r = check_events(t.events());
+        assert_eq!(ids(&r), vec!["P-UNFLUSHED"]);
+        assert_eq!(r.findings[0].severity, Severity::Error);
+        assert_eq!(r.findings[0].tx, Some(7));
+        assert_eq!(r.findings[0].line, Some(Line(2)));
+    }
+
+    #[test]
+    fn unfenced_flush_at_commit_is_unordered_error() {
+        let mut t = TraceBuffer::new();
+        t.tx_begin(T0, 3, 0);
+        t.pm_store(T0, 0, 8, false, Category::UserData, 10);
+        t.flush(T0, 0, 20);
+        t.tx_end(T0, 3, 30);
+        t.fence(T0, 40);
+        let r = check_events(t.events());
+        assert_eq!(ids(&r), vec!["P-UNORDERED"]);
+        assert_eq!(r.findings[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn dependent_store_before_fence_is_unordered() {
+        let mut t = TraceBuffer::new();
+        t.pm_store(T0, 0, 8, false, Category::UserData, 10);
+        t.flush(T0, 0, 20);
+        t.pm_store(T0, 8, 8, false, Category::UserData, 30); // same line
+        t.flush(T0, 0, 40);
+        t.fence(T0, 50);
+        let r = check_events(t.events());
+        assert_eq!(ids(&r), vec!["P-UNORDERED"]);
+    }
+
+    #[test]
+    fn flush_of_clean_and_durable_lines_warns() {
+        let mut t = TraceBuffer::new();
+        t.flush(T0, 640, 5); // clean: never stored
+        t.pm_store(T0, 0, 8, false, Category::UserData, 10);
+        t.flush(T0, 0, 20);
+        t.fence(T0, 30);
+        t.flush(T0, 0, 40); // durable already
+        t.fence(T0, 50);
+        let r = check_events(t.events());
+        assert_eq!(ids(&r), vec!["P-REDUNDANT-FLUSH", "P-REDUNDANT-FLUSH"]);
+        assert_eq!(r.errors(), 0);
+        assert_eq!(r.warnings(), 2);
+    }
+
+    #[test]
+    fn refllush_of_pending_line_is_not_redundant() {
+        let mut t = TraceBuffer::new();
+        t.pm_store(T0, 0, 8, false, Category::UserData, 10);
+        t.flush(T0, 0, 20);
+        t.flush(T0, 0, 25); // still pending: takes over, no warning
+        t.fence(T0, 30);
+        let r = check_events(t.events());
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn back_to_back_fences_warn_once() {
+        let mut t = TraceBuffer::new();
+        t.pm_store(T0, 0, 8, false, Category::UserData, 10);
+        t.flush(T0, 0, 15);
+        t.fence(T0, 20);
+        t.fence(T0, 30); // nothing in between
+        t.dfence(T0, 40); // still nothing
+        let r = check_events(t.events());
+        assert_eq!(ids(&r), vec!["P-DOUBLE-FENCE", "P-DOUBLE-FENCE"]);
+        assert_eq!(r.findings[0].epoch, 1, "fires inside the second epoch");
+    }
+
+    #[test]
+    fn first_fence_of_a_thread_is_exempt() {
+        let mut t = TraceBuffer::new();
+        t.fence(T0, 10);
+        let r = check_events(t.events());
+        assert!(r.findings.is_empty());
+    }
+
+    #[test]
+    fn cross_thread_inflight_store_is_a_race() {
+        let mut t = TraceBuffer::new();
+        t.pm_store(T0, 0, 8, false, Category::UserData, 10);
+        t.pm_store(T1, 0, 8, false, Category::UserData, 20); // t0 not fenced yet
+        t.flush(T0, 0, 30); // covers both threads' bytes (line granularity)
+        t.fence(T0, 40);
+        t.fence(T1, 50);
+        let r = check_events(t.events());
+        assert_eq!(ids(&r), vec!["P-CROSS-DEP"]);
+        assert_eq!(r.findings[0].tid, T1);
+        assert_eq!(r.findings[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn fence_separated_cross_dependency_is_legal() {
+        // The paper's Figure-5 cross dependency: t0 fences, then t1
+        // touches the same line. Ordered, so no finding.
+        let mut t = TraceBuffer::new();
+        t.pm_store(T0, 0, 8, false, Category::UserData, 10);
+        t.flush(T0, 0, 20);
+        t.fence(T0, 30);
+        t.pm_store(T1, 0, 8, false, Category::UserData, 40);
+        t.flush(T1, 0, 50);
+        t.fence(T1, 60);
+        let r = check_events(t.events());
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn trace_end_leftovers_warn() {
+        let mut t = TraceBuffer::new();
+        t.pm_store(T0, 0, 8, false, Category::UserData, 10); // dirty forever
+        t.pm_store(T0, 64, 8, false, Category::UserData, 20);
+        t.flush(T0, 64, 30); // flushed, never fenced
+        let r = check_events(t.events());
+        assert_eq!(ids(&r), vec!["P-UNFLUSHED", "P-UNORDERED"]);
+        assert_eq!(r.errors(), 0);
+        assert_eq!(r.warnings(), 2);
+    }
+
+    #[test]
+    fn store_spanning_lines_tracks_both() {
+        let mut t = TraceBuffer::new();
+        t.tx_begin(T0, 1, 0);
+        t.pm_store(T0, 60, 8, false, Category::UserData, 10); // lines 0 and 1
+        t.flush(T0, 0, 20); // only line 0 flushed
+        t.fence(T0, 30);
+        t.tx_end(T0, 1, 40);
+        t.flush(T0, 64, 50);
+        t.fence(T0, 60);
+        let r = check_events(t.events());
+        assert_eq!(ids(&r), vec!["P-UNFLUSHED"]);
+        assert_eq!(r.findings[0].line, Some(Line(1)));
+    }
+
+    #[test]
+    fn by_rule_tallies_severities() {
+        let mut t = TraceBuffer::new();
+        t.flush(T0, 0, 5); // redundant (clean)
+        t.tx_begin(T0, 1, 10);
+        t.pm_store(T0, 64, 8, false, Category::UserData, 20);
+        t.tx_end(T0, 1, 30); // unflushed error
+        t.flush(T0, 64, 40);
+        t.fence(T0, 50);
+        let r = check_events(t.events());
+        let by = r.by_rule();
+        assert_eq!(by[0], (Rule::Unflushed, 1, 0));
+        assert_eq!(by[2], (Rule::RedundantFlush, 0, 1));
+        assert_eq!((r.errors(), r.warnings()), (1, 1));
+    }
+
+    #[test]
+    fn empty_trace_is_clean() {
+        let r = check_events(&[]);
+        assert!(r.findings.is_empty());
+        assert_eq!(r.events_visited, 0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Rule identities and severities.
+
+/// How bad a finding is.
+///
+/// The suite gate (`whisper-report --check`, CI) fails only on
+/// [`Severity::Error`]; warnings are performance diagnostics and
+/// end-of-trace heuristics that a correct program may still produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but not provably a crash-consistency bug.
+    Warn,
+    /// A durability-discipline violation.
+    Error,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// The five persistency rules, in reporting order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// A store was still dirty — no covering `clwb`/`clflushopt`/NT
+    /// store — at a transaction commit or at the end of the trace.
+    Unflushed,
+    /// A flush was not followed by an `sfence` before the next
+    /// dependent store to the same line, a transaction commit, or the
+    /// end of the trace — the flushed data has no ordering point.
+    Unordered,
+    /// A flush of a clean line or of a line already flushed and fenced:
+    /// wasted PM write bandwidth.
+    RedundantFlush,
+    /// Two fences from one thread with no PM store or flush between
+    /// them: the second fence orders nothing.
+    DoubleFence,
+    /// Two threads had in-flight (unfenced) stores to the same line at
+    /// the same time: whichever epoch a crash cuts, the line's durable
+    /// value is a race outcome (the paper's §4 cross-thread dependency,
+    /// minus the fence that would order it).
+    CrossDep,
+}
+
+impl Rule {
+    /// All rules, in reporting order.
+    pub const ALL: [Rule; 5] = [
+        Rule::Unflushed,
+        Rule::Unordered,
+        Rule::RedundantFlush,
+        Rule::DoubleFence,
+        Rule::CrossDep,
+    ];
+
+    /// The stable identifier used in diagnostics, JSON, and tests.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::Unflushed => "P-UNFLUSHED",
+            Rule::Unordered => "P-UNORDERED",
+            Rule::RedundantFlush => "P-REDUNDANT-FLUSH",
+            Rule::DoubleFence => "P-DOUBLE-FENCE",
+            Rule::CrossDep => "P-CROSS-DEP",
+        }
+    }
+}
+
+impl std::fmt::Display for Rule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_distinct_and_stable() {
+        let mut seen = std::collections::HashSet::new();
+        for r in Rule::ALL {
+            assert!(seen.insert(r.id()));
+            assert!(r.id().starts_with("P-"));
+        }
+        assert_eq!(seen.len(), 5);
+    }
+
+    #[test]
+    fn severity_orders_error_above_warn() {
+        assert!(Severity::Error > Severity::Warn);
+        assert_eq!(
+            format!("{}/{}", Severity::Warn, Severity::Error),
+            "warn/error"
+        );
+    }
+}

@@ -12,6 +12,8 @@
 //! against `rand`'s prelude (`use pmrand::{Rng, SeedableRng}`) compile
 //! unchanged.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Deterministic small-state generator (xoshiro256++).

@@ -128,14 +128,14 @@ impl Analyzer {
 mod tests {
     use super::*;
     use crate::analysis::{
-        self, amplification, dependencies, epoch_size_histogram, nt_fraction,
-        small_singleton_fraction, split_epochs, tx_stats,
+        amplification, dependencies, epoch_size_histogram, nt_fraction, small_singleton_fraction,
+        split_epochs, tx_stats,
     };
     use crate::{Category, Tid, TraceBuffer};
 
     /// A trace exercising every statistic: transactions, NT stores,
     /// multiple threads, singletons, multi-line epochs, dependencies.
-    fn busy_trace() -> Vec<crate::Event> {
+    fn busy_trace() -> Vec<Event> {
         let mut t = TraceBuffer::new();
         for i in 0..40u64 {
             let tid = Tid((i % 3) as u32);
@@ -209,6 +209,6 @@ mod tests {
         assert_eq!(report.nt_fraction, None);
         assert_eq!(report.small_singleton_fraction, None);
         assert_eq!(report.tx_stats.tx_count(), 0);
-        assert_eq!(report.deps, analysis::DepStats::default());
+        assert_eq!(report.deps, DepStats::default());
     }
 }

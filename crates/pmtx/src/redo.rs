@@ -408,7 +408,7 @@ mod tests {
 
     #[test]
     fn batched_clearing_collapses_clear_epochs() {
-        let count_epochs = |policy: crate::ClearPolicy| {
+        let count_epochs = |policy: ClearPolicy| {
             let mut m = Machine::new(MachineConfig::asplos17());
             let pm = m.config().map.pm;
             let mut eng = RedoTxEngine::format(&mut m, AddrRange::new(pm.base, 1 << 20), 4);
@@ -424,8 +424,8 @@ mod tests {
             eng.commit(&mut m, tid).unwrap();
             pmtrace::analysis::split_epochs(m.trace().events()).len()
         };
-        let per_entry = count_epochs(crate::ClearPolicy::PerEntry);
-        let batched = count_epochs(crate::ClearPolicy::Batched);
+        let per_entry = count_epochs(ClearPolicy::PerEntry);
+        let batched = count_epochs(ClearPolicy::Batched);
         assert_eq!(per_entry - batched, 5, "6 clears collapse into 1 epoch");
     }
 

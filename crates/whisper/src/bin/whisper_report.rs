@@ -3,7 +3,8 @@
 //! ```text
 //! whisper-report [EXPERIMENT] [--scale X] [--seed N] [--apps a,b,c]
 //!                [--parallel N] [--timing] [--json PATH] [--json-det PATH]
-//!                [--quiet] [--dump-traces DIR] [--from-trace FILE]
+//!                [--check] [--check-json PATH] [--quiet]
+//!                [--dump-traces DIR] [--from-trace FILE]
 //!
 //! EXPERIMENT: table1 | fig3 | fig4 | fig5 | fig6 | fig10 |
 //!             amplification | ntfraction | smallwrites |
@@ -16,8 +17,17 @@
 //! serially, then in parallel — and reports both wall-clock times and
 //! the speedup instead of a paper table.
 //!
+//! `--check` runs the `pmcheck` persistency checker over every
+//! selected application's trace after the run: findings stream through
+//! the `pmobs` logger, a summary table is appended to the text report,
+//! the JSON report's `violations` section is populated, and the
+//! process exits 3 if any **error**-severity violation was found — the
+//! CI regression gate for durability discipline. `--check-json PATH`
+//! additionally writes just the violations document to PATH (implies
+//! `--check`).
+//!
 //! `--json PATH` additionally writes the versioned machine-readable
-//! report (`whisper::json_report`, schema v1) to PATH and turns on
+//! report (`whisper::json_report`, schema v2) to PATH and turns on
 //! `pmobs` metric recording so the report's `metrics` block is
 //! populated. Stdout carries only the report text; all diagnostics go
 //! to stderr through the `pmobs` logger, and `--quiet` silences
@@ -35,18 +45,24 @@
 //! workload.
 
 use std::time::Instant;
+use whisper::check::{self, AppCheck};
 use whisper::suite::{analyze, run_apps, AppResult, SuiteConfig, APP_NAMES};
 use whisper::{json_report, report};
+
+/// Exit code when `--check` found error-severity violations.
+const CHECK_FAILED: i32 = 3;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut experiment = "all".to_string();
     let mut cfg = SuiteConfig::standard();
-    let mut apps: Vec<String> = APP_NAMES.iter().map(|s| s.to_string()).collect();
+    let mut apps: Vec<String> = APP_NAMES.iter().map(ToString::to_string).collect();
     let mut dump_dir: Option<String> = None;
     let mut from_trace: Option<String> = None;
     let mut json_path: Option<String> = None;
     let mut json_det_path: Option<String> = None;
+    let mut check_traces = false;
+    let mut check_json_path: Option<String> = None;
     let mut timing = false;
 
     let mut i = 0;
@@ -74,6 +90,16 @@ fn main() {
                     .unwrap_or_else(|| die("--parallel needs a worker count"));
             }
             "--timing" => timing = true,
+            "--check" => check_traces = true,
+            "--check-json" => {
+                i += 1;
+                check_traces = true;
+                check_json_path = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| die("--check-json needs an output path"))
+                        .clone(),
+                );
+            }
             "--quiet" => pmobs::logger::set_level(pmobs::Level::Error),
             "--json" => {
                 i += 1;
@@ -118,7 +144,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: whisper-report [table1|fig3|fig4|fig5|fig6|fig10|amplification|ntfraction|smallwrites|all] [--scale X] [--seed N] [--apps a,b,c] [--parallel N] [--timing] [--json PATH] [--json-det PATH] [--quiet]"
+                    "usage: whisper-report [table1|fig3|fig4|fig5|fig6|fig10|amplification|ntfraction|smallwrites|all] [--scale X] [--seed N] [--apps a,b,c] [--parallel N] [--timing] [--json PATH] [--json-det PATH] [--check] [--check-json PATH] [--quiet]"
                 );
                 return;
             }
@@ -133,7 +159,7 @@ fn main() {
             die(&format!("unknown app {a:?}; valid: {APP_NAMES:?}"));
         }
     }
-    let names: Vec<&str> = apps.iter().map(|s| s.as_str()).collect();
+    let names: Vec<&str> = apps.iter().map(String::as_str).collect();
 
     // Metric recording stays off unless a machine-readable report was
     // requested: instruments are provably non-perturbing, but the
@@ -162,8 +188,19 @@ fn main() {
         // rather than pay for five passes nobody will see.
         let analysis = analyze(&run);
         let results = vec![AppResult { run, analysis }];
-        write_json_report(&json_path, &json_det_path, &results, &cfg);
+        let checks = run_checks(check_traces, &check_json_path, &results);
+        write_json_report(
+            &json_path,
+            &json_det_path,
+            &results,
+            &cfg,
+            checks.as_deref(),
+        );
         println!("{}", report::all(&results));
+        if let Some(checks) = &checks {
+            print!("\n{}", check::summary_table(checks));
+            exit_if_check_failed(checks);
+        }
         return;
     }
 
@@ -194,7 +231,14 @@ fn main() {
         }
     }
 
-    write_json_report(&json_path, &json_det_path, &results, &cfg);
+    let checks = run_checks(check_traces, &check_json_path, &results);
+    write_json_report(
+        &json_path,
+        &json_det_path,
+        &results,
+        &cfg,
+        checks.as_deref(),
+    );
 
     let text = match experiment.as_str() {
         "table1" => report::table1(&results),
@@ -211,9 +255,42 @@ fn main() {
         other => die(&format!("unknown experiment {other:?}")),
     };
     println!("{text}");
+    if let Some(checks) = &checks {
+        print!("\n{}", check::summary_table(checks));
+        exit_if_check_failed(checks);
+    }
 }
 
-/// Write the schema-v1 JSON document to `path` and/or its deterministic
+/// `--check`: run the persistency checker over every trace, write the
+/// standalone violations document if `--check-json` asked for one.
+fn run_checks(
+    enabled: bool,
+    check_json_path: &Option<String>,
+    results: &[AppResult],
+) -> Option<Vec<AppCheck>> {
+    if !enabled {
+        return None;
+    }
+    let _span = pmobs::span!("suite.check");
+    let checks = check::check_results(results);
+    if let Some(path) = check_json_path {
+        std::fs::write(path, check::violations_json(&checks).to_pretty())
+            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        pmobs::info!("violations json written to {path}");
+    }
+    Some(checks)
+}
+
+/// The `--check` gate: error-severity findings fail the run.
+fn exit_if_check_failed(checks: &[AppCheck]) {
+    let errors = check::total_errors(checks);
+    if errors > 0 {
+        pmobs::error!("pmcheck: {errors} error-severity violation(s) — failing");
+        std::process::exit(CHECK_FAILED);
+    }
+}
+
+/// Write the schema-v2 JSON document to `path` and/or its deterministic
 /// subset to `det_path` (no-op without `--json`/`--json-det`).
 /// Snapshots the global pmobs registry last, so the full report
 /// includes everything the run recorded.
@@ -222,12 +299,13 @@ fn write_json_report(
     det_path: &Option<String>,
     results: &[AppResult],
     cfg: &SuiteConfig,
+    checks: Option<&[AppCheck]>,
 ) {
     if path.is_none() && det_path.is_none() {
         return;
     }
     let snap = pmobs::global().snapshot();
-    let doc = json_report::build(results, cfg, &snap);
+    let doc = json_report::build_checked(results, cfg, &snap, checks);
     if let Some(path) = path {
         std::fs::write(path, doc.to_pretty())
             .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));

@@ -1,0 +1,218 @@
+//! Suite-level persistency checking (`whisper-report --check`).
+//!
+//! Runs [`pmcheck`] over every application's recorded trace, logs the
+//! findings through the [`pmobs`] logger (warnings at `warn`, errors
+//! at `error` level), and serializes the results as the `violations`
+//! section of the schema-v2 JSON report.
+//!
+//! The gate contract: the ten WHISPER applications are *correct* PM
+//! programs, so a suite check must produce **zero error-severity
+//! findings** — any error fails `whisper-report --check` (exit 3) and
+//! therefore CI. Warnings (redundant flushes, double fences,
+//! end-of-trace leftovers) are reported for diagnosis but do not gate.
+
+use crate::suite::AppResult;
+use pmcheck::{CheckReport, Finding, Rule};
+use pmobs::Json;
+
+/// How many individual findings are embedded per app in the JSON
+/// report; per-rule counts are always complete. Keeps a pathological
+/// trace from ballooning the report.
+pub const MAX_FINDINGS_IN_JSON: usize = 25;
+
+/// One application's check outcome.
+#[derive(Debug)]
+pub struct AppCheck {
+    /// Table 1 application name.
+    pub name: String,
+    /// The checker's report for that app's trace.
+    pub report: CheckReport,
+}
+
+/// Check every result's trace, logging findings as they are found.
+pub fn check_results(results: &[AppResult]) -> Vec<AppCheck> {
+    results
+        .iter()
+        .map(|r| {
+            let report = pmcheck::check_events(&r.run.events);
+            log_findings(&r.run.name, &report);
+            AppCheck {
+                name: r.run.name.clone(),
+                report,
+            }
+        })
+        .collect()
+}
+
+/// Route an app's findings through the pmobs logger: each finding is
+/// one leveled line, followed by a per-app summary.
+pub fn log_findings(app: &str, report: &CheckReport) {
+    for f in &report.findings {
+        match f.severity {
+            pmcheck::Severity::Error => pmobs::error!("pmcheck[{app}]: {f}"),
+            pmcheck::Severity::Warn => pmobs::warn!("pmcheck[{app}]: {f}"),
+        }
+    }
+    pmobs::info!(
+        "pmcheck[{app}]: {} event(s), {} error(s), {} warning(s)",
+        report.events_visited,
+        report.errors(),
+        report.warnings(),
+    );
+}
+
+/// Total error-severity findings across the suite — the exit-code gate.
+pub fn total_errors(checks: &[AppCheck]) -> usize {
+    checks.iter().map(|c| c.report.errors()).sum()
+}
+
+fn finding_json(f: &Finding) -> Json {
+    Json::obj()
+        .field("rule", f.rule.id())
+        .field("severity", f.severity.to_string().as_str())
+        .field("tid", u64::from(f.tid.0))
+        .field("at_ns", f.at_ns)
+        .field("line", f.line.map(|l| l.0))
+        .field("epoch", f.epoch)
+        .field("tx", f.tx)
+        .field("message", f.message.as_str())
+}
+
+/// The `violations` section of the schema-v2 report.
+///
+/// ```text
+/// {checked_apps, total_errors, total_warnings,
+///  apps: [{name, events, errors, warnings,
+///          by_rule: {<rule-id>: {errors, warnings}, ...},
+///          findings: [...first 25...], findings_truncated}]}
+/// ```
+pub fn violations_json(checks: &[AppCheck]) -> Json {
+    let apps: Vec<Json> = checks
+        .iter()
+        .map(|c| {
+            let mut by_rule = Json::obj();
+            for (rule, errors, warns) in c.report.by_rule() {
+                by_rule = by_rule.field(
+                    rule.id(),
+                    Json::obj()
+                        .field("errors", errors as u64)
+                        .field("warnings", warns as u64),
+                );
+            }
+            let findings: Vec<Json> = c
+                .report
+                .findings
+                .iter()
+                .take(MAX_FINDINGS_IN_JSON)
+                .map(finding_json)
+                .collect();
+            Json::obj()
+                .field("name", c.name.as_str())
+                .field("events", c.report.events_visited)
+                .field("errors", c.report.errors() as u64)
+                .field("warnings", c.report.warnings() as u64)
+                .field("by_rule", by_rule)
+                .field("findings", findings)
+                .field(
+                    "findings_truncated",
+                    c.report.findings.len() > MAX_FINDINGS_IN_JSON,
+                )
+        })
+        .collect();
+    Json::obj()
+        .field("checked_apps", checks.len() as u64)
+        .field("total_errors", total_errors(checks) as u64)
+        .field(
+            "total_warnings",
+            checks
+                .iter()
+                .map(|c| c.report.warnings() as u64)
+                .sum::<u64>(),
+        )
+        .field("apps", apps)
+}
+
+/// Render the human-readable per-app summary table printed by
+/// `whisper-report --check` after the paper tables.
+pub fn summary_table(checks: &[AppCheck]) -> String {
+    let mut out = String::from(
+        "Persistency check (pmcheck)\n\
+         app            events    errors  warnings  rules fired\n",
+    );
+    for c in checks {
+        let fired: Vec<&str> = Rule::ALL
+            .iter()
+            .filter(|r| c.report.count(**r) > 0)
+            .map(|r| r.id())
+            .collect();
+        out.push_str(&format!(
+            "{:<14} {:>7} {:>9} {:>9}  {}\n",
+            c.name,
+            c.report.events_visited,
+            c.report.errors(),
+            c.report.warnings(),
+            if fired.is_empty() {
+                "-".to_string()
+            } else {
+                fired.join(" ")
+            }
+        ));
+    }
+    out.push_str(&format!(
+        "total: {} error(s), {} warning(s) across {} app(s)\n",
+        total_errors(checks),
+        checks.iter().map(|c| c.report.warnings()).sum::<usize>(),
+        checks.len()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeded_check() -> Vec<AppCheck> {
+        vec![AppCheck {
+            name: "buggy-log".into(),
+            report: pmcheck::check_events(&pmcheck::seeded::buggy_log_events()),
+        }]
+    }
+
+    #[test]
+    fn violations_json_shape() {
+        let checks = seeded_check();
+        let doc = violations_json(&checks);
+        assert_eq!(
+            doc.get("total_errors").and_then(Json::as_f64),
+            Some(pmcheck::seeded::EXPECTED_ERRORS as f64)
+        );
+        let apps = doc.get("apps").and_then(|a| a.as_arr()).unwrap();
+        assert_eq!(apps.len(), 1);
+        let by_rule = apps[0].get("by_rule").unwrap();
+        for (rule, errors, warns) in pmcheck::seeded::EXPECTED {
+            let r = by_rule.get(rule.id()).unwrap();
+            assert_eq!(
+                (
+                    r.get("errors").and_then(Json::as_f64),
+                    r.get("warnings").and_then(Json::as_f64)
+                ),
+                (Some(errors as f64), Some(warns as f64)),
+                "{}",
+                rule.id()
+            );
+        }
+        // Round-trips through the parser.
+        let parsed = pmobs::json::parse(&doc.to_pretty()).unwrap();
+        assert!(parsed.get("apps").is_some());
+    }
+
+    #[test]
+    fn summary_table_lists_fired_rules() {
+        let table = summary_table(&seeded_check());
+        assert!(table.contains("buggy-log"), "{table}");
+        for rule in Rule::ALL {
+            assert!(table.contains(rule.id()), "{table}");
+        }
+        assert!(table.contains("total: 4 error(s), 3 warning(s)"), "{table}");
+    }
+}

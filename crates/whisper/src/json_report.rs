@@ -6,10 +6,14 @@
 //! the [`pmobs`] metrics registry. The encoder is
 //! [`pmobs::json`]; no external serialization crate is involved.
 //!
-//! # Schema (version 1)
+//! # Schema (version 2)
+//!
+//! Version 2 = version 1 plus the `violations` section (`null` unless
+//! the run was checked with `whisper-report --check`); every v1 key is
+//! byte-identical to v1.
 //!
 //! ```text
-//! schema_version   u64     always 1 for this layout
+//! schema_version   u64     always 2 for this layout
 //! config           obj     {scale, seed, parallelism}
 //! table1           arr     one obj per app, Table 1 order:
 //!                          {name, workload, threads, epochs,
@@ -37,6 +41,12 @@
 //!                          {unit, count, sum, min, max, mean,
 //!                           p50, p90, p99}. Empty objects when
 //!                          recording was off.
+//! violations       obj?    pmcheck results (`crate::check`):
+//!                          {checked_apps, total_errors,
+//!                           total_warnings, apps: [{name, events,
+//!                           errors, warnings, by_rule, findings,
+//!                           findings_truncated}]}. `null` when the
+//!                          run was not checked.
 //! ```
 //!
 //! Clock-domain rule (see `pmobs::span`): metric names under `sim.*`
@@ -53,7 +63,7 @@ use pmtrace::analysis::SIZE_BUCKET_LABELS;
 use pmtrace::Category;
 
 /// Version stamp of the report layout documented above.
-pub const SCHEMA_VERSION: u64 = 1;
+pub const SCHEMA_VERSION: u64 = 2;
 
 fn paper_row(name: &str) -> Option<&'static PaperRow> {
     PAPER.iter().find(|r| r.name == name)
@@ -283,7 +293,26 @@ pub fn metrics_json(snap: &MetricsSnapshot) -> Json {
         .field("histograms", histograms)
 }
 
-/// Assemble the full schema-version-1 report document.
+/// Assemble the full schema-version-2 report document. `checks` is the
+/// per-app pmcheck outcome when the run was checked (`--check`); the
+/// `violations` key serializes as `null` otherwise.
+pub fn build_checked(
+    results: &[AppResult],
+    cfg: &SuiteConfig,
+    metrics: &MetricsSnapshot,
+    checks: Option<&[crate::check::AppCheck]>,
+) -> Json {
+    build(results, cfg, metrics).field(
+        "violations",
+        match checks {
+            Some(c) => crate::check::violations_json(c),
+            None => Json::Null,
+        },
+    )
+}
+
+/// Assemble the report document without a `violations` section (the
+/// unchecked-run shape: `violations: null`).
 pub fn build(results: &[AppResult], cfg: &SuiteConfig, metrics: &MetricsSnapshot) -> Json {
     Json::obj()
         .field("schema_version", SCHEMA_VERSION)
@@ -311,6 +340,7 @@ pub fn build(results: &[AppResult], cfg: &SuiteConfig, metrics: &MetricsSnapshot
         )
         .field("totals", totals(results))
         .field("metrics", metrics_json(metrics))
+        .field("violations", Json::Null)
 }
 
 /// The keys of the *deterministic* sections of the report: everything
@@ -347,9 +377,9 @@ pub fn deterministic_subset(doc: &Json) -> Json {
     out
 }
 
-/// The top-level keys every version-1 document carries, in order —
+/// The top-level keys every version-2 document carries, in order —
 /// shared between [`build`], the tests, and CI validation.
-pub const REQUIRED_KEYS: [&str; 13] = [
+pub const REQUIRED_KEYS: [&str; 14] = [
     "schema_version",
     "config",
     "table1",
@@ -363,6 +393,7 @@ pub const REQUIRED_KEYS: [&str; 13] = [
     "small_writes",
     "totals",
     "metrics",
+    "violations",
 ];
 
 #[cfg(test)]
@@ -388,14 +419,19 @@ mod tests {
         let again = pmobs::json::parse(&parsed.to_compact()).expect("compact output parses");
         assert_eq!(again, parsed);
         assert_eq!(
-            parsed.get("schema_version").and_then(|v| v.as_f64()),
-            Some(1.0)
+            parsed.get("schema_version").and_then(Json::as_f64),
+            Some(2.0)
+        );
+        assert_eq!(
+            doc.get("violations"),
+            Some(&Json::Null),
+            "unchecked runs carry violations: null"
         );
         assert_eq!(
             parsed
                 .get("table1")
                 .and_then(|t| t.as_arr())
-                .map(|a| a.len()),
+                .map(<[Json]>::len),
             Some(2)
         );
         // hashmap is a gem5-subset app, so fig6/fig10 have one row each.
@@ -403,6 +439,24 @@ mod tests {
         assert_eq!(fig6_apps.as_arr().unwrap().len(), 1);
         let fig10_apps = parsed.get("fig10").and_then(|f| f.get("apps")).unwrap();
         assert_eq!(fig10_apps.as_arr().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn checked_build_fills_violations() {
+        let cfg = SuiteConfig {
+            scale: 0.008,
+            seed: 7,
+            parallelism: 1,
+        };
+        let results = run_apps(&["exim"], &cfg);
+        let checks = crate::check::check_results(&results);
+        let doc = build_checked(&results, &cfg, &MetricsSnapshot::default(), Some(&checks));
+        let v = doc.get("violations").expect("violations present");
+        assert_eq!(v.get("checked_apps").and_then(Json::as_f64), Some(1.0));
+        assert!(v.get("apps").and_then(|a| a.as_arr()).is_some());
+        // The deterministic subset ignores checking entirely, so the
+        // golden gate is unaffected by --check.
+        assert!(deterministic_subset(&doc).get("violations").is_none());
     }
 
     #[test]
@@ -415,17 +469,17 @@ mod tests {
         assert_eq!(
             doc.get("counters")
                 .and_then(|c| c.get("a.count"))
-                .and_then(|v| v.as_f64()),
+                .and_then(Json::as_f64),
             Some(3.0)
         );
         assert_eq!(
             doc.get("gauges")
                 .and_then(|g| g.get("a.high"))
-                .and_then(|v| v.as_f64()),
+                .and_then(Json::as_f64),
             Some(9.0)
         );
         let h = doc.get("histograms").and_then(|h| h.get("a.hist")).unwrap();
-        assert_eq!(h.get("count").and_then(|v| v.as_f64()), Some(1.0));
+        assert_eq!(h.get("count").and_then(Json::as_f64), Some(1.0));
         assert_eq!(h.get("unit").and_then(|v| v.as_str()), Some("ns"));
     }
 

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod apps;
+pub mod check;
 pub mod json_report;
 pub mod region;
 pub mod report;

@@ -86,7 +86,7 @@ impl SuiteConfig {
 /// One suite worker per available core (1 if the count is unknown).
 pub fn default_parallelism() -> usize {
     std::thread::available_parallelism()
-        .map(|n| n.get())
+        .map(std::num::NonZero::get)
         .unwrap_or(1)
 }
 

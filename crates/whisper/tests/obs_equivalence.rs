@@ -14,7 +14,8 @@ use whisper::suite::{run_apps, AppResult, SuiteConfig, APP_NAMES};
 /// it so the "disabled" halves actually run disabled.
 fn obs_lock() -> MutexGuard<'static, ()> {
     static LOCK: Mutex<()> = Mutex::new(());
-    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 fn assert_identical(a: &[AppResult], b: &[AppResult]) {
@@ -135,14 +136,19 @@ fn json_report_covers_full_suite() {
         assert!(parsed.get(key).is_some(), "missing key {key}");
     }
     assert_eq!(
-        parsed.get("schema_version").and_then(|v| v.as_f64()),
+        parsed.get("schema_version").and_then(pmobs::Json::as_f64),
         Some(json_report::SCHEMA_VERSION as f64)
     );
     let table1 = parsed.get("table1").and_then(|t| t.as_arr()).unwrap();
     assert_eq!(table1.len(), 11, "all Table 1 rows present");
     for (row, name) in table1.iter().zip(APP_NAMES) {
         assert_eq!(row.get("name").and_then(|n| n.as_str()), Some(name));
-        assert!(row.get("epochs_per_sec").and_then(|v| v.as_f64()).unwrap() > 0.0);
+        assert!(
+            row.get("epochs_per_sec")
+                .and_then(pmobs::Json::as_f64)
+                .unwrap()
+                > 0.0
+        );
     }
     // Six gem5-subset apps in Figures 6 and 10, five bars each.
     let fig6 = parsed.get("fig6").and_then(|f| f.get("apps")).unwrap();
@@ -153,7 +159,7 @@ fn json_report_covers_full_suite() {
         assert_eq!(
             app.get("normalized")
                 .and_then(|n| n.as_arr())
-                .map(|a| a.len()),
+                .map(<[pmobs::Json]>::len),
             Some(5)
         );
     }
