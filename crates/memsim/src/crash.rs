@@ -1,8 +1,11 @@
-//! Power-failure simulation.
+//! Power-failure simulation: crash specs, planned mid-run crash
+//! points, and the image materializer recovery code runs against.
 
-use crate::machine::Machine;
-use pmem::PmImage;
+use crate::machine::{Machine, PendingLine};
+use pmem::{FxHashSet, Line, PmImage, LINE_SIZE};
 use pmrand::{Rng, SeedableRng, SmallRng};
+
+const LINE: usize = LINE_SIZE as usize;
 
 /// How a simulated power failure treats in-flight PM writes.
 ///
@@ -31,17 +34,185 @@ pub enum CrashSpec {
     },
 }
 
-impl Machine {
-    /// Power off the machine, returning the PM image recovery will see.
+/// Which PM events a [`CrashPlan`]'s ordinals count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashCounter {
+    /// Cacheable and non-temporal PM store events (one per store call,
+    /// matching the trace's store events).
+    Stores,
+    /// `clwb`/`clflushopt` events.
+    Flushes,
+    /// `sfence`/`sfence_durable` events.
+    Fences,
+    /// Every PM event: stores, flushes, and fences.
+    PmEvents,
+}
+
+/// The event-kind tag the machine's hooks feed the armed plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PlanEvent {
+    Store,
+    Flush,
+    Fence,
+}
+
+impl CrashCounter {
+    pub(crate) fn matches(self, ev: PlanEvent) -> bool {
+        matches!(
+            (self, ev),
+            (CrashCounter::PmEvents, _)
+                | (CrashCounter::Stores, PlanEvent::Store)
+                | (CrashCounter::Flushes, PlanEvent::Flush)
+                | (CrashCounter::Fences, PlanEvent::Fence)
+        )
+    }
+}
+
+/// Where to interrupt a run: after the K-th matching PM event, for
+/// each K in the plan's point list, the machine captures a
+/// [`CrashState`] and *keeps running* — one run yields every swept
+/// crash point. Arm with [`Machine::set_crash_plan`], harvest with
+/// [`Machine::take_crash_states`].
+#[derive(Debug, Clone)]
+pub struct CrashPlan {
+    counter: CrashCounter,
+    /// Sorted, deduplicated, 1-based event ordinals.
+    points: Vec<u64>,
+}
+
+impl CrashPlan {
+    /// A plan capturing after each of the given event ordinals
+    /// (1-based: point 1 fires after the first matching event).
     ///
-    /// Consumes the machine: DRAM, caches, pending flushes, and WCBs
-    /// are gone. Pending `clwb` snapshots are applied with their
-    /// snapshot contents; dirty cache lines are applied with their
-    /// current functional contents (a dirty line that survives does so
-    /// with the newest value the cache held).
-    pub fn crash(self, spec: CrashSpec) -> PmImage {
-        let (functional, durable, dirty, pending, wcbs) = self.crash_parts();
-        let mut img = durable.image();
+    /// # Panics
+    ///
+    /// Panics on a zero ordinal — "before any event" is just the
+    /// durable image at arm time.
+    pub fn at_points(counter: CrashCounter, mut points: Vec<u64>) -> CrashPlan {
+        assert!(
+            points.iter().all(|&p| p > 0),
+            "crash points are 1-based event ordinals"
+        );
+        points.sort_unstable();
+        points.dedup();
+        CrashPlan { counter, points }
+    }
+
+    /// A plan that captures nothing but still counts events — arm it,
+    /// run the workload, and read [`Machine::crash_event_count`] to
+    /// learn the run's total so real points can be chosen.
+    pub fn probe(counter: CrashCounter) -> CrashPlan {
+        CrashPlan {
+            counter,
+            points: Vec::new(),
+        }
+    }
+}
+
+/// The armed per-machine plan state.
+#[derive(Debug)]
+pub(crate) struct PlanState {
+    counter: CrashCounter,
+    points: Vec<u64>,
+    next: usize,
+    count: u64,
+    captured: Vec<CrashState>,
+}
+
+impl PlanState {
+    pub(crate) fn new(plan: CrashPlan) -> PlanState {
+        PlanState {
+            counter: plan.counter,
+            points: plan.points,
+            next: 0,
+            count: 0,
+            captured: Vec::new(),
+        }
+    }
+
+    pub(crate) fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Advance the event count; returns the just-reached ordinal when
+    /// a capture is due at this event.
+    pub(crate) fn advance(&mut self, ev: PlanEvent) -> Option<u64> {
+        if !self.counter.matches(ev) {
+            return None;
+        }
+        self.count += 1;
+        if self.next < self.points.len() && self.count == self.points[self.next] {
+            self.next += 1;
+            Some(self.count)
+        } else {
+            None
+        }
+    }
+
+    pub(crate) fn push_captured(&mut self, state: CrashState) {
+        self.captured.push(state);
+    }
+
+    pub(crate) fn take_captured(&mut self) -> Vec<CrashState> {
+        std::mem::take(&mut self.captured)
+    }
+}
+
+/// A snapshot of everything a power failure decides over: the durable
+/// PM image plus the in-flight writes (dirty cache lines, pending
+/// `clwb` snapshots, live write-combining entries) at the capture
+/// point. Captured mid-run by a [`CrashPlan`] without disturbing the
+/// machine; [`CrashState::materialize`] then applies any number of
+/// [`CrashSpec`]s to the same point.
+#[derive(Debug, Clone)]
+pub struct CrashState {
+    /// The 1-based ordinal of the event this state was captured after
+    /// (0 for an end-of-run state with no armed plan).
+    pub(crate) at: u64,
+    /// The workload's last [`Machine::note_progress`] value.
+    pub(crate) progress: u64,
+    pub(crate) durable: PmImage,
+    /// Per-thread dirty lines (sorted) with their functional contents.
+    pub(crate) dirty: Vec<Vec<(Line, [u8; LINE])>>,
+    /// Per-thread pending `clwb` snapshots in issue order.
+    pub(crate) pending: Vec<Vec<PendingLine>>,
+    /// Per-thread live write-combining entries in arrival order.
+    pub(crate) wcbs: Vec<Vec<PendingLine>>,
+}
+
+impl CrashState {
+    /// The 1-based event ordinal this state was captured after (0 when
+    /// taken at end of run without a plan).
+    pub fn at(&self) -> u64 {
+        self.at
+    }
+
+    /// The workload's [`Machine::note_progress`] value at capture —
+    /// by convention the number of fully committed operations.
+    pub fn progress(&self) -> u64 {
+        self.progress
+    }
+
+    /// How many in-flight writes (dirty lines, pending flushes, WCB
+    /// entries) the crash gets to decide over.
+    pub fn in_flight(&self) -> usize {
+        self.dirty.iter().map(Vec::len).sum::<usize>()
+            + self.pending.iter().map(Vec::len).sum::<usize>()
+            + self.wcbs.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// The PM image a reboot at this point would observe under `spec`.
+    ///
+    /// `clwb` snapshots and WCB entries carry their own (snapshot)
+    /// data; dirty cache lines carry the newest functional contents.
+    /// Under [`CrashSpec::PersistAll`] everything lands and the newest
+    /// value wins. Under [`CrashSpec::Adversarial`], each in-flight
+    /// line survives independently — and when both a pending snapshot
+    /// and the same line's dirty entry survive, the *winner* is also
+    /// seed-chosen: real hardware orders neither writeback ahead of
+    /// the other, so recovery must tolerate either value.
+    pub fn materialize(&self, spec: CrashSpec) -> PmImage {
+        let mut img = self.durable.clone();
         let mut rng = match spec {
             CrashSpec::Adversarial { seed } => Some(SmallRng::seed_from_u64(seed)),
             _ => None,
@@ -54,24 +225,102 @@ impl Machine {
         };
 
         // clwb snapshots and WCB entries carry their own data.
-        for per_thread in pending.into_iter().chain(wcbs) {
+        let mut snap_applied: FxHashSet<Line> = FxHashSet::default();
+        for per_thread in self.pending.iter().chain(self.wcbs.iter()) {
             for e in per_thread {
                 if keep(&mut rng) {
                     img.set_line(e.line, e.data);
+                    if rng.is_some() {
+                        snap_applied.insert(e.line);
+                    }
                 }
             }
         }
         // Dirty cache lines persist with current functional contents.
-        for set in dirty {
-            for line in set.lines() {
+        for per_thread in &self.dirty {
+            for (line, data) in per_thread {
                 if keep(&mut rng) {
-                    let mut data = [0u8; 64];
-                    functional.read(line.base(), &mut data);
-                    img.set_line(line, data);
+                    // Apply-order tie-break: if a snapshot of this line
+                    // also survived, neither writeback is ordered ahead
+                    // of the other — draw the winner instead of letting
+                    // the dirty (newer) value always prevail.
+                    if snap_applied.contains(line) {
+                        if let Some(r) = rng.as_mut() {
+                            if r.gen_bool(0.5) {
+                                continue; // snapshot value wins
+                            }
+                        }
+                    }
+                    img.set_line(*line, *data);
                 }
             }
         }
         img
+    }
+
+    /// FNV-1a digest of the full state (durable lines and every
+    /// in-flight entry, in deterministic order) — lets tests assert two
+    /// capture paths produced bit-identical states without comparing
+    /// whole images.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.u64(self.at);
+        h.u64(self.progress);
+        for (line, data) in self.durable.lines() {
+            h.u64(line.0);
+            h.bytes(data);
+        }
+        for per_thread in &self.dirty {
+            h.u64(per_thread.len() as u64);
+            for (line, data) in per_thread {
+                h.u64(line.0);
+                h.bytes(data);
+            }
+        }
+        for group in [&self.pending, &self.wcbs] {
+            for per_thread in group {
+                h.u64(per_thread.len() as u64);
+                for e in per_thread {
+                    h.u64(e.line.0);
+                    h.u64(e.seq);
+                    h.bytes(&e.data);
+                }
+            }
+        }
+        h.finish()
+    }
+}
+
+/// Minimal FNV-1a, used only for [`CrashState::digest`].
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn bytes(&mut self, b: &[u8]) {
+        for &x in b {
+            self.0 ^= u64::from(x);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Machine {
+    /// Power off the machine, returning the PM image recovery will see.
+    ///
+    /// Consumes the machine: DRAM, caches, pending flushes, and WCBs
+    /// are gone. Equivalent to [`Machine::into_crash_state`] followed
+    /// by [`CrashState::materialize`] — planned mid-run captures and
+    /// end-of-run crashes share one materializer.
+    pub fn crash(self, spec: CrashSpec) -> PmImage {
+        self.into_crash_state().materialize(spec)
     }
 }
 
@@ -180,11 +429,14 @@ mod tests {
 
     #[test]
     fn pending_snapshot_value_survives_not_newer() {
-        // store 1, clwb, store 2 (unflushed), crash PersistAll:
-        // pending snapshot (1) applies, then dirty line (2) applies —
-        // but under DropVolatile+manual... here check that under a
-        // crash where only the pending entry survives (seed hunting),
-        // the value is the snapshot value 1.
+        // store 1, clwb, store 2 (unflushed): the in-flight writes are
+        // one pending snapshot (value 1) and one dirty line (value 2)
+        // on the same line. Mirror the materializer's draw sequence to
+        // predict exactly which value each seed must produce, and
+        // assert both winners occur when snapshot and dirty both
+        // survive — dirty-always-wins was the apply-order bias.
+        let mut snapshot_won = false;
+        let mut dirty_won = false;
         for seed in 0..64 {
             let mut mc = m();
             let t = Tid(0);
@@ -194,7 +446,137 @@ mod tests {
             mc.store(t, pa, &[2; 8], Category::UserData);
             let img = mc.crash(CrashSpec::Adversarial { seed });
             let v = img.read_vec(pa, 1)[0];
-            assert!(v == 0 || v == 1 || v == 2, "impossible value {v}");
+
+            let mut r = SmallRng::seed_from_u64(seed);
+            let keep_snapshot = r.gen_bool(0.5);
+            let keep_dirty = r.gen_bool(0.5);
+            let expected = match (keep_snapshot, keep_dirty) {
+                (false, false) => 0,
+                (true, false) => 1,
+                (false, true) => 2,
+                (true, true) => {
+                    if r.gen_bool(0.5) {
+                        snapshot_won = true;
+                        1
+                    } else {
+                        dirty_won = true;
+                        2
+                    }
+                }
+            };
+            assert_eq!(v, expected, "seed {seed}");
         }
+        assert!(
+            snapshot_won && dirty_won,
+            "both apply orders must occur across seeds \
+             (snapshot_won={snapshot_won}, dirty_won={dirty_won})"
+        );
+    }
+
+    #[test]
+    fn plan_captures_at_exact_points_and_run_continues() {
+        let t = Tid(0);
+        let mut mc = m();
+        let pa = pm_base(&mc);
+        mc.set_crash_plan(CrashPlan::at_points(CrashCounter::Stores, vec![1, 3]));
+        for i in 0..4u64 {
+            mc.store(t, pa + i * 64, &[i as u8 + 1; 8], Category::UserData);
+            mc.note_progress(i + 1);
+        }
+        assert_eq!(mc.crash_event_count(), 4);
+        let states = mc.take_crash_states();
+        assert_eq!(states.len(), 2);
+        assert_eq!((states[0].at(), states[0].progress()), (1, 0));
+        assert_eq!((states[1].at(), states[1].progress()), (3, 2));
+        // After store 1 only line 0 is in flight; after store 3, three.
+        assert_eq!(states[0].in_flight(), 1);
+        assert_eq!(states[1].in_flight(), 3);
+        let img = states[1].materialize(CrashSpec::PersistAll);
+        assert_eq!(img.read_vec(pa + 2 * 64, 8), vec![3; 8]);
+        assert_eq!(img.read_vec(pa + 3 * 64, 8), vec![0; 8], "store 4 later");
+        // The machine kept running: a normal end-of-run crash still works.
+        assert_eq!(
+            mc.crash(CrashSpec::PersistAll).read_vec(pa + 3 * 64, 8),
+            vec![4; 8]
+        );
+    }
+
+    #[test]
+    fn plan_counters_select_event_kinds() {
+        let t = Tid(0);
+        let run = |counter| {
+            let mut mc = m();
+            let pa = pm_base(&mc);
+            mc.set_crash_plan(CrashPlan::probe(counter));
+            mc.store(t, pa, &[1; 8], Category::UserData);
+            mc.clwb(t, pa);
+            mc.sfence(t);
+            mc.store_nt(t, pa + 64, &[2; 8], Category::RedoLog);
+            mc.sfence_durable(t);
+            mc.crash_event_count()
+        };
+        assert_eq!(run(CrashCounter::Stores), 2);
+        assert_eq!(run(CrashCounter::Flushes), 1);
+        assert_eq!(run(CrashCounter::Fences), 2);
+        assert_eq!(run(CrashCounter::PmEvents), 5);
+    }
+
+    #[test]
+    fn captured_state_matches_end_of_run_crash() {
+        // A capture at the run's last event must materialize exactly
+        // what crashing the machine there would have produced.
+        for spec in [
+            CrashSpec::DropVolatile,
+            CrashSpec::PersistAll,
+            CrashSpec::Adversarial { seed: 11 },
+        ] {
+            let t = Tid(0);
+            let build = |plan: Option<CrashPlan>| {
+                let mut mc = m();
+                let pa = pm_base(&mc);
+                if let Some(p) = plan {
+                    mc.set_crash_plan(p);
+                }
+                mc.store(t, pa, &[1; 8], Category::UserData);
+                mc.clwb(t, pa);
+                mc.store(t, pa, &[2; 8], Category::UserData);
+                mc.store_nt(t, pa + 64, &[3; 8], Category::RedoLog);
+                mc
+            };
+            let mut planned = build(Some(CrashPlan::at_points(CrashCounter::PmEvents, vec![4])));
+            let state = planned.take_crash_states().pop().unwrap();
+            let direct = build(None).crash(spec);
+            assert_eq!(state.materialize(spec), direct, "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn digest_is_stable_and_discriminating() {
+        let t = Tid(0);
+        let run = |extra: bool| {
+            let mut mc = m();
+            let pa = pm_base(&mc);
+            mc.set_crash_plan(CrashPlan::at_points(CrashCounter::Stores, vec![2]));
+            mc.store(t, pa, &[1; 8], Category::UserData);
+            mc.store(t, pa + 64, &[2; 8], Category::UserData);
+            if extra {
+                mc.store(t, pa + 128, &[3; 8], Category::UserData);
+            }
+            mc.take_crash_states().pop().unwrap().digest()
+        };
+        assert_eq!(run(false), run(false));
+        assert_eq!(run(false), run(true), "capture precedes the extra store");
+        let mut mc = m();
+        let pa = pm_base(&mc);
+        mc.set_crash_plan(CrashPlan::at_points(CrashCounter::Stores, vec![1]));
+        mc.store(t, pa, &[9; 8], Category::UserData);
+        let other = mc.take_crash_states().pop().unwrap().digest();
+        assert_ne!(run(false), other);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn zero_crash_point_panics() {
+        CrashPlan::at_points(CrashCounter::PmEvents, vec![0]);
     }
 }

@@ -56,7 +56,7 @@ mod wcb;
 mod writer;
 
 pub use config::{Latency, MachineConfig};
-pub use crash::CrashSpec;
+pub use crash::{CrashCounter, CrashPlan, CrashSpec, CrashState};
 pub use machine::Machine;
 pub use stats::MemStats;
 pub use writer::PmWriter;

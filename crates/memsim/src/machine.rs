@@ -2,6 +2,7 @@
 
 use crate::cache::{DirtySet, ReadSet};
 use crate::config::MachineConfig;
+use crate::crash::{CrashPlan, CrashState, PlanEvent, PlanState};
 use crate::stats::MemStats;
 use crate::wcb::WriteCombine;
 use pmem::{
@@ -78,6 +79,11 @@ pub struct Machine {
     next_tx: Vec<TxId>,
     /// Monotone snapshot counter ordering in-flight writebacks.
     snap_seq: u64,
+    /// Armed crash-injection plan (None in normal runs — the hooks in
+    /// the store/flush/fence paths then cost one branch each).
+    plan: Option<PlanState>,
+    /// The workload's progress marker (see [`Machine::note_progress`]).
+    progress: u64,
 }
 
 impl Machine {
@@ -123,6 +129,8 @@ impl Machine {
             dram_brk: cfg.map.dram.base,
             next_tx: vec![1; n],
             snap_seq: 0,
+            plan: None,
+            progress: 0,
             cfg,
         }
     }
@@ -356,6 +364,7 @@ impl Machine {
                         self.write_back(victim);
                     }
                 }
+                self.plan_event(PlanEvent::Store);
             }
         }
     }
@@ -397,6 +406,7 @@ impl Machine {
                 self.clock_ns += self.cfg.lat.pm_write_ns;
             }
         }
+        self.plan_event(PlanEvent::Store);
     }
 
     /// Store a little-endian `u64` (cacheable).
@@ -442,6 +452,7 @@ impl Machine {
                 seq: self.snap_seq,
             });
         }
+        self.plan_event(PlanEvent::Flush);
         line
     }
 
@@ -510,6 +521,7 @@ impl Machine {
         } else {
             self.trace.fence(tid, self.clock_ns);
         }
+        self.plan_event(PlanEvent::Fence);
     }
 
     fn write_back(&mut self, line: Line) {
@@ -550,6 +562,100 @@ impl Machine {
     /// Snapshot of durable PM only (no in-flight writes).
     pub fn durable_image(&self) -> PmImage {
         self.pm_durable.image()
+    }
+
+    /// Arm a crash-injection plan: the machine counts the plan's PM
+    /// events and captures a [`CrashState`] after each planned ordinal,
+    /// then keeps running. Replaces any previously armed plan (and
+    /// discards its captures).
+    pub fn set_crash_plan(&mut self, plan: CrashPlan) {
+        self.plan = Some(PlanState::new(plan));
+    }
+
+    /// Matching PM events seen since the plan was armed (0 when no
+    /// plan is armed). With [`CrashPlan::probe`] this measures a run's
+    /// total so sweep points can be chosen.
+    pub fn crash_event_count(&self) -> u64 {
+        self.plan.as_ref().map_or(0, PlanState::count)
+    }
+
+    /// Take the crash states captured so far (the plan stays armed and
+    /// keeps counting).
+    pub fn take_crash_states(&mut self) -> Vec<CrashState> {
+        self.plan
+            .as_mut()
+            .map_or_else(Vec::new, PlanState::take_captured)
+    }
+
+    /// Record workload progress — by convention the number of fully
+    /// committed operations. Purely volatile bookkeeping: no trace
+    /// event, no clock movement; the value is stamped into each
+    /// captured [`CrashState`] so a recovery oracle knows exactly which
+    /// operations must have survived.
+    pub fn note_progress(&mut self, ops: u64) {
+        self.progress = ops;
+    }
+
+    /// The crash-decidable state right now, consuming the machine —
+    /// the end-of-run analogue of a planned capture.
+    pub fn into_crash_state(self) -> CrashState {
+        let at = self.crash_event_count();
+        let progress = self.progress;
+        let (functional, durable, dirty, pending, wcbs) = self.crash_parts();
+        CrashState {
+            at,
+            progress,
+            durable: durable.image(),
+            dirty: dirty
+                .iter()
+                .map(|s| {
+                    s.lines()
+                        .into_iter()
+                        .map(|l| (l, *functional.line_view(l)))
+                        .collect()
+                })
+                .collect(),
+            pending,
+            wcbs,
+        }
+    }
+
+    /// Non-destructive [`CrashState`] snapshot (the planned-capture
+    /// path; must stay bit-identical to [`Machine::into_crash_state`]).
+    fn capture_crash_state(&self, at: u64) -> CrashState {
+        CrashState {
+            at,
+            progress: self.progress,
+            durable: self.pm_durable.image(),
+            dirty: self
+                .dirty
+                .iter()
+                .map(|s| {
+                    s.lines()
+                        .into_iter()
+                        .map(|l| (l, *self.pm_functional.line_view(l)))
+                        .collect()
+                })
+                .collect(),
+            pending: self.pending.clone(),
+            wcbs: self.wcb.live_entries(),
+        }
+    }
+
+    /// The armed-plan hook at the end of every PM store/flush/fence
+    /// path. Captures happen *after* the K-th event completes.
+    fn plan_event(&mut self, ev: PlanEvent) {
+        let due = match self.plan.as_mut() {
+            None => return,
+            Some(p) => p.advance(ev),
+        };
+        if let Some(at) = due {
+            let state = self.capture_crash_state(at);
+            self.plan
+                .as_mut()
+                .expect("plan checked above")
+                .push_captured(state);
+        }
     }
 
     pub(crate) fn crash_parts(self) -> CrashParts {

@@ -191,6 +191,22 @@ impl WriteCombine {
         self.queues[t] = q; // hand the allocation back
     }
 
+    /// Clone every buffer's live entries in queue order without
+    /// disturbing them — the mid-run crash-capture path (must return
+    /// exactly what [`WriteCombine::take_all_live`] would).
+    pub(crate) fn live_entries(&self) -> Vec<Vec<PendingLine>> {
+        self.queues
+            .iter()
+            .enumerate()
+            .map(|(t, q)| {
+                q.iter()
+                    .filter(|e| holders_contain(&self.index, e.line, t, e.seq))
+                    .cloned()
+                    .collect()
+            })
+            .collect()
+    }
+
     /// Consume every buffer for a crash: per-thread live entries in
     /// queue order (what the old bare queues held).
     pub(crate) fn take_all_live(&mut self) -> Vec<Vec<PendingLine>> {
@@ -386,8 +402,8 @@ mod tests {
                         }
                     }
                     // The live-entry sets agree after every step.
-                    for t in 0..THREADS {
-                        prop_assert_eq!(real.live_len(t), model[t].len());
+                    for (t, mq) in model.iter().enumerate() {
+                        prop_assert_eq!(real.live_len(t), mq.len());
                     }
                 }
 

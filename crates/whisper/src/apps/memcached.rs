@@ -19,7 +19,7 @@ use crate::workloads::{self, MemslapOp};
 use memsim::{Machine, MachineConfig, PmWriter};
 use pmalloc::ShardedSlab;
 use pmds::{PHashMap, PLruList};
-use pmem::Addr;
+use pmem::{Addr, PmImage};
 use pmrand::{Rng, SeedableRng, SmallRng};
 use pmtrace::Tid;
 use pmtx::RedoTxEngine;
@@ -36,9 +36,7 @@ pub(crate) struct Memcached {
     /// its item headers; ours lives in DRAM like the rest of the item
     /// bookkeeping).
     pub(crate) lru_nodes: HashMap<u64, Addr>,
-    #[allow(dead_code)] // recovery handle, used by crash tests
     pub(crate) log_region: pmem::AddrRange,
-    #[allow(dead_code)] // recovery handle, used by crash tests
     pub(crate) table_head: Addr,
 }
 
@@ -121,6 +119,84 @@ impl Memcached {
         }
         v
     }
+}
+
+/// Crash workload + recovery oracle (see [`crate::crashtest`]): a
+/// SET-only stream over a small keyspace with capacity above the
+/// operation count, so no eviction runs. A SET is up to two redo
+/// transactions (hash-table insert, then the LRU push for fresh keys);
+/// the oracle recovers the engine, re-opens the table, and requires
+/// every committed key to carry its last committed value. The in-flight
+/// SET may have landed neither, only the table transaction, or both —
+/// the LRU length must sit between the committed distinct-key count and
+/// one more.
+pub(crate) fn crash_run(ops: usize, points: &[u64]) -> crate::crashtest::CrashRun {
+    const CRASH_KEYSPACE: u64 = 24;
+    let mut m = Machine::new(MachineConfig::asplos17());
+    m.trace_mut().set_enabled(false);
+    let mut mc = Memcached::build(&mut m);
+    let mut rng = SmallRng::seed_from_u64(0x3e7c);
+    let plan_ops: Vec<(u64, [u8; 16])> = (0..ops)
+        .map(|i| {
+            let key = rng.gen_range(0..CRASH_KEYSPACE);
+            let mut val = [0u8; 16];
+            val[0..8].copy_from_slice(&key.to_le_bytes());
+            val[8..16].copy_from_slice(&(i as u64 + 1).to_le_bytes());
+            (key, val)
+        })
+        .collect();
+
+    crate::crashtest::arm(&mut m, points);
+    for (i, (key, val)) in plan_ops.iter().enumerate() {
+        let tid = Tid((i % THREADS as usize) as u32);
+        mc.set(&mut m, tid, *key, val, ops + 10);
+        m.note_progress(i as u64 + 1);
+    }
+
+    let log = mc.log_region;
+    let head = mc.table_head;
+    let lru = mc.lru;
+    let total = plan_ops.len() as u64;
+    let oracle = Box::new(move |img: &PmImage, progress: u64| -> Result<(), String> {
+        let mut m2 = Machine::from_image(MachineConfig::asplos17(), img);
+        let mut eng2 = RedoTxEngine::recover(&mut m2, Tid(0), log, THREADS);
+        let table2 = PHashMap::open(&mut m2, Tid(0), head)
+            .map_err(|e| format!("table open failed: {e:?}"))?;
+        let mut model: HashMap<u64, [u8; 16]> = HashMap::new();
+        for (k, v) in &plan_ops[..progress as usize] {
+            model.insert(*k, *v);
+        }
+        let in_flight = plan_ops.get(progress as usize);
+        for key in 0..CRASH_KEYSPACE {
+            let got = table2.get(&mut m2, &mut eng2, Tid(0), &key.to_le_bytes());
+            let committed_ok = match (got.as_deref(), model.get(&key)) {
+                (Some(g), Some(w)) => g == w.as_slice(),
+                (None, None) => true,
+                _ => false,
+            };
+            let in_flight_ok = matches!(
+                in_flight,
+                Some((k, v)) if *k == key && got.as_deref() == Some(v.as_slice())
+            );
+            if !(committed_ok || in_flight_ok) {
+                return Err(format!(
+                    "key {key}: recovered {:?} != committed {:?}",
+                    got.as_deref().map(<[u8]>::to_vec),
+                    model.get(&key).map(|v| v.to_vec())
+                ));
+            }
+        }
+        let committed_distinct = model.len() as u64;
+        let lru_len = lru.len(&mut m2, Tid(0));
+        if lru_len != committed_distinct && lru_len != committed_distinct + 1 {
+            return Err(format!(
+                "LRU length {lru_len} outside [{committed_distinct}, {}]",
+                committed_distinct + 1
+            ));
+        }
+        Ok(())
+    });
+    crate::crashtest::harvest(m, total, oracle)
 }
 
 /// Run memslap (Table 1: 4 clients, 5 % SET).

@@ -16,9 +16,11 @@ use crate::region::RegionPlanner;
 use memsim::{Machine, MachineConfig, PmWriter};
 use pmalloc::ShardedSlab;
 use pmds::{CritBitTree, PHashMap};
+use pmem::{AddrRange, PmImage};
 use pmrand::{Rng, SeedableRng, SmallRng};
 use pmtrace::Tid;
 use pmtx::UndoTxEngine;
+use std::collections::HashMap;
 
 const THREADS: u32 = 4;
 
@@ -30,6 +32,8 @@ struct MicroEnv {
     /// cross-thread dependencies the real benchmarks do not have.
     alloc: ShardedSlab,
     arena: VolatileArena,
+    /// Engine log region — the recovery oracle's re-open handle.
+    log_region: AddrRange,
 }
 
 fn build_env() -> (MicroEnv, RegionPlanner) {
@@ -49,9 +53,193 @@ fn build_env() -> (MicroEnv, RegionPlanner) {
             eng,
             alloc,
             arena,
+            log_region,
         },
         plan,
     )
+}
+
+const CRASH_KEYSPACE: u64 = 32;
+
+/// The shared crash-campaign op plan: (is-insert, key) pairs, 85 %
+/// inserts over a small keyspace.
+fn crash_plan_ops(ops: usize, seed: u64) -> Vec<(bool, u64)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..ops)
+        .map(|_| (rng.gen_range(0..100) < 85, rng.gen_range(0..CRASH_KEYSPACE)))
+        .collect()
+}
+
+/// Crash workload + oracle for `ctree` (see [`crate::crashtest`]):
+/// per-op insert/remove transactions; the oracle recovers the engine,
+/// re-opens the crit-bit tree, and compares every key against the
+/// committed prefix, allowing the in-flight op's key to hold either
+/// its old or its new state.
+pub(crate) fn crash_run_ctree(ops: usize, points: &[u64]) -> crate::crashtest::CrashRun {
+    let (mut env, mut plan) = build_env();
+    let tree_region = plan.take(pmds::CRITBIT_REGION_BYTES);
+    env.eng.begin(&mut env.m, Tid(0)).expect("setup tx");
+    let tree = CritBitTree::create(&mut env.m, &mut env.eng, Tid(0), tree_region).expect("tree");
+    env.eng.commit(&mut env.m, Tid(0)).expect("setup");
+    let plan_ops = crash_plan_ops(ops, 0xc47ee);
+
+    crate::crashtest::arm(&mut env.m, points);
+    for (i, (insert, key)) in plan_ops.iter().enumerate() {
+        let tid = Tid((i % THREADS as usize) as u32);
+        env.alloc.select(tid.0 as usize);
+        env.eng.begin(&mut env.m, tid).expect("tx");
+        if *insert {
+            tree.insert(
+                &mut env.m,
+                &mut env.eng,
+                tid,
+                &mut env.alloc,
+                &key.to_be_bytes(),
+                i as u64 + 1,
+            )
+            .expect("insert");
+        } else {
+            tree.remove(
+                &mut env.m,
+                &mut env.eng,
+                tid,
+                &mut env.alloc,
+                &key.to_be_bytes(),
+            )
+            .expect("remove");
+        }
+        env.eng.commit(&mut env.m, tid).expect("commit");
+        env.m.note_progress(i as u64 + 1);
+    }
+
+    let log = env.log_region;
+    let tree_base = tree_region.base;
+    let total = plan_ops.len() as u64;
+    let oracle = Box::new(move |img: &PmImage, progress: u64| -> Result<(), String> {
+        let mut m2 = Machine::from_image(MachineConfig::asplos17(), img);
+        let mut eng2 = UndoTxEngine::recover(&mut m2, Tid(0), log, THREADS);
+        let tree2 = CritBitTree::open(&mut m2, Tid(0), tree_base)
+            .map_err(|e| format!("tree open failed: {e:?}"))?;
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for (i, (insert, key)) in plan_ops[..progress as usize].iter().enumerate() {
+            if *insert {
+                model.insert(*key, i as u64 + 1);
+            } else {
+                model.remove(key);
+            }
+        }
+        let in_flight = plan_ops.get(progress as usize);
+        for key in 0..CRASH_KEYSPACE {
+            let got = tree2.get(&mut m2, &mut eng2, Tid(0), &key.to_be_bytes());
+            let want = model.get(&key).copied();
+            if got == want {
+                continue;
+            }
+            let after = match in_flight {
+                Some((insert, k)) if *k == key => {
+                    if *insert {
+                        Some(progress + 1)
+                    } else {
+                        None
+                    }
+                }
+                _ => {
+                    return Err(format!(
+                        "key {key}: recovered {got:?} != committed {want:?}"
+                    ));
+                }
+            };
+            if got != after {
+                return Err(format!(
+                    "key {key}: recovered {got:?}, neither old {want:?} nor in-flight {after:?}"
+                ));
+            }
+        }
+        Ok(())
+    });
+    let MicroEnv { m, .. } = env;
+    crate::crashtest::harvest(m, total, oracle)
+}
+
+/// Crash workload + oracle for `hashmap`: same shape as
+/// [`crash_run_ctree`] over the persistent chained hash map.
+pub(crate) fn crash_run_hashmap(ops: usize, points: &[u64]) -> crate::crashtest::CrashRun {
+    let (mut env, mut plan) = build_env();
+    let map_region = plan.take(PHashMap::region_bytes(512));
+    env.eng.begin(&mut env.m, Tid(0)).expect("setup tx");
+    let map = PHashMap::create(&mut env.m, &mut env.eng, Tid(0), map_region, 512).expect("map");
+    env.eng.commit(&mut env.m, Tid(0)).expect("setup");
+    let plan_ops = crash_plan_ops(ops, 0x4a54);
+
+    crate::crashtest::arm(&mut env.m, points);
+    for (i, (insert, key)) in plan_ops.iter().enumerate() {
+        let tid = Tid((i % THREADS as usize) as u32);
+        env.alloc.select(tid.0 as usize);
+        env.eng.begin(&mut env.m, tid).expect("tx");
+        if *insert {
+            map.insert(
+                &mut env.m,
+                &mut env.eng,
+                tid,
+                &mut env.alloc,
+                &key.to_le_bytes(),
+                &[(i + 1) as u8; 32],
+            )
+            .expect("insert");
+        } else {
+            map.remove(
+                &mut env.m,
+                &mut env.eng,
+                tid,
+                &mut env.alloc,
+                &key.to_le_bytes(),
+            )
+            .expect("remove");
+        }
+        env.eng.commit(&mut env.m, tid).expect("commit");
+        env.m.note_progress(i as u64 + 1);
+    }
+
+    let log = env.log_region;
+    let total = plan_ops.len() as u64;
+    let oracle = Box::new(move |img: &PmImage, progress: u64| -> Result<(), String> {
+        let mut m2 = Machine::from_image(MachineConfig::asplos17(), img);
+        let mut eng2 = UndoTxEngine::recover(&mut m2, Tid(0), log, THREADS);
+        let map2 = PHashMap::open(&mut m2, Tid(0), map_region.base)
+            .map_err(|e| format!("map open failed: {e:?}"))?;
+        let mut model: HashMap<u64, [u8; 32]> = HashMap::new();
+        for (i, (insert, key)) in plan_ops[..progress as usize].iter().enumerate() {
+            if *insert {
+                model.insert(*key, [(i + 1) as u8; 32]);
+            } else {
+                model.remove(key);
+            }
+        }
+        let in_flight = plan_ops.get(progress as usize);
+        for key in 0..CRASH_KEYSPACE {
+            let got = map2.get(&mut m2, &mut eng2, Tid(0), &key.to_le_bytes());
+            let want = model.get(&key).map(|v| v.to_vec());
+            if got == want {
+                continue;
+            }
+            let after = match in_flight {
+                Some((insert, k)) if *k == key => insert.then(|| vec![(progress + 1) as u8; 32]),
+                _ => {
+                    return Err(format!(
+                        "key {key}: recovered {got:?} != committed {want:?}"
+                    ));
+                }
+            };
+            if got != after {
+                return Err(format!(
+                    "key {key}: recovered {got:?}, neither old {want:?} nor in-flight {after:?}"
+                ));
+            }
+        }
+        Ok(())
+    });
+    let MicroEnv { m, .. } = env;
+    crate::crashtest::harvest(m, total, oracle)
 }
 
 /// `ctree` without driver overhead (gem5-style, for Figures 6/10).

@@ -22,9 +22,11 @@ use crate::workloads::{self, TpccTx, YcsbOp};
 use memsim::{Machine, MachineConfig, PmWriter};
 use pmalloc::{BuddyAlloc, PmAllocator};
 use pmds::{PBTree, PHashMap};
-use pmem::Addr;
+use pmem::{Addr, PmImage};
+use pmrand::{Rng, SeedableRng, SmallRng};
 use pmtrace::{Category, Tid};
 use pmtx::{TxMem, UndoTxEngine};
+use std::collections::HashMap;
 
 const THREADS: u32 = 4;
 const FIELD_BYTES: usize = 10;
@@ -42,9 +44,7 @@ pub(crate) struct NStore {
     pub(crate) ordered: PBTree,
     /// Per-partition (per-thread) header: last txid + tuple count.
     pub(crate) partitions: Vec<Addr>,
-    #[allow(dead_code)] // recovery handle, used by crash tests
     pub(crate) log_region: pmem::AddrRange,
-    #[allow(dead_code)] // recovery handle, used by crash tests
     pub(crate) index_head: Addr,
 }
 
@@ -158,6 +158,212 @@ impl NStore {
                 .expect("field");
         }
     }
+}
+
+/// One action inside a crash-campaign transaction.
+#[derive(Debug, Clone, Copy)]
+enum CrashAction {
+    Insert { key: u64, fill: u8 },
+    Update { key: u64, fields: u8, fill: u8 },
+}
+
+const CRASH_PRELOAD: u64 = 24;
+
+/// Crash workload for the YCSB-like row (see [`crate::crashtest`]):
+/// single-action transactions — 70 % field updates on preloaded keys,
+/// 30 % fresh-key inserts.
+pub(crate) fn crash_run_ycsb(ops: usize, points: &[u64]) -> crate::crashtest::CrashRun {
+    let mut rng = SmallRng::seed_from_u64(0x5ca1e);
+    let mut next_key = CRASH_PRELOAD;
+    let txs: Vec<Vec<CrashAction>> = (0..ops)
+        .map(|i| {
+            if rng.gen_bool(0.3) {
+                let key = next_key;
+                next_key += 1;
+                vec![CrashAction::Insert { key, fill: i as u8 }]
+            } else {
+                vec![CrashAction::Update {
+                    key: rng.gen_range(0..CRASH_PRELOAD),
+                    fields: rng.gen_range(1..=FIELDS) as u8,
+                    fill: i as u8,
+                }]
+            }
+        })
+        .collect();
+    crash_run_inner(txs, points)
+}
+
+/// Crash workload for the TPC-C-like row: multi-action transactions
+/// (order + order-line inserts + a stock update) alternating with
+/// payment-style updates — the all-or-nothing check spans every action
+/// of the in-flight transaction.
+pub(crate) fn crash_run_tpcc(txs: usize, points: &[u64]) -> crate::crashtest::CrashRun {
+    let mut rng = SmallRng::seed_from_u64(0x79cc);
+    let mut next_order = 1_000u64;
+    let plan: Vec<Vec<CrashAction>> = (0..txs)
+        .map(|i| {
+            if i % 2 == 0 {
+                let order = next_order;
+                next_order += 2;
+                vec![
+                    CrashAction::Insert {
+                        key: order,
+                        fill: i as u8,
+                    },
+                    CrashAction::Insert {
+                        key: order + 1,
+                        fill: i as u8,
+                    },
+                    CrashAction::Update {
+                        key: rng.gen_range(0..CRASH_PRELOAD),
+                        fields: 2,
+                        fill: i as u8,
+                    },
+                ]
+            } else {
+                vec![CrashAction::Update {
+                    key: rng.gen_range(0..CRASH_PRELOAD),
+                    fields: 3,
+                    fill: i as u8,
+                }]
+            }
+        })
+        .collect();
+    crash_run_inner(plan, points)
+}
+
+/// Replay a transaction against the volatile row model (key → per-field
+/// fill bytes).
+fn apply_model(model: &mut HashMap<u64, [u8; FIELDS]>, tx: &[CrashAction]) {
+    for a in tx {
+        match *a {
+            CrashAction::Insert { key, fill } => {
+                model.insert(key, [fill; FIELDS]);
+            }
+            CrashAction::Update { key, fields, fill } => {
+                if let Some(row) = model.get_mut(&key) {
+                    for f in row.iter_mut().take((fields as usize).min(FIELDS)) {
+                        *f = fill;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Shared crash-campaign runner: preload, execute the transaction plan
+/// with the plan armed, and return an oracle that requires the
+/// recovered database to equal the committed-prefix model — with the
+/// in-flight transaction applied in full or not at all.
+fn crash_run_inner(txs: Vec<Vec<CrashAction>>, points: &[u64]) -> crate::crashtest::CrashRun {
+    let mut m = Machine::new(MachineConfig::asplos17());
+    m.trace_mut().set_enabled(false);
+    let mut db = NStore::build(&mut m);
+    for key in 0..CRASH_PRELOAD {
+        let tid = Tid((key % THREADS as u64) as u32);
+        db.eng.begin(&mut m, tid).expect("load tx");
+        db.insert_tuple(&mut m, tid, key, 0xAB);
+        db.eng.commit(&mut m, tid).expect("load commit");
+    }
+
+    crate::crashtest::arm(&mut m, points);
+    for (i, tx) in txs.iter().enumerate() {
+        let tid = Tid((i % THREADS as usize) as u32);
+        db.eng.begin(&mut m, tid).expect("tx");
+        let mut inserted = 0i64;
+        for a in tx {
+            match *a {
+                CrashAction::Insert { key, fill } => {
+                    db.insert_tuple(&mut m, tid, key, fill);
+                    inserted += 1;
+                }
+                CrashAction::Update { key, fields, fill } => {
+                    let t = db.find_tuple(&mut m, tid, key).expect("key preloaded");
+                    db.update_fields(&mut m, tid, t, fields, fill);
+                }
+            }
+        }
+        db.stamp_partition(&mut m, tid, inserted);
+        db.eng.commit(&mut m, tid).expect("commit");
+        m.note_progress(i as u64 + 1);
+    }
+
+    let mut universe: Vec<u64> = (0..CRASH_PRELOAD).collect();
+    universe.extend(txs.iter().flatten().filter_map(|a| match a {
+        CrashAction::Insert { key, .. } => Some(*key),
+        CrashAction::Update { .. } => None,
+    }));
+    let log = db.log_region;
+    let index_head = db.index_head;
+    let ordered = db.ordered;
+    let ops = txs.len() as u64;
+    let oracle = Box::new(move |img: &PmImage, progress: u64| -> Result<(), String> {
+        let mut m2 = Machine::from_image(MachineConfig::asplos17(), img);
+        let mut eng2 = UndoTxEngine::recover(&mut m2, Tid(0), log, THREADS);
+        let index2 = PHashMap::open(&mut m2, Tid(0), index_head)
+            .map_err(|e| format!("index open failed: {e:?}"))?;
+        ordered
+            .check_invariants(&mut m2, Tid(0))
+            .map_err(|e| format!("ordered index invariants: {e}"))?;
+
+        let mut before: HashMap<u64, [u8; FIELDS]> =
+            (0..CRASH_PRELOAD).map(|k| (k, [0xAB; FIELDS])).collect();
+        for tx in &txs[..progress as usize] {
+            apply_model(&mut before, tx);
+        }
+        let mut after = before.clone();
+        if let Some(tx) = txs.get(progress as usize) {
+            apply_model(&mut after, tx);
+        }
+
+        let check = |m2: &mut Machine,
+                     eng2: &mut UndoTxEngine,
+                     want: &HashMap<u64, [u8; FIELDS]>|
+         -> Result<(), String> {
+            for key in &universe {
+                let got = index2.get(m2, eng2, Tid(0), &key.to_le_bytes());
+                match (got, want.get(key)) {
+                    (None, None) => {}
+                    (Some(v), Some(row)) => {
+                        let t = u64::from_le_bytes(
+                            v.try_into()
+                                .map_err(|_| format!("key {key}: bad index value"))?,
+                        );
+                        if m2.load_u64(Tid(0), t) != *key {
+                            return Err(format!("key {key}: tuple key field mismatch"));
+                        }
+                        for (f, fill) in row.iter().enumerate() {
+                            let bytes =
+                                m2.load_vec(Tid(0), t + 8 + (f * FIELD_BYTES) as u64, FIELD_BYTES);
+                            if bytes != vec![*fill; FIELD_BYTES] {
+                                return Err(format!(
+                                    "key {key} field {f}: {bytes:?} != fill {fill:#x}"
+                                ));
+                            }
+                        }
+                        if ordered.get(m2, eng2, Tid(0), *key) != Some(t) {
+                            return Err(format!("key {key}: ordered index disagrees"));
+                        }
+                    }
+                    (g, w) => {
+                        return Err(format!(
+                            "key {key}: present={} but committed present={}",
+                            g.is_some(),
+                            w.is_some()
+                        ))
+                    }
+                }
+            }
+            Ok(())
+        };
+        if check(&mut m2, &mut eng2, &before).is_ok() {
+            return Ok(());
+        }
+        check(&mut m2, &mut eng2, &after).map_err(|e| {
+            format!("state matches neither the committed prefix nor prefix+in-flight: {e}")
+        })
+    });
+    crate::crashtest::harvest(m, ops, oracle)
 }
 
 /// YCSB without driver overhead (gem5-style, for Figures 6 and 10).

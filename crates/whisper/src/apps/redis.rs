@@ -21,10 +21,11 @@ use crate::workloads;
 use memsim::{Machine, MachineConfig, PmWriter};
 use pmalloc::SlabBitmapAlloc;
 use pmds::PHashMap;
-use pmem::Addr;
+use pmem::{Addr, PmImage};
+use pmrand::{Rng, SeedableRng, SmallRng};
 use pmtrace::Tid;
 use pmtx::UndoTxEngine;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 const SERVER: Tid = Tid(0);
 
@@ -32,9 +33,7 @@ pub(crate) struct Redis {
     pub(crate) eng: UndoTxEngine,
     pub(crate) alloc: SlabBitmapAlloc,
     pub(crate) dict: PHashMap,
-    #[allow(dead_code)] // recovery handle, used by crash tests
     pub(crate) log_region: pmem::AddrRange,
-    #[allow(dead_code)] // recovery handle, used by crash tests
     pub(crate) dict_head: Addr,
 }
 
@@ -58,6 +57,81 @@ impl Redis {
             dict_head: dict_region.base,
         }
     }
+}
+
+/// Crash workload + recovery oracle (see [`crate::crashtest`]): a
+/// SET-only stream over a small keyspace, one undo transaction per
+/// operation. The oracle recovers the engine, re-opens the dictionary,
+/// and requires every key to carry its last committed value — the one
+/// in-flight SET may be fully applied or fully rolled back.
+pub(crate) fn crash_run(ops: usize, points: &[u64]) -> crate::crashtest::CrashRun {
+    const CRASH_KEYSPACE: u64 = 32;
+    let mut m = Machine::new(MachineConfig::asplos17());
+    let mut r = Redis::build(&mut m);
+    m.trace_mut().set_enabled(false);
+    let mut rng = SmallRng::seed_from_u64(0x4ed1);
+    let plan_ops: Vec<(u64, [u8; 16])> = (0..ops)
+        .map(|i| {
+            let key = rng.gen_range(0..CRASH_KEYSPACE);
+            let mut val = [0u8; 16];
+            val[0..8].copy_from_slice(&key.to_le_bytes());
+            val[8..16].copy_from_slice(&(i as u64 + 1).to_le_bytes());
+            (key, val)
+        })
+        .collect();
+
+    crate::crashtest::arm(&mut m, points);
+    for (i, (key, val)) in plan_ops.iter().enumerate() {
+        r.eng.begin(&mut m, SERVER).expect("tx");
+        r.dict
+            .insert(
+                &mut m,
+                &mut r.eng,
+                SERVER,
+                &mut r.alloc,
+                &key.to_le_bytes(),
+                val,
+            )
+            .expect("set");
+        r.eng.commit(&mut m, SERVER).expect("commit");
+        m.note_progress(i as u64 + 1);
+    }
+
+    let log = r.log_region;
+    let head = r.dict_head;
+    let total = plan_ops.len() as u64;
+    let oracle = Box::new(move |img: &PmImage, progress: u64| -> Result<(), String> {
+        let mut m2 = Machine::from_image(MachineConfig::asplos17(), img);
+        let mut eng2 = UndoTxEngine::recover(&mut m2, SERVER, log, 1);
+        let dict2 = PHashMap::open(&mut m2, SERVER, head)
+            .map_err(|e| format!("dict open failed: {e:?}"))?;
+        let mut model: HashMap<u64, [u8; 16]> = HashMap::new();
+        for (k, v) in &plan_ops[..progress as usize] {
+            model.insert(*k, *v);
+        }
+        let in_flight = plan_ops.get(progress as usize);
+        for key in 0..CRASH_KEYSPACE {
+            let got = dict2.get(&mut m2, &mut eng2, SERVER, &key.to_le_bytes());
+            let committed_ok = match (got.as_deref(), model.get(&key)) {
+                (Some(g), Some(w)) => g == w.as_slice(),
+                (None, None) => true,
+                _ => false,
+            };
+            let in_flight_ok = matches!(
+                in_flight,
+                Some((k, v)) if *k == key && got.as_deref() == Some(v.as_slice())
+            );
+            if !(committed_ok || in_flight_ok) {
+                return Err(format!(
+                    "key {key}: recovered {:?} != committed {:?}",
+                    got.as_deref().map(<[u8]>::to_vec),
+                    model.get(&key).map(|v| v.to_vec())
+                ));
+            }
+        }
+        Ok(())
+    });
+    crate::crashtest::harvest(m, total, oracle)
 }
 
 /// lru-test without event-loop pacing (gem5-style, for Figures 6/10).

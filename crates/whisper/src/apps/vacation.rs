@@ -20,10 +20,11 @@ use crate::region::RegionPlanner;
 use memsim::{Machine, MachineConfig, PmWriter};
 use pmalloc::{PmAllocator, ShardedSlab};
 use pmds::PRbTree;
-use pmem::Addr;
+use pmem::{Addr, PmImage};
 use pmrand::{Rng, SeedableRng, SmallRng};
 use pmtrace::{Category, Tid};
 use pmtx::{RedoTxEngine, TxMem};
+use std::collections::HashMap;
 
 const THREADS: u32 = 4;
 /// Reservation list node: next u64, resource u64, count u64.
@@ -38,7 +39,6 @@ pub(crate) struct Vacation {
     pub(crate) customers: PRbTree,
     /// Global counters of cars/flights/rooms, one line each.
     pub(crate) counters: [Addr; 3],
-    #[allow(dead_code)] // recovery handle, used by crash tests
     pub(crate) log_region: pmem::AddrRange,
 }
 
@@ -171,6 +171,188 @@ impl Vacation {
         }
         n
     }
+}
+
+/// One crash-campaign operation.
+#[derive(Debug, Clone, Copy)]
+enum VOp {
+    Price {
+        t: usize,
+        item: u64,
+        price: u64,
+    },
+    Reserve {
+        t: usize,
+        item: u64,
+        customer: u64,
+        update_counter: bool,
+    },
+}
+
+/// The volatile mirror of Vacation's persistent state the oracle
+/// replays committed operations into.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct VModel {
+    /// Per table, per item: seats available (items dense 0..CRASH_ITEMS).
+    avail: [Vec<u64>; 3],
+    /// Per customer: reservation resource words, newest first.
+    cust: HashMap<u64, Vec<u64>>,
+    /// The three global counters.
+    counters: [u64; 3],
+}
+
+const CRASH_ITEMS: u64 = 12;
+const CRASH_CUSTOMERS: u64 = 8;
+
+fn apply_vmodel(model: &mut VModel, op: &VOp) {
+    match *op {
+        VOp::Price { t, item, price } => model.avail[t][item as usize] = price,
+        VOp::Reserve {
+            t,
+            item,
+            customer,
+            update_counter,
+        } => {
+            if model.avail[t][item as usize] > 0 {
+                model.avail[t][item as usize] -= 1;
+                model
+                    .cust
+                    .entry(customer)
+                    .or_default()
+                    .insert(0, (t as u64) << 32 | item);
+                if update_counter {
+                    model.counters[t] += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Crash workload + oracle (see [`crate::crashtest`]): alternating
+/// price updates and reservations over a small inventory. The oracle
+/// recovers the redo engine, checks red-black invariants on all four
+/// trees, and requires tables, reservation lists, and global counters
+/// to match the committed-operation model — with the in-flight
+/// transaction applied in full or not at all.
+pub(crate) fn crash_run(ops: usize, points: &[u64]) -> crate::crashtest::CrashRun {
+    let mut m = Machine::new(MachineConfig::asplos17());
+    m.trace_mut().set_enabled(false);
+    let mut v = Vacation::build(&mut m, CRASH_ITEMS);
+    m.trace_mut().set_enabled(false);
+    let mut rng = SmallRng::seed_from_u64(0x7ac4);
+    let ops_plan: Vec<VOp> = (0..ops)
+        .map(|i| {
+            let t = rng.gen_range(0..3);
+            let item = rng.gen_range(0..CRASH_ITEMS);
+            if i % 2 == 0 {
+                VOp::Price {
+                    t,
+                    item,
+                    price: 200 + i as u64,
+                }
+            } else {
+                VOp::Reserve {
+                    t,
+                    item,
+                    customer: rng.gen_range(0..CRASH_CUSTOMERS),
+                    update_counter: i % 8 == 1,
+                }
+            }
+        })
+        .collect();
+
+    crate::crashtest::arm(&mut m, points);
+    for (i, op) in ops_plan.iter().enumerate() {
+        let tid = Tid((i % THREADS as usize) as u32);
+        match *op {
+            VOp::Price { t, item, price } => v.update_price(&mut m, tid, t, item, price),
+            VOp::Reserve {
+                t,
+                item,
+                customer,
+                update_counter,
+            } => v.reserve(&mut m, tid, t, item, customer, update_counter),
+        }
+        m.note_progress(i as u64 + 1);
+    }
+
+    let log = v.log_region;
+    let tables = v.tables;
+    let customers = v.customers;
+    let counters = v.counters;
+    let total = ops_plan.len() as u64;
+    let oracle = Box::new(move |img: &PmImage, progress: u64| -> Result<(), String> {
+        let mut m2 = Machine::from_image(MachineConfig::asplos17(), img);
+        let mut eng2 = RedoTxEngine::recover(&mut m2, Tid(0), log, THREADS);
+        for (t, table) in tables.iter().enumerate() {
+            table
+                .check_invariants(&mut m2, Tid(0))
+                .map_err(|e| format!("table {t} invariants: {e}"))?;
+        }
+        customers
+            .check_invariants(&mut m2, Tid(0))
+            .map_err(|e| format!("customer tree invariants: {e}"))?;
+
+        let mut before = VModel {
+            avail: [(); 3].map(|_| vec![100u64; CRASH_ITEMS as usize]),
+            cust: HashMap::new(),
+            counters: [0; 3],
+        };
+        for op in &ops_plan[..progress as usize] {
+            apply_vmodel(&mut before, op);
+        }
+        let mut after = before.clone();
+        if let Some(op) = ops_plan.get(progress as usize) {
+            apply_vmodel(&mut after, op);
+        }
+
+        let check =
+            |m2: &mut Machine, eng2: &mut RedoTxEngine, want: &VModel| -> Result<(), String> {
+                for (t, table) in tables.iter().enumerate() {
+                    for item in 0..CRASH_ITEMS {
+                        let got = table.get(m2, eng2, Tid(0), item);
+                        if got != Some(want.avail[t][item as usize]) {
+                            return Err(format!(
+                                "table {t} item {item}: avail {got:?} != {}",
+                                want.avail[t][item as usize]
+                            ));
+                        }
+                    }
+                    let c = m2.load_u64(Tid(0), counters[t]);
+                    if c != want.counters[t] {
+                        return Err(format!("counter {t}: {c} != {}", want.counters[t]));
+                    }
+                }
+                for customer in 0..CRASH_CUSTOMERS {
+                    let want_list = want.cust.get(&customer).cloned().unwrap_or_default();
+                    let mut node = customers.get(m2, eng2, Tid(0), customer).unwrap_or(0);
+                    let mut got_list = Vec::new();
+                    while node != 0 {
+                        if got_list.len() > want_list.len() + 2 {
+                            return Err(format!("customer {customer}: list exceeds history"));
+                        }
+                        got_list.push(m2.load_u64(Tid(0), node + 8));
+                        if m2.load_u64(Tid(0), node + 16) != 1 {
+                            return Err(format!("customer {customer}: torn reservation node"));
+                        }
+                        node = m2.load_u64(Tid(0), node);
+                    }
+                    if got_list != want_list {
+                        return Err(format!(
+                            "customer {customer}: reservations {got_list:?} != {want_list:?}"
+                        ));
+                    }
+                }
+                Ok(())
+            };
+        if check(&mut m2, &mut eng2, &before).is_ok() {
+            return Ok(());
+        }
+        check(&mut m2, &mut eng2, &after).map_err(|e| {
+            format!("state matches neither the committed prefix nor prefix+in-flight: {e}")
+        })
+    });
+    crate::crashtest::harvest(m, total, oracle)
 }
 
 /// Reservation mix with trimmed volatile phases (gem5-style, for

@@ -3,7 +3,8 @@
 //! ```text
 //! whisper-report [EXPERIMENT] [--scale X] [--seed N] [--apps a,b,c]
 //!                [--parallel N] [--timing] [--json PATH] [--json-det PATH]
-//!                [--check] [--check-json PATH] [--quiet]
+//!                [--check] [--check-json PATH] [--crash]
+//!                [--crash-json PATH] [--quiet]
 //!                [--dump-traces DIR] [--from-trace FILE]
 //!
 //! EXPERIMENT: table1 | fig3 | fig4 | fig5 | fig6 | fig10 |
@@ -26,8 +27,20 @@
 //! additionally writes just the violations document to PATH (implies
 //! `--check`).
 //!
+//! `--crash` sweeps the crash-injection campaign
+//! (`whisper::crashtest`) after the suite run: every Table 1 app's
+//! dedicated crash workload is interrupted at evenly spread fence
+//! points, each captured state is materialized under
+//! drop-volatile/persist-all/adversarial crash specs, and the app's
+//! recovery oracle judges every image. A summary table is appended to
+//! the text report, the JSON report's `crash` section is populated,
+//! and the process exits 4 on any recovery failure — the CI gate for
+//! crash recoverability. `--crash-json PATH` additionally writes just
+//! the campaign document to PATH (implies `--crash`). The campaign
+//! fans out over `--parallel` workers.
+//!
 //! `--json PATH` additionally writes the versioned machine-readable
-//! report (`whisper::json_report`, schema v2) to PATH and turns on
+//! report (`whisper::json_report`, schema v3) to PATH and turns on
 //! `pmobs` metric recording so the report's `metrics` block is
 //! populated. Stdout carries only the report text; all diagnostics go
 //! to stderr through the `pmobs` logger, and `--quiet` silences
@@ -46,11 +59,14 @@
 
 use std::time::Instant;
 use whisper::check::{self, AppCheck};
+use whisper::crashtest::{self, AppCrashReport, CampaignConfig};
 use whisper::suite::{analyze, run_apps, AppResult, SuiteConfig, APP_NAMES};
 use whisper::{json_report, report};
 
 /// Exit code when `--check` found error-severity violations.
 const CHECK_FAILED: i32 = 3;
+/// Exit code when `--crash` found recovery failures.
+const CRASH_FAILED: i32 = 4;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -63,6 +79,8 @@ fn main() {
     let mut json_det_path: Option<String> = None;
     let mut check_traces = false;
     let mut check_json_path: Option<String> = None;
+    let mut crash_campaign = false;
+    let mut crash_json_path: Option<String> = None;
     let mut timing = false;
 
     let mut i = 0;
@@ -97,6 +115,16 @@ fn main() {
                 check_json_path = Some(
                     args.get(i)
                         .unwrap_or_else(|| die("--check-json needs an output path"))
+                        .clone(),
+                );
+            }
+            "--crash" => crash_campaign = true,
+            "--crash-json" => {
+                i += 1;
+                crash_campaign = true;
+                crash_json_path = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| die("--crash-json needs an output path"))
                         .clone(),
                 );
             }
@@ -144,7 +172,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: whisper-report [table1|fig3|fig4|fig5|fig6|fig10|amplification|ntfraction|smallwrites|all] [--scale X] [--seed N] [--apps a,b,c] [--parallel N] [--timing] [--json PATH] [--json-det PATH] [--check] [--check-json PATH] [--quiet]"
+                    "usage: whisper-report [table1|fig3|fig4|fig5|fig6|fig10|amplification|ntfraction|smallwrites|all] [--scale X] [--seed N] [--apps a,b,c] [--parallel N] [--timing] [--json PATH] [--json-det PATH] [--check] [--check-json PATH] [--crash] [--crash-json PATH] [--quiet]"
                 );
                 return;
             }
@@ -189,17 +217,27 @@ fn main() {
         let analysis = analyze(&run);
         let results = vec![AppResult { run, analysis }];
         let checks = run_checks(check_traces, &check_json_path, &results);
+        let crash = run_crash(crash_campaign, &crash_json_path, &cfg);
         write_json_report(
             &json_path,
             &json_det_path,
             &results,
             &cfg,
             checks.as_deref(),
+            crash.as_ref(),
         );
         println!("{}", report::all(&results));
         if let Some(checks) = &checks {
             print!("\n{}", check::summary_table(checks));
+        }
+        if let Some((reports, ccfg)) = &crash {
+            print!("\n{}", crashtest::summary_table(reports, ccfg));
+        }
+        if let Some(checks) = &checks {
             exit_if_check_failed(checks);
+        }
+        if let Some((reports, _)) = &crash {
+            exit_if_crash_failed(reports);
         }
         return;
     }
@@ -232,12 +270,14 @@ fn main() {
     }
 
     let checks = run_checks(check_traces, &check_json_path, &results);
+    let crash = run_crash(crash_campaign, &crash_json_path, &cfg);
     write_json_report(
         &json_path,
         &json_det_path,
         &results,
         &cfg,
         checks.as_deref(),
+        crash.as_ref(),
     );
 
     let text = match experiment.as_str() {
@@ -257,7 +297,15 @@ fn main() {
     println!("{text}");
     if let Some(checks) = &checks {
         print!("\n{}", check::summary_table(checks));
+    }
+    if let Some((reports, ccfg)) = &crash {
+        print!("\n{}", crashtest::summary_table(reports, ccfg));
+    }
+    if let Some(checks) = &checks {
         exit_if_check_failed(checks);
+    }
+    if let Some((reports, _)) = &crash {
+        exit_if_crash_failed(reports);
     }
 }
 
@@ -290,7 +338,48 @@ fn exit_if_check_failed(checks: &[AppCheck]) {
     }
 }
 
-/// Write the schema-v2 JSON document to `path` and/or its deterministic
+/// `--crash`: sweep the crash-injection campaign across the suite,
+/// write the standalone campaign document if `--crash-json` asked for
+/// one. The campaign reuses the suite's `--parallel` worker count.
+fn run_crash(
+    enabled: bool,
+    crash_json_path: &Option<String>,
+    cfg: &SuiteConfig,
+) -> Option<(Vec<AppCrashReport>, CampaignConfig)> {
+    if !enabled {
+        return None;
+    }
+    let _span = pmobs::span!("suite.crash");
+    let ccfg = CampaignConfig {
+        parallelism: cfg.parallelism,
+        ..CampaignConfig::quick()
+    };
+    pmobs::info!(
+        "sweeping crash campaign: {} point(s) x {} spec(s) per app...",
+        ccfg.points,
+        2 + ccfg.adversarial_seeds
+    );
+    let started = Instant::now();
+    let reports = crashtest::run_campaign(&ccfg);
+    pmobs::info!("crash campaign finished in {:.2?}", started.elapsed());
+    if let Some(path) = crash_json_path {
+        std::fs::write(path, crashtest::crash_json(&reports, &ccfg).to_pretty())
+            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        pmobs::info!("crash campaign json written to {path}");
+    }
+    Some((reports, ccfg))
+}
+
+/// The `--crash` gate: any recovery failure fails the run.
+fn exit_if_crash_failed(reports: &[AppCrashReport]) {
+    let failures = crashtest::total_failures(reports);
+    if failures > 0 {
+        pmobs::error!("crash campaign: {failures} recovery failure(s) — failing");
+        std::process::exit(CRASH_FAILED);
+    }
+}
+
+/// Write the schema-v3 JSON document to `path` and/or its deterministic
 /// subset to `det_path` (no-op without `--json`/`--json-det`).
 /// Snapshots the global pmobs registry last, so the full report
 /// includes everything the run recorded.
@@ -300,12 +389,16 @@ fn write_json_report(
     results: &[AppResult],
     cfg: &SuiteConfig,
     checks: Option<&[AppCheck]>,
+    crash: Option<&(Vec<AppCrashReport>, CampaignConfig)>,
 ) {
     if path.is_none() && det_path.is_none() {
         return;
     }
     let snap = pmobs::global().snapshot();
-    let doc = json_report::build_checked(results, cfg, &snap, checks);
+    let mut doc = json_report::build_checked(results, cfg, &snap, checks);
+    if let Some((reports, ccfg)) = crash {
+        doc = doc.field("crash", crashtest::crash_json(reports, ccfg));
+    }
     if let Some(path) = path {
         std::fs::write(path, doc.to_pretty())
             .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));

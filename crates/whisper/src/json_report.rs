@@ -6,15 +6,18 @@
 //! the [`pmobs`] metrics registry. The encoder is
 //! [`pmobs::json`]; no external serialization crate is involved.
 //!
-//! # Schema (version 2)
+//! # Schema (version 3)
 //!
-//! Version 2 = version 1 plus the `violations` section (`null` unless
-//! the run was checked with `whisper-report --check`); every v1 key is
-//! byte-identical to v1.
+//! Version 3 = version 2 plus the `crash` section (`null` unless the
+//! run swept the crash-injection campaign with `whisper-report
+//! --crash`) and `config.effective_ops` (the per-app operation counts
+//! after the [`crate::suite::SuiteConfig`] floor); every v2 key is
+//! byte-identical to v2. Version 2 = version 1 plus `violations`.
 //!
 //! ```text
-//! schema_version   u64     always 2 for this layout
-//! config           obj     {scale, seed, parallelism}
+//! schema_version   u64     always 3 for this layout
+//! config           obj     {scale, seed, parallelism,
+//!                           effective_ops: {app: ops}}
 //! table1           arr     one obj per app, Table 1 order:
 //!                          {name, workload, threads, epochs,
 //!                           duration_ns, epochs_per_sec,
@@ -47,6 +50,13 @@
 //!                           errors, warnings, by_rule, findings,
 //!                           findings_truncated}]}. `null` when the
 //!                          run was not checked.
+//! crash            obj?    crash-campaign results
+//!                          (`crate::crashtest::crash_json`):
+//!                          {points_per_app, adversarial_seeds,
+//!                           total_images, total_failures,
+//!                           apps: [{name, ops, fence_events, points,
+//!                           images, failures}]}. `null` when the run
+//!                          did not sweep the campaign.
 //! ```
 //!
 //! Clock-domain rule (see `pmobs::span`): metric names under `sim.*`
@@ -63,7 +73,7 @@ use pmtrace::analysis::SIZE_BUCKET_LABELS;
 use pmtrace::Category;
 
 /// Version stamp of the report layout documented above.
-pub const SCHEMA_VERSION: u64 = 2;
+pub const SCHEMA_VERSION: u64 = 3;
 
 fn paper_row(name: &str) -> Option<&'static PaperRow> {
     PAPER.iter().find(|r| r.name == name)
@@ -293,7 +303,7 @@ pub fn metrics_json(snap: &MetricsSnapshot) -> Json {
         .field("histograms", histograms)
 }
 
-/// Assemble the full schema-version-2 report document. `checks` is the
+/// Assemble the full schema-version-3 report document. `checks` is the
 /// per-app pmcheck outcome when the run was checked (`--check`); the
 /// `violations` key serializes as `null` otherwise.
 pub fn build_checked(
@@ -311,9 +321,16 @@ pub fn build_checked(
     )
 }
 
-/// Assemble the report document without a `violations` section (the
-/// unchecked-run shape: `violations: null`).
+/// Assemble the report document without `violations`/`crash` sections
+/// (the plain-run shape: both `null`).
 pub fn build(results: &[AppResult], cfg: &SuiteConfig, metrics: &MetricsSnapshot) -> Json {
+    let mut effective_ops = Json::obj();
+    for r in results {
+        // Archive replays and other synthetic rows have no op base.
+        if let Some(ops) = cfg.effective_ops(&r.run.name) {
+            effective_ops = effective_ops.field(&r.run.name, ops as u64);
+        }
+    }
     Json::obj()
         .field("schema_version", SCHEMA_VERSION)
         .field(
@@ -321,7 +338,8 @@ pub fn build(results: &[AppResult], cfg: &SuiteConfig, metrics: &MetricsSnapshot
             Json::obj()
                 .field("scale", cfg.scale)
                 .field("seed", cfg.seed)
-                .field("parallelism", cfg.parallelism as u64),
+                .field("parallelism", cfg.parallelism as u64)
+                .field("effective_ops", effective_ops),
         )
         .field("table1", table1(results))
         .field("fig3", fig3(results))
@@ -341,6 +359,7 @@ pub fn build(results: &[AppResult], cfg: &SuiteConfig, metrics: &MetricsSnapshot
         .field("totals", totals(results))
         .field("metrics", metrics_json(metrics))
         .field("violations", Json::Null)
+        .field("crash", Json::Null)
 }
 
 /// The keys of the *deterministic* sections of the report: everything
@@ -377,9 +396,9 @@ pub fn deterministic_subset(doc: &Json) -> Json {
     out
 }
 
-/// The top-level keys every version-2 document carries, in order —
+/// The top-level keys every version-3 document carries, in order —
 /// shared between [`build`], the tests, and CI validation.
-pub const REQUIRED_KEYS: [&str; 14] = [
+pub const REQUIRED_KEYS: [&str; 15] = [
     "schema_version",
     "config",
     "table1",
@@ -394,6 +413,7 @@ pub const REQUIRED_KEYS: [&str; 14] = [
     "totals",
     "metrics",
     "violations",
+    "crash",
 ];
 
 #[cfg(test)]
@@ -420,12 +440,25 @@ mod tests {
         assert_eq!(again, parsed);
         assert_eq!(
             parsed.get("schema_version").and_then(Json::as_f64),
-            Some(2.0)
+            Some(3.0)
         );
         assert_eq!(
             doc.get("violations"),
             Some(&Json::Null),
             "unchecked runs carry violations: null"
+        );
+        assert_eq!(
+            doc.get("crash"),
+            Some(&Json::Null),
+            "non-campaign runs carry crash: null"
+        );
+        assert_eq!(
+            doc.get("config")
+                .and_then(|c| c.get("effective_ops"))
+                .and_then(|e| e.get("nfs"))
+                .and_then(Json::as_f64),
+            Some(32.0),
+            "nfs base 4000 at scale 0.008 = 32 effective ops"
         );
         assert_eq!(
             parsed
@@ -454,9 +487,11 @@ mod tests {
         let v = doc.get("violations").expect("violations present");
         assert_eq!(v.get("checked_apps").and_then(Json::as_f64), Some(1.0));
         assert!(v.get("apps").and_then(|a| a.as_arr()).is_some());
-        // The deterministic subset ignores checking entirely, so the
-        // golden gate is unaffected by --check.
+        // The deterministic subset ignores checking and crash sweeps
+        // entirely, so the golden gate is unaffected by --check/--crash.
         assert!(deterministic_subset(&doc).get("violations").is_none());
+        assert!(deterministic_subset(&doc).get("crash").is_none());
+        assert!(deterministic_subset(&doc).get("config").is_none());
     }
 
     #[test]

@@ -38,6 +38,7 @@
 
 pub mod apps;
 pub mod check;
+pub mod crashtest;
 pub mod json_report;
 pub mod region;
 pub mod report;

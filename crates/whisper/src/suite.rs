@@ -13,7 +13,7 @@ use pmtrace::analysis::{
     self, AmplificationReport, Analyzer, DepStats, EpochSizeHistogram, TxStats,
 };
 use pmtrace::Event;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// The eleven Table 1 rows (ten applications; N-store contributes two
@@ -30,6 +30,23 @@ pub const APP_NAMES: [&str; 11] = [
     "nfs",
     "exim",
     "mysql",
+];
+
+/// Base (scale 1.0) operation counts per Table 1 row — the single
+/// source [`run_app`] scales and the JSON report echoes back as
+/// `config.effective_ops`.
+pub const OP_BASES: [(&str, usize); 11] = [
+    ("echo", 20_000),
+    ("nstore-ycsb", 16_000),
+    ("nstore-tpcc", 3_000),
+    ("redis", 20_000),
+    ("ctree", 16_000),
+    ("hashmap", 16_000),
+    ("vacation", 10_000),
+    ("memcached", 20_000),
+    ("nfs", 4_000),
+    ("exim", 400),
+    ("mysql", 1_500),
 ];
 
 /// The six applications the paper runs under gem5 for Figures 6 and 10.
@@ -79,9 +96,36 @@ impl SuiteConfig {
     }
 
     fn ops(&self, base: usize) -> usize {
-        ((base as f64 * self.scale) as usize).max(20)
+        let requested = (base as f64 * self.scale) as usize;
+        if requested < MIN_OPS && !OPS_FLOOR_WARNED.swap(true, Ordering::Relaxed) {
+            pmobs::warn!(
+                "scale {} floors op counts at {MIN_OPS} (requested {requested} \
+                 of base {base}); reported rates use the floored count",
+                self.scale
+            );
+        }
+        requested.max(MIN_OPS)
+    }
+
+    /// The operation count [`run_app`] actually runs for `name` at this
+    /// scale — the [`OP_BASES`] base scaled and clamped to the
+    /// [`MIN_OPS`] floor. `None` for names outside [`APP_NAMES`].
+    pub fn effective_ops(&self, name: &str) -> Option<usize> {
+        OP_BASES
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, base)| self.ops(*base))
     }
 }
+
+/// Floor under every scaled op count: a workload below this never
+/// exercises its steady state, so tiny `--scale` values clamp here (and
+/// warn once — the reported rates then describe the floored count, not
+/// the requested one).
+pub const MIN_OPS: usize = 20;
+
+/// One-shot latch for the op-count floor warning.
+static OPS_FLOOR_WARNED: AtomicBool = AtomicBool::new(false);
 
 /// One suite worker per available core (1 if the count is unknown).
 pub fn default_parallelism() -> usize {
@@ -180,30 +224,33 @@ pub fn run_app(name: &str, cfg: &SuiteConfig) -> AppResult {
     // simulated duration goes to the deterministic `sim.*` namespace.
     let _span = pmobs::span!("suite.run", name);
     let seed = cfg.seed;
+    let ops = cfg
+        .effective_ops(name)
+        .unwrap_or_else(|| panic!("unknown application {name:?}; expected one of {APP_NAMES:?}"));
     let run = match name {
-        "echo" => apps::echo::run(cfg.ops(20_000), seed),
-        "nstore-ycsb" => apps::nstore::run_ycsb(cfg.ops(16_000), seed),
-        "nstore-tpcc" => apps::nstore::run_tpcc(cfg.ops(3_000), seed),
-        "redis" => apps::redis::run(cfg.ops(20_000), seed),
-        "ctree" => apps::ctree(cfg.ops(16_000), seed),
-        "hashmap" => apps::hashmap(cfg.ops(16_000), seed),
-        "vacation" => apps::vacation::run(cfg.ops(10_000), seed),
-        "memcached" => apps::memcached::run(cfg.ops(20_000), seed),
-        "nfs" => apps::nfs(cfg.ops(4_000), seed),
-        "exim" => apps::exim(cfg.ops(400), seed),
-        "mysql" => apps::mysql(cfg.ops(1_500), seed),
-        other => panic!("unknown application {other:?}; expected one of {APP_NAMES:?}"),
+        "echo" => apps::echo::run(ops, seed),
+        "nstore-ycsb" => apps::nstore::run_ycsb(ops, seed),
+        "nstore-tpcc" => apps::nstore::run_tpcc(ops, seed),
+        "redis" => apps::redis::run(ops, seed),
+        "ctree" => apps::ctree(ops, seed),
+        "hashmap" => apps::hashmap(ops, seed),
+        "vacation" => apps::vacation::run(ops, seed),
+        "memcached" => apps::memcached::run(ops, seed),
+        "nfs" => apps::nfs(ops, seed),
+        "exim" => apps::exim(ops, seed),
+        "mysql" => apps::mysql(ops, seed),
+        _ => unreachable!("effective_ops covers exactly APP_NAMES"),
     };
     let mut analysis = analyze(&run);
     analysis.fig10 = if SIM_APPS.contains(&name) {
-        let sim_ops = |base: usize| cfg.ops(base) / 2;
+        let sim_ops = ops / 2;
         let sim = match name {
-            "echo" => apps::echo::run_unpaced(sim_ops(20_000), seed),
-            "nstore-ycsb" => apps::nstore::run_ycsb_unpaced(sim_ops(16_000), seed),
-            "redis" => apps::redis::run_unpaced(sim_ops(20_000), seed),
-            "ctree" => apps::micro::ctree_unpaced(sim_ops(16_000), seed),
-            "hashmap" => apps::micro::hashmap_unpaced(sim_ops(16_000), seed),
-            "vacation" => apps::vacation::run_unpaced(sim_ops(10_000), seed),
+            "echo" => apps::echo::run_unpaced(sim_ops, seed),
+            "nstore-ycsb" => apps::nstore::run_ycsb_unpaced(sim_ops, seed),
+            "redis" => apps::redis::run_unpaced(sim_ops, seed),
+            "ctree" => apps::micro::ctree_unpaced(sim_ops, seed),
+            "hashmap" => apps::micro::hashmap_unpaced(sim_ops, seed),
+            "vacation" => apps::vacation::run_unpaced(sim_ops, seed),
             _ => unreachable!("SIM_APPS covered above"),
         };
         fig10_for(&sim.events)
@@ -302,6 +349,19 @@ mod tests {
     #[should_panic(expected = "unknown application")]
     fn unknown_app_panics() {
         run_app("nope", &SuiteConfig::quick());
+    }
+
+    #[test]
+    fn effective_ops_matches_bases_and_floors() {
+        let cfg = test_cfg(1.0, 1);
+        assert_eq!(cfg.effective_ops("echo"), Some(20_000));
+        assert_eq!(cfg.effective_ops("nope"), None);
+        let tiny = test_cfg(0.000_01, 1);
+        for name in APP_NAMES {
+            assert_eq!(tiny.effective_ops(name), Some(MIN_OPS), "{name}");
+        }
+        // OP_BASES enumerates exactly the Table 1 rows, in order.
+        assert!(OP_BASES.iter().map(|(n, _)| *n).eq(APP_NAMES));
     }
 
     #[test]
