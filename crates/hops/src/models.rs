@@ -98,24 +98,34 @@ fn pipelined(n: u64, unit: u64) -> u64 {
     }
 }
 
-/// Replay a recorded trace under `model`.
+/// Incremental trace replay under one persistence model.
 ///
-/// `events` must be the time-ordered stream from one application run on
-/// the `memsim` machine (whose charging formulas this function inverts
-/// to recover volatile time).
-pub fn replay(
-    events: &[Event],
-    cfg: &TimingConfig,
-    hops_cfg: &HopsConfig,
+/// [`replay`] prices a whole trace in one call; the serving engine
+/// instead needs the clock *between* request boundaries, so the replay
+/// state is exposed as a stepping cursor: feed events in trace order
+/// with [`step`](Replayer::step), sample the running makespan with
+/// [`makespan_ns`](Replayer::makespan_ns) at each boundary, and
+/// [`finish`](Replayer::finish) into the usual [`RuntimeReport`].
+/// Stepping a full trace is charge-for-charge identical to [`replay`].
+#[derive(Debug, Clone)]
+pub struct Replayer {
     model: PersistModel,
-) -> RuntimeReport {
-    pmobs::count!("hops.replay_events", events.len() as u64);
-    let mut threads: FxHashMap<Tid, ThreadReplay> = FxHashMap::default();
-    // Background drain rate: within an epoch, writes flush
-    // "concurrently to the MCs", so the per-line unit is the persist
-    // latency spread over the controllers and their queue depth.
-    let drain_unit = |model: PersistModel| {
-        match model {
+    cfg: TimingConfig,
+    pb_entries: u64,
+    /// Background drain rate: within an epoch, writes flush
+    /// "concurrently to the MCs", so the per-line unit is the persist
+    /// latency spread over the controllers and their queue depth.
+    drain_unit: u64,
+    /// A dfence waits at least for its final epoch's ACK at the
+    /// durability point.
+    dfence_floor: u64,
+    threads: FxHashMap<Tid, ThreadReplay>,
+}
+
+impl Replayer {
+    /// A fresh cursor at simulated time zero.
+    pub fn new(cfg: &TimingConfig, hops_cfg: &HopsConfig, model: PersistModel) -> Replayer {
+        let drain_unit = match model {
             PersistModel::HopsNvm | PersistModel::X86Nvm => {
                 cfg.pm_write_ns / (cfg.mem_controllers * 4)
             }
@@ -124,18 +134,27 @@ pub fn replay(
             }
             PersistModel::Ideal => 1,
         }
-        .max(1)
-    };
-    // A dfence waits at least for its final epoch's ACK at the
-    // durability point.
-    let dfence_floor = |model: PersistModel| match model {
-        PersistModel::HopsNvm => cfg.pm_write_ns,
-        PersistModel::HopsPwq => cfg.pwq_ack_ns,
-        _ => 0,
-    };
+        .max(1);
+        let dfence_floor = match model {
+            PersistModel::HopsNvm => cfg.pm_write_ns,
+            PersistModel::HopsPwq => cfg.pwq_ack_ns,
+            _ => 0,
+        };
+        Replayer {
+            model,
+            cfg: *cfg,
+            pb_entries: hops_cfg.pb_entries as u64,
+            drain_unit,
+            dfence_floor,
+            threads: FxHashMap::default(),
+        }
+    }
 
-    for ev in events {
-        let t = threads.entry(ev.tid).or_default();
+    /// Price one event. Events must arrive in trace (time) order.
+    pub fn step(&mut self, ev: &Event) {
+        let model = self.model;
+        let cfg = &self.cfg;
+        let t = self.threads.entry(ev.tid).or_default();
         // Volatile time since this thread's previous event, minus what
         // the recording machine charged for persistence then (the
         // subtraction happens implicitly: recording charges are added
@@ -198,7 +217,7 @@ pub fn replay(
                             // Drain whatever background flushing has
                             // not yet retired, plus the final epoch's
                             // ACK round trip.
-                            let wait = t.pb_outstanding * drain_unit(model) + dfence_floor(model);
+                            let wait = t.pb_outstanding * self.drain_unit + self.dfence_floor;
                             t.pb_outstanding = 0;
                             cfg.ofence_ns + wait
                         } else {
@@ -222,29 +241,59 @@ pub fn replay(
         // execution ("moving most flushes from the foreground to the
         // background").
         if matches!(model, PersistModel::HopsNvm | PersistModel::HopsPwq) && t.pb_outstanding > 0 {
-            let drained = volatile / drain_unit(model);
+            let drained = volatile / self.drain_unit;
             t.pb_outstanding = t.pb_outstanding.saturating_sub(drained);
             // A full PB stalls the thread, but only long enough for
             // the overflow to retire — not a drain to empty.
-            if t.pb_outstanding > hops_cfg.pb_entries as u64 {
-                let excess = t.pb_outstanding - hops_cfg.pb_entries as u64;
-                t.clock_ns += excess * drain_unit(model);
-                t.pb_outstanding = hops_cfg.pb_entries as u64;
+            if t.pb_outstanding > self.pb_entries {
+                let excess = t.pb_outstanding - self.pb_entries;
+                t.clock_ns += excess * self.drain_unit;
+                t.pb_outstanding = self.pb_entries;
             }
         }
 
         t.clock_ns += volatile + model_charge;
     }
 
-    let mut tids: Vec<Tid> = threads.keys().copied().collect();
-    tids.sort_unstable();
-    let per_thread_ns: Vec<u64> = tids.iter().map(|t| threads[t].clock_ns).collect();
-    let runtime_ns = per_thread_ns.iter().copied().max().unwrap_or(0);
-    RuntimeReport {
-        model,
-        per_thread_ns,
-        runtime_ns,
+    /// The running makespan: the slowest thread's accumulated clock.
+    /// Sampling this between [`step`](Replayer::step) calls is how the
+    /// serving engine turns a trace into per-request service times.
+    pub fn makespan_ns(&self) -> u64 {
+        self.threads.values().map(|t| t.clock_ns).max().unwrap_or(0)
     }
+
+    /// Consume the cursor into a [`RuntimeReport`] (threads in
+    /// ascending-tid order, like [`replay`]).
+    pub fn finish(self) -> RuntimeReport {
+        let mut tids: Vec<Tid> = self.threads.keys().copied().collect();
+        tids.sort_unstable();
+        let per_thread_ns: Vec<u64> = tids.iter().map(|t| self.threads[t].clock_ns).collect();
+        let runtime_ns = per_thread_ns.iter().copied().max().unwrap_or(0);
+        RuntimeReport {
+            model: self.model,
+            per_thread_ns,
+            runtime_ns,
+        }
+    }
+}
+
+/// Replay a recorded trace under `model`.
+///
+/// `events` must be the time-ordered stream from one application run on
+/// the `memsim` machine (whose charging formulas this function inverts
+/// to recover volatile time).
+pub fn replay(
+    events: &[Event],
+    cfg: &TimingConfig,
+    hops_cfg: &HopsConfig,
+    model: PersistModel,
+) -> RuntimeReport {
+    pmobs::count!("hops.replay_events", events.len() as u64);
+    let mut r = Replayer::new(cfg, hops_cfg, model);
+    for ev in events {
+        r.step(ev);
+    }
+    r.finish()
 }
 
 /// Replay a trace under Delegated Persist Ordering, the concurrent
@@ -437,6 +486,30 @@ mod tests {
         let dpo = replay_dpo(&events, &cfg, &h).runtime_ns;
         assert!(dpo >= hops, "DPO serializes what HOPS overlaps");
         assert!(dpo < x86, "DPO still beats explicit flushing");
+    }
+
+    #[test]
+    fn stepping_replayer_matches_batch_replay() {
+        // The incremental cursor is the same pricing engine; stepping a
+        // whole trace must reproduce replay() exactly, for every model,
+        // and its sampled makespan must be monotone along the trace.
+        let events = synth_trace(500, 300);
+        let cfg = TimingConfig::default();
+        let h = HopsConfig::default();
+        for model in PersistModel::ALL {
+            let batch = replay(&events, &cfg, &h, model);
+            let mut r = Replayer::new(&cfg, &h, model);
+            let mut last = 0;
+            for ev in &events {
+                r.step(ev);
+                let now = r.makespan_ns();
+                assert!(now >= last, "{model}: makespan went backwards");
+                last = now;
+            }
+            assert_eq!(r.makespan_ns(), batch.runtime_ns, "{model}");
+            let stepped = r.finish();
+            assert_eq!(stepped, batch, "{model}");
+        }
     }
 
     #[test]

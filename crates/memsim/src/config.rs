@@ -2,6 +2,16 @@
 
 use pmem::AddressMap;
 
+/// Simulated core clock in Hz (4 GHz, 0.25 ns per cycle — the rate at
+/// which [`Latency`] expresses Table 3's cycle counts as nanoseconds).
+/// Everything on the `sim.*` clock domain, including the serving
+/// engine's offered-load ↔ interarrival conversions, uses this rate.
+pub const SIM_CLOCK_HZ: u64 = 4_000_000_000;
+
+/// Nanoseconds per second on the simulated clock — the conversion
+/// factor between request rates (req/s) and interarrival gaps (ns).
+pub const SIM_NS_PER_SEC: u64 = 1_000_000_000;
+
 /// Operation latencies in simulated nanoseconds.
 ///
 /// The paper's gem5 system (Table 3) runs 4-core 2 GHz x86 with 40-cycle

@@ -55,7 +55,7 @@ mod stats;
 mod wcb;
 mod writer;
 
-pub use config::{Latency, MachineConfig};
+pub use config::{Latency, MachineConfig, SIM_CLOCK_HZ, SIM_NS_PER_SEC};
 pub use crash::{CrashCounter, CrashPlan, CrashSpec, CrashState};
 pub use machine::Machine;
 pub use stats::MemStats;

@@ -82,9 +82,11 @@ impl PBTree {
 
     /// Number of keys (sums the per-thread count shards).
     pub fn len(&self, m: &mut Machine, tid: Tid) -> u64 {
+        // Shards hold signed deltas (a cross-thread remove drives a
+        // shard negative); the non-negative total is exact modulo 2^64.
         (0..COUNT_SHARDS)
             .map(|s| m.load_u64(tid, self.base + 64 + s * 64))
-            .sum()
+            .fold(0u64, u64::wrapping_add)
     }
 
     /// Whether the tree is empty.
@@ -105,7 +107,7 @@ impl PBTree {
             m,
             tid,
             shard,
-            n.checked_add_signed(delta).expect("count"),
+            n.wrapping_add_signed(delta),
             Category::AppMeta,
         )?;
         Ok(())

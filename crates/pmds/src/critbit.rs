@@ -74,9 +74,13 @@ impl CritBitTree {
 
     /// Number of keys (sums the per-thread count shards).
     pub fn len(&self, m: &mut Machine, tid: Tid) -> u64 {
+        // Each shard holds a signed (two's-complement) delta: a thread
+        // that removes a key another thread inserted drives its own
+        // shard negative. Only the total is non-negative, and summing
+        // modulo 2^64 recovers it exactly.
         (0..COUNT_SHARDS)
             .map(|s| m.load_u64(tid, self.base + 64 + s * 64))
-            .sum()
+            .fold(0u64, u64::wrapping_add)
     }
 
     /// Whether the tree is empty.
@@ -307,7 +311,7 @@ impl CritBitTree {
             m,
             tid,
             shard,
-            n.checked_add_signed(delta).expect("count in range"),
+            n.wrapping_add_signed(delta),
             Category::AppMeta,
         )?;
         Ok(())
@@ -415,6 +419,34 @@ mod tests {
         });
         assert_eq!(fx.tree.get(&mut fx.m, &mut fx.eng, TID, b"k"), Some(2));
         assert_eq!(fx.tree.len(&mut fx.m, TID), 1);
+    }
+
+    #[test]
+    fn remove_on_a_different_thread_keeps_len_exact() {
+        // Count shards are picked by tid: when thread 1 removes keys
+        // thread 0 inserted, shard 1 goes negative (mod 2^64) while
+        // shard 0 stays positive. The total must still come out right
+        // instead of tripping an underflow check.
+        let mut fx = setup();
+        let t0 = Tid(0);
+        let t1 = Tid(1);
+        for k in [b"a".as_slice(), b"b", b"c"] {
+            fx.eng.begin(&mut fx.m, t0).unwrap();
+            fx.tree
+                .insert(&mut fx.m, &mut fx.eng, t0, &mut fx.alloc, k, 1)
+                .unwrap();
+            fx.eng.commit(&mut fx.m, t0).unwrap();
+        }
+        for k in [b"a".as_slice(), b"b"] {
+            fx.eng.begin(&mut fx.m, t1).unwrap();
+            assert!(fx
+                .tree
+                .remove(&mut fx.m, &mut fx.eng, t1, &mut fx.alloc, k)
+                .unwrap());
+            fx.eng.commit(&mut fx.m, t1).unwrap();
+        }
+        assert_eq!(fx.tree.len(&mut fx.m, t0), 1);
+        assert_eq!(fx.tree.get(&mut fx.m, &mut fx.eng, t0, b"c"), Some(1));
     }
 
     #[test]

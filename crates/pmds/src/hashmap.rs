@@ -87,9 +87,11 @@ impl PHashMap {
 
     /// Number of entries (sums the per-thread count shards).
     pub fn len(&self, m: &mut Machine, tid: Tid) -> u64 {
+        // Shards hold signed deltas (a cross-thread remove drives a
+        // shard negative); the non-negative total is exact modulo 2^64.
         (0..COUNT_SHARDS)
             .map(|s| m.load_u64(tid, self.head + SHARDS_OFF + s * 64))
-            .sum()
+            .fold(0u64, u64::wrapping_add)
     }
 
     fn bump_count<E: TxMem>(
@@ -105,7 +107,7 @@ impl PHashMap {
             m,
             tid,
             shard,
-            n.checked_add_signed(delta).expect("count"),
+            n.wrapping_add_signed(delta),
             Category::AppMeta,
         )?;
         Ok(())

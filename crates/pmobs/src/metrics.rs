@@ -113,8 +113,9 @@ pub fn bucket_bounds(i: usize) -> (u64, u64) {
 }
 
 /// A log2-scaled histogram: 65 buckets cover the whole `u64` range, so
-/// recording never clamps and never allocates. Relative error of any
-/// percentile estimate is bounded by the 2x bucket width.
+/// recording never clamps and never allocates. Percentile estimates
+/// interpolate by rank within a bucket, so their error is bounded by
+/// the occupied width of the bucket the rank lands in.
 #[derive(Debug)]
 pub struct Histogram {
     unit: Unit,
@@ -199,25 +200,48 @@ impl HistogramSnapshot {
         (self.count > 0).then(|| self.sum as f64 / self.count as f64)
     }
 
-    /// Approximate `p`-th percentile (`0.0..=100.0`): the upper bound
-    /// of the bucket containing the target rank, clamped to the
-    /// observed `[min, max]` — exact for distributions within one
-    /// bucket, at worst one bucket width (2x) high otherwise.
+    /// Approximate `p`-th percentile (`0.0..=100.0`): linear
+    /// interpolation by rank *within* the bucket containing the target
+    /// rank, with the bucket's value range clamped to the observed
+    /// `[min, max]` — exact for distributions within one bucket, at
+    /// worst off by the occupied width of one bucket otherwise. `p100`
+    /// is the observed maximum exactly.
+    ///
+    /// The old estimator returned the bucket's upper bound, which
+    /// inflated tail percentiles (p99/p999) by up to 2x bucket width:
+    /// a p99 landing in `[2^k, 2^(k+1))` always reported `2^(k+1)-1`
+    /// no matter where the rank actually fell.
     pub fn percentile(&self, p: f64) -> Option<u64> {
         if self.count == 0 {
             return None;
         }
         let p = p.clamp(0.0, 100.0);
         let rank = ((p / 100.0 * self.count as f64).ceil() as u64).max(1);
+        if rank >= self.count {
+            return self.max;
+        }
         let mut seen = 0;
         for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                let (_, high) = bucket_bounds(i);
-                let lo = self.min.unwrap_or(0);
-                let hi = self.max.unwrap_or(u64::MAX);
-                return Some(high.clamp(lo, hi));
+            if c == 0 {
+                continue;
             }
+            if seen + c >= rank {
+                // Clamp the bucket's nominal range to what was actually
+                // observed: the extreme buckets can only hold values
+                // between the recorded min and max.
+                let (blo, bhi) = bucket_bounds(i);
+                let lo = blo.max(self.min.unwrap_or(blo));
+                let hi = bhi.min(self.max.unwrap_or(bhi));
+                if hi <= lo {
+                    return Some(lo);
+                }
+                // rank_in ∈ 1..=c positions the estimate linearly
+                // across the occupied range (rank_in == c ⇒ hi).
+                let rank_in = rank - seen;
+                let est = lo as f64 + (hi - lo) as f64 * (rank_in as f64 / c as f64);
+                return Some(est.round() as u64);
+            }
+            seen += c;
         }
         self.max
     }
@@ -442,16 +466,55 @@ mod tests {
             h.record(v);
         }
         let s = h.snapshot();
-        // p10's rank is 10 → bucket [8,15] → reports 15: within 2x of
-        // the true value 10 and never below it.
-        assert_eq!(s.percentile(10.0), Some(15));
-        // The top percentile clamps to the observed max.
+        // p10's rank is 10 → bucket [8,15], rank 3 of 8 within it →
+        // interpolates to 11 (true value 10; the old upper-bound
+        // estimator reported 15).
+        assert_eq!(s.percentile(10.0), Some(11));
+        // Uniform data lands interpolation on the true rank values.
+        assert_eq!(s.percentile(50.0), Some(50));
+        assert_eq!(s.percentile(99.0), Some(99));
+        // The top percentile is the observed max exactly.
         assert_eq!(s.percentile(100.0), Some(100));
         // Empty histograms have no percentiles.
         assert_eq!(
             Histogram::new(Unit::Count).snapshot().percentile(50.0),
             None
         );
+    }
+
+    #[test]
+    fn tail_percentiles_not_inflated_by_bucket_upper_bound() {
+        // 1000 uniform latencies 1..=1000 ns: the p99/p999 ranks land
+        // mid-bucket in [512, 1023]. The old upper-bound estimator
+        // reported the bucket bound (1000 after the max clamp) for
+        // every rank in the bucket; rank interpolation recovers the
+        // true order statistics almost exactly.
+        let h = Histogram::new(Unit::Nanos);
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.percentile(99.0), Some(990));
+        // p99.9's rank rounds up to the top rank at this count, which
+        // reports the observed max — never past it.
+        assert_eq!(s.percentile(99.9), Some(1000));
+        assert_eq!(s.percentile(100.0), Some(1000));
+        // Merged snapshots estimate identically to a single histogram
+        // fed the union of values.
+        let a = Histogram::new(Unit::Nanos);
+        let b = Histogram::new(Unit::Nanos);
+        for v in 1..=1000u64 {
+            if v % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        for p in [50.0, 90.0, 99.0, 99.9, 100.0] {
+            assert_eq!(merged.percentile(p), s.percentile(p), "p{p}");
+        }
     }
 
     #[test]

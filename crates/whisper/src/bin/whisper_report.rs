@@ -4,8 +4,9 @@
 //! whisper-report [EXPERIMENT] [--scale X] [--seed N] [--apps a,b,c]
 //!                [--parallel N] [--timing] [--json PATH] [--json-det PATH]
 //!                [--check] [--check-json PATH] [--crash]
-//!                [--crash-json PATH] [--quiet]
-//!                [--dump-traces DIR] [--from-trace FILE]
+//!                [--crash-json PATH] [--serve] [--serve-json PATH]
+//!                [--serve-arrival paced|bursty] [--serve-shards N]
+//!                [--quiet] [--dump-traces DIR] [--from-trace FILE]
 //!
 //! EXPERIMENT: table1 | fig3 | fig4 | fig5 | fig6 | fig10 |
 //!             amplification | ntfraction | smallwrites |
@@ -39,8 +40,21 @@
 //! the campaign document to PATH (implies `--crash`). The campaign
 //! fans out over `--parallel` workers.
 //!
+//! `--serve` runs the open-loop serving engine (`whisper::serve`)
+//! after the suite run: each Table 1 app is calibrated across sharded
+//! machines, then swept across offered-load points under paced or
+//! bursty (deterministic-Poisson) arrivals, producing a throughput vs
+//! p50/p90/p99/p999 simulated-latency curve per persistence mechanism
+//! (clwb vs HOPS vs PWQ). The saturation table is appended to the text
+//! report and the JSON report's `serve` section is populated.
+//! `--serve-json PATH` additionally writes just the serve document to
+//! PATH (implies `--serve`); `--serve-arrival` picks the arrival
+//! process (default bursty) and `--serve-shards` the machines per app
+//! (default 4). The sweep fans out over `--parallel` workers; results
+//! are bit-identical whatever the worker count.
+//!
 //! `--json PATH` additionally writes the versioned machine-readable
-//! report (`whisper::json_report`, schema v3) to PATH and turns on
+//! report (`whisper::json_report`, schema v4) to PATH and turns on
 //! `pmobs` metric recording so the report's `metrics` block is
 //! populated. Stdout carries only the report text; all diagnostics go
 //! to stderr through the `pmobs` logger, and `--quiet` silences
@@ -60,6 +74,7 @@
 use std::time::Instant;
 use whisper::check::{self, AppCheck};
 use whisper::crashtest::{self, AppCrashReport, CampaignConfig};
+use whisper::serve::{self, AppServe, Arrival, ServeConfig};
 use whisper::suite::{analyze, run_apps, AppResult, SuiteConfig, APP_NAMES};
 use whisper::{json_report, report};
 
@@ -81,6 +96,10 @@ fn main() {
     let mut check_json_path: Option<String> = None;
     let mut crash_campaign = false;
     let mut crash_json_path: Option<String> = None;
+    let mut serve_sweep = false;
+    let mut serve_json_path: Option<String> = None;
+    let mut serve_arrival = Arrival::Bursty;
+    let mut serve_shards = 4usize;
     let mut timing = false;
 
     let mut i = 0;
@@ -128,6 +147,31 @@ fn main() {
                         .clone(),
                 );
             }
+            "--serve" => serve_sweep = true,
+            "--serve-json" => {
+                i += 1;
+                serve_sweep = true;
+                serve_json_path = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| die("--serve-json needs an output path"))
+                        .clone(),
+                );
+            }
+            "--serve-arrival" => {
+                i += 1;
+                serve_arrival = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--serve-arrival needs paced|bursty"));
+            }
+            "--serve-shards" => {
+                i += 1;
+                serve_shards = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n > 0)
+                    .unwrap_or_else(|| die("--serve-shards needs a positive count"));
+            }
             "--quiet" => pmobs::logger::set_level(pmobs::Level::Error),
             "--json" => {
                 i += 1;
@@ -172,7 +216,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: whisper-report [table1|fig3|fig4|fig5|fig6|fig10|amplification|ntfraction|smallwrites|all] [--scale X] [--seed N] [--apps a,b,c] [--parallel N] [--timing] [--json PATH] [--json-det PATH] [--check] [--check-json PATH] [--crash] [--crash-json PATH] [--quiet]"
+                    "usage: whisper-report [table1|fig3|fig4|fig5|fig6|fig10|amplification|ntfraction|smallwrites|all] [--scale X] [--seed N] [--apps a,b,c] [--parallel N] [--timing] [--json PATH] [--json-det PATH] [--check] [--check-json PATH] [--crash] [--crash-json PATH] [--serve] [--serve-json PATH] [--serve-arrival paced|bursty] [--serve-shards N] [--quiet]"
                 );
                 return;
             }
@@ -188,6 +232,13 @@ fn main() {
         }
     }
     let names: Vec<&str> = apps.iter().map(String::as_str).collect();
+
+    // Reject configurations up front rather than deep inside a worker:
+    // a scale that truncates any app to zero ops would silently report
+    // rates for work that never ran.
+    if let Err(msg) = cfg.validate() {
+        die(&msg);
+    }
 
     // Metric recording stays off unless a machine-readable report was
     // requested: instruments are provably non-perturbing, but the
@@ -218,6 +269,13 @@ fn main() {
         let results = vec![AppResult { run, analysis }];
         let checks = run_checks(check_traces, &check_json_path, &results);
         let crash = run_crash(crash_campaign, &crash_json_path, &cfg);
+        let served = run_serve_sweep(
+            serve_sweep,
+            &serve_json_path,
+            &cfg,
+            serve_shards,
+            serve_arrival,
+        );
         write_json_report(
             &json_path,
             &json_det_path,
@@ -225,6 +283,7 @@ fn main() {
             &cfg,
             checks.as_deref(),
             crash.as_ref(),
+            served.as_ref(),
         );
         println!("{}", report::all(&results));
         if let Some(checks) = &checks {
@@ -232,6 +291,9 @@ fn main() {
         }
         if let Some((reports, ccfg)) = &crash {
             print!("\n{}", crashtest::summary_table(reports, ccfg));
+        }
+        if let Some((reports, scfg)) = &served {
+            print!("\n{}", report::serve_table(reports, scfg.arrival));
         }
         if let Some(checks) = &checks {
             exit_if_check_failed(checks);
@@ -271,6 +333,13 @@ fn main() {
 
     let checks = run_checks(check_traces, &check_json_path, &results);
     let crash = run_crash(crash_campaign, &crash_json_path, &cfg);
+    let served = run_serve_sweep(
+        serve_sweep,
+        &serve_json_path,
+        &cfg,
+        serve_shards,
+        serve_arrival,
+    );
     write_json_report(
         &json_path,
         &json_det_path,
@@ -278,6 +347,7 @@ fn main() {
         &cfg,
         checks.as_deref(),
         crash.as_ref(),
+        served.as_ref(),
     );
 
     let text = match experiment.as_str() {
@@ -300,6 +370,9 @@ fn main() {
     }
     if let Some((reports, ccfg)) = &crash {
         print!("\n{}", crashtest::summary_table(reports, ccfg));
+    }
+    if let Some((reports, scfg)) = &served {
+        print!("\n{}", report::serve_table(reports, scfg.arrival));
     }
     if let Some(checks) = &checks {
         exit_if_check_failed(checks);
@@ -370,6 +443,40 @@ fn run_crash(
     Some((reports, ccfg))
 }
 
+/// `--serve`: sweep the open-loop serving engine across the suite,
+/// write the standalone serve document if `--serve-json` asked for
+/// one. The sweep reuses the suite's scale/seed and `--parallel`
+/// worker count; results never depend on the latter.
+fn run_serve_sweep(
+    enabled: bool,
+    serve_json_path: &Option<String>,
+    cfg: &SuiteConfig,
+    shards: usize,
+    arrival: Arrival,
+) -> Option<(Vec<AppServe>, ServeConfig)> {
+    if !enabled {
+        return None;
+    }
+    let _span = pmobs::span!("suite.serve");
+    let scfg = ServeConfig {
+        scale: cfg.scale,
+        seed: cfg.seed,
+        shards,
+        arrival,
+        parallelism: cfg.parallelism,
+    };
+    pmobs::info!("sweeping serving engine: {shards} shard(s), {arrival} arrivals...");
+    let started = Instant::now();
+    let reports = serve::run_serve(&scfg);
+    pmobs::info!("serving sweep finished in {:.2?}", started.elapsed());
+    if let Some(path) = serve_json_path {
+        std::fs::write(path, serve::serve_json(&reports, &scfg).to_pretty())
+            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        pmobs::info!("serve json written to {path}");
+    }
+    Some((reports, scfg))
+}
+
 /// The `--crash` gate: any recovery failure fails the run.
 fn exit_if_crash_failed(reports: &[AppCrashReport]) {
     let failures = crashtest::total_failures(reports);
@@ -379,7 +486,7 @@ fn exit_if_crash_failed(reports: &[AppCrashReport]) {
     }
 }
 
-/// Write the schema-v3 JSON document to `path` and/or its deterministic
+/// Write the schema-v4 JSON document to `path` and/or its deterministic
 /// subset to `det_path` (no-op without `--json`/`--json-det`).
 /// Snapshots the global pmobs registry last, so the full report
 /// includes everything the run recorded.
@@ -390,6 +497,7 @@ fn write_json_report(
     cfg: &SuiteConfig,
     checks: Option<&[AppCheck]>,
     crash: Option<&(Vec<AppCrashReport>, CampaignConfig)>,
+    served: Option<&(Vec<AppServe>, ServeConfig)>,
 ) {
     if path.is_none() && det_path.is_none() {
         return;
@@ -398,6 +506,9 @@ fn write_json_report(
     let mut doc = json_report::build_checked(results, cfg, &snap, checks);
     if let Some((reports, ccfg)) = crash {
         doc = doc.field("crash", crashtest::crash_json(reports, ccfg));
+    }
+    if let Some((reports, scfg)) = served {
+        doc = doc.field("serve", serve::serve_json(reports, scfg));
     }
     if let Some(path) = path {
         std::fs::write(path, doc.to_pretty())

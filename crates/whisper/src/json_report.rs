@@ -6,16 +6,17 @@
 //! the [`pmobs`] metrics registry. The encoder is
 //! [`pmobs::json`]; no external serialization crate is involved.
 //!
-//! # Schema (version 3)
+//! # Schema (version 4)
 //!
-//! Version 3 = version 2 plus the `crash` section (`null` unless the
-//! run swept the crash-injection campaign with `whisper-report
-//! --crash`) and `config.effective_ops` (the per-app operation counts
-//! after the [`crate::suite::SuiteConfig`] floor); every v2 key is
-//! byte-identical to v2. Version 2 = version 1 plus `violations`.
+//! Version 4 = version 3 plus the `serve` section (`null` unless the
+//! run swept the open-loop serving engine with `whisper-report
+//! --serve`) and `p999` in every metrics histogram; every v3 key is
+//! otherwise unchanged. Version 3 = version 2 plus the `crash` section
+//! and `config.effective_ops`. Version 2 = version 1 plus
+//! `violations`.
 //!
 //! ```text
-//! schema_version   u64     always 3 for this layout
+//! schema_version   u64     always 4 for this layout
 //! config           obj     {scale, seed, parallelism,
 //!                           effective_ops: {app: ops}}
 //! table1           arr     one obj per app, Table 1 order:
@@ -42,7 +43,7 @@
 //! metrics          obj     {counters, gauges, histograms} from the
 //!                          pmobs registry; histograms carry
 //!                          {unit, count, sum, min, max, mean,
-//!                           p50, p90, p99}. Empty objects when
+//!                           p50, p90, p99, p999}. Empty objects when
 //!                          recording was off.
 //! violations       obj?    pmcheck results (`crate::check`):
 //!                          {checked_apps, total_errors,
@@ -57,6 +58,20 @@
 //!                           apps: [{name, ops, fence_events, points,
 //!                           images, failures}]}. `null` when the run
 //!                          did not sweep the campaign.
+//! serve            obj?    open-loop serving sweep
+//!                          (`crate::serve::serve_json`):
+//!                          {shards, arrival, load_fractions, models,
+//!                           apps: [{name, shards, requests,
+//!                           offered_rps, curves: [{model,
+//!                           mean_service_ns, capacity_rps,
+//!                           points: [{offered_rps, achieved_rps,
+//!                           requests, p50_ns, p90_ns, p99_ns,
+//!                           p999_ns, mean_wait_ns}]}]}]}. All on the
+//!                          simulated clock — deterministic per
+//!                          (scale, seed, shards, arrival), but
+//!                          outside the golden deterministic subset,
+//!                          like `crash`. `null` when the run did not
+//!                          sweep the serving engine.
 //! ```
 //!
 //! Clock-domain rule (see `pmobs::span`): metric names under `sim.*`
@@ -73,7 +88,7 @@ use pmtrace::analysis::SIZE_BUCKET_LABELS;
 use pmtrace::Category;
 
 /// Version stamp of the report layout documented above.
-pub const SCHEMA_VERSION: u64 = 3;
+pub const SCHEMA_VERSION: u64 = 4;
 
 fn paper_row(name: &str) -> Option<&'static PaperRow> {
     PAPER.iter().find(|r| r.name == name)
@@ -280,6 +295,7 @@ fn histogram_json(h: &HistogramSnapshot) -> Json {
         .field("p50", h.percentile(50.0))
         .field("p90", h.percentile(90.0))
         .field("p99", h.percentile(99.0))
+        .field("p999", h.percentile(99.9))
 }
 
 /// Serialize a [`MetricsSnapshot`]; empty objects when nothing was
@@ -303,7 +319,7 @@ pub fn metrics_json(snap: &MetricsSnapshot) -> Json {
         .field("histograms", histograms)
 }
 
-/// Assemble the full schema-version-3 report document. `checks` is the
+/// Assemble the full schema-version-4 report document. `checks` is the
 /// per-app pmcheck outcome when the run was checked (`--check`); the
 /// `violations` key serializes as `null` otherwise.
 pub fn build_checked(
@@ -321,8 +337,8 @@ pub fn build_checked(
     )
 }
 
-/// Assemble the report document without `violations`/`crash` sections
-/// (the plain-run shape: both `null`).
+/// Assemble the report document without `violations`/`crash`/`serve`
+/// sections (the plain-run shape: all three `null`).
 pub fn build(results: &[AppResult], cfg: &SuiteConfig, metrics: &MetricsSnapshot) -> Json {
     let mut effective_ops = Json::obj();
     for r in results {
@@ -360,13 +376,16 @@ pub fn build(results: &[AppResult], cfg: &SuiteConfig, metrics: &MetricsSnapshot
         .field("metrics", metrics_json(metrics))
         .field("violations", Json::Null)
         .field("crash", Json::Null)
+        .field("serve", Json::Null)
 }
 
 /// The keys of the *deterministic* sections of the report: everything
 /// that depends only on `(scale, seed)` and therefore reproduces
 /// byte-for-byte across runs, hosts, and parallelism settings. Excluded
-/// are `config` (carries the host-dependent worker count) and `metrics`
-/// (host wall-clock histograms). The golden-report equivalence gate
+/// are `config` (carries the host-dependent worker count), `metrics`
+/// (host wall-clock histograms), and the optional `violations`/`crash`/
+/// `serve` sections (deterministic but sweep-dependent — they have
+/// their own gates). The golden-report equivalence gate
 /// (`tests/golden_report.rs`, CI) compares exactly these sections, so
 /// any hot-path change to the simulator that perturbs results is caught
 /// mechanically.
@@ -396,9 +415,9 @@ pub fn deterministic_subset(doc: &Json) -> Json {
     out
 }
 
-/// The top-level keys every version-3 document carries, in order —
+/// The top-level keys every version-4 document carries, in order —
 /// shared between [`build`], the tests, and CI validation.
-pub const REQUIRED_KEYS: [&str; 15] = [
+pub const REQUIRED_KEYS: [&str; 16] = [
     "schema_version",
     "config",
     "table1",
@@ -414,6 +433,7 @@ pub const REQUIRED_KEYS: [&str; 15] = [
     "metrics",
     "violations",
     "crash",
+    "serve",
 ];
 
 #[cfg(test)]
@@ -440,7 +460,7 @@ mod tests {
         assert_eq!(again, parsed);
         assert_eq!(
             parsed.get("schema_version").and_then(Json::as_f64),
-            Some(3.0)
+            Some(4.0)
         );
         assert_eq!(
             doc.get("violations"),
@@ -451,6 +471,11 @@ mod tests {
             doc.get("crash"),
             Some(&Json::Null),
             "non-campaign runs carry crash: null"
+        );
+        assert_eq!(
+            doc.get("serve"),
+            Some(&Json::Null),
+            "non-serving runs carry serve: null"
         );
         assert_eq!(
             doc.get("config")
@@ -491,6 +516,7 @@ mod tests {
         // entirely, so the golden gate is unaffected by --check/--crash.
         assert!(deterministic_subset(&doc).get("violations").is_none());
         assert!(deterministic_subset(&doc).get("crash").is_none());
+        assert!(deterministic_subset(&doc).get("serve").is_none());
         assert!(deterministic_subset(&doc).get("config").is_none());
     }
 

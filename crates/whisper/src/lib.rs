@@ -42,5 +42,6 @@ pub mod crashtest;
 pub mod json_report;
 pub mod region;
 pub mod report;
+pub mod serve;
 pub mod suite;
 pub mod workloads;

@@ -581,6 +581,42 @@ pub fn consequences(results: &[AppResult]) -> String {
     out
 }
 
+/// Saturation-curve table for the open-loop serving sweep
+/// (`whisper-report --serve`): per app and persistence mechanism, one
+/// row per offered-load point with achieved throughput and the
+/// simulated-latency tail.
+pub fn serve_table(reports: &[crate::serve::AppServe], arrival: crate::serve::Arrival) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Serving sweep — open-loop {arrival} arrivals, latency in simulated ns"
+    );
+    let _ = writeln!(
+        out,
+        "{:<14}{:<16}{:>12}{:>12}{:>10}{:>10}{:>12}{:>12}",
+        "benchmark", "mechanism", "offered/s", "achieved/s", "p50", "p90", "p99", "p999"
+    );
+    for r in reports {
+        for c in &r.curves {
+            for p in &c.points {
+                let _ = writeln!(
+                    out,
+                    "{:<14}{:<16}{:>12.0}{:>12.0}{:>10}{:>10}{:>12}{:>12}",
+                    r.name,
+                    c.model.to_string(),
+                    p.offered_rps,
+                    p.achieved_rps,
+                    p.p50_ns,
+                    p.p90_ns,
+                    p.p99_ns,
+                    p.p999_ns
+                );
+            }
+        }
+    }
+    out
+}
+
 /// Every report, concatenated.
 pub fn all(results: &[AppResult]) -> String {
     [

@@ -97,6 +97,13 @@ impl SuiteConfig {
 
     fn ops(&self, base: usize) -> usize {
         let requested = (base as f64 * self.scale) as usize;
+        assert!(
+            requested > 0,
+            "scale {} yields 0 effective ops for base {base}; \
+             the smallest usable scale is {} (1 op of the smallest base)",
+            self.scale,
+            1.0 / MIN_OP_BASE as f64
+        );
         if requested < MIN_OPS && !OPS_FLOOR_WARNED.swap(true, Ordering::Relaxed) {
             pmobs::warn!(
                 "scale {} floors op counts at {MIN_OPS} (requested {requested} \
@@ -105,6 +112,24 @@ impl SuiteConfig {
             );
         }
         requested.max(MIN_OPS)
+    }
+
+    /// Reject configurations under which any Table 1 row would scale to
+    /// zero effective operations. A zero-op run would silently report
+    /// rates for work that never happened, so this is a hard config
+    /// error (the CLI maps it to exit code 2) rather than a warning.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, base) in OP_BASES {
+            if (base as f64 * self.scale) as usize == 0 {
+                return Err(format!(
+                    "--scale {} yields 0 effective ops for {name} (base {base}); \
+                     use at least {} so every app runs ≥ 1 op",
+                    self.scale,
+                    1.0 / MIN_OP_BASE as f64
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// The operation count [`run_app`] actually runs for `name` at this
@@ -121,8 +146,13 @@ impl SuiteConfig {
 /// Floor under every scaled op count: a workload below this never
 /// exercises its steady state, so tiny `--scale` values clamp here (and
 /// warn once — the reported rates then describe the floored count, not
-/// the requested one).
+/// the requested one). Scales that truncate to **zero** ops are a hard
+/// error instead — see [`SuiteConfig::validate`].
 pub const MIN_OPS: usize = 20;
+
+/// The smallest base in [`OP_BASES`] (exim); `1 / MIN_OP_BASE` is the
+/// smallest scale at which every app still runs at least one op.
+pub const MIN_OP_BASE: usize = 400;
 
 /// One-shot latch for the op-count floor warning.
 static OPS_FLOOR_WARNED: AtomicBool = AtomicBool::new(false);
@@ -227,20 +257,7 @@ pub fn run_app(name: &str, cfg: &SuiteConfig) -> AppResult {
     let ops = cfg
         .effective_ops(name)
         .unwrap_or_else(|| panic!("unknown application {name:?}; expected one of {APP_NAMES:?}"));
-    let run = match name {
-        "echo" => apps::echo::run(ops, seed),
-        "nstore-ycsb" => apps::nstore::run_ycsb(ops, seed),
-        "nstore-tpcc" => apps::nstore::run_tpcc(ops, seed),
-        "redis" => apps::redis::run(ops, seed),
-        "ctree" => apps::ctree(ops, seed),
-        "hashmap" => apps::hashmap(ops, seed),
-        "vacation" => apps::vacation::run(ops, seed),
-        "memcached" => apps::memcached::run(ops, seed),
-        "nfs" => apps::nfs(ops, seed),
-        "exim" => apps::exim(ops, seed),
-        "mysql" => apps::mysql(ops, seed),
-        _ => unreachable!("effective_ops covers exactly APP_NAMES"),
-    };
+    let run = run_named(name, ops, seed);
     let mut analysis = analyze(&run);
     analysis.fig10 = if SIM_APPS.contains(&name) {
         let sim_ops = ops / 2;
@@ -264,6 +281,31 @@ pub fn run_app(name: &str, cfg: &SuiteConfig) -> AppResult {
     AppResult { run, analysis }
 }
 
+/// Run one application by Table 1 name with an explicit op count and
+/// seed, without analysis. This is the raw dispatch table [`run_app`]
+/// is built on; the serving engine uses it directly to calibrate
+/// per-shard service times from independently seeded runs.
+///
+/// # Panics
+///
+/// Panics on an unknown name; the valid names are [`APP_NAMES`].
+pub fn run_named(name: &str, ops: usize, seed: u64) -> AppRun {
+    match name {
+        "echo" => apps::echo::run(ops, seed),
+        "nstore-ycsb" => apps::nstore::run_ycsb(ops, seed),
+        "nstore-tpcc" => apps::nstore::run_tpcc(ops, seed),
+        "redis" => apps::redis::run(ops, seed),
+        "ctree" => apps::ctree(ops, seed),
+        "hashmap" => apps::hashmap(ops, seed),
+        "vacation" => apps::vacation::run(ops, seed),
+        "memcached" => apps::memcached::run(ops, seed),
+        "nfs" => apps::nfs(ops, seed),
+        "exim" => apps::exim(ops, seed),
+        "mysql" => apps::mysql(ops, seed),
+        _ => panic!("unknown application {name:?}; expected one of {APP_NAMES:?}"),
+    }
+}
+
 /// Run the whole suite in Table 1 order, fanned out across
 /// `cfg.parallelism` scoped worker threads (serially when it is 1).
 pub fn run_suite(cfg: &SuiteConfig) -> Vec<AppResult> {
@@ -280,13 +322,16 @@ pub fn run_suite(cfg: &SuiteConfig) -> Vec<AppResult> {
 pub fn run_apps(names: &[&str], cfg: &SuiteConfig) -> Vec<AppResult> {
     let workers = cfg.parallelism.clamp(1, names.len().max(1));
     // Queue wait = time from suite dispatch until a worker claims the
-    // app; host wall-clock, so only sampled when recording is on.
-    let dispatched = pmobs::enabled().then(std::time::Instant::now);
+    // app; host wall-clock, so only sampled when recording is on. The
+    // per-app histograms are resolved once here — the claim loop is the
+    // dispatch hot path and must not allocate registry names per claim.
+    let waits = QueueWaits::register(names);
     if workers == 1 {
         return names
             .iter()
-            .map(|n| {
-                note_queue_wait(n, dispatched);
+            .enumerate()
+            .map(|(i, n)| {
+                waits.note(i);
                 run_app(n, cfg)
             })
             .collect();
@@ -299,7 +344,7 @@ pub fn run_apps(names: &[&str], cfg: &SuiteConfig) -> Vec<AppResult> {
             s.spawn(|| loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(name) = names.get(i) else { break };
-                note_queue_wait(name, dispatched);
+                waits.note(i);
                 let result = run_app(name, cfg);
                 finished.lock().unwrap().push((i, result));
             });
@@ -311,14 +356,37 @@ pub fn run_apps(names: &[&str], cfg: &SuiteConfig) -> Vec<AppResult> {
     slots.into_iter().map(|(_, r)| r).collect()
 }
 
-/// Record how long `name` sat queued before a worker picked it up.
-/// `dispatched` is `None` when recording was off at dispatch time.
-fn note_queue_wait(name: &str, dispatched: Option<std::time::Instant>) {
-    if let Some(t0) = dispatched {
-        let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        pmobs::global()
-            .histogram(&format!("suite.queue_wait_ns/{name}"), pmobs::Unit::Nanos)
-            .record(ns);
+/// Pre-registered `suite.queue_wait_ns/<app>` histograms, resolved once
+/// at dispatch so workers record by index without per-claim `format!`
+/// or registry lookups. Empty (and free) when recording is off.
+struct QueueWaits {
+    dispatched: Option<std::time::Instant>,
+    hists: Vec<std::sync::Arc<pmobs::Histogram>>,
+}
+
+impl QueueWaits {
+    fn register(names: &[&str]) -> QueueWaits {
+        let dispatched = pmobs::enabled().then(std::time::Instant::now);
+        let hists = if dispatched.is_some() {
+            names
+                .iter()
+                .map(|n| {
+                    pmobs::global()
+                        .histogram(&format!("suite.queue_wait_ns/{n}"), pmobs::Unit::Nanos)
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        QueueWaits { dispatched, hists }
+    }
+
+    /// Record how long app `i` sat queued before a worker claimed it.
+    fn note(&self, i: usize) {
+        if let Some(t0) = self.dispatched {
+            let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.hists[i].record(ns);
+        }
     }
 }
 
@@ -356,12 +424,34 @@ mod tests {
         let cfg = test_cfg(1.0, 1);
         assert_eq!(cfg.effective_ops("echo"), Some(20_000));
         assert_eq!(cfg.effective_ops("nope"), None);
-        let tiny = test_cfg(0.000_01, 1);
-        for name in APP_NAMES {
+        // The smallest valid scale: every app runs ≥ 1 op, and the
+        // small-base apps floor up to MIN_OPS.
+        let tiny = test_cfg(1.0 / MIN_OP_BASE as f64, 1);
+        tiny.validate().expect("smallest valid scale validates");
+        for name in ["exim", "mysql", "nstore-tpcc", "nfs"] {
             assert_eq!(tiny.effective_ops(name), Some(MIN_OPS), "{name}");
         }
-        // OP_BASES enumerates exactly the Table 1 rows, in order.
+        // OP_BASES enumerates exactly the Table 1 rows, in order, and
+        // MIN_OP_BASE really is the smallest base.
         assert!(OP_BASES.iter().map(|(n, _)| *n).eq(APP_NAMES));
+        assert_eq!(OP_BASES.iter().map(|(_, b)| *b).min(), Some(MIN_OP_BASE));
+    }
+
+    #[test]
+    fn zero_effective_ops_is_a_hard_config_error() {
+        // Below 1/MIN_OP_BASE some app truncates to 0 ops; that must be
+        // rejected up front, not silently floored into fake rates.
+        let bad = test_cfg(0.000_01, 1);
+        let err = bad.validate().unwrap_err();
+        assert!(err.contains("0 effective ops"), "unhelpful error: {err}");
+        assert!(err.contains("echo"), "names the offending app: {err}");
+        assert!(test_cfg(0.05, 1).validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "0 effective ops")]
+    fn zero_effective_ops_panics_if_run_anyway() {
+        test_cfg(0.000_01, 1).effective_ops("echo");
     }
 
     #[test]
