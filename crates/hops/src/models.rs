@@ -75,7 +75,7 @@ pub struct RuntimeReport {
     pub runtime_ns: u64,
 }
 
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default)]
 struct ThreadReplay {
     /// Accumulated runtime under the model.
     clock_ns: u64,
@@ -88,6 +88,36 @@ struct ThreadReplay {
     recorded_pending: u64,
     /// HOPS: persist-buffer occupancy (lines not yet drained).
     pb_outstanding: u64,
+    /// Ordering-stall time: fence/ofence/dfence charges plus
+    /// persist-buffer-overflow stalls. Maintained unconditionally (two
+    /// integer adds per fence) so the serving profiler can decompose
+    /// service time into replay vs fence-stall phases.
+    stall_ns: u64,
+    /// Whether an epoch span is currently open on `trace`.
+    epoch_open: bool,
+    /// Per-thread trace sink (`None` unless the replayer was built
+    /// while tracing was active): epoch spans, fence-stall sub-spans,
+    /// persist-buffer occupancy samples — all on this thread's
+    /// replayed clock.
+    trace: Option<pmobs::trace::TraceSink>,
+}
+
+impl Clone for ThreadReplay {
+    /// Clones carry the pricing state but not the trace sink: a sink
+    /// is single-owner (its drop submits the track), so a cloned
+    /// replayer re-prices silently.
+    fn clone(&self) -> ThreadReplay {
+        ThreadReplay {
+            clock_ns: self.clock_ns,
+            last_at: self.last_at,
+            pending_writebacks: self.pending_writebacks,
+            recorded_pending: self.recorded_pending,
+            pb_outstanding: self.pb_outstanding,
+            stall_ns: self.stall_ns,
+            epoch_open: false,
+            trace: None,
+        }
+    }
 }
 
 fn pipelined(n: u64, unit: u64) -> u64 {
@@ -119,6 +149,9 @@ pub struct Replayer {
     /// A dfence waits at least for its final epoch's ACK at the
     /// durability point.
     dfence_floor: u64,
+    /// Track-name base (`ctx/hops[model]/N`) captured at construction
+    /// while tracing was active; per-thread sinks append `/tK`.
+    trace_base: Option<String>,
     threads: FxHashMap<Tid, ThreadReplay>,
 }
 
@@ -140,12 +173,18 @@ impl Replayer {
             PersistModel::HopsPwq => cfg.pwq_ack_ns,
             _ => 0,
         };
+        let trace_base = if pmobs::trace::active() {
+            pmobs::trace::track_base(&format!("hops[{model}]"))
+        } else {
+            None
+        };
         Replayer {
             model,
             cfg: *cfg,
             pb_entries: hops_cfg.pb_entries as u64,
             drain_unit,
             dfence_floor,
+            trace_base,
             threads: FxHashMap::default(),
         }
     }
@@ -155,6 +194,17 @@ impl Replayer {
         let model = self.model;
         let cfg = &self.cfg;
         let t = self.threads.entry(ev.tid).or_default();
+        if t.trace.is_none() {
+            if let Some(base) = &self.trace_base {
+                t.trace = Some(pmobs::trace::TraceSink::new(format!(
+                    "{base}/t{}",
+                    ev.tid.0
+                )));
+            }
+        }
+        let start_ns = t.clock_ns;
+        let is_fence = matches!(ev.kind, EventKind::Fence | EventKind::DFence);
+        let pb_at_fence = t.pb_outstanding;
         // Volatile time since this thread's previous event, minus what
         // the recording machine charged for persistence then (the
         // subtraction happens implicitly: recording charges are added
@@ -240,6 +290,7 @@ impl Replayer {
         // HOPS drains persist buffers in the background of volatile
         // execution ("moving most flushes from the foreground to the
         // background").
+        let mut overflow_stall = 0;
         if matches!(model, PersistModel::HopsNvm | PersistModel::HopsPwq) && t.pb_outstanding > 0 {
             let drained = volatile / self.drain_unit;
             t.pb_outstanding = t.pb_outstanding.saturating_sub(drained);
@@ -247,12 +298,56 @@ impl Replayer {
             // the overflow to retire — not a drain to empty.
             if t.pb_outstanding > self.pb_entries {
                 let excess = t.pb_outstanding - self.pb_entries;
-                t.clock_ns += excess * self.drain_unit;
+                overflow_stall = excess * self.drain_unit;
+                t.clock_ns += overflow_stall;
                 t.pb_outstanding = self.pb_entries;
             }
         }
 
         t.clock_ns += volatile + model_charge;
+
+        // Stall accounting (unconditional, two adds): what the serving
+        // profiler calls the "fence_stall" phase — ordering charges at
+        // fences plus persist-buffer overflow stalls. Everything else
+        // in the service time is replay (volatile work + store/flush
+        // issue costs, identical across mechanisms by Consequence 11).
+        if is_fence {
+            t.stall_ns += model_charge;
+        }
+        t.stall_ns += overflow_stall;
+
+        // Trace emission, all on this thread's replayed clock. Buffer
+        // order is timestamp order: epoch begin at `start_ns`, any
+        // overflow stall right after it, fence work in the final
+        // `model_charge` window, epoch end at the updated clock.
+        if let Some(s) = t.trace.as_mut() {
+            let end_ns = t.clock_ns;
+            if !t.epoch_open {
+                s.begin("epoch", start_ns, 0);
+                t.epoch_open = true;
+            }
+            if overflow_stall > 0 {
+                s.begin("pb_overflow_stall", start_ns, overflow_stall);
+                s.end(start_ns + overflow_stall);
+            }
+            if is_fence {
+                let hops = matches!(model, PersistModel::HopsNvm | PersistModel::HopsPwq);
+                if hops {
+                    s.counter("pb_outstanding", end_ns - model_charge, pb_at_fence);
+                }
+                if model_charge > 0 {
+                    let name = match (hops, ev.kind == EventKind::DFence) {
+                        (true, true) => "dfence_stall",
+                        (true, false) => "ofence_stall",
+                        (false, _) => "fence_stall",
+                    };
+                    s.begin(name, end_ns - model_charge, model_charge);
+                    s.end(end_ns);
+                }
+                s.end(end_ns);
+                t.epoch_open = false;
+            }
+        }
     }
 
     /// The running makespan: the slowest thread's accumulated clock.
@@ -260,6 +355,15 @@ impl Replayer {
     /// serving engine turns a trace into per-request service times.
     pub fn makespan_ns(&self) -> u64 {
         self.threads.values().map(|t| t.clock_ns).max().unwrap_or(0)
+    }
+
+    /// Total ordering-stall time accumulated so far, summed over
+    /// threads: fence/ofence/dfence charges plus persist-buffer
+    /// overflow stalls. Differencing this across request boundaries
+    /// (like [`makespan_ns`](Replayer::makespan_ns)) is how the serving
+    /// profiler splits service time into replay vs fence-stall phases.
+    pub fn stall_total_ns(&self) -> u64 {
+        self.threads.values().map(|t| t.stall_ns).sum()
     }
 
     /// Consume the cursor into a [`RuntimeReport`] (threads in
@@ -509,6 +613,70 @@ mod tests {
             assert_eq!(r.makespan_ns(), batch.runtime_ns, "{model}");
             let stepped = r.finish();
             assert_eq!(stepped, batch, "{model}");
+        }
+    }
+
+    #[test]
+    fn stall_accounting_splits_fence_time() {
+        let events = synth_trace(100, 100);
+        let cfg = TimingConfig::default();
+        let h = HopsConfig::default();
+        // x86: every fence pays sfence + writeback waits — all stall.
+        let mut x86 = Replayer::new(&cfg, &h, PersistModel::X86Nvm);
+        // IDEAL ignores ordering entirely: zero stall by definition.
+        let mut ideal = Replayer::new(&cfg, &h, PersistModel::Ideal);
+        for ev in &events {
+            x86.step(ev);
+            ideal.step(ev);
+        }
+        assert!(x86.stall_total_ns() > 0);
+        assert!(x86.stall_total_ns() <= x86.makespan_ns());
+        assert_eq!(ideal.stall_total_ns(), 0);
+    }
+
+    #[test]
+    fn replay_traces_epochs_and_stalls() {
+        use pmobs::trace::Phase;
+        let events = synth_trace(20, 100);
+        let cfg = TimingConfig::default();
+        let h = HopsConfig::default();
+        pmobs::trace::set_enabled(true);
+        {
+            let _ctx = pmobs::trace::context("test");
+            let mut r = Replayer::new(&cfg, &h, PersistModel::HopsNvm);
+            for ev in &events {
+                r.step(ev);
+            }
+            // Dropping the replayer drops its per-thread sinks, which
+            // submit their tracks.
+        }
+        pmobs::trace::set_enabled(false);
+        let tracks = pmobs::trace::take_tracks();
+        let track = tracks
+            .iter()
+            .find(|t| t.name == "test/hops[HOPS (NVM)]/0/t0")
+            .expect("per-thread replay track submitted");
+        let begins = track
+            .events
+            .iter()
+            .filter(|e| e.phase == Phase::Begin)
+            .count();
+        let ends = track
+            .events
+            .iter()
+            .filter(|e| e.phase == Phase::End)
+            .count();
+        assert_eq!(begins, ends, "balanced spans");
+        for name in ["epoch", "ofence_stall", "dfence_stall", "pb_outstanding"] {
+            assert!(
+                track.events.iter().any(|e| e.name == name),
+                "expected {name} events"
+            );
+        }
+        let mut last = 0;
+        for e in &track.events {
+            assert!(e.at_ns >= last, "timestamps non-decreasing");
+            last = e.at_ns;
         }
     }
 

@@ -84,6 +84,12 @@ pub struct Machine {
     plan: Option<PlanState>,
     /// The workload's progress marker (see [`Machine::note_progress`]).
     progress: u64,
+    /// Simulated-time trace sink (`pmobs::trace`): fence-drain spans,
+    /// WCB-overflow and eviction instants. `None` unless tracing was
+    /// enabled (and a naming context installed) at construction, so
+    /// normal runs pay one `Option` branch per site. Events carry only
+    /// values the simulation already computed — never perturbs results.
+    obs_trace: Option<pmobs::trace::TraceSink>,
 }
 
 impl Machine {
@@ -131,6 +137,7 @@ impl Machine {
             snap_seq: 0,
             plan: None,
             progress: 0,
+            obs_trace: pmobs::trace::sink("memsim"),
             cfg,
         }
     }
@@ -404,6 +411,9 @@ impl Machine {
                 let oldest = self.wcb.pop_oldest_live(t);
                 self.media_write(oldest.line, &oldest.data);
                 self.clock_ns += self.cfg.lat.pm_write_ns;
+                if let Some(s) = self.obs_trace.as_mut() {
+                    s.instant("wcb_overflow_drain", self.clock_ns, oldest.line.base());
+                }
             }
         }
         self.plan_event(PlanEvent::Store);
@@ -499,6 +509,7 @@ impl Machine {
         self.wcb.drain_thread(t, &mut entries);
         entries.sort_unstable_by_key(|e| e.seq);
         let drained = entries.len() as u64;
+        let fence_start_ns = self.clock_ns;
         if durable {
             pmobs::count!("memsim.dfence");
         } else {
@@ -521,6 +532,16 @@ impl Machine {
         } else {
             self.trace.fence(tid, self.clock_ns);
         }
+        if let Some(s) = self.obs_trace.as_mut() {
+            // One span per fence covering its drain+stall window; the
+            // value is the drained line count.
+            s.begin(
+                if durable { "dfence" } else { "fence" },
+                fence_start_ns,
+                drained,
+            );
+            s.end(self.clock_ns);
+        }
         self.plan_event(PlanEvent::Fence);
     }
 
@@ -529,6 +550,9 @@ impl Machine {
         let data = *self.pm_functional.line_view(line);
         self.media_write(line, &data);
         self.clock_ns += self.cfg.lat.pm_write_ns;
+        if let Some(s) = self.obs_trace.as_mut() {
+            s.instant("dirty_eviction", self.clock_ns, line.base());
+        }
     }
 
     /// All durable writes funnel here; this is also where PM write

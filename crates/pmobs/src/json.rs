@@ -435,12 +435,21 @@ impl Parser<'_> {
                 }
                 Some(c) if c < 0x20 => return Err(self.err("raw control character in string")),
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input is a &str, so
-                    // boundaries are valid).
-                    let s = std::str::from_utf8(&self.bytes[self.pos..]).expect("input was utf-8");
-                    let c = s.chars().next().expect("non-empty");
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    // Consume a maximal run of plain characters in one
+                    // slice. The delimiters (quote, backslash, control
+                    // bytes) are all ASCII, so stopping on them never
+                    // splits a UTF-8 scalar, and validating only the
+                    // run keeps parsing linear in the document size.
+                    let start = self.pos;
+                    while let Some(&c) = self.bytes.get(self.pos) {
+                        if c == b'"' || c == b'\\' || c < 0x20 {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let s =
+                        std::str::from_utf8(&self.bytes[start..self.pos]).expect("input was utf-8");
+                    out.push_str(s);
                 }
             }
         }

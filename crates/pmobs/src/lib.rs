@@ -15,6 +15,10 @@
 //! * [`span`] — RAII wall-clock timing plus an explicit channel for
 //!   durations measured on the deterministic simulated clock; the two
 //!   clock domains are kept in disjoint namespaces (`span.*` / `sim.*`).
+//! * [`trace`] — simulated-time causal tracing: typed span/instant/
+//!   counter events on named tracks, merged deterministically and
+//!   exportable as Chrome trace-event JSON (Perfetto). Gated by its own
+//!   flag ([`trace::enabled`]), off by default like metrics.
 //! * [`json`] — a hand-rolled JSON/JSONL encoder and parser (the build
 //!   environment has no serde), and [`logger`] — a leveled stderr
 //!   logger so stdout can be reserved for machine-readable output.
@@ -52,6 +56,7 @@ pub mod json;
 pub mod logger;
 pub mod metrics;
 pub mod span;
+pub mod trace;
 
 pub use json::Json;
 pub use logger::Level;

@@ -5,8 +5,16 @@
 //! report. Everything chatty goes through here, to stderr, filtered by
 //! a global level — `--quiet` drops it to [`Level::Error`] so scripts
 //! see errors and nothing else.
+//!
+//! The default threshold can also come from the environment: until the
+//! first [`set_level`] call, the `WHISPER_LOG` variable
+//! (`error|warn|info|debug`, or the numeric levels `1`–`4`) selects the
+//! threshold, falling back to [`Level::Info`] when unset or
+//! unparseable. An explicit [`set_level`] (e.g. `--quiet`) always wins
+//! over the environment.
 
 use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
 
 /// Log severity, most severe first.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -43,16 +51,48 @@ impl Level {
     }
 }
 
-static LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+/// `0` = "unset": fall back to the `WHISPER_LOG` environment default.
+/// Every [`Level`] discriminant is non-zero, so an explicit
+/// [`set_level`] can never be mistaken for unset.
+static LEVEL: AtomicU8 = AtomicU8::new(0);
 
-/// Set the maximum level that will be emitted.
+/// Set the maximum level that will be emitted, overriding any
+/// `WHISPER_LOG` environment default.
 pub fn set_level(level: Level) {
     LEVEL.store(level as u8, Ordering::Relaxed);
 }
 
-/// The current threshold.
+/// Parse a `WHISPER_LOG` value: a level name (`error|warn|info|debug`,
+/// case-insensitive) or its numeric discriminant (`1`–`4`). `None` for
+/// anything else — the caller falls back to [`Level::Info`].
+pub fn parse_level(s: &str) -> Option<Level> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "error" | "1" => Some(Level::Error),
+        "warn" | "warning" | "2" => Some(Level::Warn),
+        "info" | "3" => Some(Level::Info),
+        "debug" | "4" => Some(Level::Debug),
+        _ => None,
+    }
+}
+
+/// The `WHISPER_LOG` default, read once per process.
+fn env_level() -> Level {
+    static ENV: OnceLock<Level> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("WHISPER_LOG")
+            .ok()
+            .and_then(|v| parse_level(&v))
+            .unwrap_or(Level::Info)
+    })
+}
+
+/// The current threshold: the last [`set_level`] value, or the
+/// `WHISPER_LOG` environment default before any explicit set.
 pub fn level() -> Level {
-    Level::from_u8(LEVEL.load(Ordering::Relaxed))
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => env_level(),
+        v => Level::from_u8(v),
+    }
 }
 
 /// Whether a message at `l` would currently be emitted.
@@ -91,5 +131,30 @@ mod tests {
         for l in [Level::Error, Level::Warn, Level::Info, Level::Debug] {
             assert_eq!(Level::from_u8(l as u8), l);
         }
+    }
+
+    #[test]
+    fn whisper_log_values_parse() {
+        assert_eq!(parse_level("error"), Some(Level::Error));
+        assert_eq!(parse_level("WARN"), Some(Level::Warn));
+        assert_eq!(parse_level("warning"), Some(Level::Warn));
+        assert_eq!(parse_level(" info "), Some(Level::Info));
+        assert_eq!(parse_level("debug"), Some(Level::Debug));
+        assert_eq!(parse_level("1"), Some(Level::Error));
+        assert_eq!(parse_level("4"), Some(Level::Debug));
+        assert_eq!(parse_level("verbose"), None);
+        assert_eq!(parse_level(""), None);
+        assert_eq!(parse_level("0"), None);
+    }
+
+    #[test]
+    fn explicit_set_level_overrides_env_default() {
+        let _lock = crate::test_lock();
+        // Whatever WHISPER_LOG says (or doesn't), an explicit set wins.
+        set_level(Level::Debug);
+        assert_eq!(level(), Level::Debug);
+        set_level(Level::Error);
+        assert_eq!(level(), Level::Error);
+        set_level(Level::Info);
     }
 }

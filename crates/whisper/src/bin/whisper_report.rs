@@ -6,6 +6,7 @@
 //!                [--check] [--check-json PATH] [--crash]
 //!                [--crash-json PATH] [--serve] [--serve-json PATH]
 //!                [--serve-arrival paced|bursty] [--serve-shards N]
+//!                [--trace PATH] [--profile] [--profile-json PATH]
 //!                [--quiet] [--dump-traces DIR] [--from-trace FILE]
 //!
 //! EXPERIMENT: table1 | fig3 | fig4 | fig5 | fig6 | fig10 |
@@ -16,8 +17,25 @@
 //! Applications run in parallel across one worker per core by default;
 //! `--parallel N` overrides the worker count (`--parallel 1` forces the
 //! serial runner). `--timing` runs the selected applications twice —
-//! serially, then in parallel — and reports both wall-clock times and
-//! the speedup instead of a paper table.
+//! serially, then in parallel — and reports each app's wall-clock
+//! (both runners) and simulated durations from the same span data,
+//! plus the overall speedup, instead of a paper table.
+//!
+//! `--trace PATH` turns on the simulated-time tracing subsystem
+//! (`pmobs::trace`) for the suite run and the serving sweep, and
+//! writes the merged tracks to PATH as Chrome trace-event JSON (loads
+//! in Perfetto or `chrome://tracing`; one lane per machine, replay
+//! thread, and serve shard). Every timestamp is on the simulated
+//! clock, so the file is byte-identical across hosts and `--parallel`
+//! settings. Tracing is disabled again before `--check`/`--crash`
+//! run, so their internal re-runs never pollute the trace.
+//!
+//! `--profile` (implies `--serve`) aggregates each serve request's
+//! simulated time into queue / replay / fence-stall phases per app ×
+//! mechanism (`whisper::profile`), appends the tail-attribution table
+//! to the text report, and populates the JSON report's `profile`
+//! section. `--profile-json PATH` additionally writes just the profile
+//! document to PATH (implies `--profile`).
 //!
 //! `--check` runs the `pmcheck` persistency checker over every
 //! selected application's trace after the run: findings stream through
@@ -54,7 +72,7 @@
 //! are bit-identical whatever the worker count.
 //!
 //! `--json PATH` additionally writes the versioned machine-readable
-//! report (`whisper::json_report`, schema v4) to PATH and turns on
+//! report (`whisper::json_report`, schema v5) to PATH and turns on
 //! `pmobs` metric recording so the report's `metrics` block is
 //! populated. Stdout carries only the report text; all diagnostics go
 //! to stderr through the `pmobs` logger, and `--quiet` silences
@@ -74,6 +92,7 @@
 use std::time::Instant;
 use whisper::check::{self, AppCheck};
 use whisper::crashtest::{self, AppCrashReport, CampaignConfig};
+use whisper::profile::{profile_json, profile_table, AppProfile};
 use whisper::serve::{self, AppServe, Arrival, ServeConfig};
 use whisper::suite::{analyze, run_apps, AppResult, SuiteConfig, APP_NAMES};
 use whisper::{json_report, report};
@@ -100,6 +119,9 @@ fn main() {
     let mut serve_json_path: Option<String> = None;
     let mut serve_arrival = Arrival::Bursty;
     let mut serve_shards = 4usize;
+    let mut trace_path: Option<String> = None;
+    let mut profile = false;
+    let mut profile_json_path: Option<String> = None;
     let mut timing = false;
 
     let mut i = 0;
@@ -164,6 +186,24 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--serve-arrival needs paced|bursty"));
             }
+            "--trace" => {
+                i += 1;
+                trace_path = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| die("--trace needs an output path"))
+                        .clone(),
+                );
+            }
+            "--profile" => profile = true,
+            "--profile-json" => {
+                i += 1;
+                profile = true;
+                profile_json_path = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| die("--profile-json needs an output path"))
+                        .clone(),
+                );
+            }
             "--serve-shards" => {
                 i += 1;
                 serve_shards = args
@@ -216,7 +256,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: whisper-report [table1|fig3|fig4|fig5|fig6|fig10|amplification|ntfraction|smallwrites|all] [--scale X] [--seed N] [--apps a,b,c] [--parallel N] [--timing] [--json PATH] [--json-det PATH] [--check] [--check-json PATH] [--crash] [--crash-json PATH] [--serve] [--serve-json PATH] [--serve-arrival paced|bursty] [--serve-shards N] [--quiet]"
+                    "usage: whisper-report [table1|fig3|fig4|fig5|fig6|fig10|amplification|ntfraction|smallwrites|all] [--scale X] [--seed N] [--apps a,b,c] [--parallel N] [--timing] [--json PATH] [--json-det PATH] [--check] [--check-json PATH] [--crash] [--crash-json PATH] [--serve] [--serve-json PATH] [--serve-arrival paced|bursty] [--serve-shards N] [--trace PATH] [--profile] [--profile-json PATH] [--quiet]"
                 );
                 return;
             }
@@ -247,6 +287,19 @@ fn main() {
         pmobs::set_enabled(true);
     }
 
+    // --profile rides on the serving sweep.
+    if profile {
+        serve_sweep = true;
+    }
+
+    // Tracing covers the suite run and the serving sweep; it is turned
+    // off again right after the export, so the `--check`/`--crash`
+    // phases (which re-run workloads internally) never pollute a file
+    // already written.
+    if trace_path.is_some() {
+        pmobs::trace::set_enabled(true);
+    }
+
     if let Some(path) = from_trace {
         // Offline mode: analyze an archived trace instead of running.
         let bytes =
@@ -267,15 +320,18 @@ fn main() {
         // rather than pay for five passes nobody will see.
         let analysis = analyze(&run);
         let results = vec![AppResult { run, analysis }];
-        let checks = run_checks(check_traces, &check_json_path, &results);
-        let crash = run_crash(crash_campaign, &crash_json_path, &cfg);
         let served = run_serve_sweep(
             serve_sweep,
+            profile,
             &serve_json_path,
+            &profile_json_path,
             &cfg,
             serve_shards,
             serve_arrival,
         );
+        export_trace(&trace_path);
+        let checks = run_checks(check_traces, &check_json_path, &results);
+        let crash = run_crash(crash_campaign, &crash_json_path, &cfg);
         write_json_report(
             &json_path,
             &json_det_path,
@@ -292,8 +348,11 @@ fn main() {
         if let Some((reports, ccfg)) = &crash {
             print!("\n{}", crashtest::summary_table(reports, ccfg));
         }
-        if let Some((reports, scfg)) = &served {
-            print!("\n{}", report::serve_table(reports, scfg.arrival));
+        if let Some(s) = &served {
+            print!("\n{}", report::serve_table(&s.reports, s.scfg.arrival));
+            if let Some(profiles) = &s.profiles {
+                print!("\n{}", profile_table(profiles));
+            }
         }
         if let Some(checks) = &checks {
             exit_if_check_failed(checks);
@@ -331,15 +390,18 @@ fn main() {
         }
     }
 
-    let checks = run_checks(check_traces, &check_json_path, &results);
-    let crash = run_crash(crash_campaign, &crash_json_path, &cfg);
     let served = run_serve_sweep(
         serve_sweep,
+        profile,
         &serve_json_path,
+        &profile_json_path,
         &cfg,
         serve_shards,
         serve_arrival,
     );
+    export_trace(&trace_path);
+    let checks = run_checks(check_traces, &check_json_path, &results);
+    let crash = run_crash(crash_campaign, &crash_json_path, &cfg);
     write_json_report(
         &json_path,
         &json_det_path,
@@ -371,8 +433,11 @@ fn main() {
     if let Some((reports, ccfg)) = &crash {
         print!("\n{}", crashtest::summary_table(reports, ccfg));
     }
-    if let Some((reports, scfg)) = &served {
-        print!("\n{}", report::serve_table(reports, scfg.arrival));
+    if let Some(s) = &served {
+        print!("\n{}", report::serve_table(&s.reports, s.scfg.arrival));
+        if let Some(profiles) = &s.profiles {
+            print!("\n{}", profile_table(profiles));
+        }
     }
     if let Some(checks) = &checks {
         exit_if_check_failed(checks);
@@ -380,6 +445,20 @@ fn main() {
     if let Some((reports, _)) = &crash {
         exit_if_crash_failed(reports);
     }
+}
+
+/// `--trace`: drain the collected tracks, write Chrome trace-event
+/// JSON, and disable tracing — later phases (checks, crash) re-run
+/// workloads internally and must not record into a file already
+/// written.
+fn export_trace(trace_path: &Option<String>) {
+    let Some(path) = trace_path else { return };
+    let tracks = pmobs::trace::take_tracks();
+    pmobs::trace::set_enabled(false);
+    let mut out = pmobs::trace::export_chrome(&tracks).to_compact();
+    out.push('\n');
+    std::fs::write(path, out).unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+    pmobs::info!("chrome trace ({} track(s)) written to {path}", tracks.len());
 }
 
 /// `--check`: run the persistency checker over every trace, write the
@@ -443,17 +522,30 @@ fn run_crash(
     Some((reports, ccfg))
 }
 
+/// What `--serve` (and `--profile` riding on it) produced, for the
+/// report body and the printed tables.
+struct ServeOutput {
+    reports: Vec<AppServe>,
+    /// Present only under `--profile`.
+    profiles: Option<Vec<AppProfile>>,
+    scfg: ServeConfig,
+}
+
 /// `--serve`: sweep the open-loop serving engine across the suite,
 /// write the standalone serve document if `--serve-json` asked for
-/// one. The sweep reuses the suite's scale/seed and `--parallel`
+/// one — and, under `--profile`, keep the per-app phase profiles
+/// (writing the standalone profile document if `--profile-json` asked
+/// for one). The sweep reuses the suite's scale/seed and `--parallel`
 /// worker count; results never depend on the latter.
 fn run_serve_sweep(
     enabled: bool,
+    profile: bool,
     serve_json_path: &Option<String>,
+    profile_json_path: &Option<String>,
     cfg: &SuiteConfig,
     shards: usize,
     arrival: Arrival,
-) -> Option<(Vec<AppServe>, ServeConfig)> {
+) -> Option<ServeOutput> {
     if !enabled {
         return None;
     }
@@ -467,14 +559,29 @@ fn run_serve_sweep(
     };
     pmobs::info!("sweeping serving engine: {shards} shard(s), {arrival} arrivals...");
     let started = Instant::now();
-    let reports = serve::run_serve(&scfg);
+    let (reports, profiles) = if profile {
+        let (r, p) = serve::run_serve_profiled(&scfg);
+        (r, Some(p))
+    } else {
+        (serve::run_serve(&scfg), None)
+    };
     pmobs::info!("serving sweep finished in {:.2?}", started.elapsed());
     if let Some(path) = serve_json_path {
         std::fs::write(path, serve::serve_json(&reports, &scfg).to_pretty())
             .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
         pmobs::info!("serve json written to {path}");
     }
-    Some((reports, scfg))
+    if let Some(path) = profile_json_path {
+        let p = profiles.as_ref().expect("--profile-json implies --profile");
+        std::fs::write(path, profile_json(p, &scfg).to_pretty())
+            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        pmobs::info!("profile json written to {path}");
+    }
+    Some(ServeOutput {
+        reports,
+        profiles,
+        scfg,
+    })
 }
 
 /// The `--crash` gate: any recovery failure fails the run.
@@ -486,7 +593,7 @@ fn exit_if_crash_failed(reports: &[AppCrashReport]) {
     }
 }
 
-/// Write the schema-v4 JSON document to `path` and/or its deterministic
+/// Write the schema-v5 JSON document to `path` and/or its deterministic
 /// subset to `det_path` (no-op without `--json`/`--json-det`).
 /// Snapshots the global pmobs registry last, so the full report
 /// includes everything the run recorded.
@@ -497,7 +604,7 @@ fn write_json_report(
     cfg: &SuiteConfig,
     checks: Option<&[AppCheck]>,
     crash: Option<&(Vec<AppCrashReport>, CampaignConfig)>,
-    served: Option<&(Vec<AppServe>, ServeConfig)>,
+    served: Option<&ServeOutput>,
 ) {
     if path.is_none() && det_path.is_none() {
         return;
@@ -507,8 +614,11 @@ fn write_json_report(
     if let Some((reports, ccfg)) = crash {
         doc = doc.field("crash", crashtest::crash_json(reports, ccfg));
     }
-    if let Some((reports, scfg)) = served {
-        doc = doc.field("serve", serve::serve_json(reports, scfg));
+    if let Some(s) = served {
+        doc = doc.field("serve", serve::serve_json(&s.reports, &s.scfg));
+        if let Some(p) = &s.profiles {
+            doc = doc.field("profile", profile_json(p, &s.scfg));
+        }
     }
     if let Some(path) = path {
         std::fs::write(path, doc.to_pretty())
@@ -522,9 +632,12 @@ fn write_json_report(
     }
 }
 
-/// `--timing`: the suite wall-clock harness. Runs the selected apps
+/// `--timing`: the suite timing harness. Runs the selected apps
 /// serially and then with the configured parallelism, checks the two
-/// result sets agree, and prints the comparison.
+/// result sets agree, and reports — per app, from the same span data —
+/// the host wall-clock duration under each runner plus the simulated
+/// duration (`span.suite.run/<app>` and `sim.app_duration/<app>`; the
+/// sim column is identical across runners by construction).
 fn run_timing_comparison(names: &[&str], cfg: &SuiteConfig) {
     let serial_cfg = SuiteConfig {
         parallelism: 1,
@@ -536,6 +649,12 @@ fn run_timing_comparison(names: &[&str], cfg: &SuiteConfig) {
         ..*cfg
     };
 
+    // Spans only record while metric recording is on; restore the
+    // caller's flag afterwards (the non-perturbation contract says the
+    // runs themselves cannot notice).
+    let was_recording = pmobs::enabled();
+    pmobs::set_enabled(true);
+
     pmobs::info!(
         "timing {} app(s) at scale {} (seed {})...",
         names.len(),
@@ -543,15 +662,19 @@ fn run_timing_comparison(names: &[&str], cfg: &SuiteConfig) {
         cfg.seed
     );
 
+    let base = pmobs::global().snapshot();
     pmobs::info!("serial run...");
     let t0 = Instant::now();
     let serial = run_apps(names, &serial_cfg);
     let serial_elapsed = t0.elapsed();
+    let mid = pmobs::global().snapshot();
 
     pmobs::info!("parallel run ({workers} workers)...");
     let t1 = Instant::now();
     let parallel = run_apps(names, &parallel_cfg);
     let parallel_elapsed = t1.elapsed();
+    let end = pmobs::global().snapshot();
+    pmobs::set_enabled(was_recording);
 
     for (a, b) in serial.iter().zip(&parallel) {
         if a.run.events != b.run.events || a.run.duration_ns != b.run.duration_ns {
@@ -562,12 +685,39 @@ fn run_timing_comparison(names: &[&str], cfg: &SuiteConfig) {
         }
     }
 
-    let speedup = serial_elapsed.as_secs_f64() / parallel_elapsed.as_secs_f64().max(1e-9);
+    let hist_sum =
+        |snap: &pmobs::MetricsSnapshot, key: &str| snap.histograms.get(key).map_or(0, |h| h.sum);
+    let ms = |ns: u64| ns as f64 / 1e6;
+    println!("Suite timing ({} apps, scale {}):", names.len(), cfg.scale);
     println!(
-        "Suite wall-clock ({} apps, scale {}):",
-        names.len(),
-        cfg.scale
+        "  {:<14} {:>13} {:>15} {:>13}",
+        "app", "serial (ms)", "parallel (ms)", "sim (ms)"
     );
+    let mut totals = (0u64, 0u64, 0u64);
+    for name in names {
+        let wall_key = format!("span.suite.run/{name}");
+        let sim_key = format!("sim.app_duration/{name}");
+        let wall_serial = hist_sum(&mid, &wall_key).saturating_sub(hist_sum(&base, &wall_key));
+        let wall_parallel = hist_sum(&end, &wall_key).saturating_sub(hist_sum(&mid, &wall_key));
+        let sim = hist_sum(&mid, &sim_key).saturating_sub(hist_sum(&base, &sim_key));
+        totals.0 += wall_serial;
+        totals.1 += wall_parallel;
+        totals.2 += sim;
+        println!(
+            "  {name:<14} {:>13.2} {:>15.2} {:>13.3}",
+            ms(wall_serial),
+            ms(wall_parallel),
+            ms(sim)
+        );
+    }
+    println!(
+        "  {:<14} {:>13.2} {:>15.2} {:>13.3}",
+        "total",
+        ms(totals.0),
+        ms(totals.1),
+        ms(totals.2)
+    );
+    let speedup = serial_elapsed.as_secs_f64() / parallel_elapsed.as_secs_f64().max(1e-9);
     println!("  serial   (1 worker):  {serial_elapsed:>10.2?}");
     println!("  parallel ({workers} workers): {parallel_elapsed:>10.2?}");
     println!("  speedup: {speedup:.2}x  (results verified identical)");

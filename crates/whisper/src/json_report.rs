@@ -6,17 +6,18 @@
 //! the [`pmobs`] metrics registry. The encoder is
 //! [`pmobs::json`]; no external serialization crate is involved.
 //!
-//! # Schema (version 4)
+//! # Schema (version 5)
 //!
-//! Version 4 = version 3 plus the `serve` section (`null` unless the
-//! run swept the open-loop serving engine with `whisper-report
-//! --serve`) and `p999` in every metrics histogram; every v3 key is
-//! otherwise unchanged. Version 3 = version 2 plus the `crash` section
-//! and `config.effective_ops`. Version 2 = version 1 plus
-//! `violations`.
+//! Version 5 = version 4 plus the `profile` section (`null` unless the
+//! run profiled the serving sweep with `whisper-report --profile`);
+//! every v4 key is otherwise unchanged. Version 4 = version 3 plus the
+//! `serve` section (`null` unless the run swept the open-loop serving
+//! engine with `whisper-report --serve`) and `p999` in every metrics
+//! histogram. Version 3 = version 2 plus the `crash` section and
+//! `config.effective_ops`. Version 2 = version 1 plus `violations`.
 //!
 //! ```text
-//! schema_version   u64     always 4 for this layout
+//! schema_version   u64     always 5 for this layout
 //! config           obj     {scale, seed, parallelism,
 //!                           effective_ops: {app: ops}}
 //! table1           arr     one obj per app, Table 1 order:
@@ -72,6 +73,18 @@
 //!                          outside the golden deterministic subset,
 //!                          like `crash`. `null` when the run did not
 //!                          sweep the serving engine.
+//! profile          obj?    phase profile of the serving sweep
+//!                          (`crate::profile::profile_json`):
+//!                          {shards, arrival, load_fractions, models,
+//!                           apps: [{name, mechanisms: [{model,
+//!                           queue_ns, replay_ns, fence_stall_ns,
+//!                           service_ns, total_ns,
+//!                           tail: [{load_fraction, offered_rps,
+//!                           p99_ns, tail_requests, tail_total_ns,
+//!                           queue_pct, replay_pct,
+//!                           fence_stall_pct}]}]}]}. Simulated clock
+//!                          only, deterministic like `serve`; `null`
+//!                          when the run was not profiled.
 //! ```
 //!
 //! Clock-domain rule (see `pmobs::span`): metric names under `sim.*`
@@ -88,7 +101,7 @@ use pmtrace::analysis::SIZE_BUCKET_LABELS;
 use pmtrace::Category;
 
 /// Version stamp of the report layout documented above.
-pub const SCHEMA_VERSION: u64 = 4;
+pub const SCHEMA_VERSION: u64 = 5;
 
 fn paper_row(name: &str) -> Option<&'static PaperRow> {
     PAPER.iter().find(|r| r.name == name)
@@ -319,7 +332,7 @@ pub fn metrics_json(snap: &MetricsSnapshot) -> Json {
         .field("histograms", histograms)
 }
 
-/// Assemble the full schema-version-4 report document. `checks` is the
+/// Assemble the full schema-version-5 report document. `checks` is the
 /// per-app pmcheck outcome when the run was checked (`--check`); the
 /// `violations` key serializes as `null` otherwise.
 pub fn build_checked(
@@ -337,8 +350,9 @@ pub fn build_checked(
     )
 }
 
-/// Assemble the report document without `violations`/`crash`/`serve`
-/// sections (the plain-run shape: all three `null`).
+/// Assemble the report document without the optional
+/// `violations`/`crash`/`serve`/`profile` sections (the plain-run
+/// shape: all four `null`).
 pub fn build(results: &[AppResult], cfg: &SuiteConfig, metrics: &MetricsSnapshot) -> Json {
     let mut effective_ops = Json::obj();
     for r in results {
@@ -377,6 +391,7 @@ pub fn build(results: &[AppResult], cfg: &SuiteConfig, metrics: &MetricsSnapshot
         .field("violations", Json::Null)
         .field("crash", Json::Null)
         .field("serve", Json::Null)
+        .field("profile", Json::Null)
 }
 
 /// The keys of the *deterministic* sections of the report: everything
@@ -384,7 +399,7 @@ pub fn build(results: &[AppResult], cfg: &SuiteConfig, metrics: &MetricsSnapshot
 /// byte-for-byte across runs, hosts, and parallelism settings. Excluded
 /// are `config` (carries the host-dependent worker count), `metrics`
 /// (host wall-clock histograms), and the optional `violations`/`crash`/
-/// `serve` sections (deterministic but sweep-dependent — they have
+/// `serve`/`profile` sections (deterministic but sweep-dependent — they have
 /// their own gates). The golden-report equivalence gate
 /// (`tests/golden_report.rs`, CI) compares exactly these sections, so
 /// any hot-path change to the simulator that perturbs results is caught
@@ -415,9 +430,9 @@ pub fn deterministic_subset(doc: &Json) -> Json {
     out
 }
 
-/// The top-level keys every version-4 document carries, in order —
+/// The top-level keys every version-5 document carries, in order —
 /// shared between [`build`], the tests, and CI validation.
-pub const REQUIRED_KEYS: [&str; 16] = [
+pub const REQUIRED_KEYS: [&str; 17] = [
     "schema_version",
     "config",
     "table1",
@@ -434,6 +449,7 @@ pub const REQUIRED_KEYS: [&str; 16] = [
     "violations",
     "crash",
     "serve",
+    "profile",
 ];
 
 #[cfg(test)]
@@ -460,7 +476,7 @@ mod tests {
         assert_eq!(again, parsed);
         assert_eq!(
             parsed.get("schema_version").and_then(Json::as_f64),
-            Some(4.0)
+            Some(5.0)
         );
         assert_eq!(
             doc.get("violations"),
@@ -476,6 +492,11 @@ mod tests {
             doc.get("serve"),
             Some(&Json::Null),
             "non-serving runs carry serve: null"
+        );
+        assert_eq!(
+            doc.get("profile"),
+            Some(&Json::Null),
+            "unprofiled runs carry profile: null"
         );
         assert_eq!(
             doc.get("config")
@@ -517,6 +538,7 @@ mod tests {
         assert!(deterministic_subset(&doc).get("violations").is_none());
         assert!(deterministic_subset(&doc).get("crash").is_none());
         assert!(deterministic_subset(&doc).get("serve").is_none());
+        assert!(deterministic_subset(&doc).get("profile").is_none());
         assert!(deterministic_subset(&doc).get("config").is_none());
     }
 
@@ -542,6 +564,78 @@ mod tests {
         let h = doc.get("histograms").and_then(|h| h.get("a.hist")).unwrap();
         assert_eq!(h.get("count").and_then(Json::as_f64), Some(1.0));
         assert_eq!(h.get("unit").and_then(|v| v.as_str()), Some("ns"));
+    }
+
+    #[test]
+    fn metrics_dump_keys_are_sorted() {
+        let reg = pmobs::Registry::new();
+        // Insert in deliberately unsorted order; the snapshot's BTreeMaps
+        // must pin the dump to lexicographic key order regardless.
+        for name in ["z.last", "a.first", "m.middle"] {
+            reg.counter(name).add(1);
+            reg.gauge(name).observe(1);
+            reg.histogram(name, pmobs::Unit::Nanos).record(1);
+        }
+        let doc = metrics_json(&reg.snapshot());
+        for section in ["counters", "gauges", "histograms"] {
+            let Some(Json::Obj(fields)) = doc.get(section) else {
+                panic!("{section} missing or not an object");
+            };
+            let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+            let mut sorted = keys.clone();
+            sorted.sort_unstable();
+            assert_eq!(keys, sorted, "{section} keys not sorted");
+        }
+    }
+
+    /// Every object that reports a p50 percentile must also report p999
+    /// (same suffix convention: `p50` pairs with `p999`, `p50_ns` with
+    /// `p999_ns`) — pins the "p999 everywhere p50/p90/p99 appear" rule.
+    fn assert_p999_accompanies_p50(doc: &Json, path: &str) {
+        if let Json::Obj(fields) = doc {
+            for suffix in ["", "_ns"] {
+                let p50 = format!("p50{suffix}");
+                let p999 = format!("p999{suffix}");
+                if fields.iter().any(|(k, _)| *k == p50) {
+                    assert!(
+                        fields.iter().any(|(k, _)| *k == p999),
+                        "{path}: has {p50} but no {p999}"
+                    );
+                }
+            }
+        }
+        match doc {
+            Json::Obj(fields) => {
+                for (k, v) in fields {
+                    assert_p999_accompanies_p50(v, &format!("{path}.{k}"));
+                }
+            }
+            Json::Arr(items) => {
+                for (i, v) in items.iter().enumerate() {
+                    assert_p999_accompanies_p50(v, &format!("{path}[{i}]"));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    #[test]
+    fn p999_emitted_wherever_p50_appears() {
+        let cfg = SuiteConfig {
+            scale: 0.008,
+            seed: 7,
+            parallelism: 1,
+        };
+        let results = run_apps(&["hashmap"], &cfg);
+        let reg = pmobs::Registry::new();
+        reg.histogram("walk.hist", pmobs::Unit::Nanos).record(42);
+        let doc = build(&results, &cfg, &reg.snapshot());
+        assert_p999_accompanies_p50(&doc, "report");
+        // And the rule holds vacuously only if p50 appears at all.
+        assert!(
+            doc.to_compact().contains("\"p50\""),
+            "test lost its teeth: no p50 in the document"
+        );
     }
 
     #[test]

@@ -34,6 +34,7 @@
 //! runner, so the serve section reproduces byte-for-byte whatever the
 //! `--parallel` setting — the same property the crash campaign pins.
 
+use crate::profile::{AppProfile, MechanismProfile, TailPoint};
 use crate::suite::{run_named, SuiteConfig, APP_NAMES};
 use crate::workloads::Zipf;
 use hops::{HopsConfig, PersistModel, Replayer, TimingConfig};
@@ -277,11 +278,29 @@ pub fn request_bounds(events: &[Event], n: usize) -> Vec<usize> {
 /// the segment (floored at 1 ns so a queue can never serve in zero
 /// time).
 pub fn service_times(events: &[Event], bounds: &[usize], model: PersistModel) -> Vec<u64> {
+    service_times_with_stalls(events, bounds, model)
+        .into_iter()
+        .map(|(svc, _)| svc)
+        .collect()
+}
+
+/// Like [`service_times`], but each segment also carries its
+/// ordering-stall share: the growth of the replayer's
+/// [`stall_total_ns`](Replayer::stall_total_ns) across the segment,
+/// clamped to the service time (the stall sum is over threads while the
+/// makespan is a max, so an unclamped delta could exceed the segment on
+/// multi-threaded traces).
+pub fn service_times_with_stalls(
+    events: &[Event],
+    bounds: &[usize],
+    model: PersistModel,
+) -> Vec<(u64, u64)> {
     let cfg = TimingConfig::default();
     let hops_cfg = HopsConfig::default();
     let mut rp = Replayer::new(&cfg, &hops_cfg, model);
     let mut services = Vec::with_capacity(bounds.len());
     let mut prev = 0u64;
+    let mut prev_stall = 0u64;
     let mut idx = 0usize;
     for &b in bounds {
         while idx < b {
@@ -289,8 +308,12 @@ pub fn service_times(events: &[Event], bounds: &[usize], model: PersistModel) ->
             idx += 1;
         }
         let now = rp.makespan_ns();
-        services.push(now.saturating_sub(prev).max(1));
+        let stall_now = rp.stall_total_ns();
+        let svc = now.saturating_sub(prev).max(1);
+        let stall = stall_now.saturating_sub(prev_stall).min(svc);
+        services.push((svc, stall));
         prev = now;
+        prev_stall = stall_now;
     }
     services
 }
@@ -300,6 +323,19 @@ pub fn service_times(events: &[Event], bounds: &[usize], model: PersistModel) ->
 /// Pure in `(name, scale, seed, shards, arrival)`; `cfg.parallelism`
 /// is never consulted here.
 pub fn serve_app(name: &str, cfg: &ServeConfig) -> AppServe {
+    serve_app_full(name, cfg).0
+}
+
+/// The serving sweep plus its phase profile (see [`crate::profile`]).
+///
+/// The profile derives from the same per-request samples that feed the
+/// latency histograms, so computing it never changes the [`AppServe`]
+/// half. When tracing is active, the knee point (the last
+/// [`LOAD_FRACTIONS`] entry) of every mechanism also emits one request
+/// track per shard plus one shared arrivals track — after the
+/// simulation loop, from the recorded samples, so tracing cannot
+/// perturb the queues either.
+pub fn serve_app_full(name: &str, cfg: &ServeConfig) -> (AppServe, AppProfile) {
     assert!(cfg.shards > 0, "need at least one shard");
     let suite = SuiteConfig {
         scale: cfg.scale,
@@ -310,22 +346,30 @@ pub fn serve_app(name: &str, cfg: &ServeConfig) -> AppServe {
         .effective_ops(name)
         .unwrap_or_else(|| panic!("unknown application {name:?}; expected one of {APP_NAMES:?}"));
 
-    // Calibrate: one seeded run per shard, one service pool per
-    // mechanism per shard.
+    // Calibrate: one seeded run per shard, one (service, stall) pool
+    // per mechanism per shard. Calibration runs are warm-up, not the
+    // experiment — suppress their tracks.
     let stream = app_stream(name);
-    let mut pools: Vec<Vec<Vec<u64>>> = vec![Vec::with_capacity(cfg.shards); SERVE_MODELS.len()];
-    for shard in 0..cfg.shards {
-        let shard_seed = splitmix64(cfg.seed ^ stream ^ (shard as u64 + 1));
-        let run = run_named(name, ops, shard_seed);
-        let bounds = request_bounds(&run.events, ops);
-        for (mi, &model) in SERVE_MODELS.iter().enumerate() {
-            pools[mi].push(service_times(&run.events, &bounds, model));
+    let mut pools: Vec<Vec<Vec<(u64, u64)>>> =
+        vec![Vec::with_capacity(cfg.shards); SERVE_MODELS.len()];
+    {
+        let _quiet = pmobs::trace::suppress();
+        for shard in 0..cfg.shards {
+            let shard_seed = splitmix64(cfg.seed ^ stream ^ (shard as u64 + 1));
+            let run = run_named(name, ops, shard_seed);
+            let bounds = request_bounds(&run.events, ops);
+            for (mi, &model) in SERVE_MODELS.iter().enumerate() {
+                pools[mi].push(service_times_with_stalls(&run.events, &bounds, model));
+            }
         }
     }
 
-    let mean_service = |pool: &[Vec<u64>]| {
+    let mean_service = |pool: &[Vec<(u64, u64)>]| {
         let (sum, count) = pool.iter().fold((0u64, 0u64), |(s, c), v| {
-            (s + v.iter().sum::<u64>(), c + v.len() as u64)
+            (
+                s + v.iter().map(|&(svc, _)| svc).sum::<u64>(),
+                c + v.len() as u64,
+            )
         });
         sum as f64 / count.max(1) as f64
     };
@@ -339,23 +383,48 @@ pub fn serve_app(name: &str, cfg: &ServeConfig) -> AppServe {
 
     let n_req = ops * REQUESTS_PER_OP;
     let keys = key_stream(cfg.seed ^ stream, n_req);
+    let knee = LOAD_FRACTIONS.len() - 1;
 
+    let mut mechanisms: Vec<MechanismProfile> = Vec::with_capacity(SERVE_MODELS.len());
     let curves: Vec<MechanismCurve> = SERVE_MODELS
         .iter()
         .enumerate()
         .map(|(mi, &model)| {
             let mean_ns = mean_service(&pools[mi]);
+            let mut queue_ns = 0u64;
+            let mut replay_ns = 0u64;
+            let mut fence_stall_ns = 0u64;
+            let mut tail: Vec<TailPoint> = Vec::with_capacity(offered.len());
             let points: Vec<ServePoint> = offered
                 .iter()
-                .map(|&rate| {
+                .enumerate()
+                .map(|(pi, &rate)| {
                     let arrivals = arrival_schedule(cfg.seed ^ stream, n_req, rate, cfg.arrival);
-                    let p = simulate_point(&arrivals, &keys, &pools[mi], rate);
+                    let (p, samples) = simulate_point(&arrivals, &keys, &pools[mi], rate);
+                    for s in &samples {
+                        queue_ns += s.start - s.at;
+                        replay_ns += s.svc - s.stall;
+                        fence_stall_ns += s.stall;
+                    }
+                    tail.push(tail_attribution(&p, LOAD_FRACTIONS[pi], &samples));
+                    if pi == knee {
+                        emit_knee_trace(name, model, mi == 0, &samples, cfg.shards);
+                    }
                     if pmobs::enabled() {
                         pmobs::record_sim_ns(&format!("serve_p99_ns/{name}/{model}"), p.p99_ns);
                     }
                     p
                 })
                 .collect();
+            mechanisms.push(MechanismProfile {
+                model,
+                queue_ns,
+                replay_ns,
+                fence_stall_ns,
+                service_ns: replay_ns + fence_stall_ns,
+                total_ns: queue_ns + replay_ns + fence_stall_ns,
+                tail,
+            });
             MechanismCurve {
                 model,
                 mean_service_ns: mean_ns,
@@ -365,27 +434,130 @@ pub fn serve_app(name: &str, cfg: &ServeConfig) -> AppServe {
         })
         .collect();
 
-    AppServe {
-        name: name.to_string(),
-        shards: cfg.shards,
-        requests: n_req,
-        offered_rps: offered,
-        curves,
+    (
+        AppServe {
+            name: name.to_string(),
+            shards: cfg.shards,
+            requests: n_req,
+            offered_rps: offered,
+            curves,
+        },
+        AppProfile {
+            name: name.to_string(),
+            mechanisms,
+        },
+    )
+}
+
+/// One simulated request, kept for profiling and knee tracing. The
+/// latency histograms never read these, so collecting them cannot
+/// change the serve section.
+#[derive(Debug, Clone, Copy)]
+struct RequestSample {
+    shard: usize,
+    key: usize,
+    at: u64,
+    start: u64,
+    done: u64,
+    svc: u64,
+    stall: u64,
+}
+
+/// Restrict the phase sum to requests at or above the point's reported
+/// p99. `latency = queue + replay + stall` holds per request, so the
+/// three percentages sum to exactly 100.
+fn tail_attribution(p: &ServePoint, load_fraction: f64, samples: &[RequestSample]) -> TailPoint {
+    let mut n = 0u64;
+    let mut total = 0u64;
+    let mut queue = 0u64;
+    let mut replay = 0u64;
+    let mut stall = 0u64;
+    for s in samples {
+        let lat = s.done - s.at;
+        if lat >= p.p99_ns {
+            n += 1;
+            total += lat;
+            queue += s.start - s.at;
+            replay += s.svc - s.stall;
+            stall += s.stall;
+        }
+    }
+    let pct = |x: u64| {
+        if total == 0 {
+            0.0
+        } else {
+            x as f64 * 100.0 / total as f64
+        }
+    };
+    TailPoint {
+        load_fraction,
+        offered_rps: p.offered_rps,
+        p99_ns: p.p99_ns,
+        tail_requests: n,
+        tail_total_ns: total,
+        queue_pct: pct(queue),
+        replay_pct: pct(replay),
+        fence_stall_pct: pct(stall),
+    }
+}
+
+/// Emit the knee point's request tracks from recorded samples: per
+/// shard, a lane of `request` spans (value = queue wait) each nesting
+/// its `fence_stall` share at the end of service; once per app, an
+/// arrivals lane of instants (value = routing key). FIFO guarantees
+/// per-shard starts are non-decreasing, so each lane is monotone and
+/// its spans never overlap.
+fn emit_knee_trace(
+    name: &str,
+    model: PersistModel,
+    first_model: bool,
+    samples: &[RequestSample],
+    shards: usize,
+) {
+    if !pmobs::trace::active() {
+        return;
+    }
+    if first_model {
+        if let Some(mut lane) = pmobs::trace::sink_named(format!("serve/{name}/arrivals")) {
+            for r in samples {
+                lane.instant("arrival", r.at, r.key as u64);
+            }
+        }
+    }
+    for shard in 0..shards {
+        let Some(mut lane) = pmobs::trace::sink_named(format!("serve/{name}/{model}/shard{shard}"))
+        else {
+            return;
+        };
+        for r in samples.iter().filter(|r| r.shard == shard) {
+            lane.begin("request", r.start, r.start - r.at);
+            if r.stall > 0 {
+                lane.begin("fence_stall", r.done - r.stall, r.stall);
+                lane.end(r.done);
+            }
+            lane.end(r.done);
+        }
     }
 }
 
 /// Drive one offered-load point through the FIFO shard queues.
-fn simulate_point(arrivals: &[u64], keys: &[usize], pool: &[Vec<u64>], rate: f64) -> ServePoint {
+fn simulate_point(
+    arrivals: &[u64],
+    keys: &[usize],
+    pool: &[Vec<(u64, u64)>],
+    rate: f64,
+) -> (ServePoint, Vec<RequestSample>) {
     let shards = pool.len();
     let mut free = vec![0u64; shards];
     let mut cursor = vec![0usize; shards];
     let latency = Histogram::new(Unit::Nanos);
     let wait = Histogram::new(Unit::Nanos);
     let mut last_done = 0u64;
+    let mut samples = Vec::with_capacity(arrivals.len());
     for (i, (&at, &key)) in arrivals.iter().zip(keys).enumerate() {
         debug_assert!(i == 0 || arrivals[i - 1] <= at, "arrivals are sorted");
         let s = key % shards;
-        let svc = pool[s][cursor[s] % pool[s].len()];
+        let (svc, stall) = pool[s][cursor[s] % pool[s].len()];
         cursor[s] += 1;
         let start = at.max(free[s]);
         let done = start + svc;
@@ -393,10 +565,19 @@ fn simulate_point(arrivals: &[u64], keys: &[usize], pool: &[Vec<u64>], rate: f64
         latency.record(done - at);
         wait.record(start - at);
         last_done = last_done.max(done);
+        samples.push(RequestSample {
+            shard: s,
+            key,
+            at,
+            start,
+            done,
+            svc,
+            stall,
+        });
     }
     let lat = latency.snapshot();
     let pct = |p: f64| lat.percentile(p).unwrap_or(0);
-    ServePoint {
+    let point = ServePoint {
         offered_rps: rate,
         achieved_rps: arrivals.len() as f64 * 1e9 / last_done.max(1) as f64,
         requests: lat.count,
@@ -405,7 +586,8 @@ fn simulate_point(arrivals: &[u64], keys: &[usize], pool: &[Vec<u64>], rate: f64
         p99_ns: pct(99.0),
         p999_ns: pct(99.9),
         mean_wait_ns: wait.snapshot().mean().unwrap_or(0.0),
-    }
+    };
+    (point, samples)
 }
 
 /// Sweep every Table 1 application, fanned out across
@@ -417,27 +599,41 @@ pub fn run_serve(cfg: &ServeConfig) -> Vec<AppServe> {
     serve_apps(&APP_NAMES, cfg)
 }
 
+/// [`run_serve`] plus per-app phase profiles, in the same Table 1
+/// order.
+pub fn run_serve_profiled(cfg: &ServeConfig) -> (Vec<AppServe>, Vec<AppProfile>) {
+    serve_apps_profiled(&APP_NAMES, cfg)
+}
+
 /// Sweep a chosen set of applications, in the given order.
 pub fn serve_apps(names: &[&str], cfg: &ServeConfig) -> Vec<AppServe> {
+    serve_apps_profiled(names, cfg).0
+}
+
+/// Sweep a chosen set of applications and keep their phase profiles.
+pub fn serve_apps_profiled(names: &[&str], cfg: &ServeConfig) -> (Vec<AppServe>, Vec<AppProfile>) {
     let workers = cfg.parallelism.clamp(1, names.len().max(1));
-    if workers == 1 {
-        return names.iter().map(|n| serve_app(n, cfg)).collect();
-    }
-    let cursor = AtomicUsize::new(0);
-    let finished: Mutex<Vec<(usize, AppServe)>> = Mutex::new(Vec::with_capacity(names.len()));
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(name) = names.get(i) else { break };
-                let result = serve_app(name, cfg);
-                finished.lock().unwrap().push((i, result));
-            });
-        }
-    });
-    let mut slots = finished.into_inner().unwrap();
-    slots.sort_unstable_by_key(|(i, _)| *i);
-    slots.into_iter().map(|(_, r)| r).collect()
+    let pairs: Vec<(AppServe, AppProfile)> = if workers == 1 {
+        names.iter().map(|n| serve_app_full(n, cfg)).collect()
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let finished: Mutex<Vec<(usize, (AppServe, AppProfile))>> =
+            Mutex::new(Vec::with_capacity(names.len()));
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(name) = names.get(i) else { break };
+                    let result = serve_app_full(name, cfg);
+                    finished.lock().unwrap().push((i, result));
+                });
+            }
+        });
+        let mut slots = finished.into_inner().unwrap();
+        slots.sort_unstable_by_key(|(i, _)| *i);
+        slots.into_iter().map(|(_, r)| r).collect()
+    };
+    pairs.into_iter().unzip()
 }
 
 /// Serialize the sweep for the report's `serve` section (schema v4).
@@ -615,6 +811,37 @@ mod tests {
         }
         // HOPS removes foreground ordering stalls, so it serves faster.
         assert!(r.curves[1].capacity_rps > r.curves[0].capacity_rps);
+    }
+
+    #[test]
+    fn tail_attribution_sums_to_hundred() {
+        let cfg = ServeConfig {
+            scale: 0.008,
+            seed: 11,
+            shards: 2,
+            arrival: Arrival::Bursty,
+            parallelism: 1,
+        };
+        let (_, prof) = serve_app_full("hashmap", &cfg);
+        assert_eq!(prof.mechanisms.len(), SERVE_MODELS.len());
+        for m in &prof.mechanisms {
+            assert_eq!(m.service_ns, m.replay_ns + m.fence_stall_ns);
+            assert_eq!(m.total_ns, m.queue_ns + m.service_ns);
+            assert_eq!(m.tail.len(), LOAD_FRACTIONS.len());
+            for t in &m.tail {
+                assert!(t.tail_requests > 0, "{}: p99 tail never empty", m.model);
+                assert!(t.tail_total_ns > 0);
+                let sum = t.queue_pct + t.replay_pct + t.fence_stall_pct;
+                assert!(
+                    (sum - 100.0).abs() < 1e-6,
+                    "{}: phases sum to {sum}",
+                    m.model
+                );
+            }
+        }
+        // The x86 baseline pays ordering in the foreground; HOPS hides
+        // most of it — visible directly in the stall phase.
+        assert!(prof.mechanisms[0].fence_stall_ns > prof.mechanisms[1].fence_stall_ns);
     }
 
     #[test]

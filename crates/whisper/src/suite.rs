@@ -105,6 +105,7 @@ impl SuiteConfig {
             1.0 / MIN_OP_BASE as f64
         );
         if requested < MIN_OPS && !OPS_FLOOR_WARNED.swap(true, Ordering::Relaxed) {
+            OPS_FLOOR_WARN_COUNT.fetch_add(1, Ordering::Relaxed);
             pmobs::warn!(
                 "scale {} floors op counts at {MIN_OPS} (requested {requested} \
                  of base {base}); reported rates use the floored count",
@@ -156,6 +157,17 @@ pub const MIN_OP_BASE: usize = 400;
 
 /// One-shot latch for the op-count floor warning.
 static OPS_FLOOR_WARNED: AtomicBool = AtomicBool::new(false);
+
+/// How many times the floor warning has actually been emitted — the
+/// swap on [`OPS_FLOOR_WARNED`] is the only way in, so this can never
+/// pass 1 in a process, however many workers race into
+/// [`SuiteConfig::ops`]. Exposed for the once-under-parallelism test.
+static OPS_FLOOR_WARN_COUNT: AtomicUsize = AtomicUsize::new(0);
+
+/// How many times the op-count floor warning has been emitted (0 or 1).
+pub fn ops_floor_warnings() -> u64 {
+    OPS_FLOOR_WARN_COUNT.load(Ordering::Relaxed) as u64
+}
 
 /// One suite worker per available core (1 if the count is unknown).
 pub fn default_parallelism() -> usize {
@@ -253,6 +265,10 @@ pub fn run_app(name: &str, cfg: &SuiteConfig) -> AppResult {
     // Host wall-clock for the whole run+replay of this app; the
     // simulated duration goes to the deterministic `sim.*` namespace.
     let _span = pmobs::span!("suite.run", name);
+    // Trace tracks created under this app (machines, replays) get
+    // deterministic `<name>/<kind>/<seq>` names, whichever worker
+    // thread runs it.
+    let _ctx = pmobs::trace::context(name);
     let seed = cfg.seed;
     let ops = cfg
         .effective_ops(name)
@@ -509,6 +525,29 @@ mod tests {
             assert_eq!(x.run.duration_ns, y.run.duration_ns);
             assert_eq!(x.analysis.fig10, y.analysis.fig10);
         }
+    }
+
+    #[test]
+    fn floor_warning_fires_at_most_once_across_threads() {
+        // Many threads racing into ops() on a flooring scale must
+        // advance the emission count by at most one, process-wide: the
+        // swap latch admits a single winner. (Another test may have
+        // latched the warning already, in which case the count stays
+        // put — "at most once" is exactly the satellite's contract.)
+        let before = ops_floor_warnings();
+        let tiny = test_cfg(1.0 / MIN_OP_BASE as f64, 1);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        tiny.effective_ops("exim");
+                    }
+                });
+            }
+        });
+        let after = ops_floor_warnings();
+        assert!(after <= 1, "warning emitted {after} times");
+        assert!(after >= before, "count never goes backwards");
     }
 
     #[test]

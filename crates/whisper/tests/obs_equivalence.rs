@@ -86,6 +86,37 @@ fn metrics_collection_never_changes_results() {
     }
 }
 
+/// The same contract for the tracing layer: collecting a causal trace
+/// of a run must leave every simulated outcome bit-identical. Sinks
+/// only *read* clocks the simulation already computed, so equality
+/// holds by construction; this is the proof against regressions.
+#[test]
+fn tracing_never_changes_results() {
+    let _lock = obs_lock();
+    let apps = ["hashmap", "nfs", "exim"];
+    for parallelism in [1, 3] {
+        let cfg = SuiteConfig {
+            scale: 0.006,
+            seed: 17,
+            parallelism,
+        };
+
+        pmobs::trace::set_enabled(false);
+        let plain = run_apps(&apps, &cfg);
+
+        pmobs::trace::set_enabled(true);
+        let traced = run_apps(&apps, &cfg);
+        pmobs::trace::set_enabled(false);
+        let tracks = pmobs::trace::take_tracks();
+        assert!(
+            !tracks.is_empty(),
+            "traced run produced no tracks — the equivalence check is vacuous"
+        );
+
+        assert_identical(&plain, &traced);
+    }
+}
+
 /// The instrumented run actually records: the registry must hold the
 /// suite counters and span histograms afterwards (a silently-dead
 /// instrument would make the equivalence test vacuous).
