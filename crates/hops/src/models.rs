@@ -22,7 +22,6 @@
 
 use crate::config::{HopsConfig, TimingConfig};
 use pmem::lines_spanning;
-use pmem::FxHashMap;
 use pmtrace::{Event, EventKind, Tid};
 
 /// The five persistence configurations of Figure 10.
@@ -152,7 +151,14 @@ pub struct Replayer {
     /// Track-name base (`ctx/hops[model]/N`) captured at construction
     /// while tracing was active; per-thread sinks append `/tK`.
     trace_base: Option<String>,
-    threads: FxHashMap<Tid, ThreadReplay>,
+    /// Per-thread pricing state. A flat vector, not a map: WHISPER
+    /// traces have a handful of threads but millions of events, and
+    /// consecutive events usually come from the same thread, so a
+    /// cached-index hit (then a linear probe) beats hashing the tid on
+    /// every step.
+    threads: Vec<(Tid, ThreadReplay)>,
+    /// Index into `threads` of the last-stepped thread.
+    last_thread: usize,
 }
 
 impl Replayer {
@@ -185,15 +191,37 @@ impl Replayer {
             drain_unit,
             dfence_floor,
             trace_base,
-            threads: FxHashMap::default(),
+            threads: Vec::new(),
+            last_thread: 0,
         }
+    }
+
+    /// The slot for `tid`, creating it on first sight. Fast path: the
+    /// same thread as the previous step.
+    fn thread_slot(&mut self, tid: Tid) -> usize {
+        if let Some((t, _)) = self.threads.get(self.last_thread) {
+            if *t == tid {
+                return self.last_thread;
+            }
+        }
+        let idx = self
+            .threads
+            .iter()
+            .position(|(t, _)| *t == tid)
+            .unwrap_or_else(|| {
+                self.threads.push((tid, ThreadReplay::default()));
+                self.threads.len() - 1
+            });
+        self.last_thread = idx;
+        idx
     }
 
     /// Price one event. Events must arrive in trace (time) order.
     pub fn step(&mut self, ev: &Event) {
         let model = self.model;
+        let slot = self.thread_slot(ev.tid);
         let cfg = &self.cfg;
-        let t = self.threads.entry(ev.tid).or_default();
+        let t = &mut self.threads[slot].1;
         if t.trace.is_none() {
             if let Some(base) = &self.trace_base {
                 t.trace = Some(pmobs::trace::TraceSink::new(format!(
@@ -354,7 +382,11 @@ impl Replayer {
     /// Sampling this between [`step`](Replayer::step) calls is how the
     /// serving engine turns a trace into per-request service times.
     pub fn makespan_ns(&self) -> u64 {
-        self.threads.values().map(|t| t.clock_ns).max().unwrap_or(0)
+        self.threads
+            .iter()
+            .map(|(_, t)| t.clock_ns)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total ordering-stall time accumulated so far, summed over
@@ -363,15 +395,15 @@ impl Replayer {
     /// (like [`makespan_ns`](Replayer::makespan_ns)) is how the serving
     /// profiler splits service time into replay vs fence-stall phases.
     pub fn stall_total_ns(&self) -> u64 {
-        self.threads.values().map(|t| t.stall_ns).sum()
+        self.threads.iter().map(|(_, t)| t.stall_ns).sum()
     }
 
     /// Consume the cursor into a [`RuntimeReport`] (threads in
     /// ascending-tid order, like [`replay`]).
     pub fn finish(self) -> RuntimeReport {
-        let mut tids: Vec<Tid> = self.threads.keys().copied().collect();
-        tids.sort_unstable();
-        let per_thread_ns: Vec<u64> = tids.iter().map(|t| self.threads[t].clock_ns).collect();
+        let mut threads = self.threads;
+        threads.sort_by_key(|(tid, _)| *tid);
+        let per_thread_ns: Vec<u64> = threads.iter().map(|(_, t)| t.clock_ns).collect();
         let runtime_ns = per_thread_ns.iter().copied().max().unwrap_or(0);
         RuntimeReport {
             model: self.model,
@@ -441,8 +473,9 @@ pub fn figure10_bars(
 ) -> Vec<(PersistModel, f64)> {
     FIG10_INVOCATIONS.with(|c| c.set(c.get() + 1));
     pmobs::count!("hops.fig10_replays");
-    let base = replay(events, cfg, hops_cfg, PersistModel::X86Nvm).runtime_ns;
-    PersistModel::ALL
+    // One replay per model: the baseline is ALL[0] (x86-64 NVM), so a
+    // separate baseline replay would price the same trace twice.
+    let runtimes: Vec<(PersistModel, u64)> = PersistModel::ALL
         .iter()
         .map(|&m| {
             let r = replay(events, cfg, hops_cfg, m).runtime_ns;
@@ -450,6 +483,14 @@ pub fn figure10_bars(
             if pmobs::enabled() {
                 pmobs::record_sim_ns(&format!("fig10_runtime/{m}"), r);
             }
+            (m, r)
+        })
+        .collect();
+    let base = runtimes[0].1;
+    debug_assert_eq!(runtimes[0].0, PersistModel::X86Nvm);
+    runtimes
+        .into_iter()
+        .map(|(m, r)| {
             let norm = if base == 0 {
                 0.0
             } else {

@@ -50,6 +50,7 @@
 mod cache;
 mod config;
 mod crash;
+mod elide;
 mod machine;
 mod stats;
 mod wcb;
@@ -57,6 +58,7 @@ mod writer;
 
 pub use config::{Latency, MachineConfig, SIM_CLOCK_HZ, SIM_NS_PER_SEC};
 pub use crash::{CrashCounter, CrashPlan, CrashSpec, CrashState};
+pub use elide::{ElidePlan, ElideStats};
 pub use machine::Machine;
 pub use stats::MemStats;
 pub use writer::PmWriter;

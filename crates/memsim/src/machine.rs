@@ -3,6 +3,7 @@
 use crate::cache::{DirtySet, ReadSet};
 use crate::config::MachineConfig;
 use crate::crash::{CrashPlan, CrashState, PlanEvent, PlanState};
+use crate::elide::{ElidePlan, ElideState, ElideStats};
 use crate::stats::MemStats;
 use crate::wcb::WriteCombine;
 use pmem::{
@@ -82,6 +83,10 @@ pub struct Machine {
     /// Armed crash-injection plan (None in normal runs — the hooks in
     /// the store/flush/fence paths then cost one branch each).
     plan: Option<PlanState>,
+    /// Armed elision plan: skip the planned flush/fence ordinals when
+    /// they are machine-level no-ops (see [`crate::elide`]). `None` in
+    /// normal runs — one branch per flush/fence.
+    elide: Option<ElideState>,
     /// The workload's progress marker (see [`Machine::note_progress`]).
     progress: u64,
     /// Simulated-time trace sink (`pmobs::trace`): fence-drain spans,
@@ -136,6 +141,7 @@ impl Machine {
             next_tx: vec![1; n],
             snap_seq: 0,
             plan: None,
+            elide: None,
             progress: 0,
             obs_trace: pmobs::trace::sink("memsim"),
             cfg,
@@ -443,11 +449,26 @@ impl Machine {
     }
 
     /// The shared `clwb`/`clflushopt` body: trace, issue cost, and the
-    /// dirty-line snapshot. Returns the affected line so `clflushopt`
-    /// does not recompute it.
-    fn clwb_line(&mut self, tid: Tid, addr: Addr) -> Line {
+    /// dirty-line snapshot. Returns the affected line (and whether an
+    /// armed elision plan skipped the instruction) so `clflushopt`
+    /// does not recompute or invalidate it.
+    fn clwb_line(&mut self, tid: Tid, addr: Addr) -> (Line, bool) {
         self.check_tid(tid);
         let line = Line::containing(addr);
+        if let Some(e) = self.elide.as_mut() {
+            e.seen_flushes += 1;
+            if e.plan.wants_flush(e.seen_flushes) {
+                // Skip only a machine-level no-op: the line must be
+                // clean in every thread's cache. Untraced setup can
+                // leave a checker-"clean" line dirty here — veto.
+                if self.dirty_index.contains_key(&line) {
+                    e.stats.flush_vetoes += 1;
+                } else {
+                    e.stats.flushes_elided += 1;
+                    return (line, true);
+                }
+            }
+        }
         self.trace.flush(tid, addr, self.clock_ns);
         self.clock_ns += self.cfg.lat.clwb_issue_ns;
         // The line may be dirty in any thread's cache (coherence finds
@@ -463,7 +484,7 @@ impl Machine {
             });
         }
         self.plan_event(PlanEvent::Flush);
-        line
+        (line, false)
     }
 
     /// `clflushopt`: like [`Machine::clwb`] for durability, but also
@@ -474,7 +495,10 @@ impl Machine {
     pub fn clflushopt(&mut self, tid: Tid, addr: Addr) {
         pmobs::count!("memsim.clflushopt");
         pmobs::count!("memsim.clwb");
-        let line = self.clwb_line(tid, addr);
+        let (line, elided) = self.clwb_line(tid, addr);
+        if elided {
+            return;
+        }
         for rc in &mut self.read_cache {
             rc.invalidate(line);
         }
@@ -499,6 +523,18 @@ impl Machine {
     fn fence_impl(&mut self, tid: Tid, durable: bool) {
         self.check_tid(tid);
         let t = tid.0 as usize;
+        if let Some(e) = self.elide.as_mut() {
+            e.seen_fences += 1;
+            if e.plan.wants_fence(e.seen_fences) {
+                // Skip only when the fence would retire nothing for
+                // this thread; otherwise execute it anyway (veto).
+                if self.pending[t].is_empty() && self.wcb.live_len(t) == 0 {
+                    e.stats.fences_elided += 1;
+                    return;
+                }
+                e.stats.fence_vetoes += 1;
+            }
+        }
         // Merge clwb snapshots and write-combining entries and drain
         // them in snapshot order, so the newest value of a line wins at
         // the device even when cacheable and non-temporal writes mixed.
@@ -594,6 +630,20 @@ impl Machine {
     /// discards its captures).
     pub fn set_crash_plan(&mut self, plan: CrashPlan) {
         self.plan = Some(PlanState::new(plan));
+    }
+
+    /// Arm an elision plan: from now on the machine counts `clwb`/
+    /// `clflushopt` and fence ordinals (1-based, per kind) and skips
+    /// the planned ones when they are machine-level no-ops. Replaces
+    /// any previously armed plan and resets its counters.
+    pub fn set_elide_plan(&mut self, plan: ElidePlan) {
+        self.elide = Some(ElideState::new(plan));
+    }
+
+    /// What the armed elision plan did so far (`None` when no plan is
+    /// armed).
+    pub fn elide_stats(&self) -> Option<ElideStats> {
+        self.elide.as_ref().map(|e| e.stats)
     }
 
     /// Matching PM events seen since the plan was armed (0 when no
@@ -936,6 +986,67 @@ mod tests {
         assert_eq!(mc.fresh_tx_id(Tid(0)), 1);
         assert_eq!(mc.fresh_tx_id(Tid(0)), 2);
         assert_eq!(mc.fresh_tx_id(Tid(1)), 1);
+    }
+
+    #[test]
+    fn elide_plan_skips_noop_flush_and_fence() {
+        use crate::elide::ElidePlan;
+        let mut mc = m();
+        let t = Tid(0);
+        let pa = pm_base(&mc);
+        // Flush ordinal 2 re-flushes a durable line; fence ordinal 2
+        // retires nothing. Both are pure overhead and get skipped.
+        mc.set_elide_plan(ElidePlan::new([2], [2]));
+        mc.store(t, pa, &[7; 8], Category::UserData);
+        mc.clwb(t, pa); // ordinal 1: executes
+        mc.sfence(t); // ordinal 1: executes, persists
+        let clock_before = mc.now_ns();
+        let writes_before = mc.stats().pm_writes;
+        let trace_before = mc.trace().events().len();
+        mc.clwb(t, pa); // ordinal 2: durable line, elided
+        mc.sfence(t); // ordinal 2: nothing pending, elided
+        assert_eq!(mc.now_ns(), clock_before, "elided ops cost nothing");
+        assert_eq!(mc.stats().pm_writes, writes_before);
+        assert_eq!(mc.trace().events().len(), trace_before, "not traced");
+        assert!(mc.is_durable(pa, 8));
+        let stats = mc.elide_stats().expect("armed");
+        assert_eq!((stats.flushes_elided, stats.fences_elided), (1, 1));
+        assert_eq!(stats.veto_total(), 0);
+    }
+
+    #[test]
+    fn elide_plan_vetoes_load_bearing_sites() {
+        use crate::elide::ElidePlan;
+        let mut mc = m();
+        let t = Tid(0);
+        let pa = pm_base(&mc);
+        // Plan to skip the only flush and fence covering a real store:
+        // the machine must refuse both, keeping the data durable.
+        mc.set_elide_plan(ElidePlan::new([1], [1]));
+        mc.store(t, pa, &[9; 8], Category::UserData);
+        mc.clwb(t, pa); // dirty line: vetoed, executes
+        mc.sfence(t); // pending snapshot: vetoed, executes
+        assert!(mc.is_durable(pa, 8), "vetoes preserved durability");
+        let stats = mc.elide_stats().expect("armed");
+        assert_eq!((stats.flush_vetoes, stats.fence_vetoes), (1, 1));
+        assert_eq!(stats.elided_total(), 0);
+    }
+
+    #[test]
+    fn elided_fence_counts_toward_no_crash_plan_event() {
+        use crate::crash::{CrashCounter, CrashPlan};
+        use crate::elide::ElidePlan;
+        let mut mc = m();
+        let t = Tid(0);
+        let pa = pm_base(&mc);
+        mc.set_crash_plan(CrashPlan::probe(CrashCounter::Fences));
+        mc.set_elide_plan(ElidePlan::new([], [2]));
+        mc.store(t, pa, &[1; 8], Category::UserData);
+        mc.clwb(t, pa);
+        mc.sfence(t); // counted
+        mc.sfence(t); // elided: not counted
+        mc.sfence(t); // counted
+        assert_eq!(mc.crash_event_count(), 2);
     }
 
     #[test]

@@ -24,6 +24,11 @@ pub struct Finding {
     pub epoch: u64,
     /// The thread's active durable transaction, if any.
     pub tx: Option<TxId>,
+    /// Zero-based index of the triggering event in the checked trace,
+    /// or `None` for end-of-trace findings (which have no anchoring
+    /// event). This is what lets [`crate::rewrite`] map a finding back
+    /// to the exact `clwb`/fence it should elide.
+    pub at_index: Option<usize>,
     /// Human-readable one-liner.
     pub message: String,
 }
@@ -157,6 +162,9 @@ pub struct Checker {
     findings: Vec<Finding>,
     events_visited: u64,
     last_ns: u64,
+    /// Index of the event currently being folded in (`None` once
+    /// [`finish`](Checker::finish) starts its end-of-trace scan).
+    cur_index: Option<usize>,
 }
 
 impl Checker {
@@ -183,6 +191,7 @@ impl Checker {
             line,
             epoch: t.epoch,
             tx: t.tx,
+            at_index: self.cur_index,
             message,
         });
     }
@@ -191,6 +200,7 @@ impl Checker {
     /// order.
     pub fn push(&mut self, ev: &Event) {
         self.events_visited += 1;
+        self.cur_index = Some((self.events_visited - 1) as usize);
         self.last_ns = self.last_ns.max(ev.at_ns);
         match ev.kind {
             EventKind::PmStore { addr, len, nt, .. } => {
@@ -434,6 +444,7 @@ impl Checker {
     /// the program's next persist point, so this is a heuristic, not a
     /// proof (the tx-commit variants of the same states are errors).
     pub fn finish(mut self) -> CheckReport {
+        self.cur_index = None;
         let mut tail: Vec<(Line, LineState)> = self
             .lines
             .iter()
@@ -685,5 +696,27 @@ mod tests {
         let r = check_events(&[]);
         assert!(r.findings.is_empty());
         assert_eq!(r.events_visited, 0);
+    }
+
+    #[test]
+    fn findings_anchor_their_triggering_event() {
+        let mut t = TraceBuffer::new();
+        t.flush(T0, 640, 5); // index 0: redundant (clean)
+        t.pm_store(T0, 0, 8, false, Category::UserData, 10);
+        t.flush(T0, 0, 20);
+        t.fence(T0, 30);
+        t.fence(T0, 40); // index 4: double fence
+        t.pm_store(T0, 128, 8, false, Category::UserData, 50); // dirty at end
+        let r = check_events(t.events());
+        assert_eq!(
+            ids(&r),
+            vec!["P-REDUNDANT-FLUSH", "P-DOUBLE-FENCE", "P-UNFLUSHED"]
+        );
+        assert_eq!(r.findings[0].at_index, Some(0));
+        assert_eq!(r.findings[1].at_index, Some(4));
+        assert_eq!(
+            r.findings[2].at_index, None,
+            "end-of-trace findings have no anchoring event"
+        );
     }
 }

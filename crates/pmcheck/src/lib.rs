@@ -41,8 +41,10 @@
 #![warn(missing_docs)]
 
 mod checker;
+pub mod rewrite;
 mod rules;
 pub mod seeded;
 
 pub use checker::{check_events, CheckReport, Checker, Finding};
+pub use rewrite::{rewrite_events, RewriteReport};
 pub use rules::{Rule, Severity};

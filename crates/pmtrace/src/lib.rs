@@ -40,8 +40,10 @@ pub mod analysis;
 mod buffer;
 pub mod codec;
 mod event;
+pub mod transform;
 
 pub use analysis::Epoch;
 pub use buffer::TraceBuffer;
 pub use codec::{decode_events, encode_events, CodecError};
 pub use event::{Category, Event, EventKind, Tid, TxId};
+pub use transform::{elide_indices, splice, TraceEdit};

@@ -7,6 +7,7 @@
 //!                [--crash-json PATH] [--serve] [--serve-json PATH]
 //!                [--serve-arrival paced|bursty] [--serve-shards N]
 //!                [--trace PATH] [--profile] [--profile-json PATH]
+//!                [--optimize] [--optimize-json PATH]
 //!                [--quiet] [--dump-traces DIR] [--from-trace FILE]
 //!
 //! EXPERIMENT: table1 | fig3 | fig4 | fig5 | fig6 | fig10 |
@@ -58,6 +59,22 @@
 //! the campaign document to PATH (implies `--crash`). The campaign
 //! fans out over `--parallel` workers.
 //!
+//! `--optimize` runs the ordering optimizer (`whisper::optimize`)
+//! after the suite run: every selected app's trace is rewritten by
+//! `pmcheck::rewrite_events` (checker-flagged redundant flushes and
+//! no-work fences elided to a fixpoint), both traces are replayed
+//! under x86-64(NVM), HOPS(NVM), and PWQ to price the earned speedup,
+//! the rewritten trace is re-checked (must be clean of the elided
+//! rules, no new errors), and the full crash campaign is re-run with
+//! the flagged instructions machine-elided (every recovery oracle must
+//! still pass). A summary table is appended to the text report, the
+//! JSON report's `optimize` section is populated, and the process
+//! exits 5 on any gate violation — remaining elidable findings, new
+//! errors, or optimized-schedule recovery failures. `--optimize-json
+//! PATH` additionally writes just the optimize document to PATH
+//! (implies `--optimize`). Both phases fan out over `--parallel`
+//! workers; results never depend on the worker count.
+//!
 //! `--serve` runs the open-loop serving engine (`whisper::serve`)
 //! after the suite run: each Table 1 app is calibrated across sharded
 //! machines, then swept across offered-load points under paced or
@@ -72,7 +89,7 @@
 //! are bit-identical whatever the worker count.
 //!
 //! `--json PATH` additionally writes the versioned machine-readable
-//! report (`whisper::json_report`, schema v5) to PATH and turns on
+//! report (`whisper::json_report`, schema v6) to PATH and turns on
 //! `pmobs` metric recording so the report's `metrics` block is
 //! populated. Stdout carries only the report text; all diagnostics go
 //! to stderr through the `pmobs` logger, and `--quiet` silences
@@ -92,6 +109,7 @@
 use std::time::Instant;
 use whisper::check::{self, AppCheck};
 use whisper::crashtest::{self, AppCrashReport, CampaignConfig};
+use whisper::optimize::{self, OptimizeReport};
 use whisper::profile::{profile_json, profile_table, AppProfile};
 use whisper::serve::{self, AppServe, Arrival, ServeConfig};
 use whisper::suite::{analyze, run_apps, AppResult, SuiteConfig, APP_NAMES};
@@ -101,6 +119,8 @@ use whisper::{json_report, report};
 const CHECK_FAILED: i32 = 3;
 /// Exit code when `--crash` found recovery failures.
 const CRASH_FAILED: i32 = 4;
+/// Exit code when `--optimize` violated a soundness gate.
+const OPTIMIZE_FAILED: i32 = 5;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -115,6 +135,8 @@ fn main() {
     let mut check_json_path: Option<String> = None;
     let mut crash_campaign = false;
     let mut crash_json_path: Option<String> = None;
+    let mut optimize_sweep = false;
+    let mut optimize_json_path: Option<String> = None;
     let mut serve_sweep = false;
     let mut serve_json_path: Option<String> = None;
     let mut serve_arrival = Arrival::Bursty;
@@ -156,6 +178,16 @@ fn main() {
                 check_json_path = Some(
                     args.get(i)
                         .unwrap_or_else(|| die("--check-json needs an output path"))
+                        .clone(),
+                );
+            }
+            "--optimize" => optimize_sweep = true,
+            "--optimize-json" => {
+                i += 1;
+                optimize_sweep = true;
+                optimize_json_path = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| die("--optimize-json needs an output path"))
                         .clone(),
                 );
             }
@@ -256,7 +288,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: whisper-report [table1|fig3|fig4|fig5|fig6|fig10|amplification|ntfraction|smallwrites|all] [--scale X] [--seed N] [--apps a,b,c] [--parallel N] [--timing] [--json PATH] [--json-det PATH] [--check] [--check-json PATH] [--crash] [--crash-json PATH] [--serve] [--serve-json PATH] [--serve-arrival paced|bursty] [--serve-shards N] [--trace PATH] [--profile] [--profile-json PATH] [--quiet]"
+                    "usage: whisper-report [table1|fig3|fig4|fig5|fig6|fig10|amplification|ntfraction|smallwrites|all] [--scale X] [--seed N] [--apps a,b,c] [--parallel N] [--timing] [--json PATH] [--json-det PATH] [--check] [--check-json PATH] [--crash] [--crash-json PATH] [--serve] [--serve-json PATH] [--serve-arrival paced|bursty] [--serve-shards N] [--trace PATH] [--profile] [--profile-json PATH] [--optimize] [--optimize-json PATH] [--quiet]"
                 );
                 return;
             }
@@ -332,6 +364,7 @@ fn main() {
         export_trace(&trace_path);
         let checks = run_checks(check_traces, &check_json_path, &results);
         let crash = run_crash(crash_campaign, &crash_json_path, &cfg);
+        let optimized = run_optimize(optimize_sweep, &optimize_json_path, &results, &cfg);
         write_json_report(
             &json_path,
             &json_det_path,
@@ -340,6 +373,7 @@ fn main() {
             checks.as_deref(),
             crash.as_ref(),
             served.as_ref(),
+            optimized.as_ref(),
         );
         println!("{}", report::all(&results));
         if let Some(checks) = &checks {
@@ -347,6 +381,9 @@ fn main() {
         }
         if let Some((reports, ccfg)) = &crash {
             print!("\n{}", crashtest::summary_table(reports, ccfg));
+        }
+        if let Some(opt) = &optimized {
+            print!("\n{}", optimize::summary_table(opt));
         }
         if let Some(s) = &served {
             print!("\n{}", report::serve_table(&s.reports, s.scfg.arrival));
@@ -359,6 +396,9 @@ fn main() {
         }
         if let Some((reports, _)) = &crash {
             exit_if_crash_failed(reports);
+        }
+        if let Some(opt) = &optimized {
+            exit_if_optimize_failed(opt);
         }
         return;
     }
@@ -402,6 +442,7 @@ fn main() {
     export_trace(&trace_path);
     let checks = run_checks(check_traces, &check_json_path, &results);
     let crash = run_crash(crash_campaign, &crash_json_path, &cfg);
+    let optimized = run_optimize(optimize_sweep, &optimize_json_path, &results, &cfg);
     write_json_report(
         &json_path,
         &json_det_path,
@@ -410,6 +451,7 @@ fn main() {
         checks.as_deref(),
         crash.as_ref(),
         served.as_ref(),
+        optimized.as_ref(),
     );
 
     let text = match experiment.as_str() {
@@ -433,6 +475,9 @@ fn main() {
     if let Some((reports, ccfg)) = &crash {
         print!("\n{}", crashtest::summary_table(reports, ccfg));
     }
+    if let Some(opt) = &optimized {
+        print!("\n{}", optimize::summary_table(opt));
+    }
     if let Some(s) = &served {
         print!("\n{}", report::serve_table(&s.reports, s.scfg.arrival));
         if let Some(profiles) = &s.profiles {
@@ -444,6 +489,9 @@ fn main() {
     }
     if let Some((reports, _)) = &crash {
         exit_if_crash_failed(reports);
+    }
+    if let Some(opt) = &optimized {
+        exit_if_optimize_failed(opt);
     }
 }
 
@@ -522,6 +570,56 @@ fn run_crash(
     Some((reports, ccfg))
 }
 
+/// `--optimize`: rewrite every selected trace, price the speedup, and
+/// re-run the crash campaign over the elided schedules; write the
+/// standalone optimize document if `--optimize-json` asked for one.
+/// Both phases reuse the suite's `--parallel` worker count.
+fn run_optimize(
+    enabled: bool,
+    optimize_json_path: &Option<String>,
+    results: &[AppResult],
+    cfg: &SuiteConfig,
+) -> Option<OptimizeReport> {
+    if !enabled {
+        return None;
+    }
+    let _span = pmobs::span!("suite.optimize");
+    let ccfg = CampaignConfig {
+        parallelism: cfg.parallelism,
+        ..CampaignConfig::quick()
+    };
+    pmobs::info!(
+        "sweeping ordering optimizer: rewrite + replay over {} app(s), then crash-verifying...",
+        results.len()
+    );
+    let started = Instant::now();
+    let report = optimize::optimize_results(results, &ccfg, cfg.parallelism);
+    pmobs::info!(
+        "optimizer finished in {:.2?}: {} instruction(s) elided, {} crash failure(s)",
+        started.elapsed(),
+        report.total_elided(),
+        report.crash_failures()
+    );
+    if let Some(path) = optimize_json_path {
+        std::fs::write(path, optimize::optimize_json(&report).to_pretty())
+            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        pmobs::info!("optimize json written to {path}");
+    }
+    Some(report)
+}
+
+/// The `--optimize` gate: any re-check or crash-soundness violation
+/// fails the run.
+fn exit_if_optimize_failed(report: &OptimizeReport) {
+    let violations = report.gate_violations();
+    if !violations.is_empty() {
+        for v in &violations {
+            pmobs::error!("optimize gate: {v}");
+        }
+        std::process::exit(OPTIMIZE_FAILED);
+    }
+}
+
 /// What `--serve` (and `--profile` riding on it) produced, for the
 /// report body and the printed tables.
 struct ServeOutput {
@@ -593,10 +691,11 @@ fn exit_if_crash_failed(reports: &[AppCrashReport]) {
     }
 }
 
-/// Write the schema-v5 JSON document to `path` and/or its deterministic
+/// Write the schema-v6 JSON document to `path` and/or its deterministic
 /// subset to `det_path` (no-op without `--json`/`--json-det`).
 /// Snapshots the global pmobs registry last, so the full report
 /// includes everything the run recorded.
+#[allow(clippy::too_many_arguments)]
 fn write_json_report(
     path: &Option<String>,
     det_path: &Option<String>,
@@ -605,6 +704,7 @@ fn write_json_report(
     checks: Option<&[AppCheck]>,
     crash: Option<&(Vec<AppCrashReport>, CampaignConfig)>,
     served: Option<&ServeOutput>,
+    optimized: Option<&OptimizeReport>,
 ) {
     if path.is_none() && det_path.is_none() {
         return;
@@ -619,6 +719,9 @@ fn write_json_report(
         if let Some(p) = &s.profiles {
             doc = doc.field("profile", profile_json(p, &s.scfg));
         }
+    }
+    if let Some(opt) = optimized {
+        doc = doc.field("optimize", optimize::optimize_json(opt));
     }
     if let Some(path) = path {
         std::fs::write(path, doc.to_pretty())

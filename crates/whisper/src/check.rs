@@ -78,10 +78,32 @@ fn finding_json(f: &Finding) -> Json {
         .field("message", f.message.as_str())
 }
 
+/// Suite-wide per-rule totals: for each rule that fired anywhere, the
+/// summed (errors, warnings) across all checked apps, in [`Rule::ALL`]
+/// order.
+pub fn rule_totals(checks: &[AppCheck]) -> Vec<(Rule, usize, usize)> {
+    Rule::ALL
+        .iter()
+        .filter_map(|rule| {
+            let (mut errors, mut warns) = (0usize, 0usize);
+            for c in checks {
+                for (r, e, w) in c.report.by_rule() {
+                    if r == *rule {
+                        errors += e;
+                        warns += w;
+                    }
+                }
+            }
+            (errors + warns > 0).then_some((*rule, errors, warns))
+        })
+        .collect()
+}
+
 /// The `violations` section of the schema-v2 report.
 ///
 /// ```text
 /// {checked_apps, total_errors, total_warnings,
+///  by_rule: {<rule-id>: {errors, warnings}, ...},   // suite totals
 ///  apps: [{name, events, errors, warnings,
 ///          by_rule: {<rule-id>: {errors, warnings}, ...},
 ///          findings: [...first 25...], findings_truncated}]}
@@ -119,6 +141,15 @@ pub fn violations_json(checks: &[AppCheck]) -> Json {
                 )
         })
         .collect();
+    let mut suite_by_rule = Json::obj();
+    for (rule, errors, warns) in rule_totals(checks) {
+        suite_by_rule = suite_by_rule.field(
+            rule.id(),
+            Json::obj()
+                .field("errors", errors as u64)
+                .field("warnings", warns as u64),
+        );
+    }
     Json::obj()
         .field("checked_apps", checks.len() as u64)
         .field("total_errors", total_errors(checks) as u64)
@@ -129,6 +160,7 @@ pub fn violations_json(checks: &[AppCheck]) -> Json {
                 .map(|c| c.report.warnings() as u64)
                 .sum::<u64>(),
         )
+        .field("by_rule", suite_by_rule)
         .field("apps", apps)
 }
 
@@ -140,10 +172,10 @@ pub fn summary_table(checks: &[AppCheck]) -> String {
          app            events    errors  warnings  rules fired\n",
     );
     for c in checks {
-        let fired: Vec<&str> = Rule::ALL
+        let fired: Vec<String> = Rule::ALL
             .iter()
             .filter(|r| c.report.count(**r) > 0)
-            .map(|r| r.id())
+            .map(|r| format!("{}×{}", r.id(), c.report.count(*r)))
             .collect();
         out.push_str(&format!(
             "{:<14} {:>7} {:>9} {:>9}  {}\n",
@@ -164,6 +196,15 @@ pub fn summary_table(checks: &[AppCheck]) -> String {
         checks.iter().map(|c| c.report.warnings()).sum::<usize>(),
         checks.len()
     ));
+    if !checks.is_empty() {
+        let per_rule: Vec<String> = rule_totals(checks)
+            .iter()
+            .map(|(r, e, w)| format!("{}: {e} error(s), {w} warning(s)", r.id()))
+            .collect();
+        if !per_rule.is_empty() {
+            out.push_str(&format!("by rule: {}\n", per_rule.join("; ")));
+        }
+    }
     out
 }
 
@@ -208,11 +249,40 @@ mod tests {
 
     #[test]
     fn summary_table_lists_fired_rules() {
-        let table = summary_table(&seeded_check());
+        let checks = seeded_check();
+        let table = summary_table(&checks);
         assert!(table.contains("buggy-log"), "{table}");
         for rule in Rule::ALL {
             assert!(table.contains(rule.id()), "{table}");
         }
+        // The fired-rules column carries per-rule counts.
+        for (rule, errors, warns) in pmcheck::seeded::EXPECTED {
+            let tag = format!("{}×{}", rule.id(), errors + warns);
+            assert!(table.contains(&tag), "missing {tag} in:\n{table}");
+        }
         assert!(table.contains("total: 4 error(s), 3 warning(s)"), "{table}");
+        assert!(table.contains("by rule: "), "{table}");
+    }
+
+    #[test]
+    fn violations_json_has_suite_rule_totals() {
+        let checks = seeded_check();
+        let doc = violations_json(&checks);
+        let by_rule = doc.get("by_rule").unwrap();
+        for (rule, errors, warns) in pmcheck::seeded::EXPECTED {
+            let r = by_rule.get(rule.id()).unwrap();
+            assert_eq!(
+                (
+                    r.get("errors").and_then(Json::as_f64),
+                    r.get("warnings").and_then(Json::as_f64)
+                ),
+                (Some(errors as f64), Some(warns as f64)),
+                "{}",
+                rule.id()
+            );
+        }
+        // Totals agree with the flat counters.
+        let sum: f64 = rule_totals(&checks).iter().map(|(_, e, _)| *e as f64).sum();
+        assert_eq!(doc.get("total_errors").and_then(Json::as_f64), Some(sum));
     }
 }

@@ -47,9 +47,11 @@
 //! See DESIGN.md § Crash testing.
 
 use crate::suite::default_parallelism;
-use memsim::{CrashCounter, CrashPlan, CrashSpec, CrashState, Machine};
+use memsim::{CrashCounter, CrashPlan, CrashSpec, CrashState, ElidePlan, ElideStats, Machine};
 use pmem::PmImage;
 use pmobs::Json;
+use pmtrace::{Event, EventKind, TraceBuffer};
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -68,13 +70,64 @@ pub struct CrashRun {
     pub ops: u64,
     /// One captured state per requested crash point.
     pub states: Vec<CrashState>,
+    /// The machine trace of the measured interval (arm → harvest) —
+    /// empty unless the run was wrapped in [`with_arm_options`] asking
+    /// for one. The optimizer checks this trace to decide which
+    /// flush/fence ordinals its elision plan may skip.
+    pub trace: Vec<Event>,
+    /// What an armed elision plan did during the run (`None` in plain
+    /// campaign runs).
+    pub elide: Option<ElideStats>,
     /// The recovery oracle for this run's images.
     pub oracle: Oracle,
 }
 
+/// Extra arming the optimized campaign needs, delivered out of band.
+///
+/// The eleven `crash_run` entry points share the `(ops, points)`
+/// signature through the [`Runner`] fn-pointer registry; rather than
+/// widening all of them for the optimizer's sake, the campaign driver
+/// stashes these options in a thread-local that [`arm`] consumes. Both
+/// the serial and the worker-pool campaign paths invoke the runner
+/// synchronously on the thread that set the options, so the handoff is
+/// race-free.
+#[derive(Debug, Default)]
+pub(crate) struct ArmOptions {
+    /// Record the machine trace from arm to harvest.
+    pub(crate) trace: bool,
+    /// Arm this elision plan alongside the crash plan.
+    pub(crate) elide: Option<ElidePlan>,
+}
+
+thread_local! {
+    static ARM_OPTS: RefCell<Option<ArmOptions>> = const { RefCell::new(None) };
+}
+
+/// Run `f` (a single `crash_run` invocation) with `opts` applied at its
+/// [`arm`] call.
+pub(crate) fn with_arm_options<T>(opts: ArmOptions, f: impl FnOnce() -> T) -> T {
+    ARM_OPTS.with(|c| *c.borrow_mut() = Some(opts));
+    let out = f();
+    ARM_OPTS.with(|c| *c.borrow_mut() = None);
+    out
+}
+
 /// Arm `m` with a fence-counting plan: a probe when `points` is empty,
-/// a capturing plan otherwise.
+/// a capturing plan otherwise. Applies any pending [`ArmOptions`].
 pub(crate) fn arm(m: &mut Machine, points: &[u64]) {
+    if let Some(opts) = ARM_OPTS.with(|c| c.borrow_mut().take()) {
+        if opts.trace {
+            let t = m.trace_mut();
+            t.clear();
+            t.set_enabled(true);
+        }
+        if let Some(plan) = opts.elide {
+            // Armed here, not earlier: elision ordinals are counted
+            // from the same instant the trace (and the checker's view)
+            // starts, so finding ordinals and machine ordinals line up.
+            m.set_elide_plan(plan);
+        }
+    }
     let plan = if points.is_empty() {
         CrashPlan::probe(CrashCounter::Fences)
     } else {
@@ -86,10 +139,14 @@ pub(crate) fn arm(m: &mut Machine, points: &[u64]) {
 /// Finish a crash workload: harvest the machine's event count and
 /// captured states into a [`CrashRun`].
 pub(crate) fn harvest(mut m: Machine, ops: u64, oracle: Oracle) -> CrashRun {
+    let elide = m.elide_stats();
+    let trace = std::mem::replace(m.trace_mut(), TraceBuffer::disabled()).into_events();
     CrashRun {
         total_events: m.crash_event_count(),
         ops,
         states: m.take_crash_states(),
+        trace,
+        elide,
         oracle,
     }
 }
@@ -200,15 +257,15 @@ fn spec_name(spec: CrashSpec) -> String {
     }
 }
 
-/// Run one row: probe for the fence total, re-run with the spread
-/// points armed, then judge every point × spec image.
-fn run_row(name: &'static str, ops: usize, runner: Runner, cfg: &CampaignConfig) -> AppCrashReport {
-    let _span = pmobs::span!("crash.row", name);
-    let probe = runner(ops, &[]);
-    let points = spread_points(probe.total_events, cfg.points);
-    let run = runner(ops, &points);
+/// Judge a captured run: materialize every point × spec image and run
+/// the oracle over each.
+fn judge(
+    name: &'static str,
+    points: Vec<u64>,
+    run: &CrashRun,
+    cfg: &CampaignConfig,
+) -> AppCrashReport {
     debug_assert_eq!(run.states.len(), points.len());
-
     let mut images = 0usize;
     let mut failures = Vec::new();
     for state in &run.states {
@@ -237,21 +294,33 @@ fn run_row(name: &'static str, ops: usize, runner: Runner, cfg: &CampaignConfig)
     }
 }
 
-/// Run the whole campaign, fanning the eleven rows out across
-/// `cfg.parallelism` workers (each row is a self-contained seeded
-/// machine, so results are identical whatever the parallelism).
-/// Reports come back in Table 1 order.
-pub fn run_campaign(cfg: &CampaignConfig) -> Vec<AppCrashReport> {
-    let workers = cfg.parallelism.clamp(1, ROWS.len());
+/// Run one row: probe for the fence total, re-run with the spread
+/// points armed, then judge every point × spec image.
+fn run_row(name: &'static str, ops: usize, runner: Runner, cfg: &CampaignConfig) -> AppCrashReport {
+    let _span = pmobs::span!("crash.row", name);
+    let probe = runner(ops, &[]);
+    let points = spread_points(probe.total_events, cfg.points);
+    let run = runner(ops, &points);
+    judge(name, points, &run, cfg)
+}
+
+/// Fan the eleven rows out across `workers` threads (serial when 1),
+/// returning results in Table 1 order. Each row is a self-contained
+/// seeded machine, so results are identical whatever the parallelism.
+fn fan_rows<R: Send>(
+    workers: usize,
+    per_row: impl Fn(&'static str, usize, Runner) -> R + Sync,
+) -> Vec<R> {
+    let workers = workers.clamp(1, ROWS.len());
     if workers == 1 {
         return ROWS
             .iter()
-            .map(|(name, ops, runner)| run_row(name, *ops, *runner, cfg))
+            .map(|(name, ops, runner)| per_row(name, *ops, *runner))
             .collect();
     }
 
     let cursor = AtomicUsize::new(0);
-    let finished: Mutex<Vec<(usize, AppCrashReport)>> = Mutex::new(Vec::with_capacity(ROWS.len()));
+    let finished: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(ROWS.len()));
     std::thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(|| loop {
@@ -259,7 +328,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Vec<AppCrashReport> {
                 let Some((name, ops, runner)) = ROWS.get(i) else {
                     break;
                 };
-                let report = run_row(name, *ops, *runner, cfg);
+                let report = per_row(name, *ops, *runner);
                 finished.lock().unwrap().push((i, report));
             });
         }
@@ -267,6 +336,135 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Vec<AppCrashReport> {
     let mut slots = finished.into_inner().unwrap();
     slots.sort_unstable_by_key(|(i, _)| *i);
     slots.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Run the whole campaign across `cfg.parallelism` workers. Reports
+/// come back in Table 1 order.
+pub fn run_campaign(cfg: &CampaignConfig) -> Vec<AppCrashReport> {
+    fan_rows(cfg.parallelism, |name, ops, runner| {
+        run_row(name, ops, runner, cfg)
+    })
+}
+
+/// One row's outcome under the *optimized* schedule: the regular
+/// point × spec judgement over a run whose checker-flagged flushes and
+/// fences were machine-elided, plus the elision accounting.
+#[derive(Debug, Clone)]
+pub struct OptimizedCrashReport {
+    /// The judged campaign row (points drawn from the *elided* run's
+    /// fence range).
+    pub report: AppCrashReport,
+    /// Fence events in the unoptimized probe, for comparison with
+    /// `report.fence_events`.
+    pub baseline_fences: u64,
+    /// Flush sites the rewrite pass planned to elide.
+    pub planned_flushes: usize,
+    /// Fence sites the rewrite pass planned to elide.
+    pub planned_fences: usize,
+    /// Check → elide rounds the rewrite took to converge.
+    pub rewrite_rounds: usize,
+    /// What the machine actually skipped / refused (from the capture
+    /// run; the probe and capture runs execute identically).
+    pub elide: ElideStats,
+}
+
+/// Per-kind 1-based ordinal of every event in `trace` (0 for events
+/// that are neither flushes nor fences).
+fn flush_fence_ordinals(trace: &[Event]) -> Vec<u64> {
+    let (mut flushes, mut fences) = (0u64, 0u64);
+    trace
+        .iter()
+        .map(|ev| match ev.kind {
+            EventKind::Flush { .. } => {
+                flushes += 1;
+                flushes
+            }
+            EventKind::Fence | EventKind::DFence => {
+                fences += 1;
+                fences
+            }
+            _ => 0,
+        })
+        .collect()
+}
+
+/// Run one row under the optimizer: trace a probe, rewrite its trace,
+/// re-run with the flagged flush/fence ordinals machine-elided, and
+/// judge the elided run under the full spec lattice.
+fn run_optimized_row(
+    name: &'static str,
+    ops: usize,
+    runner: Runner,
+    cfg: &CampaignConfig,
+) -> OptimizedCrashReport {
+    let _span = pmobs::span!("crash.optimized_row", name);
+    // 1. Traced probe: what does the checker flag in this workload?
+    let probe = with_arm_options(
+        ArmOptions {
+            trace: true,
+            elide: None,
+        },
+        || runner(ops, &[]),
+    );
+    let rw = pmcheck::rewrite_events(&probe.trace);
+    let ords = flush_fence_ordinals(&probe.trace);
+    let flush_ords: Vec<u64> = rw
+        .elided
+        .iter()
+        .filter(|&&i| matches!(probe.trace[i].kind, EventKind::Flush { .. }))
+        .map(|&i| ords[i])
+        .collect();
+    let fence_ords: Vec<u64> = rw
+        .elided
+        .iter()
+        .filter(|&&i| matches!(probe.trace[i].kind, EventKind::Fence | EventKind::DFence))
+        .map(|&i| ords[i])
+        .collect();
+    let plan = ElidePlan::new(flush_ords, fence_ords);
+
+    // 2. Elided probe: the optimized run has fewer fences, so its own
+    // total defines the sweepable crash-point range.
+    let elided_probe = with_arm_options(
+        ArmOptions {
+            trace: false,
+            elide: Some(plan.clone()),
+        },
+        || runner(ops, &[]),
+    );
+    let points = spread_points(elided_probe.total_events, cfg.points);
+
+    // 3. Elided capture run, judged exactly like the plain campaign —
+    // every recovery oracle must still pass on the optimized schedule.
+    let run = with_arm_options(
+        ArmOptions {
+            trace: false,
+            elide: Some(plan),
+        },
+        || runner(ops, &points),
+    );
+    let elide = run.elide.unwrap_or_default();
+    OptimizedCrashReport {
+        report: judge(name, points, &run, cfg),
+        baseline_fences: probe.total_events,
+        planned_flushes: rw.elided_flushes,
+        planned_fences: rw.elided_fences,
+        rewrite_rounds: rw.rounds,
+        elide,
+    }
+}
+
+/// Re-run the whole campaign over optimizer-elided schedules — the
+/// soundness gate for `whisper-report --optimize`. Reports come back
+/// in Table 1 order.
+pub fn run_optimized_campaign(cfg: &CampaignConfig) -> Vec<OptimizedCrashReport> {
+    fan_rows(cfg.parallelism, |name, ops, runner| {
+        run_optimized_row(name, ops, runner, cfg)
+    })
+}
+
+/// Total oracle rejections across an optimized campaign.
+pub fn total_optimized_failures(reports: &[OptimizedCrashReport]) -> usize {
+    reports.iter().map(|r| r.report.failures.len()).sum()
 }
 
 /// Total oracle rejections across the campaign (the `--crash` gate).
@@ -403,5 +601,37 @@ mod tests {
     #[test]
     fn registry_matches_table1_order() {
         assert!(ROWS.iter().map(|(n, _, _)| *n).eq(crate::suite::APP_NAMES));
+    }
+
+    #[test]
+    fn optimized_row_elides_and_still_recovers() {
+        // ctree drives the NVML-style undo engine whose commit path
+        // double-fences, so the rewrite must find work here — and the
+        // elided schedule must still pass every recovery oracle.
+        let cfg = CampaignConfig {
+            points: 2,
+            adversarial_seeds: 2,
+            parallelism: 1,
+        };
+        let (name, ops, runner) = ROWS.iter().find(|(n, _, _)| *n == "ctree").unwrap();
+        let opt = run_optimized_row(name, *ops, *runner, &cfg);
+        assert!(opt.planned_fences > 0, "no fences planned: {opt:?}");
+        assert!(opt.elide.elided_total() > 0, "nothing elided: {opt:?}");
+        assert!(opt.report.failures.is_empty(), "{:?}", opt.report.failures);
+        // Elided fences shrink the sweepable crash range.
+        assert!(opt.report.fence_events < opt.baseline_fences);
+    }
+
+    #[test]
+    fn flush_fence_ordinals_count_per_kind() {
+        let mut buf = TraceBuffer::new();
+        let t = pmtrace::Tid(0);
+        buf.flush(t, 0x1000, 1);
+        buf.fence(t, 2);
+        buf.flush(t, 0x1040, 3);
+        buf.pm_store(t, 0x1080, 8, false, pmtrace::Category::UserData, 4);
+        buf.dfence(t, 5);
+        let events = buf.into_events();
+        assert_eq!(flush_fence_ordinals(&events), vec![1, 1, 2, 0, 2]);
     }
 }

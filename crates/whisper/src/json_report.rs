@@ -6,9 +6,12 @@
 //! the [`pmobs`] metrics registry. The encoder is
 //! [`pmobs::json`]; no external serialization crate is involved.
 //!
-//! # Schema (version 5)
+//! # Schema (version 6)
 //!
-//! Version 5 = version 4 plus the `profile` section (`null` unless the
+//! Version 6 = version 5 plus the `optimize` section (`null` unless
+//! the run swept the ordering optimizer with `whisper-report
+//! --optimize`); every v5 key is otherwise unchanged. Version 5 =
+//! version 4 plus the `profile` section (`null` unless the
 //! run profiled the serving sweep with `whisper-report --profile`);
 //! every v4 key is otherwise unchanged. Version 4 = version 3 plus the
 //! `serve` section (`null` unless the run swept the open-loop serving
@@ -17,7 +20,7 @@
 //! `config.effective_ops`. Version 2 = version 1 plus `violations`.
 //!
 //! ```text
-//! schema_version   u64     always 5 for this layout
+//! schema_version   u64     always 6 for this layout
 //! config           obj     {scale, seed, parallelism,
 //!                           effective_ops: {app: ops}}
 //! table1           arr     one obj per app, Table 1 order:
@@ -85,6 +88,19 @@
 //!                           fence_stall_pct}]}]}]}. Simulated clock
 //!                          only, deterministic like `serve`; `null`
 //!                          when the run was not profiled.
+//! optimize         obj?    ordering-optimizer results
+//!                          (`crate::optimize::optimize_json`):
+//!                          {total_elided, crash_failures,
+//!                           gates: {check_clean, crash_ok, violations},
+//!                           apps: [{name, events, elided, epochs,
+//!                           check, speedup}],
+//!                           crash: [{name, planned_flushes,
+//!                           planned_fences, elided_flushes,
+//!                           elided_fences, flush_vetoes, fence_vetoes,
+//!                           baseline_fences, fence_events, images,
+//!                           failures}]}. Simulated clock only,
+//!                          deterministic like `serve`; `null` when the
+//!                          run did not sweep the optimizer.
 //! ```
 //!
 //! Clock-domain rule (see `pmobs::span`): metric names under `sim.*`
@@ -101,7 +117,7 @@ use pmtrace::analysis::SIZE_BUCKET_LABELS;
 use pmtrace::Category;
 
 /// Version stamp of the report layout documented above.
-pub const SCHEMA_VERSION: u64 = 5;
+pub const SCHEMA_VERSION: u64 = 6;
 
 fn paper_row(name: &str) -> Option<&'static PaperRow> {
     PAPER.iter().find(|r| r.name == name)
@@ -332,7 +348,7 @@ pub fn metrics_json(snap: &MetricsSnapshot) -> Json {
         .field("histograms", histograms)
 }
 
-/// Assemble the full schema-version-5 report document. `checks` is the
+/// Assemble the full schema-version-6 report document. `checks` is the
 /// per-app pmcheck outcome when the run was checked (`--check`); the
 /// `violations` key serializes as `null` otherwise.
 pub fn build_checked(
@@ -351,8 +367,8 @@ pub fn build_checked(
 }
 
 /// Assemble the report document without the optional
-/// `violations`/`crash`/`serve`/`profile` sections (the plain-run
-/// shape: all four `null`).
+/// `violations`/`crash`/`serve`/`profile`/`optimize` sections (the
+/// plain-run shape: all five `null`).
 pub fn build(results: &[AppResult], cfg: &SuiteConfig, metrics: &MetricsSnapshot) -> Json {
     let mut effective_ops = Json::obj();
     for r in results {
@@ -392,6 +408,7 @@ pub fn build(results: &[AppResult], cfg: &SuiteConfig, metrics: &MetricsSnapshot
         .field("crash", Json::Null)
         .field("serve", Json::Null)
         .field("profile", Json::Null)
+        .field("optimize", Json::Null)
 }
 
 /// The keys of the *deterministic* sections of the report: everything
@@ -399,8 +416,8 @@ pub fn build(results: &[AppResult], cfg: &SuiteConfig, metrics: &MetricsSnapshot
 /// byte-for-byte across runs, hosts, and parallelism settings. Excluded
 /// are `config` (carries the host-dependent worker count), `metrics`
 /// (host wall-clock histograms), and the optional `violations`/`crash`/
-/// `serve`/`profile` sections (deterministic but sweep-dependent — they have
-/// their own gates). The golden-report equivalence gate
+/// `serve`/`profile`/`optimize` sections (deterministic but
+/// sweep-dependent — they have their own gates). The golden-report equivalence gate
 /// (`tests/golden_report.rs`, CI) compares exactly these sections, so
 /// any hot-path change to the simulator that perturbs results is caught
 /// mechanically.
@@ -430,9 +447,9 @@ pub fn deterministic_subset(doc: &Json) -> Json {
     out
 }
 
-/// The top-level keys every version-5 document carries, in order —
+/// The top-level keys every version-6 document carries, in order —
 /// shared between [`build`], the tests, and CI validation.
-pub const REQUIRED_KEYS: [&str; 17] = [
+pub const REQUIRED_KEYS: [&str; 18] = [
     "schema_version",
     "config",
     "table1",
@@ -450,6 +467,7 @@ pub const REQUIRED_KEYS: [&str; 17] = [
     "crash",
     "serve",
     "profile",
+    "optimize",
 ];
 
 #[cfg(test)]
@@ -476,7 +494,7 @@ mod tests {
         assert_eq!(again, parsed);
         assert_eq!(
             parsed.get("schema_version").and_then(Json::as_f64),
-            Some(5.0)
+            Some(6.0)
         );
         assert_eq!(
             doc.get("violations"),
@@ -497,6 +515,11 @@ mod tests {
             doc.get("profile"),
             Some(&Json::Null),
             "unprofiled runs carry profile: null"
+        );
+        assert_eq!(
+            doc.get("optimize"),
+            Some(&Json::Null),
+            "unoptimized runs carry optimize: null"
         );
         assert_eq!(
             doc.get("config")
@@ -539,6 +562,7 @@ mod tests {
         assert!(deterministic_subset(&doc).get("crash").is_none());
         assert!(deterministic_subset(&doc).get("serve").is_none());
         assert!(deterministic_subset(&doc).get("profile").is_none());
+        assert!(deterministic_subset(&doc).get("optimize").is_none());
         assert!(deterministic_subset(&doc).get("config").is_none());
     }
 

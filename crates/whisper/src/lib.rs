@@ -40,6 +40,7 @@ pub mod apps;
 pub mod check;
 pub mod crashtest;
 pub mod json_report;
+pub mod optimize;
 pub mod profile;
 pub mod region;
 pub mod report;

@@ -1,0 +1,486 @@
+//! Ordering optimizer (`whisper-report --optimize`).
+//!
+//! The checker's P-REDUNDANT-FLUSH and P-DOUBLE-FENCE findings are not
+//! just diagnostics — each one is a persistence instruction the
+//! application paid for and did not need. This module turns those
+//! findings into measured speedup: every Table 1 trace is rewritten by
+//! [`pmcheck::rewrite_events`] (flagged flushes and fences elided to a
+//! fixpoint), and both the original and optimized traces are replayed
+//! under the Figure 10 timing models to price the earned improvement.
+//!
+//! Two gates keep the rewrite honest:
+//!
+//! * **Re-check** — the optimized trace must carry zero remaining
+//!   elidable findings and no new errors ([`AppOptimize::is_clean`]).
+//! * **Crash campaign** — every Table 1 workload is re-executed with
+//!   the flagged instructions machine-elided
+//!   ([`crate::crashtest::run_optimized_campaign`]) and every recovery
+//!   oracle must still pass on every crash image. An optimization that
+//!   only survives replay is a guess; one that survives the full
+//!   point × spec crash lattice has been tested where it matters.
+
+use crate::crashtest::{run_optimized_campaign, CampaignConfig, OptimizedCrashReport};
+use crate::suite::AppResult;
+use hops::{replay, HopsConfig, PersistModel, TimingConfig};
+use pmcheck::rewrite::is_elidable;
+use pmobs::Json;
+use pmtrace::analysis::split_epochs;
+use pmtrace::Event;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The three mechanisms the optimize section prices, mirroring the
+/// serving engine's model set: the x86-64 baseline, HOPS, and the
+/// persist-write-queue variant.
+pub const OPT_MODELS: [PersistModel; 3] = [
+    PersistModel::X86Nvm,
+    PersistModel::HopsNvm,
+    PersistModel::X86Pwq,
+];
+
+/// Original vs optimized simulated runtime under one persistence model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelSpeedup {
+    /// The replayed mechanism.
+    pub model: PersistModel,
+    /// Simulated runtime of the original trace (ns).
+    pub base_ns: u64,
+    /// Simulated runtime of the optimized trace (ns).
+    pub optimized_ns: u64,
+}
+
+impl ModelSpeedup {
+    /// Earned speedup (> 1.0 means the optimized trace is faster).
+    pub fn speedup(&self) -> f64 {
+        if self.optimized_ns == 0 {
+            1.0
+        } else {
+            self.base_ns as f64 / self.optimized_ns as f64
+        }
+    }
+}
+
+/// One application's optimize outcome.
+#[derive(Debug, Clone)]
+pub struct AppOptimize {
+    /// Table 1 application name.
+    pub name: String,
+    /// Trace events before the rewrite.
+    pub events_before: usize,
+    /// Trace events after the rewrite.
+    pub events_after: usize,
+    /// Redundant flushes elided.
+    pub elided_flushes: usize,
+    /// No-work fences elided.
+    pub elided_fences: usize,
+    /// Check → elide rounds to converge (≥ 1; the last is clean).
+    pub rewrite_rounds: usize,
+    /// Epochs in the original trace.
+    pub epochs_before: usize,
+    /// Epochs in the optimized trace (eliding fences merges epochs).
+    pub epochs_after: usize,
+    /// Mean epoch size (unique lines) before.
+    pub mean_epoch_lines_before: f64,
+    /// Mean epoch size (unique lines) after.
+    pub mean_epoch_lines_after: f64,
+    /// Error-severity findings in the original trace.
+    pub errors_before: usize,
+    /// Error-severity findings in the optimized trace (gate: no new).
+    pub errors_after: usize,
+    /// Elidable findings still present after the rewrite (gate: 0).
+    pub residual_flagged: usize,
+    /// Original vs optimized runtime per mechanism, [`OPT_MODELS`] order.
+    pub speedups: Vec<ModelSpeedup>,
+}
+
+impl AppOptimize {
+    /// Total instructions elided from this app's trace.
+    pub fn elided_total(&self) -> usize {
+        self.elided_flushes + self.elided_fences
+    }
+
+    /// The re-check gate: the optimized trace has no leftover elidable
+    /// findings and no errors the original trace didn't have.
+    pub fn is_clean(&self) -> bool {
+        self.residual_flagged == 0 && self.errors_after <= self.errors_before
+    }
+}
+
+/// The whole `--optimize` section: per-app rewrite results plus the
+/// crash-campaign soundness gate.
+#[derive(Debug)]
+pub struct OptimizeReport {
+    /// Per-app rewrite + replay outcomes, Table 1 order.
+    pub apps: Vec<AppOptimize>,
+    /// The optimized crash campaign, Table 1 order.
+    pub crash: Vec<OptimizedCrashReport>,
+}
+
+impl OptimizeReport {
+    /// Total instructions elided across the suite's traces.
+    pub fn total_elided(&self) -> usize {
+        self.apps.iter().map(AppOptimize::elided_total).sum()
+    }
+
+    /// Oracle rejections across the optimized crash campaign.
+    pub fn crash_failures(&self) -> usize {
+        self.crash.iter().map(|r| r.report.failures.len()).sum()
+    }
+
+    /// Every gate violation, as human-readable lines (empty = pass).
+    pub fn gate_violations(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for a in &self.apps {
+            if a.residual_flagged > 0 {
+                out.push(format!(
+                    "{}: {} elidable finding(s) remain after rewrite",
+                    a.name, a.residual_flagged
+                ));
+            }
+            if a.errors_after > a.errors_before {
+                out.push(format!(
+                    "{}: rewrite introduced errors ({} -> {})",
+                    a.name, a.errors_before, a.errors_after
+                ));
+            }
+        }
+        for r in &self.crash {
+            if !r.report.failures.is_empty() {
+                out.push(format!(
+                    "{}: {} recovery failure(s) on the optimized schedule",
+                    r.report.name,
+                    r.report.failures.len()
+                ));
+            }
+        }
+        out
+    }
+}
+
+fn mean_epoch_lines(events: &[Event]) -> (usize, f64) {
+    let epochs = split_epochs(events);
+    let n = epochs.len();
+    if n == 0 {
+        return (0, 0.0);
+    }
+    let lines: usize = epochs.iter().map(pmtrace::Epoch::unique_lines).sum();
+    (n, lines as f64 / n as f64)
+}
+
+/// Rewrite one app's trace and price the difference.
+fn optimize_app(result: &AppResult) -> AppOptimize {
+    let _span = pmobs::span!("optimize.app", result.run.name.as_str());
+    let events = &result.run.events;
+    let before = pmcheck::check_events(events);
+    let rw = pmcheck::rewrite_events(events);
+    let after = pmcheck::check_events(&rw.events);
+    let residual_flagged = after
+        .findings
+        .iter()
+        .filter(|f| is_elidable(f.rule))
+        .count();
+    let (epochs_before, mean_before) = mean_epoch_lines(events);
+    let (epochs_after, mean_after) = mean_epoch_lines(&rw.events);
+    let timing = TimingConfig::default();
+    let hops_cfg = HopsConfig::default();
+    let speedups = OPT_MODELS
+        .iter()
+        .map(|&model| ModelSpeedup {
+            model,
+            base_ns: replay(events, &timing, &hops_cfg, model).runtime_ns,
+            optimized_ns: replay(&rw.events, &timing, &hops_cfg, model).runtime_ns,
+        })
+        .collect();
+    pmobs::count!("optimize.elided", rw.elided_total() as u64);
+    AppOptimize {
+        name: result.run.name.clone(),
+        events_before: events.len(),
+        events_after: rw.events.len(),
+        elided_flushes: rw.elided_flushes,
+        elided_fences: rw.elided_fences,
+        rewrite_rounds: rw.rounds,
+        epochs_before,
+        epochs_after,
+        mean_epoch_lines_before: mean_before,
+        mean_epoch_lines_after: mean_after,
+        errors_before: before.errors(),
+        errors_after: after.errors(),
+        residual_flagged,
+        speedups,
+    }
+}
+
+/// Rewrite, re-check, and price every suite trace (fanned out across
+/// `parallelism` workers — each app is independent, so results are
+/// identical to the serial order), then re-run the crash campaign over
+/// the elided schedules.
+pub fn optimize_results(
+    results: &[AppResult],
+    campaign: &CampaignConfig,
+    parallelism: usize,
+) -> OptimizeReport {
+    let _span = pmobs::span!("optimize.suite");
+    let workers = parallelism.clamp(1, results.len().max(1));
+    let apps = if workers == 1 {
+        results.iter().map(optimize_app).collect()
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let finished: Mutex<Vec<(usize, AppOptimize)>> =
+            Mutex::new(Vec::with_capacity(results.len()));
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(r) = results.get(i) else { break };
+                    let app = optimize_app(r);
+                    finished.lock().unwrap().push((i, app));
+                });
+            }
+        });
+        let mut slots = finished.into_inner().unwrap();
+        slots.sort_unstable_by_key(|(i, _)| *i);
+        slots.into_iter().map(|(_, a)| a).collect()
+    };
+    let crash = run_optimized_campaign(campaign);
+    OptimizeReport { apps, crash }
+}
+
+/// The `optimize` section of the schema-v6 JSON report.
+///
+/// ```text
+/// {total_elided, crash_failures, gates: {check_clean, crash_ok},
+///  apps: [{name, events: {before, after},
+///          elided: {flushes, fences, rounds},
+///          epochs: {before, after, mean_lines_before, mean_lines_after},
+///          check: {errors_before, errors_after, residual_flagged},
+///          speedup: {"<model>": {base_ns, optimized_ns, speedup}, ...}}],
+///  crash: [{name, planned_flushes, planned_fences, elided_flushes,
+///           elided_fences, flush_vetoes, fence_vetoes, baseline_fences,
+///           fence_events, images, failures}]}
+/// ```
+pub fn optimize_json(report: &OptimizeReport) -> Json {
+    let apps: Vec<Json> = report
+        .apps
+        .iter()
+        .map(|a| {
+            let mut speedup = Json::obj();
+            for s in &a.speedups {
+                speedup = speedup.field(
+                    &s.model.to_string(),
+                    Json::obj()
+                        .field("base_ns", s.base_ns)
+                        .field("optimized_ns", s.optimized_ns)
+                        .field("speedup", s.speedup()),
+                );
+            }
+            Json::obj()
+                .field("name", a.name.as_str())
+                .field(
+                    "events",
+                    Json::obj()
+                        .field("before", a.events_before as u64)
+                        .field("after", a.events_after as u64),
+                )
+                .field(
+                    "elided",
+                    Json::obj()
+                        .field("flushes", a.elided_flushes as u64)
+                        .field("fences", a.elided_fences as u64)
+                        .field("rounds", a.rewrite_rounds as u64),
+                )
+                .field(
+                    "epochs",
+                    Json::obj()
+                        .field("before", a.epochs_before as u64)
+                        .field("after", a.epochs_after as u64)
+                        .field("mean_lines_before", a.mean_epoch_lines_before)
+                        .field("mean_lines_after", a.mean_epoch_lines_after),
+                )
+                .field(
+                    "check",
+                    Json::obj()
+                        .field("errors_before", a.errors_before as u64)
+                        .field("errors_after", a.errors_after as u64)
+                        .field("residual_flagged", a.residual_flagged as u64),
+                )
+                .field("speedup", speedup)
+        })
+        .collect();
+    let crash: Vec<Json> = report
+        .crash
+        .iter()
+        .map(|r| {
+            Json::obj()
+                .field("name", r.report.name)
+                .field("planned_flushes", r.planned_flushes as u64)
+                .field("planned_fences", r.planned_fences as u64)
+                .field("elided_flushes", r.elide.flushes_elided)
+                .field("elided_fences", r.elide.fences_elided)
+                .field("flush_vetoes", r.elide.flush_vetoes)
+                .field("fence_vetoes", r.elide.fence_vetoes)
+                .field("baseline_fences", r.baseline_fences)
+                .field("fence_events", r.report.fence_events)
+                .field("images", r.report.images as u64)
+                .field("failures", r.report.failures.len() as u64)
+        })
+        .collect();
+    let violations = report.gate_violations();
+    Json::obj()
+        .field("total_elided", report.total_elided() as u64)
+        .field("crash_failures", report.crash_failures() as u64)
+        .field(
+            "gates",
+            Json::obj()
+                .field("check_clean", report.apps.iter().all(AppOptimize::is_clean))
+                .field("crash_ok", report.crash_failures() == 0)
+                .field(
+                    "violations",
+                    violations
+                        .iter()
+                        .map(|v| Json::from(v.as_str()))
+                        .collect::<Vec<Json>>(),
+                ),
+        )
+        .field("apps", apps)
+        .field("crash", crash)
+}
+
+/// Render the human-readable `--optimize` tables.
+pub fn summary_table(report: &OptimizeReport) -> String {
+    let mut out = String::from(
+        "Ordering optimizer (pmcheck rewrite)\n\
+         app            elided-fl  elided-fe  rounds   epochs before->after  \
+         x86(NVM)  HOPS(NVM)  x86(PWQ)\n",
+    );
+    for a in &report.apps {
+        let mut cols = String::new();
+        for s in &a.speedups {
+            cols.push_str(&format!("{:>9.4}x", s.speedup()));
+        }
+        out.push_str(&format!(
+            "{:<14} {:>9} {:>10} {:>7}   {:>8} -> {:<8} {}\n",
+            a.name,
+            a.elided_flushes,
+            a.elided_fences,
+            a.rewrite_rounds,
+            a.epochs_before,
+            a.epochs_after,
+            cols,
+        ));
+    }
+    out.push_str(&format!(
+        "total elided: {} instruction(s) across {} app(s)\n\n",
+        report.total_elided(),
+        report.apps.len()
+    ));
+    out.push_str(
+        "Crash campaign over optimized schedules\n\
+         app            planned  elided  vetoed  fences before->after  images  failures\n",
+    );
+    for r in &report.crash {
+        out.push_str(&format!(
+            "{:<14} {:>7} {:>7} {:>7}  {:>9} -> {:<8} {:>6} {:>9}\n",
+            r.report.name,
+            r.planned_flushes + r.planned_fences,
+            r.elide.elided_total(),
+            r.elide.veto_total(),
+            r.baseline_fences,
+            r.report.fence_events,
+            r.report.images,
+            r.report.failures.len(),
+        ));
+    }
+    let violations = report.gate_violations();
+    if violations.is_empty() {
+        out.push_str(&format!(
+            "gates: PASS — optimized traces check clean, {} crash image(s) all recovered\n",
+            report.crash.iter().map(|r| r.report.images).sum::<usize>()
+        ));
+    } else {
+        out.push_str("gates: FAIL\n");
+        for v in &violations {
+            out.push_str(&format!("  {v}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::{run_app, SuiteConfig};
+
+    fn tiny_cfg() -> SuiteConfig {
+        SuiteConfig {
+            scale: 0.008,
+            seed: 7,
+            parallelism: 1,
+        }
+    }
+
+    #[test]
+    fn hashmap_trace_earns_a_speedup() {
+        // The NVML-style undo engine double-fences on commit, so the
+        // rewrite must elide fences and the x86 replay must get faster.
+        let r = run_app("hashmap", &tiny_cfg());
+        let a = optimize_app(&r);
+        assert!(a.elided_fences > 0, "{a:?}");
+        assert!(a.is_clean(), "{a:?}");
+        assert_eq!(a.events_before, a.events_after + a.elided_total());
+        let x86 = &a.speedups[0];
+        assert_eq!(x86.model, PersistModel::X86Nvm);
+        assert!(x86.base_ns > x86.optimized_ns, "{a:?}");
+        // Fewer fences, fewer (or equal) epochs.
+        assert!(a.epochs_after <= a.epochs_before);
+    }
+
+    #[test]
+    fn optimize_json_round_trips() {
+        let r = run_app("ctree", &tiny_cfg());
+        let report = OptimizeReport {
+            apps: vec![optimize_app(&r)],
+            crash: Vec::new(),
+        };
+        let doc = optimize_json(&report);
+        let parsed = pmobs::json::parse(&doc.to_pretty()).unwrap();
+        assert_eq!(
+            parsed.get("total_elided").and_then(Json::as_f64),
+            Some(report.total_elided() as f64)
+        );
+        let gates = parsed.get("gates").unwrap();
+        assert_eq!(gates.get("check_clean"), Some(&Json::Bool(true)));
+        let apps = parsed.get("apps").and_then(|a| a.as_arr()).unwrap();
+        let speedup = apps[0].get("speedup").unwrap();
+        for model in OPT_MODELS {
+            let s = speedup.get(&model.to_string()).unwrap();
+            assert!(s.get("speedup").and_then(Json::as_f64).unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn summary_table_mentions_gates() {
+        let r = run_app("hashmap", &tiny_cfg());
+        let report = OptimizeReport {
+            apps: vec![optimize_app(&r)],
+            crash: Vec::new(),
+        };
+        let table = summary_table(&report);
+        assert!(table.contains("hashmap"), "{table}");
+        assert!(table.contains("gates: PASS"), "{table}");
+    }
+
+    #[test]
+    fn gate_violations_flag_regressions() {
+        let r = run_app("exim", &tiny_cfg());
+        let mut a = optimize_app(&r);
+        a.errors_after = a.errors_before + 1;
+        a.residual_flagged = 2;
+        let report = OptimizeReport {
+            apps: vec![a],
+            crash: Vec::new(),
+        };
+        let v = report.gate_violations();
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(summary_table(&report).contains("gates: FAIL"));
+    }
+}
