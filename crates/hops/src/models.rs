@@ -305,7 +305,12 @@ impl Replayer {
                     PersistModel::Ideal => 0,
                 };
             }
-            EventKind::TxBegin { .. } | EventKind::TxEnd { .. } => {
+            EventKind::TxBegin { .. }
+            | EventKind::TxEnd { .. }
+            | EventKind::PmLoad { .. }
+            | EventKind::RecoveryBegin => {
+                // Markers (and loads, which application traces never
+                // record) carry no persistence charge in any model.
                 recorded_charge = 0;
                 model_charge = 0;
             }

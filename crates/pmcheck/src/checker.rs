@@ -1,8 +1,12 @@
-//! The streaming checker: one pass, per-line state machines.
+//! The streaming checker: one pass, per-line state machines, plus a
+//! vector-clock happens-before engine ([`crate::hb`]) that founds the
+//! concurrency rules (`P-CROSS-DEP`, `P-EPOCH-RACE`) on provable
+//! ordering rather than the recorded interleaving.
 
-use crate::rules::{Rule, Severity};
+use crate::hb::HbEngine;
+use crate::rules::{Rule, RuleSet, Severity};
 use pmem::{lines_spanning, FxHashMap, FxHashSet, Line};
-use pmtrace::{Event, EventKind, Tid, TxId};
+use pmtrace::{Category, Event, EventKind, Tid, TxId};
 
 /// One rule violation, anchored to the event that triggered it.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -85,7 +89,7 @@ impl CheckReport {
     }
 
     /// `(rule, errors, warnings)` for every rule, in reporting order.
-    pub fn by_rule(&self) -> [(Rule, usize, usize); 5] {
+    pub fn by_rule(&self) -> [(Rule, usize, usize); 8] {
         let mut out = Rule::ALL.map(|r| (r, 0usize, 0usize));
         for f in &self.findings {
             let slot = &mut out[Rule::ALL
@@ -138,9 +142,6 @@ struct ThreadState {
     tx: Option<TxId>,
     /// Lines stored (cacheably or NT) inside the active transaction.
     tx_lines: FxHashSet<Line>,
-    /// Lines this thread stored in its current open epoch (cleared at
-    /// each fence) — the in-flight set for `P-CROSS-DEP`.
-    open_stores: FxHashSet<Line>,
     /// Lines whose `Flushed` state is waiting on this thread's fence.
     pending_flush: FxHashSet<Line>,
     /// Whether any PM store or flush happened since the last fence.
@@ -156,9 +157,20 @@ struct ThreadState {
 #[derive(Debug, Default)]
 pub struct Checker {
     lines: FxHashMap<Line, LineState>,
-    /// line → threads with an in-flight (unfenced) store to it.
-    in_flight: FxHashMap<Line, Vec<Tid>>,
+    /// Happens-before engine: founds `P-CROSS-DEP` and `P-EPOCH-RACE`.
+    hb: HbEngine,
+    /// Which rules' findings are reported (state machines always run).
+    rules: RuleSet,
     threads: FxHashMap<Tid, ThreadState>,
+    /// Lines ever stored under an open durable transaction — the
+    /// tx-managed region model behind `P-TX-ATOMICITY`.
+    tx_managed: FxHashSet<Line>,
+    /// True once a `RecoveryBegin` marker was seen.
+    recovery: bool,
+    /// Lines durable at the recovery marker (the crash point).
+    durable_at_recovery: FxHashSet<Line>,
+    /// Lines rewritten during recovery (reads of these are fine).
+    recovery_stores: FxHashSet<Line>,
     findings: Vec<Finding>,
     events_visited: u64,
     last_ns: u64,
@@ -168,9 +180,17 @@ pub struct Checker {
 }
 
 impl Checker {
-    /// A fresh checker (all lines clean).
+    /// A fresh checker (all lines clean), reporting every rule.
     pub fn new() -> Checker {
         Checker::default()
+    }
+
+    /// A fresh checker reporting only the rules in `rules`.
+    pub fn with_rules(rules: RuleSet) -> Checker {
+        Checker {
+            rules,
+            ..Checker::default()
+        }
     }
 
     fn report(
@@ -182,6 +202,9 @@ impl Checker {
         line: Option<Line>,
         message: String,
     ) {
+        if !self.rules.contains(rule) {
+            return;
+        }
         let t = self.threads.entry(tid).or_default();
         self.findings.push(Finding {
             rule,
@@ -202,38 +225,60 @@ impl Checker {
         self.events_visited += 1;
         self.cur_index = Some((self.events_visited - 1) as usize);
         self.last_ns = self.last_ns.max(ev.at_ns);
+        self.hb.begin_event(ev.tid, ev.at_ns);
         match ev.kind {
-            EventKind::PmStore { addr, len, nt, .. } => {
+            EventKind::PmStore { addr, len, nt, cat } => {
                 for (line, _, _) in lines_spanning(addr, len as usize) {
-                    self.on_store(ev.tid, ev.at_ns, line, nt);
+                    self.on_store(ev.tid, ev.at_ns, line, nt, cat);
                 }
             }
             EventKind::Flush { addr } => self.on_flush(ev.tid, ev.at_ns, Line::containing(addr)),
-            EventKind::Fence | EventKind::DFence => self.on_fence(ev.tid, ev.at_ns),
+            EventKind::Fence => {
+                self.on_fence(ev.tid, ev.at_ns);
+                self.hb.fence(false);
+            }
+            EventKind::DFence => {
+                self.on_fence(ev.tid, ev.at_ns);
+                self.hb.fence(true);
+            }
             EventKind::TxBegin { id } => {
+                self.hb.tx_begin();
                 let t = self.threads.entry(ev.tid).or_default();
                 t.tx = Some(id);
                 t.tx_lines.clear();
             }
-            EventKind::TxEnd { id } => self.on_tx_end(ev.tid, ev.at_ns, id),
+            EventKind::TxEnd { id } => {
+                self.on_tx_end(ev.tid, ev.at_ns, id);
+                self.hb.tx_end();
+            }
+            EventKind::PmLoad { addr } => {
+                self.on_load(ev.tid, ev.at_ns, Line::containing(addr));
+            }
+            EventKind::RecoveryBegin => {
+                // The marker declares: everything before it is the
+                // pre-crash execution, everything after is recovery.
+                // Snapshot what the discipline *proved* durable — the
+                // only lines recovery may rely on.
+                self.recovery = true;
+                self.durable_at_recovery = self
+                    .lines
+                    .iter()
+                    .filter(|(_, s)| matches!(s, LineState::Durable))
+                    .map(|(l, _)| *l)
+                    .collect();
+                self.recovery_stores.clear();
+            }
         }
     }
 
-    fn on_store(&mut self, tid: Tid, at_ns: u64, line: Line, nt: bool) {
-        // P-CROSS-DEP: another thread has an unfenced store to this
-        // line. Reported once per conflicting (line, thread) pair —
-        // the entry is consumed so repeat stores do not multiply it.
-        let holders = self.in_flight.entry(line).or_default();
-        let racy = holders.iter().any(|h| *h != tid);
-        if !holders.contains(&tid) {
-            holders.push(tid);
-        }
-        if racy {
-            let others: Vec<String> = self.in_flight[&line]
-                .iter()
-                .filter(|h| **h != tid)
-                .map(ToString::to_string)
-                .collect();
+    fn on_store(&mut self, tid: Tid, at_ns: u64, line: Line, nt: bool, cat: Category) {
+        // P-CROSS-DEP: a prior store to this line by another thread is
+        // happens-before-concurrent with this one — no fence, commit,
+        // or observed communication orders the two epochs, so whichever
+        // one a crash cuts, the line's durable value is a race outcome.
+        let conflicts = self.hb.store(line);
+        if !conflicts.is_empty() {
+            let others: Vec<String> = conflicts.iter().map(ToString::to_string).collect();
             self.report(
                 Rule::CrossDep,
                 Severity::Error,
@@ -241,10 +286,55 @@ impl Checker {
                 at_ns,
                 Some(line),
                 format!(
-                    "store to {line} races in-flight store(s) from {} — no ordering fence between the epochs",
+                    "store to {line} races happens-before-concurrent store(s) from {} — no ordering fence between the epochs",
                     others.join(",")
                 ),
             );
+        }
+
+        // P-TX-ATOMICITY: a store into the tx-managed region (a line
+        // previously written under a durable transaction) while no
+        // transaction is open bypasses undo/redo-log protection.
+        let in_tx = self.threads.get(&tid).is_some_and(|t| t.tx.is_some());
+        if cat == Category::UserData {
+            if in_tx {
+                self.tx_managed.insert(line);
+            } else if self.tx_managed.contains(&line) {
+                self.report(
+                    Rule::TxAtomicity,
+                    Severity::Error,
+                    tid,
+                    at_ns,
+                    Some(line),
+                    format!(
+                        "store to tx-managed {line} with no transaction open — the update bypasses undo/redo-log protection"
+                    ),
+                );
+            }
+        }
+        if self.recovery {
+            self.recovery_stores.insert(line);
+        }
+
+        // P-EPOCH-RACE (NT path): an NT store is its own persist; if a
+        // foreign persist of the line is still pending and unordered,
+        // the device may apply the writebacks in either order.
+        if nt {
+            let pconf = self.hb.persist(line);
+            if !pconf.is_empty() {
+                let others: Vec<String> = pconf.iter().map(ToString::to_string).collect();
+                self.report(
+                    Rule::EpochRace,
+                    Severity::Error,
+                    tid,
+                    at_ns,
+                    Some(line),
+                    format!(
+                        "NT store persists {line} concurrently with unfenced persist(s) from {} — writeback order is a race",
+                        others.join(",")
+                    ),
+                );
+            }
         }
 
         let prev = self.lines.get(&line).copied();
@@ -295,12 +385,34 @@ impl Checker {
 
         let t = self.threads.entry(tid).or_default();
         t.pm_work = true;
-        t.open_stores.insert(line);
         if nt {
             t.pending_flush.insert(line);
         }
         if t.tx.is_some() {
             t.tx_lines.insert(line);
+        }
+    }
+
+    /// `P-EPOCH-RACE` (flush path): this flush persists `line` while a
+    /// foreign persist of the same line is pending and unordered.
+    /// Called only for flushes that actually persist something — a
+    /// redundant flush (clean/durable line) has no happens-before
+    /// effect, which is what keeps [`crate::rewrite`]'s elision sound.
+    fn persist_race_check(&mut self, tid: Tid, at_ns: u64, line: Line) {
+        let pconf = self.hb.persist(line);
+        if !pconf.is_empty() {
+            let others: Vec<String> = pconf.iter().map(ToString::to_string).collect();
+            self.report(
+                Rule::EpochRace,
+                Severity::Error,
+                tid,
+                at_ns,
+                Some(line),
+                format!(
+                    "flush persists {line} concurrently with unfenced persist(s) from {} — writeback order is a race",
+                    others.join(",")
+                ),
+            );
         }
     }
 
@@ -324,6 +436,7 @@ impl Checker {
                 format!("flush of already-flushed-and-fenced {line}"),
             ),
             Some(LineState::Dirty { .. }) => {
+                self.persist_race_check(tid, at_ns, line);
                 self.lines.insert(
                     line,
                     LineState::Flushed {
@@ -339,6 +452,7 @@ impl Checker {
                     .insert(line);
             }
             Some(LineState::Flushed { by, nt, .. }) => {
+                self.persist_race_check(tid, at_ns, line);
                 // Re-flush of a still-pending line: not redundant per
                 // the rule (only clean/durable lines are). For a
                 // pending `clwb` from another thread, the later flush
@@ -383,9 +497,10 @@ impl Checker {
             );
         }
         let t = self.threads.entry(tid).or_default();
-        // Retire this thread's pending flushes and in-flight stores.
+        // Retire this thread's pending flushes. (The happens-before
+        // engine retires its in-flight stores and pending persists in
+        // [`HbEngine::fence`], driven from [`push`](Checker::push).)
         let pending: Vec<Line> = t.pending_flush.drain().collect();
-        let open: Vec<Line> = t.open_stores.drain().collect();
         t.pm_work = false;
         t.fenced_before = true;
         t.epoch += 1;
@@ -399,13 +514,29 @@ impl Checker {
                 }
             }
         }
-        for line in open {
-            if let Some(holders) = self.in_flight.get_mut(&line) {
-                holders.retain(|h| *h != tid);
-                if holders.is_empty() {
-                    self.in_flight.remove(&line);
-                }
-            }
+    }
+
+    /// `P-RECOVERY-READ`: during recovery, a load of a line that was
+    /// written before the crash point but not proven durable at any
+    /// fence preceding it — and not rewritten by recovery itself — is
+    /// consuming a value the crash may not have preserved.
+    fn on_load(&mut self, tid: Tid, at_ns: u64, line: Line) {
+        self.hb.load(line);
+        if self.recovery
+            && self.lines.contains_key(&line)
+            && !self.durable_at_recovery.contains(&line)
+            && !self.recovery_stores.contains(&line)
+        {
+            self.report(
+                Rule::RecoveryRead,
+                Severity::Error,
+                tid,
+                at_ns,
+                Some(line),
+                format!(
+                    "recovery reads {line}, written before the crash point but never proven durable at a preceding fence"
+                ),
+            );
         }
     }
 
@@ -483,10 +614,15 @@ impl Checker {
     }
 }
 
-/// Check a whole trace in one pass.
+/// Check a whole trace in one pass, reporting every rule.
 pub fn check_events(events: &[Event]) -> CheckReport {
+    check_events_with(events, RuleSet::all())
+}
+
+/// Check a whole trace in one pass, reporting only `rules`.
+pub fn check_events_with(events: &[Event], rules: RuleSet) -> CheckReport {
     let _span = pmobs::span!("pmcheck");
-    let mut c = Checker::new();
+    let mut c = Checker::with_rules(rules);
     for ev in events {
         c.push(ev);
     }
@@ -696,6 +832,140 @@ mod tests {
         let r = check_events(&[]);
         assert!(r.findings.is_empty());
         assert_eq!(r.events_visited, 0);
+    }
+
+    #[test]
+    fn hb_tx_commit_orders_cross_thread_stores() {
+        // t0's commit releases the line it wrote in-tx; t1's later
+        // store acquires that release, so the pair is ordered even
+        // though t0 never fenced between the stores. The recorded
+        // interleaving alone would have called this a race — the HB
+        // engine is what removes the false negative's dual.
+        let mut t = TraceBuffer::new();
+        t.tx_begin(T0, 1, 0);
+        t.pm_store(T0, 0, 8, false, Category::UserData, 10);
+        t.flush(T0, 0, 20);
+        t.fence(T0, 30);
+        t.tx_end(T0, 1, 40);
+        t.tx_begin(T1, 2, 50);
+        t.pm_store(T1, 0, 8, false, Category::UserData, 60);
+        t.flush(T1, 0, 70);
+        t.fence(T1, 80);
+        t.tx_end(T1, 2, 90);
+        let r = check_events(t.events());
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn concurrent_persists_are_an_epoch_race() {
+        // t1 flushes t0's dirty line (takeover), then t0 flushes it
+        // again before either thread fences: two unordered persists of
+        // one line — the device may apply them in either order.
+        let mut t = TraceBuffer::new();
+        t.pm_store(T0, 0, 8, false, Category::UserData, 10);
+        t.flush(T1, 0, 20);
+        t.flush(T0, 0, 30);
+        t.fence(T0, 40);
+        t.fence(T1, 50);
+        let r = check_events(t.events());
+        assert_eq!(ids(&r), vec!["P-EPOCH-RACE"]);
+        assert_eq!(r.findings[0].tid, T0);
+        assert_eq!(r.findings[0].severity, Severity::Error);
+        assert_eq!(r.findings[0].line, Some(Line(0)));
+    }
+
+    #[test]
+    fn fence_separated_persists_are_legal() {
+        let mut t = TraceBuffer::new();
+        t.pm_store(T0, 0, 8, false, Category::UserData, 10);
+        t.flush(T0, 0, 20);
+        t.fence(T0, 30);
+        t.pm_store(T1, 0, 8, false, Category::UserData, 40);
+        t.flush(T1, 0, 50);
+        t.fence(T1, 60);
+        let r = check_events(t.events());
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn naked_store_to_tx_managed_line_is_an_atomicity_error() {
+        let mut t = TraceBuffer::new();
+        t.tx_begin(T0, 1, 0);
+        t.pm_store(T0, 0, 8, false, Category::UserData, 10);
+        t.flush(T0, 0, 20);
+        t.fence(T0, 30);
+        t.tx_end(T0, 1, 40);
+        t.pm_store(T0, 0, 8, false, Category::UserData, 50); // no tx open
+        t.flush(T0, 0, 60);
+        t.fence(T0, 70);
+        let r = check_events(t.events());
+        assert_eq!(ids(&r), vec!["P-TX-ATOMICITY"]);
+        assert_eq!(r.findings[0].tid, T0);
+        assert_eq!(r.findings[0].at_ns, 50);
+        assert_eq!(r.findings[0].tx, None);
+    }
+
+    #[test]
+    fn tx_managed_model_only_covers_user_data() {
+        // Log writes (undo/redo) legitimately happen outside any
+        // transaction during recovery or maintenance; only user data
+        // is modeled as tx-managed.
+        let mut t = TraceBuffer::new();
+        t.tx_begin(T0, 1, 0);
+        t.pm_store(T0, 0, 8, true, Category::RedoLog, 10);
+        t.dfence(T0, 20);
+        t.tx_end(T0, 1, 30);
+        t.pm_store(T0, 0, 8, true, Category::RedoLog, 40); // same line, no tx
+        t.dfence(T0, 50);
+        let r = check_events(t.events());
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn recovery_read_of_unproven_line_is_an_error() {
+        let mut t = TraceBuffer::new();
+        t.pm_store(T0, 0, 8, false, Category::UserData, 10); // dirty at crash
+        t.pm_store(T0, 64, 8, false, Category::UserData, 20);
+        t.flush(T0, 64, 30);
+        t.fence(T0, 40); // line 1 proven durable
+        t.recovery_begin(T0, 50);
+        t.pm_load(T0, 64, 60); // durable: fine
+        t.pm_load(T0, 0, 70); // unproven: error
+        t.pm_store(T0, 0, 8, false, Category::UserData, 80); // recovery rewrite
+        t.pm_load(T0, 0, 90); // rewritten: fine
+        t.flush(T0, 0, 100);
+        t.fence(T0, 110);
+        let r = check_events(t.events());
+        assert_eq!(ids(&r), vec!["P-RECOVERY-READ"]);
+        assert_eq!(r.findings[0].at_ns, 70);
+        assert_eq!(r.findings[0].line, Some(Line(0)));
+    }
+
+    #[test]
+    fn loads_outside_recovery_are_unchecked() {
+        let mut t = TraceBuffer::new();
+        t.pm_store(T0, 0, 8, false, Category::UserData, 10);
+        t.pm_load(T0, 0, 20); // dirty read pre-crash: not the rule's business
+        t.flush(T0, 0, 30);
+        t.fence(T0, 40);
+        let r = check_events(t.events());
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn rule_filter_suppresses_findings() {
+        let mut t = TraceBuffer::new();
+        t.flush(T0, 640, 5); // redundant flush warn
+        t.pm_store(T0, 0, 8, false, Category::UserData, 10);
+        t.pm_store(T1, 0, 8, false, Category::UserData, 20); // cross-dep error
+        t.flush(T0, 0, 30);
+        t.fence(T0, 40);
+        t.fence(T1, 50);
+        let all = check_events(t.events());
+        assert_eq!(ids(&all), vec!["P-REDUNDANT-FLUSH", "P-CROSS-DEP"]);
+        let only_race = check_events_with(t.events(), RuleSet::from_ids("P-CROSS-DEP").unwrap());
+        assert_eq!(ids(&only_race), vec!["P-CROSS-DEP"]);
+        assert_eq!(only_race.events_visited, all.events_visited);
     }
 
     #[test]

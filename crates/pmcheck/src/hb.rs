@@ -1,0 +1,1204 @@
+//! Happens-before analysis over recorded traces (paper §5.2).
+//!
+//! A second pass over a [`pmtrace`] stream that reconstructs the
+//! ordering the *program* guarantees — not just the one interleaving
+//! the recorder happened to observe. The model is FastTrack-shaped:
+//!
+//! - every thread carries a [`VClock`]; each trace event ticks the
+//!   issuing thread's own component;
+//! - a **fence** *releases* every line the closing epoch stored: the
+//!   thread's clock is joined into the line's release clock (an epoch
+//!   boundary publishes its stores, §5.1);
+//! - a **transaction commit** likewise releases the lines the
+//!   transaction wrote (commit publishes);
+//! - a **store or load** of a line *acquires* its release clock — the
+//!   accessor is coherence-ordered after every published epoch that
+//!   wrote the line (observed same-line communication).
+//!
+//! Two accesses are HB-ordered iff the later one's clock has seen the
+//! earlier one's own-component tick; otherwise they are concurrent
+//! under *some* legal linearization. `P-CROSS-DEP` and `P-EPOCH-RACE`
+//! in [`crate::checker`] are founded on exactly this relation, and the
+//! same clocks yield the per-app **epoch dependency graph**
+//! ([`EpochGraph`]) behind the paper's Fig. 5 cross-thread dependency
+//! statistics.
+//!
+//! Joining *more* ordering is the conservative direction here: every
+//! release edge the model admits suppresses findings, so a program
+//! clean under the recorded order stays clean under the HB refounding
+//! (no new false positives), while transitivity lets the rules catch
+//! races the recorded interleaving hid (fewer false negatives).
+
+use pmem::{lines_spanning, FxHashMap, FxHashSet, Line};
+use pmobs::Json;
+use pmtrace::{Event, EventKind, Tid};
+
+/// A vector clock: one logical-time component per thread slot.
+///
+/// Slots are dense indices allocated by the engine in order of first
+/// appearance; missing components read as 0.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VClock {
+    c: Vec<u64>,
+}
+
+impl VClock {
+    /// The component for `slot` (0 if never set).
+    pub fn get(&self, slot: usize) -> u64 {
+        self.c.get(slot).copied().unwrap_or(0)
+    }
+
+    fn tick(&mut self, slot: usize) {
+        if self.c.len() <= slot {
+            self.c.resize(slot + 1, 0);
+        }
+        self.c[slot] += 1;
+    }
+
+    /// Pointwise maximum with `other`.
+    pub fn join(&mut self, other: &VClock) {
+        if self.c.len() < other.c.len() {
+            self.c.resize(other.c.len(), 0);
+        }
+        for (i, v) in other.c.iter().enumerate() {
+            if self.c[i] < *v {
+                self.c[i] = *v;
+            }
+        }
+    }
+}
+
+/// Per-line release record: the join of every releasing epoch's clock,
+/// plus provenance for graph edges and (in recording mode) for
+/// edge-reachability cross-checks.
+#[derive(Debug, Default)]
+struct Release {
+    clock: VClock,
+    /// Last *fence*-releasing closed epoch node (graph provenance).
+    node: Option<u32>,
+    /// Recording mode: every release event's id (acquire edges).
+    events: Vec<u32>,
+}
+
+/// Recording-mode state backing [`HbIndex`].
+#[derive(Debug, Default)]
+struct Recording {
+    stamps: Vec<VClock>,
+    slots: Vec<usize>,
+    edges: Vec<(u32, u32)>,
+    last_of_slot: Vec<Option<u32>>,
+    pending: Option<usize>,
+}
+
+impl Recording {
+    fn seal(&mut self, clocks: &[VClock]) {
+        if let Some(s) = self.pending.take() {
+            self.stamps.push(clocks[s].clone());
+        }
+    }
+}
+
+/// An epoch node under construction.
+#[derive(Debug)]
+struct BuildNode {
+    slot: usize,
+    index: u64,
+    start_ns: u64,
+    end_ns: u64,
+    open_clock: VClock,
+    close_tick: u64,
+    lines: FxHashSet<Line>,
+    stores: u32,
+    durable: bool,
+    closed: bool,
+}
+
+/// Graph-mode state backing [`EpochGraph`].
+#[derive(Debug, Default)]
+struct GraphBuilder {
+    nodes: Vec<BuildNode>,
+    open: Vec<Option<u32>>,
+    index_ctr: Vec<u64>,
+    edges: FxHashSet<(u32, u32)>,
+}
+
+impl GraphBuilder {
+    fn grow(&mut self, slot: usize) {
+        if self.open.len() <= slot {
+            self.open.resize(slot + 1, None);
+            self.index_ctr.resize(slot + 1, 0);
+        }
+    }
+
+    /// The open node for `slot`, created at this (first) store.
+    fn touch(&mut self, slot: usize, at_ns: u64, clock: &VClock, line: Line) -> u32 {
+        self.grow(slot);
+        let id = match self.open[slot] {
+            Some(id) => id,
+            None => {
+                let id = self.nodes.len() as u32;
+                self.nodes.push(BuildNode {
+                    slot,
+                    index: self.index_ctr[slot],
+                    start_ns: at_ns,
+                    end_ns: at_ns,
+                    open_clock: clock.clone(),
+                    close_tick: 0,
+                    lines: FxHashSet::default(),
+                    stores: 0,
+                    durable: false,
+                    closed: false,
+                });
+                self.open[slot] = Some(id);
+                id
+            }
+        };
+        let n = &mut self.nodes[id as usize];
+        n.lines.insert(line);
+        n.stores += 1;
+        id
+    }
+
+    fn close(&mut self, slot: usize, at_ns: u64, clock: &VClock, durable: bool) -> Option<u32> {
+        self.grow(slot);
+        let id = self.open[slot].take()?;
+        let n = &mut self.nodes[id as usize];
+        n.end_ns = at_ns;
+        n.close_tick = clock.get(slot);
+        n.durable = durable;
+        n.closed = true;
+        self.index_ctr[slot] += 1;
+        Some(id)
+    }
+}
+
+/// Streaming vector-clock happens-before engine.
+///
+/// Drive it either with [`apply`](HbEngine::apply) (one call per trace
+/// event) or, as [`crate::checker::Checker`] does, with
+/// [`begin_event`](HbEngine::begin_event) followed by the per-line
+/// handlers — the clock semantics are identical; only conflict
+/// *reporting* differs (persist conflicts are line-state-gated by the
+/// checker and ignored by `apply`).
+#[derive(Debug, Default)]
+pub struct HbEngine {
+    slots: FxHashMap<Tid, usize>,
+    tids: Vec<Tid>,
+    clocks: Vec<VClock>,
+    /// Last write per (line, slot): the writer's own-component tick.
+    writes: FxHashMap<Line, Vec<(usize, u64)>>,
+    released: FxHashMap<Line, Release>,
+    /// Pending (unfenced) persist per (line, slot).
+    persists: FxHashMap<Line, Vec<(usize, u64)>>,
+    open_lines: Vec<FxHashSet<Line>>,
+    open_persists: Vec<FxHashSet<Line>>,
+    tx_lines: Vec<FxHashSet<Line>>,
+    in_tx: Vec<bool>,
+    cur: Option<(usize, u32)>,
+    cur_ns: u64,
+    events_seen: u32,
+    record: Option<Recording>,
+    graph: Option<GraphBuilder>,
+}
+
+impl HbEngine {
+    /// A fresh engine with neither recording nor graph building.
+    pub fn new() -> HbEngine {
+        HbEngine::default()
+    }
+
+    /// Keep per-event stamps and explicit HB edges (for [`HbIndex`]).
+    fn enable_recording(&mut self) {
+        self.record = Some(Recording::default());
+    }
+
+    /// Build epoch nodes and cross-thread edges (for [`EpochGraph`]).
+    fn enable_graph(&mut self) {
+        self.graph = Some(GraphBuilder::default());
+    }
+
+    fn slot(&mut self, tid: Tid) -> usize {
+        if let Some(s) = self.slots.get(&tid) {
+            return *s;
+        }
+        let s = self.tids.len();
+        self.slots.insert(tid, s);
+        self.tids.push(tid);
+        self.clocks.push(VClock::default());
+        self.open_lines.push(FxHashSet::default());
+        self.open_persists.push(FxHashSet::default());
+        self.tx_lines.push(FxHashSet::default());
+        self.in_tx.push(false);
+        if let Some(rec) = &mut self.record {
+            rec.last_of_slot.push(None);
+        }
+        s
+    }
+
+    /// Start a new trace event on `tid` at `at_ns`: seals the previous
+    /// event's stamp and ticks the thread's clock. Every subsequent
+    /// per-line handler call belongs to this event.
+    pub fn begin_event(&mut self, tid: Tid, at_ns: u64) {
+        let s = self.slot(tid);
+        if let Some(rec) = &mut self.record {
+            rec.seal(&self.clocks);
+        }
+        self.clocks[s].tick(s);
+        let id = self.events_seen;
+        self.events_seen += 1;
+        self.cur = Some((s, id));
+        self.cur_ns = at_ns;
+        if let Some(rec) = &mut self.record {
+            rec.slots.push(s);
+            if let Some(prev) = rec.last_of_slot[s] {
+                rec.edges.push((prev, id));
+            }
+            rec.last_of_slot[s] = Some(id);
+            rec.pending = Some(s);
+        }
+    }
+
+    fn cur(&self) -> (usize, u32) {
+        self.cur.expect("begin_event before handlers")
+    }
+
+    /// Join `line`'s release clock into the current thread's clock.
+    fn acquire(&mut self, s: usize, id: u32, line: Line) {
+        if let Some(rel) = self.released.get(&line) {
+            self.clocks[s].join(&rel.clock);
+            if let Some(rec) = &mut self.record {
+                for &src in &rel.events {
+                    rec.edges.push((src, id));
+                }
+            }
+        }
+    }
+
+    /// A store to `line` by the current event's thread. Returns the
+    /// threads whose last write to the line is HB-concurrent with this
+    /// one — the `P-CROSS-DEP` conflict set.
+    pub fn store(&mut self, line: Line) -> Vec<Tid> {
+        let (s, id) = self.cur();
+        let rel_node = self.released.get(&line).and_then(|r| r.node);
+        self.acquire(s, id, line);
+        let mut conflicts = Vec::new();
+        if let Some(ws) = self.writes.get(&line) {
+            for &(u, k) in ws {
+                if u != s && self.clocks[s].get(u) < k {
+                    conflicts.push(self.tids[u]);
+                }
+            }
+        }
+        let own = self.clocks[s].get(s);
+        let ws = self.writes.entry(line).or_default();
+        match ws.iter_mut().find(|(u, _)| *u == s) {
+            Some(w) => w.1 = own,
+            None => ws.push((s, own)),
+        }
+        self.open_lines[s].insert(line);
+        if self.in_tx[s] {
+            self.tx_lines[s].insert(line);
+        }
+        if let Some(g) = &mut self.graph {
+            let node = g.touch(s, self.cur_ns, &self.clocks[s], line);
+            if let Some(src) = rel_node {
+                if g.nodes[src as usize].slot != s {
+                    g.edges.insert((src, node));
+                }
+            }
+        }
+        conflicts
+    }
+
+    /// A load of `line`: acquire only (reading the line is
+    /// coherence-ordered after every published epoch that wrote it).
+    pub fn load(&mut self, line: Line) {
+        let (s, id) = self.cur();
+        self.acquire(s, id, line);
+    }
+
+    /// A persist operation (covering flush or NT store) of `line`.
+    /// Returns the threads with a *pending* (unfenced) persist of the
+    /// same line that is HB-concurrent with this one — the
+    /// `P-EPOCH-RACE` conflict set.
+    pub fn persist(&mut self, line: Line) -> Vec<Tid> {
+        let (s, _) = self.cur();
+        let mut conflicts = Vec::new();
+        let entries = self.persists.entry(line).or_default();
+        for &(u, k) in entries.iter() {
+            if u != s && self.clocks[s].get(u) < k {
+                conflicts.push(self.tids[u]);
+            }
+        }
+        let own = self.clocks[s].get(s);
+        match entries.iter_mut().find(|(u, _)| *u == s) {
+            Some(e) => e.1 = own,
+            None => entries.push((s, own)),
+        }
+        self.open_persists[s].insert(line);
+        conflicts
+    }
+
+    /// A fence on the current event's thread: closes the epoch,
+    /// releasing every line it stored and retiring the thread's
+    /// pending persists.
+    pub fn fence(&mut self, durable: bool) {
+        let (s, id) = self.cur();
+        let node = match &mut self.graph {
+            Some(g) => g.close(s, self.cur_ns, &self.clocks[s], durable),
+            None => None,
+        };
+        let lines: Vec<Line> = self.open_lines[s].drain().collect();
+        for line in lines {
+            let r = self.released.entry(line).or_default();
+            r.clock.join(&self.clocks[s]);
+            if node.is_some() {
+                r.node = node;
+            }
+            if self.record.is_some() {
+                r.events.push(id);
+            }
+        }
+        let persisted: Vec<Line> = self.open_persists[s].drain().collect();
+        for line in persisted {
+            if let Some(entries) = self.persists.get_mut(&line) {
+                entries.retain(|(u, _)| *u != s);
+                if entries.is_empty() {
+                    self.persists.remove(&line);
+                }
+            }
+        }
+    }
+
+    /// Transaction begin: subsequent stores join the commit's release
+    /// set.
+    pub fn tx_begin(&mut self) {
+        let (s, _) = self.cur();
+        self.in_tx[s] = true;
+        self.tx_lines[s].clear();
+    }
+
+    /// Transaction commit: releases every line the transaction stored
+    /// (commit publishes the writes).
+    pub fn tx_end(&mut self) {
+        let (s, id) = self.cur();
+        self.in_tx[s] = false;
+        let lines: Vec<Line> = self.tx_lines[s].drain().collect();
+        for line in lines {
+            let r = self.released.entry(line).or_default();
+            r.clock.join(&self.clocks[s]);
+            if self.record.is_some() {
+                r.events.push(id);
+            }
+        }
+    }
+
+    /// Fold one whole trace event (the standalone-analysis driver; the
+    /// checker instead interleaves the per-line handlers with its line
+    /// state machines).
+    pub fn apply(&mut self, ev: &Event) {
+        self.begin_event(ev.tid, ev.at_ns);
+        match ev.kind {
+            EventKind::PmStore { addr, len, nt, .. } => {
+                for (line, _, _) in lines_spanning(addr, len as usize) {
+                    self.store(line);
+                    if nt {
+                        self.persist(line);
+                    }
+                }
+            }
+            EventKind::Flush { addr } => {
+                self.persist(Line::containing(addr));
+            }
+            EventKind::Fence => self.fence(false),
+            EventKind::DFence => self.fence(true),
+            EventKind::TxBegin { .. } => self.tx_begin(),
+            EventKind::TxEnd { .. } => self.tx_end(),
+            EventKind::PmLoad { addr } => self.load(Line::containing(addr)),
+            EventKind::RecoveryBegin => {}
+        }
+    }
+}
+
+/// Per-event happens-before index over a full trace: vector-clock
+/// stamps plus the explicit edge list (program order + release-acquire)
+/// whose transitive closure the stamps summarize. Built for property
+/// tests and small-trace analysis; memory is O(events × threads).
+#[derive(Debug)]
+pub struct HbIndex {
+    stamps: Vec<VClock>,
+    slots: Vec<usize>,
+    edges: Vec<(u32, u32)>,
+}
+
+impl HbIndex {
+    /// Index a whole trace.
+    pub fn of(events: &[Event]) -> HbIndex {
+        let mut eng = HbEngine::new();
+        eng.enable_recording();
+        for ev in events {
+            eng.apply(ev);
+        }
+        let mut rec = eng.record.take().expect("recording enabled");
+        rec.seal(&eng.clocks);
+        HbIndex {
+            stamps: rec.stamps,
+            slots: rec.slots,
+            edges: rec.edges,
+        }
+    }
+
+    /// Number of indexed events.
+    pub fn len(&self) -> usize {
+        self.stamps.len()
+    }
+
+    /// True for an empty trace.
+    pub fn is_empty(&self) -> bool {
+        self.stamps.is_empty()
+    }
+
+    /// Whether event `a` happens-before event `b` (strict: an event
+    /// never happens-before itself) — by vector-clock comparison.
+    pub fn happens_before(&self, a: usize, b: usize) -> bool {
+        if a == b {
+            return false;
+        }
+        let sa = self.slots[a];
+        self.stamps[b].get(sa) >= self.stamps[a].get(sa)
+    }
+
+    /// The explicit HB edges (program order and release→acquire), as
+    /// `(earlier event, later event)` index pairs. The transitive
+    /// closure of this relation equals [`happens_before`][Self::happens_before].
+    pub fn edges(&self) -> &[(u32, u32)] {
+        &self.edges
+    }
+}
+
+/// One node of the epoch dependency graph: a store-containing epoch,
+/// aligned with [`pmtrace::analysis::split_epochs`] numbering.
+#[derive(Debug, Clone)]
+pub struct EpochNode {
+    /// Issuing thread.
+    pub tid: Tid,
+    /// Per-thread store-epoch ordinal (matches `Epoch::index`).
+    pub index: u64,
+    /// Timestamp of the epoch's first store.
+    pub start_ns: u64,
+    /// Timestamp of the closing fence.
+    pub end_ns: u64,
+    /// Unique 64 B lines stored.
+    pub lines: usize,
+    /// Store operations in the epoch.
+    pub stores: u32,
+    /// True when closed by a durability fence.
+    pub durable: bool,
+}
+
+/// The per-app epoch dependency graph (paper §5.2, Fig. 5): nodes are
+/// store-containing epochs, cross edges are release→acquire
+/// dependencies between epochs of *different* threads, and per-thread
+/// program order chains the rest. Acyclic by construction: every edge
+/// leaves an epoch already closed when its target observed it.
+#[derive(Debug)]
+pub struct EpochGraph {
+    /// Threads with at least one event, in slot order.
+    pub threads: Vec<Tid>,
+    /// Epoch nodes, in creation (first-store) order.
+    pub nodes: Vec<EpochNode>,
+    /// Cross-thread dependency edges as `(from, to)` node indices,
+    /// deduplicated and sorted.
+    pub cross_edges: Vec<(u32, u32)>,
+    /// Count of implicit per-thread program-order edges.
+    pub po_edges: usize,
+    open_clocks: Vec<VClock>,
+    close_ticks: Vec<u64>,
+    node_slots: Vec<usize>,
+    per_thread: Vec<Vec<u32>>,
+}
+
+impl EpochGraph {
+    /// Build the graph for a whole trace. Epochs that never closed
+    /// (trailing unfenced stores) are dropped, as in
+    /// [`pmtrace::analysis::for_each_epoch`].
+    pub fn build(events: &[Event]) -> EpochGraph {
+        let mut eng = HbEngine::new();
+        eng.enable_graph();
+        for ev in events {
+            eng.apply(ev);
+        }
+        let g = eng.graph.take().expect("graph enabled");
+        let mut map: Vec<Option<u32>> = vec![None; g.nodes.len()];
+        let mut nodes = Vec::new();
+        let mut open_clocks = Vec::new();
+        let mut close_ticks = Vec::new();
+        let mut node_slots = Vec::new();
+        let mut per_thread: Vec<Vec<u32>> = vec![Vec::new(); eng.tids.len()];
+        for (i, n) in g.nodes.iter().enumerate() {
+            if !n.closed {
+                continue;
+            }
+            let id = nodes.len() as u32;
+            map[i] = Some(id);
+            nodes.push(EpochNode {
+                tid: eng.tids[n.slot],
+                index: n.index,
+                start_ns: n.start_ns,
+                end_ns: n.end_ns,
+                lines: n.lines.len(),
+                stores: n.stores,
+                durable: n.durable,
+            });
+            open_clocks.push(n.open_clock.clone());
+            close_ticks.push(n.close_tick);
+            node_slots.push(n.slot);
+            per_thread[n.slot].push(id);
+        }
+        let mut cross_edges: Vec<(u32, u32)> = g
+            .edges
+            .iter()
+            .filter_map(|(a, b)| Some((map[*a as usize]?, map[*b as usize]?)))
+            .collect();
+        cross_edges.sort_unstable();
+        cross_edges.dedup();
+        let po_edges = per_thread.iter().map(|c| c.len().saturating_sub(1)).sum();
+        EpochGraph {
+            threads: eng.tids,
+            nodes,
+            cross_edges,
+            po_edges,
+            open_clocks,
+            close_ticks,
+            node_slots,
+            per_thread,
+        }
+    }
+
+    /// Distinct epochs with at least one incoming cross-thread edge —
+    /// the numerator of the paper's "epochs with cross dependencies".
+    pub fn epochs_with_cross_dep(&self) -> usize {
+        let mut dst: Vec<u32> = self.cross_edges.iter().map(|(_, b)| *b).collect();
+        dst.sort_unstable();
+        dst.dedup();
+        dst.len()
+    }
+
+    /// Whether epoch node `a` happens-before epoch node `b`: same
+    /// thread in index order, or `b`'s first store had already observed
+    /// `a`'s closing fence.
+    fn node_before(&self, a: u32, b: u32) -> bool {
+        let (sa, sb) = (self.node_slots[a as usize], self.node_slots[b as usize]);
+        if sa == sb {
+            return self.nodes[a as usize].index < self.nodes[b as usize].index;
+        }
+        self.open_clocks[b as usize].get(sa) >= self.close_ticks[a as usize]
+    }
+
+    /// The largest set of pairwise HB-concurrent epochs — the graph's
+    /// maximum antichain, i.e. how many epochs can be in flight
+    /// simultaneously under some legal linearization. At most one
+    /// epoch per thread qualifies (program order chains the rest), so
+    /// the search enumerates thread subsets and, per subset, runs a
+    /// monotone index-raising fixpoint: whenever the candidate of
+    /// thread `x` happens-before the candidate of thread `y`, `x`'s
+    /// candidate advances past every epoch ordered before `y`'s —
+    /// sound because later epochs only close later, complete because a
+    /// raise never skips a feasible tuple.
+    pub fn max_antichain(&self) -> usize {
+        let live: Vec<usize> = (0..self.per_thread.len())
+            .filter(|s| !self.per_thread[*s].is_empty())
+            .collect();
+        let mut best = 0usize;
+        for mask in 1u32..(1 << live.len()) {
+            let subset: Vec<usize> = live
+                .iter()
+                .copied()
+                .enumerate()
+                .filter_map(|(i, s)| (mask & (1 << i) != 0).then_some(s))
+                .collect();
+            if subset.len() <= best {
+                continue;
+            }
+            if self.feasible(&subset) {
+                best = subset.len();
+            }
+        }
+        best
+    }
+
+    fn feasible(&self, subset: &[usize]) -> bool {
+        let mut idx = vec![0usize; subset.len()];
+        loop {
+            let mut changed = false;
+            for j in 0..subset.len() {
+                let b = self.per_thread[subset[j]][idx[j]];
+                for i in 0..subset.len() {
+                    if i == j {
+                        continue;
+                    }
+                    let chain = &self.per_thread[subset[i]];
+                    // Advance past every epoch of thread i ordered
+                    // before b (close ticks are strictly increasing
+                    // along a chain, so the frontier is monotone).
+                    while idx[i] < chain.len() && self.node_before(chain[idx[i]], b) {
+                        idx[i] += 1;
+                        changed = true;
+                    }
+                    if idx[i] == chain.len() {
+                        return false;
+                    }
+                }
+            }
+            if !changed {
+                return true;
+            }
+        }
+    }
+
+    /// JSON export: stats plus full node and edge lists.
+    pub fn to_json(&self, app: &str) -> Json {
+        let nodes: Vec<Json> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                Json::obj()
+                    .field("id", i as u64)
+                    .field("tid", u64::from(n.tid.0))
+                    .field("index", n.index)
+                    .field("start_ns", n.start_ns)
+                    .field("end_ns", n.end_ns)
+                    .field("lines", n.lines as u64)
+                    .field("stores", u64::from(n.stores))
+                    .field("durable", n.durable)
+            })
+            .collect();
+        let edges: Vec<Json> = self
+            .cross_edges
+            .iter()
+            .map(|(a, b)| {
+                Json::obj()
+                    .field("from", u64::from(*a))
+                    .field("to", u64::from(*b))
+            })
+            .collect();
+        Json::obj()
+            .field("app", app)
+            .field("threads", self.threads.len() as u64)
+            .field("epochs", self.nodes.len() as u64)
+            .field("po_edges", self.po_edges as u64)
+            .field("cross_edges", self.cross_edges.len() as u64)
+            .field("epochs_with_cross_dep", self.epochs_with_cross_dep() as u64)
+            .field("max_antichain", self.max_antichain() as u64)
+            .field("nodes", nodes)
+            .field("edges", edges)
+    }
+
+    /// Graphviz DOT export: one node per epoch (`t<tid>/e<index>`),
+    /// gray program-order chains, red cross-thread dependency edges.
+    pub fn to_dot(&self, app: &str) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{app}\" {{");
+        let _ = writeln!(out, "  rankdir=LR;");
+        let _ = writeln!(out, "  node [shape=box, fontsize=9];");
+        for (i, n) in self.nodes.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  n{i} [label=\"{}/e{}\\n{} line(s)\"{}];",
+                n.tid,
+                n.index,
+                n.lines,
+                if n.durable { ", style=bold" } else { "" }
+            );
+        }
+        for chain in &self.per_thread {
+            for w in chain.windows(2) {
+                let _ = writeln!(out, "  n{} -> n{} [color=gray];", w[0], w[1]);
+            }
+        }
+        for (a, b) in &self.cross_edges {
+            let _ = writeln!(out, "  n{a} -> n{b} [color=red, penwidth=1.5];");
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Trace-level durability proof for crash-image cross-validation: for
+/// each requested 1-based fence ordinal (ascending), the lines the
+/// analysis proves **spec-invariant durable** *at that fence* — a crash
+/// at that ordinal must materialize these lines' durable bytes under
+/// every crash spec, so an image that disagrees on one of them exhibits
+/// a state this analysis declares order-impossible.
+///
+/// Two conditions must hold, mirroring two layers of the machine:
+///
+/// 1. *Coverage* — the checker's line-state machine proves the line
+///    durable: flushed, retired by the flushing thread's fence, and
+///    not re-stored since (NT stores self-flush, foreign `clwb`s take
+///    over coverage, a dependent store re-dirties).
+/// 2. *No live write-back* — no `clwb` snapshot or write-combining
+///    entry of the line is still in flight anywhere. The machine never
+///    displaces another thread's pending snapshot (a cacheable store
+///    only supersedes WCB entries), so a stale snapshot can out-live
+///    condition 1 and a crash spec may persist it over the durable
+///    bytes; such lines are *not* spec-invariant and are excluded.
+///
+/// Crash workloads also run untraced setup before the trace starts, so
+/// entries invisible to the trace can be in flight at its first event.
+/// Every such entry drains at its owning thread's first traced fence;
+/// the proof therefore stays empty until every thread that appears in
+/// the trace has fenced at least once.
+pub fn durable_lines_at_fences(events: &[Event], points: &[u64]) -> Vec<Vec<Line>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum S {
+        Dirty,
+        Flushed { by: Tid, nt: bool },
+        Durable,
+    }
+    // Coverage layer: the checker's line-state machine.
+    let mut lines: FxHashMap<Line, S> = FxHashMap::default();
+    let mut pending: FxHashMap<Tid, FxHashSet<Line>> = FxHashMap::default();
+    // Machine layer: live in-flight write-back entries per line. A
+    // `clwb` of a dirty line snapshots it (`snaps`, a multiset — the
+    // entry lives until the *flusher's* fence); an NT store occupies
+    // one WCB slot per (thread, line) until a fence or a superseding
+    // cacheable store.
+    let mut live: FxHashMap<Line, u32> = FxHashMap::default();
+    let mut snaps: FxHashMap<Tid, Vec<Line>> = FxHashMap::default();
+    let mut wcbs: FxHashMap<Tid, FxHashSet<Line>> = FxHashMap::default();
+    let unlive = |live: &mut FxHashMap<Line, u32>, line: Line| {
+        if let Some(n) = live.get_mut(&line) {
+            *n = n.saturating_sub(1);
+        }
+    };
+    // Untraced-setup guard: which threads have drained their pre-trace
+    // in-flight entries with a traced fence.
+    let all_tids: FxHashSet<Tid> = events.iter().map(|e| e.tid).collect();
+    let mut fenced: FxHashSet<Tid> = FxHashSet::default();
+    let mut out = Vec::with_capacity(points.len());
+    let mut next = 0usize;
+    let mut ordinal = 0u64;
+    debug_assert!(points.windows(2).all(|w| w[0] <= w[1]), "points ascending");
+    for ev in events {
+        if next == points.len() {
+            break;
+        }
+        match ev.kind {
+            EventKind::PmStore { addr, len, nt, .. } => {
+                for (line, _, _) in lines_spanning(addr, len as usize) {
+                    if let Some(S::Flushed { by, nt: _ }) = lines.get(&line).copied() {
+                        if by != ev.tid || !nt {
+                            if let Some(p) = pending.get_mut(&by) {
+                                p.remove(&line);
+                            }
+                        }
+                    }
+                    if nt {
+                        lines.insert(
+                            line,
+                            S::Flushed {
+                                by: ev.tid,
+                                nt: true,
+                            },
+                        );
+                        pending.entry(ev.tid).or_default().insert(line);
+                        if wcbs.entry(ev.tid).or_default().insert(line) {
+                            *live.entry(line).or_insert(0) += 1;
+                        }
+                    } else {
+                        lines.insert(line, S::Dirty);
+                        // A cacheable store supersedes every WCB entry
+                        // of the line — but not pending snapshots.
+                        for w in wcbs.values_mut() {
+                            if w.remove(&line) {
+                                unlive(&mut live, line);
+                            }
+                        }
+                    }
+                }
+            }
+            EventKind::Flush { addr } => {
+                let line = Line::containing(addr);
+                match lines.get(&line).copied() {
+                    None | Some(S::Durable) => {}
+                    Some(S::Dirty) => {
+                        lines.insert(
+                            line,
+                            S::Flushed {
+                                by: ev.tid,
+                                nt: false,
+                            },
+                        );
+                        pending.entry(ev.tid).or_default().insert(line);
+                        // The machine snapshots a *dirty* line into the
+                        // flusher's pending set.
+                        snaps.entry(ev.tid).or_default().push(line);
+                        *live.entry(line).or_insert(0) += 1;
+                    }
+                    Some(S::Flushed { by, nt }) => {
+                        if !nt && by != ev.tid {
+                            // Coverage takeover only: the line is clean
+                            // in the machine, so no new snapshot.
+                            if let Some(p) = pending.get_mut(&by) {
+                                p.remove(&line);
+                            }
+                            lines.insert(
+                                line,
+                                S::Flushed {
+                                    by: ev.tid,
+                                    nt: false,
+                                },
+                            );
+                            pending.entry(ev.tid).or_default().insert(line);
+                        }
+                    }
+                }
+            }
+            EventKind::Fence | EventKind::DFence => {
+                if let Some(p) = pending.get_mut(&ev.tid) {
+                    for line in p.drain() {
+                        if let Some(S::Flushed { by, .. }) = lines.get(&line) {
+                            if *by == ev.tid {
+                                lines.insert(line, S::Durable);
+                            }
+                        }
+                    }
+                }
+                // The fence drains every in-flight entry this thread
+                // owns (stale ones included).
+                if let Some(s) = snaps.get_mut(&ev.tid) {
+                    for line in s.drain(..) {
+                        unlive(&mut live, line);
+                    }
+                }
+                if let Some(w) = wcbs.get_mut(&ev.tid) {
+                    for line in std::mem::take(w) {
+                        unlive(&mut live, line);
+                    }
+                }
+                fenced.insert(ev.tid);
+                ordinal += 1;
+                while next < points.len() && points[next] == ordinal {
+                    let mut durable: Vec<Line> = if fenced.len() == all_tids.len() {
+                        lines
+                            .iter()
+                            .filter(|(l, s)| {
+                                matches!(s, S::Durable) && live.get(l).copied().unwrap_or(0) == 0
+                            })
+                            .map(|(l, _)| *l)
+                            .collect()
+                    } else {
+                        Vec::new()
+                    };
+                    durable.sort_unstable();
+                    out.push(durable);
+                    next += 1;
+                }
+            }
+            EventKind::TxBegin { .. }
+            | EventKind::TxEnd { .. }
+            | EventKind::PmLoad { .. }
+            | EventKind::RecoveryBegin => {}
+        }
+    }
+    // Points beyond the trace's fence count: nothing is provable.
+    while out.len() < points.len() {
+        out.push(Vec::new());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmtrace::{analysis, Category, TraceBuffer};
+
+    const T0: Tid = Tid(0);
+    const T1: Tid = Tid(1);
+
+    #[test]
+    fn program_order_is_hb() {
+        let mut t = TraceBuffer::new();
+        t.pm_store(T0, 0, 8, false, Category::UserData, 1);
+        t.flush(T0, 0, 2);
+        t.fence(T0, 3);
+        let idx = HbIndex::of(t.events());
+        assert!(idx.happens_before(0, 1));
+        assert!(idx.happens_before(1, 2));
+        assert!(idx.happens_before(0, 2));
+        assert!(!idx.happens_before(2, 0));
+        assert!(!idx.happens_before(0, 0), "strict: irreflexive");
+    }
+
+    #[test]
+    fn fence_release_store_acquire_orders_across_threads() {
+        let mut t = TraceBuffer::new();
+        t.pm_store(T0, 0, 8, false, Category::UserData, 1); // 0
+        t.fence(T0, 2); // 1: releases line 0
+        t.pm_store(T1, 0, 8, false, Category::UserData, 3); // 2: acquires
+        t.pm_store(T1, 64, 8, false, Category::UserData, 4); // 3
+        let idx = HbIndex::of(t.events());
+        assert!(idx.happens_before(0, 2));
+        assert!(idx.happens_before(1, 2));
+        assert!(idx.happens_before(0, 3), "transitively via program order");
+        assert!(!idx.happens_before(2, 0));
+    }
+
+    #[test]
+    fn unrelated_threads_are_concurrent() {
+        let mut t = TraceBuffer::new();
+        t.pm_store(T0, 0, 8, false, Category::UserData, 1);
+        t.pm_store(T1, 64, 8, false, Category::UserData, 2);
+        let idx = HbIndex::of(t.events());
+        assert!(!idx.happens_before(0, 1));
+        assert!(!idx.happens_before(1, 0));
+    }
+
+    #[test]
+    fn tx_commit_releases_its_lines() {
+        let mut t = TraceBuffer::new();
+        t.tx_begin(T0, 1, 1); // 0
+        t.pm_store(T0, 0, 8, false, Category::UserData, 2); // 1
+        t.tx_end(T0, 1, 3); // 2: releases line 0 (no fence!)
+        t.pm_load(T1, 0, 4); // 3: acquires
+        let idx = HbIndex::of(t.events());
+        assert!(idx.happens_before(1, 3));
+        assert!(idx.happens_before(2, 3));
+    }
+
+    #[test]
+    fn engine_reports_concurrent_writers() {
+        let mut eng = HbEngine::new();
+        eng.begin_event(T0, 1);
+        assert!(eng.store(Line(0)).is_empty());
+        eng.begin_event(T1, 2);
+        assert_eq!(eng.store(Line(0)), vec![T0], "unfenced WAW is concurrent");
+        // After T1 fences and T0 re-stores, the race is ordered.
+        eng.begin_event(T1, 3);
+        eng.fence(false);
+        eng.begin_event(T0, 4);
+        assert!(eng.store(Line(0)).is_empty(), "acquired t1's release");
+    }
+
+    #[test]
+    fn engine_persist_conflicts_cleared_by_fence() {
+        let mut eng = HbEngine::new();
+        eng.begin_event(T0, 1);
+        eng.store(Line(0));
+        assert!(eng.persist(Line(0)).is_empty());
+        eng.begin_event(T1, 2);
+        eng.store(Line(0));
+        assert_eq!(eng.persist(Line(0)), vec![T0], "both persists pending");
+        // Each thread fences, retiring its own pending persist and
+        // releasing the line; a later persist conflicts with nobody.
+        eng.begin_event(T1, 3);
+        eng.fence(false);
+        eng.begin_event(T0, 4);
+        eng.fence(false);
+        eng.begin_event(T0, 5);
+        eng.store(Line(0));
+        assert!(
+            eng.persist(Line(0)).is_empty(),
+            "no pending foreign persists"
+        );
+    }
+
+    #[test]
+    fn graph_nodes_align_with_split_epochs() {
+        let mut t = TraceBuffer::new();
+        t.pm_store(T0, 0, 8, false, Category::UserData, 1);
+        t.pm_store(T0, 64, 8, false, Category::UserData, 2);
+        t.fence(T0, 3);
+        t.fence(T0, 4); // empty epoch: no node
+        t.pm_store(T0, 128, 8, false, Category::UserData, 5);
+        t.dfence(T0, 6);
+        t.pm_store(T0, 0, 8, false, Category::UserData, 7); // trailing: dropped
+        let g = EpochGraph::build(t.events());
+        let epochs = analysis::split_epochs(t.events());
+        assert_eq!(g.nodes.len(), epochs.len());
+        for (n, e) in g.nodes.iter().zip(&epochs) {
+            assert_eq!(n.tid, e.tid);
+            assert_eq!(n.index, e.index);
+            assert_eq!(n.start_ns, e.start_ns);
+            assert_eq!(n.end_ns, e.end_ns);
+            assert_eq!(n.lines, e.lines.len());
+            assert_eq!(n.durable, e.durable);
+        }
+        assert_eq!(g.po_edges, 1);
+        assert!(g.cross_edges.is_empty());
+    }
+
+    #[test]
+    fn graph_cross_edge_from_release_to_acquiring_epoch() {
+        let mut t = TraceBuffer::new();
+        t.pm_store(T0, 0, 8, false, Category::UserData, 1);
+        t.fence(T0, 2); // closes t0/e0, releasing line 0
+        t.pm_store(T1, 0, 8, false, Category::UserData, 3); // t1/e0 acquires
+        t.fence(T1, 4);
+        let g = EpochGraph::build(t.events());
+        assert_eq!(g.nodes.len(), 2);
+        assert_eq!(g.cross_edges, vec![(0, 1)]);
+        assert_eq!(g.epochs_with_cross_dep(), 1);
+        // The ordered pair cannot be concurrent.
+        assert_eq!(g.max_antichain(), 1);
+    }
+
+    #[test]
+    fn graph_is_acyclic_by_construction() {
+        // Ping-pong communication: edges alternate directions between
+        // the threads' successive epochs but never cycle.
+        let mut t = TraceBuffer::new();
+        let mut now = 1;
+        for round in 0..4u64 {
+            let (a, b) = if round % 2 == 0 { (T0, T1) } else { (T1, T0) };
+            t.pm_store(a, 0, 8, false, Category::UserData, now);
+            t.fence(a, now + 1);
+            t.pm_store(b, 0, 8, false, Category::UserData, now + 2);
+            t.fence(b, now + 3);
+            now += 4;
+        }
+        let g = EpochGraph::build(t.events());
+        // Kahn toposort must consume every node.
+        let n = g.nodes.len();
+        let mut indeg = vec![0usize; n];
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (a, b) in &g.cross_edges {
+            adj[*a as usize].push(*b as usize);
+            indeg[*b as usize] += 1;
+        }
+        for chain in &g.per_thread {
+            for w in chain.windows(2) {
+                adj[w[0] as usize].push(w[1] as usize);
+                indeg[w[1] as usize] += 1;
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|i| indeg[*i] == 0).collect();
+        let mut seen = 0;
+        while let Some(v) = queue.pop() {
+            seen += 1;
+            for &w in &adj[v] {
+                indeg[w] -= 1;
+                if indeg[w] == 0 {
+                    queue.push(w);
+                }
+            }
+        }
+        assert_eq!(seen, n, "epoch graph has a cycle");
+    }
+
+    #[test]
+    fn max_antichain_counts_independent_threads() {
+        let mut t = TraceBuffer::new();
+        for (i, tid) in [T0, T1, Tid(2)].into_iter().enumerate() {
+            t.pm_store(
+                tid,
+                i as u64 * 64,
+                8,
+                false,
+                Category::UserData,
+                1 + i as u64,
+            );
+            t.fence(tid, 10 + i as u64);
+        }
+        let g = EpochGraph::build(t.events());
+        assert_eq!(g.nodes.len(), 3);
+        assert_eq!(g.max_antichain(), 3, "no ordering between the threads");
+        assert_eq!(
+            g.to_json("x").get("max_antichain").and_then(Json::as_f64),
+            Some(3.0)
+        );
+    }
+
+    #[test]
+    fn dot_export_mentions_every_node() {
+        let mut t = TraceBuffer::new();
+        t.pm_store(T0, 0, 8, false, Category::UserData, 1);
+        t.fence(T0, 2);
+        t.pm_store(T1, 0, 8, false, Category::UserData, 3);
+        t.fence(T1, 4);
+        let g = EpochGraph::build(t.events());
+        let dot = g.to_dot("sample");
+        assert!(dot.contains("digraph \"sample\""), "{dot}");
+        assert!(dot.contains("t0/e0"), "{dot}");
+        assert!(dot.contains("t1/e0"), "{dot}");
+        assert!(dot.contains("color=red"), "{dot}");
+    }
+
+    #[test]
+    fn durable_lines_tracks_the_state_machine() {
+        let mut t = TraceBuffer::new();
+        t.pm_store(T0, 0, 8, false, Category::UserData, 1);
+        t.flush(T0, 0, 2);
+        t.fence(T0, 3); // point 1: line 0 durable
+        t.pm_store(T0, 0, 8, false, Category::UserData, 4); // re-dirtied
+        t.pm_store(T0, 64, 8, true, Category::RedoLog, 5); // NT self-flush
+        t.fence(T0, 6); // point 2: line 1 durable, line 0 not
+        let d = durable_lines_at_fences(t.events(), &[1, 2]);
+        assert_eq!(d[0], vec![Line(0)]);
+        assert_eq!(d[1], vec![Line(1)]);
+    }
+
+    #[test]
+    fn durable_lines_foreign_fence_does_not_retire() {
+        let mut t = TraceBuffer::new();
+        t.pm_store(T0, 0, 8, false, Category::UserData, 1);
+        t.flush(T0, 0, 2);
+        t.fence(T1, 3); // not the flusher's fence: retires nothing
+        t.fence(T0, 4); // the flusher's fence does
+        let d = durable_lines_at_fences(t.events(), &[1, 2]);
+        assert!(d[0].is_empty());
+        assert_eq!(d[1], vec![Line(0)]);
+    }
+
+    #[test]
+    fn durable_lines_stale_snapshot_blocks_the_proof() {
+        // T1 snapshots the line while it is dirty, then T0 re-stores
+        // and persists it. Coverage says durable at T0's fence, but
+        // T1's stale snapshot is still in flight — an adversarial
+        // crash may persist it over the durable bytes, so the line is
+        // only spec-invariant once T1's fence drains the snapshot.
+        let mut t = TraceBuffer::new();
+        t.fence(T1, 1); // clears the untraced-setup guard for T1
+        t.pm_store(T0, 0, 8, false, Category::UserData, 2);
+        t.flush(T1, 0, 3); // foreign clwb: snapshot lives in T1
+        t.pm_store(T0, 0, 8, false, Category::UserData, 4);
+        t.flush(T0, 0, 5);
+        t.fence(T0, 6); // point 2: durable, but T1's snapshot is live
+        t.fence(T1, 7); // point 3: snapshot drained
+        let d = durable_lines_at_fences(t.events(), &[2, 3]);
+        assert!(d[0].is_empty());
+        assert_eq!(d[1], vec![Line(0)]);
+    }
+
+    #[test]
+    fn durable_lines_wait_for_every_thread_to_fence() {
+        // T1 participates in the trace but has not fenced by point 1:
+        // untraced setup may have left its in-flight entries armed, so
+        // nothing is provable until its first fence.
+        let mut t = TraceBuffer::new();
+        t.pm_store(T1, 64, 8, false, Category::UserData, 1);
+        t.pm_store(T0, 0, 8, false, Category::UserData, 2);
+        t.flush(T0, 0, 3);
+        t.fence(T0, 4); // point 1: T1 has never fenced
+        t.flush(T1, 64, 5);
+        t.fence(T1, 6); // point 2: both threads drained
+        let d = durable_lines_at_fences(t.events(), &[1, 2]);
+        assert!(d[0].is_empty());
+        assert_eq!(d[1], vec![Line(0), Line(1)]);
+    }
+
+    #[test]
+    fn durable_lines_points_past_trace_are_empty() {
+        let mut t = TraceBuffer::new();
+        t.pm_store(T0, 0, 8, false, Category::UserData, 1);
+        t.flush(T0, 0, 2);
+        t.fence(T0, 3);
+        let d = durable_lines_at_fences(t.events(), &[1, 9]);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0], vec![Line(0)]);
+        assert!(d[1].is_empty());
+    }
+}

@@ -5,8 +5,8 @@
 //! a single streaming pass over a recorded [`pmtrace`] event stream —
 //! no replay, no simulated machine — tracking a per-cache-line state
 //! machine (`Dirty → Flushed → Durable`) plus per-thread epoch and
-//! transaction context, and reports violations of five rules with
-//! stable ids:
+//! transaction context alongside a vector-clock happens-before engine
+//! ([`hb`]), and reports violations of eight rules with stable ids:
 //!
 //! | rule id             | severity     | what it catches                          |
 //! |---------------------|--------------|------------------------------------------|
@@ -14,7 +14,10 @@
 //! | `P-UNORDERED`       | error / warn | flush not followed by an `sfence` before the next dependent store or commit (error), or still pending at trace end (warn) |
 //! | `P-REDUNDANT-FLUSH` | warn         | flush of a clean or already-flushed-and-fenced line (a performance bug, not a correctness bug) |
 //! | `P-DOUBLE-FENCE`    | warn         | back-to-back fences with no intervening PM work |
-//! | `P-CROSS-DEP`       | error        | cross-thread same-line conflict between two in-flight epochs with no ordering fence between them (a durability race) |
+//! | `P-CROSS-DEP`       | error        | cross-thread same-line store conflict between happens-before-concurrent unfenced epochs (a durability race) |
+//! | `P-EPOCH-RACE`      | error        | conflicting persists (flush / NT store) of one line from happens-before-concurrent epochs, no ordering fence on either side |
+//! | `P-TX-ATOMICITY`    | error        | store to a transaction-managed line with no transaction open — the update bypasses undo/redo-log protection |
+//! | `P-RECOVERY-READ`   | error        | recovery-phase load of a line not proven durable at any fence preceding the crash point |
 //!
 //! The checker is deliberately *trace-shaped*: it sees exactly what the
 //! hardware persistence domain sees (PM stores, line flushes, fences,
@@ -41,10 +44,11 @@
 #![warn(missing_docs)]
 
 mod checker;
+pub mod hb;
 pub mod rewrite;
 mod rules;
 pub mod seeded;
 
-pub use checker::{check_events, CheckReport, Checker, Finding};
+pub use checker::{check_events, check_events_with, CheckReport, Checker, Finding};
 pub use rewrite::{rewrite_events, RewriteReport};
-pub use rules::{Rule, Severity};
+pub use rules::{Rule, RuleSet, Severity};

@@ -1,4 +1,4 @@
-//! Rule identities and severities.
+//! Rule identities, severities, and rule-set selection.
 
 /// How bad a finding is.
 ///
@@ -22,7 +22,7 @@ impl std::fmt::Display for Severity {
     }
 }
 
-/// The five persistency rules, in reporting order.
+/// The eight persistency rules, in reporting order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Rule {
     /// A store was still dirty — no covering `clwb`/`clflushopt`/NT
@@ -38,21 +38,40 @@ pub enum Rule {
     /// Two fences from one thread with no PM store or flush between
     /// them: the second fence orders nothing.
     DoubleFence,
-    /// Two threads had in-flight (unfenced) stores to the same line at
-    /// the same time: whichever epoch a crash cuts, the line's durable
-    /// value is a race outcome (the paper's §4 cross-thread dependency,
-    /// minus the fence that would order it).
+    /// Two threads stored to the same line in happens-before-concurrent
+    /// unfenced epochs: under *every* linearization, whichever epoch a
+    /// crash cuts, the line's durable value is a race outcome (the
+    /// paper's §4 cross-thread dependency, minus the fence that would
+    /// order it). Founded on the vector-clock engine in [`crate::hb`].
     CrossDep,
+    /// Conflicting persist operations (flush or non-temporal store) to
+    /// one line from happens-before-concurrent epochs, with no ordering
+    /// fence on either side: the device may apply the writebacks in
+    /// either order, so the post-crash value diverges across outcomes.
+    EpochRace,
+    /// A store to a transaction-managed line (one previously written
+    /// under an open durable transaction) issued with no transaction
+    /// open on the storing thread: the update bypasses undo/redo-log
+    /// protection and a crash can leave the region torn.
+    TxAtomicity,
+    /// A recovery-phase load of a line that was written before the
+    /// crash point but not proven durable at any fence preceding it
+    /// (and not rewritten during recovery): recovery is consuming a
+    /// value the crash may not have preserved.
+    RecoveryRead,
 }
 
 impl Rule {
     /// All rules, in reporting order.
-    pub const ALL: [Rule; 5] = [
+    pub const ALL: [Rule; 8] = [
         Rule::Unflushed,
         Rule::Unordered,
         Rule::RedundantFlush,
         Rule::DoubleFence,
         Rule::CrossDep,
+        Rule::EpochRace,
+        Rule::TxAtomicity,
+        Rule::RecoveryRead,
     ];
 
     /// The stable identifier used in diagnostics, JSON, and tests.
@@ -63,13 +82,92 @@ impl Rule {
             Rule::RedundantFlush => "P-REDUNDANT-FLUSH",
             Rule::DoubleFence => "P-DOUBLE-FENCE",
             Rule::CrossDep => "P-CROSS-DEP",
+            Rule::EpochRace => "P-EPOCH-RACE",
+            Rule::TxAtomicity => "P-TX-ATOMICITY",
+            Rule::RecoveryRead => "P-RECOVERY-READ",
         }
+    }
+
+    /// Parse a stable identifier back into its rule.
+    pub fn parse(id: &str) -> Option<Rule> {
+        Rule::ALL.iter().copied().find(|r| r.id() == id)
+    }
+
+    fn bit(self) -> u8 {
+        Rule::ALL
+            .iter()
+            .position(|r| *r == self)
+            .expect("rule in ALL") as u8
     }
 }
 
 impl std::fmt::Display for Rule {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.id())
+    }
+}
+
+/// A selection of rules to report, for `--check-rules`-style filtering.
+///
+/// The checker always runs every state machine (later rules may depend
+/// on state earlier events built up); a `RuleSet` only filters which
+/// findings are *reported*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleSet(u8);
+
+impl RuleSet {
+    /// Every rule enabled — the default.
+    pub fn all() -> RuleSet {
+        RuleSet((1u16 << Rule::ALL.len()).wrapping_sub(1) as u8)
+    }
+
+    /// Whether `rule`'s findings are reported.
+    pub fn contains(self, rule: Rule) -> bool {
+        self.0 & (1 << rule.bit()) != 0
+    }
+
+    /// True when no rule was filtered out.
+    pub fn is_all(self) -> bool {
+        self == RuleSet::all()
+    }
+
+    /// The enabled rules, in [`Rule::ALL`] order.
+    pub fn iter(self) -> impl Iterator<Item = Rule> {
+        Rule::ALL.into_iter().filter(move |r| self.contains(*r))
+    }
+
+    /// Parse a comma-separated list of stable rule ids
+    /// (`"P-UNFLUSHED,P-EPOCH-RACE"`). Whitespace around ids is
+    /// tolerated; an empty list or an unknown id is an error carrying
+    /// the offending token.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the bad token.
+    pub fn from_ids(csv: &str) -> Result<RuleSet, String> {
+        let mut set = RuleSet(0);
+        for token in csv.split(',') {
+            let token = token.trim();
+            if token.is_empty() {
+                return Err("empty rule id in list".into());
+            }
+            match Rule::parse(token) {
+                Some(r) => set.0 |= 1 << r.bit(),
+                None => {
+                    return Err(format!(
+                        "unknown rule id {token:?} (known: {})",
+                        Rule::ALL.map(Rule::id).join(", ")
+                    ))
+                }
+            }
+        }
+        Ok(set)
+    }
+}
+
+impl Default for RuleSet {
+    fn default() -> RuleSet {
+        RuleSet::all()
     }
 }
 
@@ -84,7 +182,7 @@ mod tests {
             assert!(seen.insert(r.id()));
             assert!(r.id().starts_with("P-"));
         }
-        assert_eq!(seen.len(), 5);
+        assert_eq!(seen.len(), 8);
     }
 
     #[test]
@@ -94,5 +192,43 @@ mod tests {
             format!("{}/{}", Severity::Warn, Severity::Error),
             "warn/error"
         );
+    }
+
+    #[test]
+    fn parse_round_trips_every_rule() {
+        for r in Rule::ALL {
+            assert_eq!(Rule::parse(r.id()), Some(r));
+        }
+        assert_eq!(Rule::parse("P-NOPE"), None);
+        assert_eq!(Rule::parse(""), None);
+    }
+
+    #[test]
+    fn rule_set_all_contains_everything() {
+        let all = RuleSet::all();
+        assert!(all.is_all());
+        for r in Rule::ALL {
+            assert!(all.contains(r));
+        }
+        assert_eq!(all.iter().count(), Rule::ALL.len());
+        assert_eq!(RuleSet::default(), all);
+    }
+
+    #[test]
+    fn rule_set_from_ids_selects_subset() {
+        let set = RuleSet::from_ids("P-UNFLUSHED, P-EPOCH-RACE").unwrap();
+        assert!(set.contains(Rule::Unflushed));
+        assert!(set.contains(Rule::EpochRace));
+        assert!(!set.contains(Rule::CrossDep));
+        assert!(!set.is_all());
+        assert_eq!(set.iter().count(), 2);
+    }
+
+    #[test]
+    fn rule_set_from_ids_rejects_garbage() {
+        let err = RuleSet::from_ids("P-UNFLUSHED,P-BOGUS").unwrap_err();
+        assert!(err.contains("P-BOGUS"), "{err}");
+        assert!(RuleSet::from_ids("").is_err());
+        assert!(RuleSet::from_ids("P-UNFLUSHED,,P-CROSS-DEP").is_err());
     }
 }

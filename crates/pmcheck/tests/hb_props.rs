@@ -1,0 +1,220 @@
+//! Property tests for the happens-before engine (`pmcheck::hb`).
+//!
+//! Checked over random small traces: the HB relation is a strict
+//! partial order (irreflexive, antisymmetric, transitive), it always
+//! contains per-thread program order, and the vector-clock comparison
+//! agrees exactly with reachability over the explicit edge list
+//! (program order + release→acquire) the recording engine emits.
+
+use miniprop::prelude::*;
+use pmcheck::hb::HbIndex;
+use pmtrace::{Category, Event, Tid, TraceBuffer};
+
+#[derive(Debug, Clone, Copy)]
+enum TraceOp {
+    Store { tid: u8, slot: u8, nt: bool },
+    Load { tid: u8, slot: u8 },
+    Flush { tid: u8, slot: u8 },
+    Fence { tid: u8, durable: bool },
+    TxToggle { tid: u8 },
+}
+
+fn ops() -> impl Strategy<Value = Vec<TraceOp>> {
+    collection::vec(
+        prop_oneof![
+            (0u8..3, 0u8..6, any::<bool>()).prop_map(|(tid, slot, nt)| TraceOp::Store {
+                tid,
+                slot,
+                nt
+            }),
+            (0u8..3, 0u8..6).prop_map(|(tid, slot)| TraceOp::Load { tid, slot }),
+            (0u8..3, 0u8..6).prop_map(|(tid, slot)| TraceOp::Flush { tid, slot }),
+            (0u8..3, any::<bool>()).prop_map(|(tid, durable)| TraceOp::Fence { tid, durable }),
+            (0u8..3).prop_map(|tid| TraceOp::TxToggle { tid }),
+        ],
+        0..40,
+    )
+}
+
+fn build(ops: &[TraceOp]) -> Vec<Event> {
+    let mut t = TraceBuffer::new();
+    let mut now = 0u64;
+    let mut open_tx = [None::<u64>; 3];
+    let mut next_tx = 1u64;
+    for op in ops {
+        now += 2;
+        match *op {
+            TraceOp::Store { tid, slot, nt } => {
+                t.pm_store(
+                    Tid(tid as u32),
+                    slot as u64 * 64,
+                    8,
+                    nt,
+                    Category::UserData,
+                    now,
+                );
+            }
+            TraceOp::Load { tid, slot } => t.pm_load(Tid(tid as u32), slot as u64 * 64, now),
+            TraceOp::Flush { tid, slot } => t.flush(Tid(tid as u32), slot as u64 * 64, now),
+            TraceOp::Fence { tid, durable } => {
+                if durable {
+                    t.dfence(Tid(tid as u32), now);
+                } else {
+                    t.fence(Tid(tid as u32), now);
+                }
+            }
+            TraceOp::TxToggle { tid } => {
+                let slot = &mut open_tx[tid as usize];
+                match slot.take() {
+                    Some(id) => t.tx_end(Tid(tid as u32), id, now),
+                    None => {
+                        t.tx_begin(Tid(tid as u32), next_tx, now);
+                        *slot = Some(next_tx);
+                        next_tx += 1;
+                    }
+                }
+            }
+        }
+    }
+    t.into_events()
+}
+
+/// `reach[a][b]` ⇔ `b` is reachable from `a` over the explicit HB
+/// edges (one or more hops) — the ground truth the clocks summarize.
+fn reachability(idx: &HbIndex) -> Vec<Vec<bool>> {
+    let n = idx.len();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (a, b) in idx.edges() {
+        adj[*a as usize].push(*b as usize);
+    }
+    let mut reach = vec![vec![false; n]; n];
+    for start in 0..n {
+        let mut stack: Vec<usize> = adj[start].clone();
+        while let Some(v) = stack.pop() {
+            if !reach[start][v] {
+                reach[start][v] = true;
+                stack.extend(adj[v].iter().copied());
+            }
+        }
+    }
+    reach
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Irreflexive and antisymmetric: no event precedes itself, and no
+    /// two events precede each other.
+    #[test]
+    fn hb_is_irreflexive_and_antisymmetric(ops in ops()) {
+        let events = build(&ops);
+        let idx = HbIndex::of(&events);
+        for a in 0..idx.len() {
+            prop_assert!(!idx.happens_before(a, a), "event {a} precedes itself");
+            for b in (a + 1)..idx.len() {
+                prop_assert!(
+                    !(idx.happens_before(a, b) && idx.happens_before(b, a)),
+                    "events {a} and {b} precede each other"
+                );
+            }
+        }
+    }
+
+    /// Transitive: a ≺ b and b ≺ c imply a ≺ c.
+    #[test]
+    fn hb_is_transitive(ops in ops()) {
+        let events = build(&ops);
+        let idx = HbIndex::of(&events);
+        let n = idx.len();
+        for a in 0..n {
+            for b in 0..n {
+                if !idx.happens_before(a, b) {
+                    continue;
+                }
+                for c in 0..n {
+                    if idx.happens_before(b, c) {
+                        prop_assert!(
+                            idx.happens_before(a, c),
+                            "{a} ≺ {b} ≺ {c} but not {a} ≺ {c}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Per-thread program order is always contained in HB.
+    #[test]
+    fn hb_contains_program_order(ops in ops()) {
+        let events = build(&ops);
+        let idx = HbIndex::of(&events);
+        for a in 0..events.len() {
+            for b in (a + 1)..events.len() {
+                if events[a].tid == events[b].tid {
+                    prop_assert!(
+                        idx.happens_before(a, b),
+                        "program order {a} → {b} (tid {}) lost",
+                        events[a].tid
+                    );
+                }
+            }
+        }
+    }
+
+    /// The vector-clock comparison agrees with edge-reachability on
+    /// every pair: the clocks are a sound *and* complete summary of
+    /// the explicit ordering edges.
+    #[test]
+    fn hb_clocks_agree_with_edge_reachability(ops in ops()) {
+        let events = build(&ops);
+        let idx = HbIndex::of(&events);
+        let reach = reachability(&idx);
+        for (a, row) in reach.iter().enumerate() {
+            for (b, &reachable) in row.iter().enumerate() {
+                if a == b {
+                    continue;
+                }
+                prop_assert_eq!(
+                    idx.happens_before(a, b),
+                    reachable,
+                    "clock vs reachability disagree on ({}, {})", a, b
+                );
+            }
+        }
+    }
+
+    /// HB never orders two events of different threads with no
+    /// communication: a trace with thread-disjoint lines and no
+    /// cross-thread release keeps the threads fully concurrent.
+    #[test]
+    fn hb_orders_nothing_without_communication(
+        n0 in 1usize..6, n1 in 1usize..6
+    ) {
+        let mut t = TraceBuffer::new();
+        let mut now = 0;
+        for i in 0..n0 {
+            now += 2;
+            t.pm_store(Tid(0), i as u64 * 64, 8, false, Category::UserData, now);
+            now += 2;
+            t.fence(Tid(0), now);
+        }
+        for i in 0..n1 {
+            now += 2;
+            t.pm_store(Tid(1), 4096 + i as u64 * 64, 8, false, Category::UserData, now);
+            now += 2;
+            t.fence(Tid(1), now);
+        }
+        let evs = t.into_events();
+        let idx = HbIndex::of(&evs);
+        for a in 0..evs.len() {
+            for b in 0..evs.len() {
+                if evs[a].tid != evs[b].tid {
+                    prop_assert!(
+                        !idx.happens_before(a, b),
+                        "disjoint threads ordered: {a} ≺ {b}"
+                    );
+                }
+            }
+        }
+    }
+}

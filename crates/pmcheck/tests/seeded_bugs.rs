@@ -48,7 +48,10 @@ fn rule_ids_are_the_documented_strings() {
         vec![
             "P-CROSS-DEP",
             "P-DOUBLE-FENCE",
+            "P-EPOCH-RACE",
+            "P-RECOVERY-READ",
             "P-REDUNDANT-FLUSH",
+            "P-TX-ATOMICITY",
             "P-UNFLUSHED",
             "P-UNORDERED",
         ]
@@ -89,13 +92,50 @@ fn findings_carry_context() {
     assert_eq!(unflushed.line, Some(pmem::Line(4)));
     assert!(unflushed.message.contains("tx 3"), "{}", unflushed.message);
 
-    let race = report
+    let races: Vec<_> = report
         .findings
         .iter()
-        .find(|f| f.rule == Rule::CrossDep)
-        .expect("seeded");
+        .filter(|f| f.rule == Rule::CrossDep)
+        .collect();
     // Bug 6: attributed to the second storer, thread 1, at 92 ns.
-    assert_eq!(race.tid, pmtrace::Tid(1));
-    assert_eq!(race.at_ns, 92);
-    assert_eq!(race.line, Some(pmem::Line(10)));
+    assert_eq!(races[0].tid, pmtrace::Tid(1));
+    assert_eq!(races[0].at_ns, 92);
+    assert_eq!(races[0].line, Some(pmem::Line(10)));
+    // Bug 7 plants the second cross dependency (entry 11, 102 ns).
+    assert_eq!(races[1].tid, pmtrace::Tid(1));
+    assert_eq!(races[1].at_ns, 102);
+    assert_eq!(races[1].line, Some(pmem::Line(11)));
+
+    let epoch_race = report
+        .findings
+        .iter()
+        .find(|f| f.rule == Rule::EpochRace)
+        .expect("seeded");
+    // Bug 7: thread 1's takeover flush at 106 ns races thread 0's
+    // pending persist of entry 11.
+    assert_eq!(epoch_race.tid, pmtrace::Tid(1));
+    assert_eq!(epoch_race.at_ns, 106);
+    assert_eq!(epoch_race.line, Some(pmem::Line(11)));
+
+    let atomicity = report
+        .findings
+        .iter()
+        .find(|f| f.rule == Rule::TxAtomicity)
+        .expect("seeded");
+    // Bug 8: thread 0 patches tx-managed entry 12 at 130 ns with no
+    // transaction open.
+    assert_eq!(atomicity.tid, pmtrace::Tid(0));
+    assert_eq!(atomicity.at_ns, 130);
+    assert_eq!(atomicity.line, Some(pmem::Line(12)));
+    assert_eq!(atomicity.tx, None);
+
+    let recovery = report
+        .findings
+        .iter()
+        .find(|f| f.rule == Rule::RecoveryRead)
+        .expect("seeded");
+    // Bug 9: recovery reads never-durable entry 13 at 154 ns.
+    assert_eq!(recovery.tid, pmtrace::Tid(0));
+    assert_eq!(recovery.at_ns, 154);
+    assert_eq!(recovery.line, Some(pmem::Line(13)));
 }

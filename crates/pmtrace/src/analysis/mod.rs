@@ -155,6 +155,10 @@ pub fn for_each_epoch(events: &[Event], mut sink: impl FnMut(Epoch)) {
             EventKind::Flush { .. } => {
                 // Ignored, per Section 5.1.
             }
+            EventKind::PmLoad { .. } | EventKind::RecoveryBegin => {
+                // Loads and recovery markers are not stores; they never
+                // open or extend an epoch.
+            }
         }
     }
 }
@@ -166,6 +170,26 @@ pub fn split_epochs(events: &[Event]) -> Vec<Epoch> {
     let mut out = Vec::new();
     for_each_epoch(events, |e| out.push(e));
     out
+}
+
+/// The distinct thread ids appearing in a trace, sorted ascending.
+///
+/// Happens-before analyses allocate one vector-clock slot per thread;
+/// this is the canonical slot order.
+pub fn thread_ids(events: &[Event]) -> Vec<Tid> {
+    let mut ids: Vec<Tid> = events.iter().map(|e| e.tid).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    ids
+}
+
+/// Total fence events (`Fence` + `DFence`) in a trace — the range of
+/// 1-based fence ordinals a crash plan counting fences can target.
+pub fn fence_count(events: &[Event]) -> u64 {
+    events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::Fence | EventKind::DFence))
+        .count() as u64
 }
 
 /// Epochs per second over the traced interval (Table 1's rightmost
@@ -368,6 +392,40 @@ mod tests {
         let e = split_epochs(t.events());
         assert_eq!(nt_fraction(&e), Some(0.25));
         assert_eq!(nt_fraction(&[]), None);
+    }
+
+    #[test]
+    fn loads_and_recovery_markers_do_not_open_epochs() {
+        let mut t = TraceBuffer::new();
+        t.pm_load(t0(), 0, 1);
+        t.recovery_begin(t0(), 2);
+        t.fence(t0(), 3); // closes nothing: no stores happened
+        t.pm_store(t0(), 0, 8, false, Category::UserData, 4);
+        t.pm_load(t0(), 64, 5); // mid-epoch load leaves stats alone
+        t.fence(t0(), 6);
+        let e = split_epochs(t.events());
+        assert_eq!(e.len(), 1);
+        assert_eq!(e[0].stores, 1);
+        assert_eq!(e[0].start_ns, 4);
+    }
+
+    #[test]
+    fn thread_ids_sorted_and_deduped() {
+        let mut t = TraceBuffer::new();
+        t.fence(Tid(2), 1);
+        t.fence(Tid(0), 2);
+        t.fence(Tid(2), 3);
+        assert_eq!(thread_ids(t.events()), vec![Tid(0), Tid(2)]);
+        assert!(thread_ids(&[]).is_empty());
+    }
+
+    #[test]
+    fn fence_count_counts_both_kinds() {
+        let mut t = TraceBuffer::new();
+        t.pm_store(t0(), 0, 8, false, Category::UserData, 1);
+        t.fence(t0(), 2);
+        t.dfence(t0(), 3);
+        assert_eq!(fence_count(t.events()), 2);
     }
 
     #[test]

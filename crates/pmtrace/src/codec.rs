@@ -71,6 +71,8 @@ pub fn encode_events(events: &[Event]) -> Vec<u8> {
             EventKind::DFence => (4, 0, 0),
             EventKind::TxBegin { id } => (5, 0, id),
             EventKind::TxEnd { id } => (6, 0, id),
+            EventKind::PmLoad { addr } => (7, 0, addr),
+            EventKind::RecoveryBegin => (8, 0, 0),
         };
         out.push(tag);
         out.extend_from_slice(&ev.tid.0.to_le_bytes()[..3]);
@@ -116,6 +118,8 @@ pub fn decode_events(bytes: &[u8]) -> Result<Vec<Event>, CodecError> {
             4 => EventKind::DFence,
             5 => EventKind::TxBegin { id: b },
             6 => EventKind::TxEnd { id: b },
+            7 => EventKind::PmLoad { addr: b },
+            8 => EventKind::RecoveryBegin,
             other => return Err(CodecError::BadTag { tag: other }),
         };
         out.push(Event { tid, at_ns, kind });
@@ -137,6 +141,8 @@ mod tests {
         t.fence(Tid(0), 5);
         t.dfence(Tid(3), 6);
         t.tx_end(Tid(0), 9, 7);
+        t.recovery_begin(Tid(0), 8);
+        t.pm_load(Tid(0), 0x1_0000_0040, 9);
         t.into_events()
     }
 

@@ -109,6 +109,21 @@ pub enum EventKind {
         /// Per-thread transaction id.
         id: TxId,
     },
+    /// A load from persistent memory.
+    ///
+    /// The applications do not record their loads (WHISPER traces
+    /// writes, flushes, and fences); this event exists for synthetic
+    /// and seeded traces where the happens-before engine needs the
+    /// read side of a communication edge, and for recovery-phase
+    /// checking ([`RecoveryBegin`](EventKind::RecoveryBegin)).
+    PmLoad {
+        /// Source byte address.
+        addr: Addr,
+    },
+    /// Marks the start of a recovery phase: everything after this
+    /// event models post-crash code re-reading persistent state. Used
+    /// by seeded traces to exercise the P-RECOVERY-READ rule.
+    RecoveryBegin,
 }
 
 /// One trace record: who, when (simulated nanoseconds), what.

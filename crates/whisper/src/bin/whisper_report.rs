@@ -3,7 +3,9 @@
 //! ```text
 //! whisper-report [EXPERIMENT] [--scale X] [--seed N] [--apps a,b,c]
 //!                [--parallel N] [--timing] [--json PATH] [--json-det PATH]
-//!                [--check] [--check-json PATH] [--crash]
+//!                [--check] [--check-json PATH] [--check-rules ID,..]
+//!                [--check-graph DIR] [--crossval] [--crossval-json PATH]
+//!                [--crash]
 //!                [--crash-json PATH] [--serve] [--serve-json PATH]
 //!                [--serve-arrival paced|bursty] [--serve-shards N]
 //!                [--trace PATH] [--profile] [--profile-json PATH]
@@ -43,9 +45,28 @@
 //! the `pmobs` logger, a summary table is appended to the text report,
 //! the JSON report's `violations` section is populated, and the
 //! process exits 3 if any **error**-severity violation was found — the
-//! CI regression gate for durability discipline. `--check-json PATH`
+//! CI regression gate for durability discipline. `--check-rules ID,..`
+//! restricts the checker to the named rules (implies `--check`; an
+//! unknown rule id is a usage error, exit 2); the selection is recorded
+//! as `rules_enabled` in the violations document so a filtered report
+//! cannot pass for a full one. `--check-json PATH`
 //! additionally writes just the violations document to PATH (implies
 //! `--check`).
+//!
+//! `--check-graph DIR` builds the per-app epoch dependency graph
+//! (`whisper::hbgraph`, paper §5.2) over every recorded trace, prints
+//! the dependency-statistics table, stores the summary under `hb.graph`
+//! in the JSON report, and writes the full graphs to `DIR/<app>.json`
+//! and `DIR/<app>.dot`.
+//!
+//! `--crossval` cross-validates the happens-before analysis against
+//! the crash campaign (`whisper::crossval`): every materialized crash
+//! image is compared against the lines the HB analysis proves
+//! spec-invariant durable at that point, plus a seeded epoch-race
+//! positive control. The process exits 6 if any image exhibits an
+//! order-impossible state (or the control goes dead) — the CI gate for
+//! HB soundness. `--crossval-json PATH` additionally writes just the
+//! crossval document to PATH (implies `--crossval`).
 //!
 //! `--crash` sweeps the crash-injection campaign
 //! (`whisper::crashtest`) after the suite run: every Table 1 app's
@@ -89,7 +110,7 @@
 //! are bit-identical whatever the worker count.
 //!
 //! `--json PATH` additionally writes the versioned machine-readable
-//! report (`whisper::json_report`, schema v6) to PATH and turns on
+//! report (`whisper::json_report`, schema v7) to PATH and turns on
 //! `pmobs` metric recording so the report's `metrics` block is
 //! populated. Stdout carries only the report text; all diagnostics go
 //! to stderr through the `pmobs` logger, and `--quiet` silences
@@ -106,9 +127,12 @@
 //! FILE` re-analyzes such an archive offline instead of running a
 //! workload.
 
+use pmcheck::RuleSet;
 use std::time::Instant;
 use whisper::check::{self, AppCheck};
 use whisper::crashtest::{self, AppCrashReport, CampaignConfig};
+use whisper::crossval::CrossvalReport;
+use whisper::hbgraph::{self, AppGraph};
 use whisper::optimize::{self, OptimizeReport};
 use whisper::profile::{profile_json, profile_table, AppProfile};
 use whisper::serve::{self, AppServe, Arrival, ServeConfig};
@@ -121,6 +145,9 @@ const CHECK_FAILED: i32 = 3;
 const CRASH_FAILED: i32 = 4;
 /// Exit code when `--optimize` violated a soundness gate.
 const OPTIMIZE_FAILED: i32 = 5;
+/// Exit code when `--crossval` found an order-impossible crash image
+/// (or a dead positive control).
+const CROSSVAL_FAILED: i32 = 6;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -133,6 +160,10 @@ fn main() {
     let mut json_det_path: Option<String> = None;
     let mut check_traces = false;
     let mut check_json_path: Option<String> = None;
+    let mut check_rules = RuleSet::all();
+    let mut check_graph_dir: Option<String> = None;
+    let mut crossval_gate = false;
+    let mut crossval_json_path: Option<String> = None;
     let mut crash_campaign = false;
     let mut crash_json_path: Option<String> = None;
     let mut optimize_sweep = false;
@@ -178,6 +209,32 @@ fn main() {
                 check_json_path = Some(
                     args.get(i)
                         .unwrap_or_else(|| die("--check-json needs an output path"))
+                        .clone(),
+                );
+            }
+            "--check-rules" => {
+                i += 1;
+                let list = args
+                    .get(i)
+                    .unwrap_or_else(|| die("--check-rules needs a comma-separated rule-id list"));
+                check_rules = RuleSet::from_ids(list).unwrap_or_else(|e| die(&e));
+                check_traces = true;
+            }
+            "--check-graph" => {
+                i += 1;
+                check_graph_dir = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| die("--check-graph needs an output directory"))
+                        .clone(),
+                );
+            }
+            "--crossval" => crossval_gate = true,
+            "--crossval-json" => {
+                i += 1;
+                crossval_gate = true;
+                crossval_json_path = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| die("--crossval-json needs an output path"))
                         .clone(),
                 );
             }
@@ -288,7 +345,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: whisper-report [table1|fig3|fig4|fig5|fig6|fig10|amplification|ntfraction|smallwrites|all] [--scale X] [--seed N] [--apps a,b,c] [--parallel N] [--timing] [--json PATH] [--json-det PATH] [--check] [--check-json PATH] [--crash] [--crash-json PATH] [--serve] [--serve-json PATH] [--serve-arrival paced|bursty] [--serve-shards N] [--trace PATH] [--profile] [--profile-json PATH] [--optimize] [--optimize-json PATH] [--quiet]"
+                    "usage: whisper-report [table1|fig3|fig4|fig5|fig6|fig10|amplification|ntfraction|smallwrites|all] [--scale X] [--seed N] [--apps a,b,c] [--parallel N] [--timing] [--json PATH] [--json-det PATH] [--check] [--check-json PATH] [--check-rules ID,..] [--check-graph DIR] [--crossval] [--crossval-json PATH] [--crash] [--crash-json PATH] [--serve] [--serve-json PATH] [--serve-arrival paced|bursty] [--serve-shards N] [--trace PATH] [--profile] [--profile-json PATH] [--optimize] [--optimize-json PATH] [--quiet]"
                 );
                 return;
             }
@@ -362,8 +419,10 @@ fn main() {
             serve_arrival,
         );
         export_trace(&trace_path);
-        let checks = run_checks(check_traces, &check_json_path, &results);
+        let checks = run_checks(check_traces, &check_json_path, &results, check_rules);
+        let graphs = run_graphs(&check_graph_dir, &results);
         let crash = run_crash(crash_campaign, &crash_json_path, &cfg);
+        let crossval = run_crossval_gate(crossval_gate, &crossval_json_path, &cfg);
         let optimized = run_optimize(optimize_sweep, &optimize_json_path, &results, &cfg);
         write_json_report(
             &json_path,
@@ -371,16 +430,25 @@ fn main() {
             &results,
             &cfg,
             checks.as_deref(),
+            check_rules,
             crash.as_ref(),
             served.as_ref(),
             optimized.as_ref(),
+            graphs.as_deref(),
+            crossval.as_ref(),
         );
         println!("{}", report::all(&results));
         if let Some(checks) = &checks {
             print!("\n{}", check::summary_table(checks));
         }
+        if let Some(graphs) = &graphs {
+            print!("\n{}", hbgraph::summary_table(graphs));
+        }
         if let Some((reports, ccfg)) = &crash {
             print!("\n{}", crashtest::summary_table(reports, ccfg));
+        }
+        if let Some(cv) = &crossval {
+            print!("\n{}", cv.summary_table());
         }
         if let Some(opt) = &optimized {
             print!("\n{}", optimize::summary_table(opt));
@@ -396,6 +464,9 @@ fn main() {
         }
         if let Some((reports, _)) = &crash {
             exit_if_crash_failed(reports);
+        }
+        if let Some(cv) = &crossval {
+            exit_if_crossval_failed(cv);
         }
         if let Some(opt) = &optimized {
             exit_if_optimize_failed(opt);
@@ -440,8 +511,10 @@ fn main() {
         serve_arrival,
     );
     export_trace(&trace_path);
-    let checks = run_checks(check_traces, &check_json_path, &results);
+    let checks = run_checks(check_traces, &check_json_path, &results, check_rules);
+    let graphs = run_graphs(&check_graph_dir, &results);
     let crash = run_crash(crash_campaign, &crash_json_path, &cfg);
+    let crossval = run_crossval_gate(crossval_gate, &crossval_json_path, &cfg);
     let optimized = run_optimize(optimize_sweep, &optimize_json_path, &results, &cfg);
     write_json_report(
         &json_path,
@@ -449,9 +522,12 @@ fn main() {
         &results,
         &cfg,
         checks.as_deref(),
+        check_rules,
         crash.as_ref(),
         served.as_ref(),
         optimized.as_ref(),
+        graphs.as_deref(),
+        crossval.as_ref(),
     );
 
     let text = match experiment.as_str() {
@@ -472,8 +548,14 @@ fn main() {
     if let Some(checks) = &checks {
         print!("\n{}", check::summary_table(checks));
     }
+    if let Some(graphs) = &graphs {
+        print!("\n{}", hbgraph::summary_table(graphs));
+    }
     if let Some((reports, ccfg)) = &crash {
         print!("\n{}", crashtest::summary_table(reports, ccfg));
+    }
+    if let Some(cv) = &crossval {
+        print!("\n{}", cv.summary_table());
     }
     if let Some(opt) = &optimized {
         print!("\n{}", optimize::summary_table(opt));
@@ -489,6 +571,9 @@ fn main() {
     }
     if let Some((reports, _)) = &crash {
         exit_if_crash_failed(reports);
+    }
+    if let Some(cv) = &crossval {
+        exit_if_crossval_failed(cv);
     }
     if let Some(opt) = &optimized {
         exit_if_optimize_failed(opt);
@@ -509,24 +594,91 @@ fn export_trace(trace_path: &Option<String>) {
     pmobs::info!("chrome trace ({} track(s)) written to {path}", tracks.len());
 }
 
-/// `--check`: run the persistency checker over every trace, write the
-/// standalone violations document if `--check-json` asked for one.
+/// `--check`: run the persistency checker over every trace (restricted
+/// to the `--check-rules` selection), write the standalone violations
+/// document if `--check-json` asked for one.
 fn run_checks(
     enabled: bool,
     check_json_path: &Option<String>,
     results: &[AppResult],
+    rules: RuleSet,
 ) -> Option<Vec<AppCheck>> {
     if !enabled {
         return None;
     }
     let _span = pmobs::span!("suite.check");
-    let checks = check::check_results(results);
+    let checks = check::check_results_with(results, rules);
     if let Some(path) = check_json_path {
-        std::fs::write(path, check::violations_json(&checks).to_pretty())
+        std::fs::write(path, check::violations_json(&checks, rules).to_pretty())
             .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
         pmobs::info!("violations json written to {path}");
     }
     Some(checks)
+}
+
+/// `--check-graph DIR`: build the epoch dependency graph for every
+/// result, write `<DIR>/<app>.json` + `<DIR>/<app>.dot`.
+fn run_graphs(dir: &Option<String>, results: &[AppResult]) -> Option<Vec<AppGraph>> {
+    let dir = dir.as_ref()?;
+    let _span = pmobs::span!("suite.hbgraph");
+    let graphs = hbgraph::build_graphs(results);
+    let written = hbgraph::write_graphs(&graphs, std::path::Path::new(dir))
+        .unwrap_or_else(|e| die(&format!("cannot write graphs to {dir}: {e}")));
+    pmobs::info!("{} graph file(s) written to {dir}", written.len());
+    Some(graphs)
+}
+
+/// `--crossval`: replay the crash-campaign registry with tracing on,
+/// compare every materialized image against the HB analysis's proven
+/// durable set, and run the seeded epoch-race positive control. Writes
+/// the standalone document if `--crossval-json` asked for one. Reuses
+/// the suite's `--parallel` worker count.
+fn run_crossval_gate(
+    enabled: bool,
+    crossval_json_path: &Option<String>,
+    cfg: &SuiteConfig,
+) -> Option<CrossvalReport> {
+    if !enabled {
+        return None;
+    }
+    let _span = pmobs::span!("suite.crossval");
+    let ccfg = CampaignConfig {
+        parallelism: cfg.parallelism,
+        ..CampaignConfig::quick()
+    };
+    pmobs::info!(
+        "cross-validating hb analysis: {} point(s) x {} spec(s) per app...",
+        ccfg.points,
+        2 + ccfg.adversarial_seeds
+    );
+    let started = Instant::now();
+    let report = whisper::crossval::run_crossval(&ccfg);
+    pmobs::info!(
+        "crossval finished in {:.2?}: {} image(s), {} violation(s)",
+        started.elapsed(),
+        report.total_images(),
+        report.total_violations()
+    );
+    if let Some(path) = crossval_json_path {
+        std::fs::write(path, report.to_json().to_pretty())
+            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        pmobs::info!("crossval json written to {path}");
+    }
+    Some(report)
+}
+
+/// The `--crossval` gate: an order-impossible crash image, a vacuous
+/// proof set, or a dead positive control fails the run.
+fn exit_if_crossval_failed(report: &CrossvalReport) {
+    if !report.passed() {
+        pmobs::error!(
+            "crossval gate: {} order-impossible image state(s), {} proven line(s), control {} — failing",
+            report.total_violations(),
+            report.total_proven(),
+            if report.control.passed() { "ok" } else { "dead" }
+        );
+        std::process::exit(CROSSVAL_FAILED);
+    }
 }
 
 /// The `--check` gate: error-severity findings fail the run.
@@ -691,7 +843,7 @@ fn exit_if_crash_failed(reports: &[AppCrashReport]) {
     }
 }
 
-/// Write the schema-v6 JSON document to `path` and/or its deterministic
+/// Write the schema-v7 JSON document to `path` and/or its deterministic
 /// subset to `det_path` (no-op without `--json`/`--json-det`).
 /// Snapshots the global pmobs registry last, so the full report
 /// includes everything the run recorded.
@@ -702,17 +854,32 @@ fn write_json_report(
     results: &[AppResult],
     cfg: &SuiteConfig,
     checks: Option<&[AppCheck]>,
+    rules: RuleSet,
     crash: Option<&(Vec<AppCrashReport>, CampaignConfig)>,
     served: Option<&ServeOutput>,
     optimized: Option<&OptimizeReport>,
+    graphs: Option<&[AppGraph]>,
+    crossval: Option<&CrossvalReport>,
 ) {
     if path.is_none() && det_path.is_none() {
         return;
     }
     let snap = pmobs::global().snapshot();
-    let mut doc = json_report::build_checked(results, cfg, &snap, checks);
+    let mut doc = json_report::build_checked(results, cfg, &snap, checks, rules);
     if let Some((reports, ccfg)) = crash {
         doc = doc.field("crash", crashtest::crash_json(reports, ccfg));
+    }
+    if graphs.is_some() || crossval.is_some() {
+        let hb = pmobs::Json::obj()
+            .field(
+                "graph",
+                graphs.map_or(pmobs::Json::Null, hbgraph::stats_json),
+            )
+            .field(
+                "crossval",
+                crossval.map_or(pmobs::Json::Null, CrossvalReport::to_json),
+            );
+        doc = doc.field("hb", hb);
     }
     if let Some(s) = served {
         doc = doc.field("serve", serve::serve_json(&s.reports, &s.scfg));

@@ -12,7 +12,7 @@
 //! end-of-trace leftovers) are reported for diagnosis but do not gate.
 
 use crate::suite::AppResult;
-use pmcheck::{CheckReport, Finding, Rule};
+use pmcheck::{CheckReport, Finding, Rule, RuleSet};
 use pmobs::Json;
 
 /// How many individual findings are embedded per app in the JSON
@@ -31,10 +31,16 @@ pub struct AppCheck {
 
 /// Check every result's trace, logging findings as they are found.
 pub fn check_results(results: &[AppResult]) -> Vec<AppCheck> {
+    check_results_with(results, RuleSet::all())
+}
+
+/// [`check_results`] restricted to the rules in `rules`
+/// (`--check-rules`).
+pub fn check_results_with(results: &[AppResult], rules: RuleSet) -> Vec<AppCheck> {
     results
         .iter()
         .map(|r| {
-            let report = pmcheck::check_events(&r.run.events);
+            let report = pmcheck::check_events_with(&r.run.events, rules);
             log_findings(&r.run.name, &report);
             AppCheck {
                 name: r.run.name.clone(),
@@ -99,16 +105,21 @@ pub fn rule_totals(checks: &[AppCheck]) -> Vec<(Rule, usize, usize)> {
         .collect()
 }
 
-/// The `violations` section of the schema-v2 report.
+/// The `violations` section of the JSON report.
 ///
 /// ```text
-/// {checked_apps, total_errors, total_warnings,
+/// {checked_apps, rules_enabled: [<rule-id>...],
+///  total_errors, total_warnings,
 ///  by_rule: {<rule-id>: {errors, warnings}, ...},   // suite totals
 ///  apps: [{name, events, errors, warnings,
 ///          by_rule: {<rule-id>: {errors, warnings}, ...},
 ///          findings: [...first 25...], findings_truncated}]}
 /// ```
-pub fn violations_json(checks: &[AppCheck]) -> Json {
+///
+/// `rules` is the `--check-rules` selection the checks ran under (all
+/// rules by default); it is recorded so a filtered report cannot be
+/// mistaken for a clean full check.
+pub fn violations_json(checks: &[AppCheck], rules: RuleSet) -> Json {
     let apps: Vec<Json> = checks
         .iter()
         .map(|c| {
@@ -150,8 +161,10 @@ pub fn violations_json(checks: &[AppCheck]) -> Json {
                 .field("warnings", warns as u64),
         );
     }
+    let rules_enabled: Vec<Json> = rules.iter().map(|r| Json::from(r.id())).collect();
     Json::obj()
         .field("checked_apps", checks.len() as u64)
+        .field("rules_enabled", rules_enabled)
         .field("total_errors", total_errors(checks) as u64)
         .field(
             "total_warnings",
@@ -222,7 +235,9 @@ mod tests {
     #[test]
     fn violations_json_shape() {
         let checks = seeded_check();
-        let doc = violations_json(&checks);
+        let doc = violations_json(&checks, RuleSet::all());
+        let enabled = doc.get("rules_enabled").and_then(|r| r.as_arr()).unwrap();
+        assert_eq!(enabled.len(), Rule::ALL.len());
         assert_eq!(
             doc.get("total_errors").and_then(Json::as_f64),
             Some(pmcheck::seeded::EXPECTED_ERRORS as f64)
@@ -260,14 +275,30 @@ mod tests {
             let tag = format!("{}×{}", rule.id(), errors + warns);
             assert!(table.contains(&tag), "missing {tag} in:\n{table}");
         }
-        assert!(table.contains("total: 4 error(s), 3 warning(s)"), "{table}");
+        assert!(table.contains("total: 8 error(s), 3 warning(s)"), "{table}");
         assert!(table.contains("by rule: "), "{table}");
+    }
+
+    #[test]
+    fn rule_filter_flows_through_to_the_report() {
+        let rules = RuleSet::from_ids("P-CROSS-DEP, P-EPOCH-RACE").unwrap();
+        let checks = vec![AppCheck {
+            name: "buggy-log".into(),
+            report: pmcheck::check_events_with(&pmcheck::seeded::buggy_log_events(), rules),
+        }];
+        let doc = violations_json(&checks, rules);
+        let enabled = doc.get("rules_enabled").and_then(|r| r.as_arr()).unwrap();
+        assert_eq!(enabled.len(), 2);
+        // Only the enabled rules' findings are counted: 2 cross-dep
+        // errors + 1 epoch-race error from the seeded trace.
+        assert_eq!(doc.get("total_errors").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(doc.get("total_warnings").and_then(Json::as_f64), Some(0.0));
     }
 
     #[test]
     fn violations_json_has_suite_rule_totals() {
         let checks = seeded_check();
-        let doc = violations_json(&checks);
+        let doc = violations_json(&checks, RuleSet::all());
         let by_rule = doc.get("by_rule").unwrap();
         for (rule, errors, warns) in pmcheck::seeded::EXPECTED {
             let r = by_rule.get(rule.id()).unwrap();

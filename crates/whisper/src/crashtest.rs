@@ -207,14 +207,14 @@ pub struct AppCrashReport {
     pub failures: Vec<CrashFailure>,
 }
 
-type Runner = fn(usize, &[u64]) -> CrashRun;
+pub(crate) type Runner = fn(usize, &[u64]) -> CrashRun;
 
 /// The campaign registry: Table 1 name, crash-workload op count, and
 /// the app's `crash_run` entry point. Op counts are fixed (not suite-
 /// scaled): the campaign sweeps *coverage* of recovery paths, and these
 /// counts are tuned so every app reaches steady state while the full
 /// sweep stays test-suite fast.
-const ROWS: [(&str, usize, Runner); 11] = [
+pub(crate) const ROWS: [(&str, usize, Runner); 11] = [
     ("echo", 40, crate::apps::echo::crash_run),
     ("nstore-ycsb", 64, crate::apps::nstore::crash_run_ycsb),
     ("nstore-tpcc", 32, crate::apps::nstore::crash_run_tpcc),
@@ -230,7 +230,7 @@ const ROWS: [(&str, usize, Runner); 11] = [
 
 /// Spread `k` crash points evenly across `1..=total` (sorted, deduped;
 /// fewer than `k` only when `total` is smaller than `k`).
-fn spread_points(total: u64, k: usize) -> Vec<u64> {
+pub(crate) fn spread_points(total: u64, k: usize) -> Vec<u64> {
     if total == 0 {
         return Vec::new();
     }
@@ -243,13 +243,13 @@ fn spread_points(total: u64, k: usize) -> Vec<u64> {
 }
 
 /// The spec lattice every point is materialized under.
-fn specs(adversarial_seeds: u64) -> Vec<CrashSpec> {
+pub(crate) fn specs(adversarial_seeds: u64) -> Vec<CrashSpec> {
     let mut out = vec![CrashSpec::DropVolatile, CrashSpec::PersistAll];
     out.extend((1..=adversarial_seeds).map(|seed| CrashSpec::Adversarial { seed }));
     out
 }
 
-fn spec_name(spec: CrashSpec) -> String {
+pub(crate) fn spec_name(spec: CrashSpec) -> String {
     match spec {
         CrashSpec::DropVolatile => "drop-volatile".into(),
         CrashSpec::PersistAll => "persist-all".into(),
@@ -307,7 +307,7 @@ fn run_row(name: &'static str, ops: usize, runner: Runner, cfg: &CampaignConfig)
 /// Fan the eleven rows out across `workers` threads (serial when 1),
 /// returning results in Table 1 order. Each row is a self-contained
 /// seeded machine, so results are identical whatever the parallelism.
-fn fan_rows<R: Send>(
+pub(crate) fn fan_rows<R: Send>(
     workers: usize,
     per_row: impl Fn(&'static str, usize, Runner) -> R + Sync,
 ) -> Vec<R> {

@@ -1,0 +1,218 @@
+//! Per-app epoch dependency graphs (`whisper-report --check-graph`).
+//!
+//! Builds [`pmcheck::hb::EpochGraph`] over every application's
+//! recorded trace: nodes are store-containing epochs, red cross edges
+//! are release→acquire dependencies between epochs of different
+//! threads — the §5.2 dependency structure the paper reads off its
+//! Fig. 5 graphs. The summary statistics land in the JSON report's
+//! `hb.graph` section; the full graphs are written next to it as
+//! `<dir>/<app>.json` + `<dir>/<app>.dot` for inspection and
+//! `dot -Tsvg` rendering.
+
+use crate::suite::AppResult;
+use pmcheck::hb::EpochGraph;
+use pmobs::Json;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// One app's epoch dependency graph plus its precomputed §5.2 stats
+/// (`max_antichain` enumerates thread subsets, so it is computed once).
+pub struct AppGraph {
+    /// Table 1 application name.
+    pub name: String,
+    /// The dependency graph over the app's trace.
+    pub graph: EpochGraph,
+    /// Epochs that are the target of at least one cross edge.
+    pub epochs_with_cross_dep: usize,
+    /// Largest set of pairwise-concurrent epochs.
+    pub max_antichain: usize,
+}
+
+/// Build the graph (and its stats) for every suite result.
+pub fn build_graphs(results: &[AppResult]) -> Vec<AppGraph> {
+    results
+        .iter()
+        .map(|r| {
+            let _span = pmobs::span!("hbgraph.build", &r.run.name);
+            let graph = EpochGraph::build(&r.run.events);
+            let epochs_with_cross_dep = graph.epochs_with_cross_dep();
+            let max_antichain = graph.max_antichain();
+            AppGraph {
+                name: r.run.name.clone(),
+                graph,
+                epochs_with_cross_dep,
+                max_antichain,
+            }
+        })
+        .collect()
+}
+
+fn stats_fields(g: &AppGraph) -> Json {
+    Json::obj()
+        .field("name", g.name.as_str())
+        .field("threads", g.graph.threads.len() as u64)
+        .field("epochs", g.graph.nodes.len() as u64)
+        .field("po_edges", g.graph.po_edges as u64)
+        .field("cross_edges", g.graph.cross_edges.len() as u64)
+        .field("epochs_with_cross_dep", g.epochs_with_cross_dep as u64)
+        .field("max_antichain", g.max_antichain as u64)
+}
+
+/// The `hb.graph` section of the JSON report: per-app dependency
+/// statistics (the full node/edge lists live in the `--check-graph`
+/// output files, not the report).
+pub fn stats_json(graphs: &[AppGraph]) -> Json {
+    let apps: Vec<Json> = graphs.iter().map(stats_fields).collect();
+    Json::obj()
+        .field("apps", apps)
+        .field(
+            "total_epochs",
+            graphs
+                .iter()
+                .map(|g| g.graph.nodes.len() as u64)
+                .sum::<u64>(),
+        )
+        .field(
+            "total_cross_edges",
+            graphs
+                .iter()
+                .map(|g| g.graph.cross_edges.len() as u64)
+                .sum::<u64>(),
+        )
+}
+
+/// The human-readable table printed by `--check-graph` (the
+/// EXPERIMENTS.md epoch-graph stats table is this, verbatim).
+pub fn summary_table(graphs: &[AppGraph]) -> String {
+    let mut out = String::from(
+        "Epoch dependency graphs (pmcheck::hb)\n\
+         app            threads  epochs  po-edges  cross-edges  w/cross-dep  max-antichain\n",
+    );
+    for g in graphs {
+        out.push_str(&format!(
+            "{:<14} {:>7} {:>7} {:>9} {:>12} {:>12} {:>14}\n",
+            g.name,
+            g.graph.threads.len(),
+            g.graph.nodes.len(),
+            g.graph.po_edges,
+            g.graph.cross_edges.len(),
+            g.epochs_with_cross_dep,
+            g.max_antichain
+        ));
+    }
+    out.push_str(&format!(
+        "total: {} epoch(s), {} cross edge(s) across {} app(s)\n",
+        graphs.iter().map(|g| g.graph.nodes.len()).sum::<usize>(),
+        graphs
+            .iter()
+            .map(|g| g.graph.cross_edges.len())
+            .sum::<usize>(),
+        graphs.len()
+    ));
+    out
+}
+
+/// Write `<dir>/<app>.json` and `<dir>/<app>.dot` for every graph,
+/// creating `dir` if needed. Returns the written paths. An app name
+/// that is itself a path (`--from-trace /some/archive.wtr`) is
+/// flattened to a plain file stem so the output cannot escape `dir`
+/// (a `Path::join` with an absolute name would replace the base).
+pub fn write_graphs(graphs: &[AppGraph], dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let mut written = Vec::with_capacity(graphs.len() * 2);
+    for g in graphs {
+        let stem = g.name.trim_matches(['/', '\\']).replace(['/', '\\'], "_");
+        let json_path = dir.join(format!("{stem}.json"));
+        let mut f = std::fs::File::create(&json_path)?;
+        writeln!(f, "{}", g.graph.to_json(&g.name).to_pretty())?;
+        written.push(json_path);
+        let dot_path = dir.join(format!("{stem}.dot"));
+        std::fs::write(&dot_path, g.graph.to_dot(&g.name))?;
+        written.push(dot_path);
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmtrace::{Category, Tid, TraceBuffer};
+
+    fn two_thread_graphs() -> Vec<AppGraph> {
+        // A dependency: t1 stores a line t0 persisted, so t1's epoch
+        // acquires t0's — one cross edge, and the two epochs cannot be
+        // an antichain with each other.
+        let mut t = TraceBuffer::new();
+        t.pm_store(Tid(0), 0, 8, false, Category::UserData, 1);
+        t.flush(Tid(0), 0, 2);
+        t.fence(Tid(0), 3);
+        t.pm_store(Tid(1), 0, 8, false, Category::UserData, 4);
+        t.pm_store(Tid(1), 64, 8, false, Category::UserData, 5);
+        t.flush(Tid(1), 0, 6);
+        t.flush(Tid(1), 64, 7);
+        t.fence(Tid(1), 8);
+        let graph = EpochGraph::build(t.events());
+        let epochs_with_cross_dep = graph.epochs_with_cross_dep();
+        let max_antichain = graph.max_antichain();
+        vec![AppGraph {
+            name: "toy".into(),
+            graph,
+            epochs_with_cross_dep,
+            max_antichain,
+        }]
+    }
+
+    #[test]
+    fn stats_json_carries_the_graph_shape() {
+        let graphs = two_thread_graphs();
+        let doc = stats_json(&graphs);
+        assert_eq!(doc.get("total_epochs").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(
+            doc.get("total_cross_edges").and_then(Json::as_f64),
+            Some(1.0)
+        );
+        let apps = doc.get("apps").and_then(|a| a.as_arr()).unwrap();
+        assert_eq!(
+            apps[0].get("max_antichain").and_then(Json::as_f64),
+            Some(1.0)
+        );
+        let table = summary_table(&graphs);
+        assert!(table.contains("toy"), "{table}");
+        assert!(
+            table.contains("total: 2 epoch(s), 1 cross edge(s)"),
+            "{table}"
+        );
+    }
+
+    #[test]
+    fn path_like_app_names_stay_inside_the_output_dir() {
+        let mut graphs = two_thread_graphs();
+        graphs[0].name = "/tmp/somewhere/archive.wtr".into();
+        let dir = std::env::temp_dir().join(format!("hbgraph-esc-{}", std::process::id()));
+        let written = write_graphs(&graphs, &dir).unwrap();
+        for p in &written {
+            assert!(
+                p.starts_with(&dir),
+                "{} escaped {}",
+                p.display(),
+                dir.display()
+            );
+        }
+        assert!(written[0].ends_with("tmp_somewhere_archive.wtr.json"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn write_graphs_emits_json_and_dot() {
+        let graphs = two_thread_graphs();
+        let dir = std::env::temp_dir().join(format!("hbgraph-test-{}", std::process::id()));
+        let written = write_graphs(&graphs, &dir).unwrap();
+        assert_eq!(written.len(), 2);
+        let json = std::fs::read_to_string(&written[0]).unwrap();
+        let parsed = pmobs::json::parse(&json).unwrap();
+        assert_eq!(parsed.get("epochs").and_then(Json::as_f64), Some(2.0));
+        let dot = std::fs::read_to_string(&written[1]).unwrap();
+        assert!(dot.starts_with("digraph"), "{dot}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

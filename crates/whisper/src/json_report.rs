@@ -6,11 +6,16 @@
 //! the [`pmobs`] metrics registry. The encoder is
 //! [`pmobs::json`]; no external serialization crate is involved.
 //!
-//! # Schema (version 6)
+//! # Schema (version 7)
 //!
-//! Version 6 = version 5 plus the `optimize` section (`null` unless
-//! the run swept the ordering optimizer with `whisper-report
-//! --optimize`); every v5 key is otherwise unchanged. Version 5 =
+//! Version 7 = version 6 plus the `hb` section (`null` unless the run
+//! built epoch dependency graphs with `--check-graph` or
+//! cross-validated the HB analysis with `--crossval`) and
+//! `rules_enabled` inside `violations`; every v6 key is otherwise
+//! unchanged. Version 6 = version 5 plus the `optimize` section
+//! (`null` unless the run swept the ordering optimizer with
+//! `whisper-report --optimize`); every v5 key is otherwise unchanged.
+//! Version 5 =
 //! version 4 plus the `profile` section (`null` unless the
 //! run profiled the serving sweep with `whisper-report --profile`);
 //! every v4 key is otherwise unchanged. Version 4 = version 3 plus the
@@ -20,7 +25,7 @@
 //! `config.effective_ops`. Version 2 = version 1 plus `violations`.
 //!
 //! ```text
-//! schema_version   u64     always 6 for this layout
+//! schema_version   u64     always 7 for this layout
 //! config           obj     {scale, seed, parallelism,
 //!                           effective_ops: {app: ops}}
 //! table1           arr     one obj per app, Table 1 order:
@@ -50,11 +55,14 @@
 //!                           p50, p90, p99, p999}. Empty objects when
 //!                          recording was off.
 //! violations       obj?    pmcheck results (`crate::check`):
-//!                          {checked_apps, total_errors,
-//!                           total_warnings, apps: [{name, events,
+//!                          {checked_apps, rules_enabled,
+//!                           total_errors, total_warnings, by_rule,
+//!                           apps: [{name, events,
 //!                           errors, warnings, by_rule, findings,
 //!                           findings_truncated}]}. `null` when the
-//!                          run was not checked.
+//!                          run was not checked. `rules_enabled` lists
+//!                          the `--check-rules` selection the check
+//!                          ran under (all rule ids by default).
 //! crash            obj?    crash-campaign results
 //!                          (`crate::crashtest::crash_json`):
 //!                          {points_per_app, adversarial_seeds,
@@ -101,6 +109,23 @@
 //!                           failures}]}. Simulated clock only,
 //!                          deterministic like `serve`; `null` when the
 //!                          run did not sweep the optimizer.
+//! hb               obj?    happens-before analysis artifacts:
+//!                          {graph: obj?, crossval: obj?}. `graph`
+//!                          (`crate::hbgraph::stats_json`) carries the
+//!                          per-app epoch dependency statistics
+//!                          {apps: [{name, threads, epochs, po_edges,
+//!                           cross_edges, epochs_with_cross_dep,
+//!                           max_antichain}], total_epochs,
+//!                           total_cross_edges} when the run passed
+//!                          `--check-graph`, else `null`. `crossval`
+//!                          (`crate::crossval`) carries the
+//!                          HB-vs-crash-image gate {apps: [{name,
+//!                           points, images, proven_lines,
+//!                           violations}], control, total_images,
+//!                           total_violations, total_proven_lines,
+//!                           passed} when the run passed `--crossval`,
+//!                          else `null`. The whole section is `null`
+//!                          when neither flag was given.
 //! ```
 //!
 //! Clock-domain rule (see `pmobs::span`): metric names under `sim.*`
@@ -117,7 +142,7 @@ use pmtrace::analysis::SIZE_BUCKET_LABELS;
 use pmtrace::Category;
 
 /// Version stamp of the report layout documented above.
-pub const SCHEMA_VERSION: u64 = 6;
+pub const SCHEMA_VERSION: u64 = 7;
 
 fn paper_row(name: &str) -> Option<&'static PaperRow> {
     PAPER.iter().find(|r| r.name == name)
@@ -348,27 +373,29 @@ pub fn metrics_json(snap: &MetricsSnapshot) -> Json {
         .field("histograms", histograms)
 }
 
-/// Assemble the full schema-version-6 report document. `checks` is the
-/// per-app pmcheck outcome when the run was checked (`--check`); the
-/// `violations` key serializes as `null` otherwise.
+/// Assemble the full schema-version-7 report document. `checks` is the
+/// per-app pmcheck outcome when the run was checked (`--check`), with
+/// the rule selection it ran under; the `violations` key serializes as
+/// `null` otherwise.
 pub fn build_checked(
     results: &[AppResult],
     cfg: &SuiteConfig,
     metrics: &MetricsSnapshot,
     checks: Option<&[crate::check::AppCheck]>,
+    rules: pmcheck::RuleSet,
 ) -> Json {
     build(results, cfg, metrics).field(
         "violations",
         match checks {
-            Some(c) => crate::check::violations_json(c),
+            Some(c) => crate::check::violations_json(c, rules),
             None => Json::Null,
         },
     )
 }
 
 /// Assemble the report document without the optional
-/// `violations`/`crash`/`serve`/`profile`/`optimize` sections (the
-/// plain-run shape: all five `null`).
+/// `violations`/`crash`/`serve`/`profile`/`optimize`/`hb` sections
+/// (the plain-run shape: all six `null`).
 pub fn build(results: &[AppResult], cfg: &SuiteConfig, metrics: &MetricsSnapshot) -> Json {
     let mut effective_ops = Json::obj();
     for r in results {
@@ -409,6 +436,7 @@ pub fn build(results: &[AppResult], cfg: &SuiteConfig, metrics: &MetricsSnapshot
         .field("serve", Json::Null)
         .field("profile", Json::Null)
         .field("optimize", Json::Null)
+        .field("hb", Json::Null)
 }
 
 /// The keys of the *deterministic* sections of the report: everything
@@ -447,9 +475,9 @@ pub fn deterministic_subset(doc: &Json) -> Json {
     out
 }
 
-/// The top-level keys every version-6 document carries, in order —
+/// The top-level keys every version-7 document carries, in order —
 /// shared between [`build`], the tests, and CI validation.
-pub const REQUIRED_KEYS: [&str; 18] = [
+pub const REQUIRED_KEYS: [&str; 19] = [
     "schema_version",
     "config",
     "table1",
@@ -468,6 +496,7 @@ pub const REQUIRED_KEYS: [&str; 18] = [
     "serve",
     "profile",
     "optimize",
+    "hb",
 ];
 
 #[cfg(test)]
@@ -494,7 +523,7 @@ mod tests {
         assert_eq!(again, parsed);
         assert_eq!(
             parsed.get("schema_version").and_then(Json::as_f64),
-            Some(6.0)
+            Some(7.0)
         );
         assert_eq!(
             doc.get("violations"),
@@ -520,6 +549,11 @@ mod tests {
             doc.get("optimize"),
             Some(&Json::Null),
             "unoptimized runs carry optimize: null"
+        );
+        assert_eq!(
+            doc.get("hb"),
+            Some(&Json::Null),
+            "runs without --check-graph/--crossval carry hb: null"
         );
         assert_eq!(
             doc.get("config")
@@ -552,7 +586,13 @@ mod tests {
         };
         let results = run_apps(&["exim"], &cfg);
         let checks = crate::check::check_results(&results);
-        let doc = build_checked(&results, &cfg, &MetricsSnapshot::default(), Some(&checks));
+        let doc = build_checked(
+            &results,
+            &cfg,
+            &MetricsSnapshot::default(),
+            Some(&checks),
+            pmcheck::RuleSet::all(),
+        );
         let v = doc.get("violations").expect("violations present");
         assert_eq!(v.get("checked_apps").and_then(Json::as_f64), Some(1.0));
         assert!(v.get("apps").and_then(|a| a.as_arr()).is_some());
@@ -563,6 +603,7 @@ mod tests {
         assert!(deterministic_subset(&doc).get("serve").is_none());
         assert!(deterministic_subset(&doc).get("profile").is_none());
         assert!(deterministic_subset(&doc).get("optimize").is_none());
+        assert!(deterministic_subset(&doc).get("hb").is_none());
         assert!(deterministic_subset(&doc).get("config").is_none());
     }
 

@@ -39,6 +39,8 @@
 pub mod apps;
 pub mod check;
 pub mod crashtest;
+pub mod crossval;
+pub mod hbgraph;
 pub mod json_report;
 pub mod optimize;
 pub mod profile;
