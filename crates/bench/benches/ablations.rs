@@ -215,12 +215,12 @@ fn bench_pb_coalescing(c: &mut Criterion) {
         let mut sys = HopsSystem::new(cfg, AR::new(0, 1 << 20), 1);
         for e in 0..64u64 {
             for _ in 0..4 {
-                sys.store(0, 0x40, &e.to_le_bytes()); // hot counter line
-                sys.store(0, 0x80 + e * 64, &e.to_le_bytes());
+                sys.store(0, 0x40, &e.to_le_bytes()).unwrap(); // hot counter line
+                sys.store(0, 0x80 + e * 64, &e.to_le_bytes()).unwrap();
             }
-            sys.ofence(0);
+            sys.ofence(0).unwrap();
         }
-        sys.dfence(0);
+        sys.dfence(0).unwrap();
         sys.media_writes()
     };
     eprintln!(

@@ -17,6 +17,7 @@ fn bench_fig10(c: &mut Criterion) {
         scale: 0.02,
         seed: 42,
         parallelism: 1,
+        worker_threads: 4,
     };
     let tcfg = TimingConfig::default();
     let hcfg = HopsConfig::default();

@@ -28,6 +28,7 @@ fn bench_fig3(c: &mut Criterion) {
         scale: 0.02,
         seed: 42,
         parallelism: 1,
+        worker_threads: 4,
     };
     let mut group = c.benchmark_group("fig3_tx_size");
     group.sample_size(10);

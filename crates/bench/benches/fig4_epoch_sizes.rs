@@ -16,6 +16,7 @@ fn bench_fig4(c: &mut Criterion) {
         scale: 0.02,
         seed: 42,
         parallelism: 1,
+        worker_threads: 4,
     };
     let mut group = c.benchmark_group("fig4_epoch_sizes");
     group.sample_size(10);

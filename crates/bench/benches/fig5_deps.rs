@@ -31,6 +31,7 @@ fn bench_fig5(c: &mut Criterion) {
         scale: 0.02,
         seed: 42,
         parallelism: 1,
+        worker_threads: 4,
     };
     let mut group = c.benchmark_group("fig5_dependencies");
     group.sample_size(10);

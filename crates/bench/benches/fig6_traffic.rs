@@ -17,6 +17,7 @@ fn bench_fig6(c: &mut Criterion) {
         scale: 0.02,
         seed: 42,
         parallelism: 1,
+        worker_threads: 4,
     };
     let mut group = c.benchmark_group("fig6_pm_traffic_share");
     group.sample_size(10);

@@ -53,6 +53,7 @@ fn run_scale(
         scale,
         seed,
         parallelism,
+        worker_threads: 4,
     };
     let mut out = ScaleOutcome {
         name: name.to_string(),

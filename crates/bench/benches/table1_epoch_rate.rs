@@ -17,6 +17,7 @@ fn bench_table1(c: &mut Criterion) {
         scale: 0.02,
         seed: 42,
         parallelism: 1,
+        worker_threads: 4,
     };
     let mut group = c.benchmark_group("table1_epochs_per_second");
     group.sample_size(10);

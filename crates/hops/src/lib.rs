@@ -34,12 +34,13 @@
 //!
 //! // The paper's worked example: two versions of A buffered at once.
 //! let mut sys = HopsSystem::new(HopsConfig::default(), AddrRange::new(0, 1 << 20), 4);
-//! sys.store(0, 0x100, &10u64.to_le_bytes());
-//! sys.ofence(0); // cheap, local
-//! sys.store(0, 0x100, &20u64.to_le_bytes());
-//! assert_eq!(sys.buffered_versions(0, pmem::Line::containing(0x100)), 2);
-//! sys.dfence(0); // drains: 10 then 20, in epoch order
+//! sys.store(0, 0x100, &10u64.to_le_bytes())?;
+//! sys.ofence(0)?; // cheap, local
+//! sys.store(0, 0x100, &20u64.to_le_bytes())?;
+//! assert_eq!(sys.buffered_versions(0, pmem::Line::containing(0x100))?, 2);
+//! sys.dfence(0)?; // drains: 10 then 20, in epoch order
 //! assert_eq!(sys.durable_u64(0x100), 20);
+//! # Ok::<(), hops::BadThread>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -55,4 +56,4 @@ pub use config::{HopsConfig, TimingConfig};
 pub use models::{
     fig10_invocations, figure10_bars, replay, replay_dpo, PersistModel, Replayer, RuntimeReport,
 };
-pub use persist_buffer::HopsSystem;
+pub use persist_buffer::{BadThread, HopsSystem};

@@ -8,6 +8,32 @@ use std::collections::VecDeque;
 
 const LINE: usize = LINE_SIZE as usize;
 
+/// A per-thread operation named a hardware thread the system was not
+/// built with.
+///
+/// HOPS sizes its persist buffers, Bloom filters, and global TS
+/// registers at construction; a slot outside that range has no state to
+/// index, so every per-thread entry point validates before touching it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BadThread {
+    /// The offending slot.
+    pub tid: usize,
+    /// Hardware threads the system was built with.
+    pub threads: usize,
+}
+
+impl std::fmt::Display for BadThread {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "thread {} out of range (system has {} threads)",
+            self.tid, self.threads
+        )
+    }
+}
+
+impl std::error::Error for BadThread {}
+
 /// One persist-buffer entry: the PB Front End metadata (address, epoch
 /// TS, dependency pointer) plus the Back End data copy (Figure 7/9).
 #[derive(Debug, Clone)]
@@ -85,25 +111,57 @@ impl HopsSystem {
         }
     }
 
+    /// Validate a thread slot against the count the system was built
+    /// with.
+    ///
+    /// # Errors
+    ///
+    /// [`BadThread`] when `tid` names no hardware thread.
+    fn check(&self, tid: usize) -> Result<(), BadThread> {
+        if tid < self.threads.len() {
+            Ok(())
+        } else {
+            Err(BadThread {
+                tid,
+                threads: self.threads.len(),
+            })
+        }
+    }
+
     /// Current epoch timestamp of a thread.
-    pub fn thread_ts(&self, tid: usize) -> u64 {
-        self.threads[tid].ts
+    ///
+    /// # Errors
+    ///
+    /// [`BadThread`] for an out-of-range slot.
+    pub fn thread_ts(&self, tid: usize) -> Result<u64, BadThread> {
+        self.check(tid)?;
+        Ok(self.threads[tid].ts)
     }
 
     /// Persist-buffer occupancy of a thread.
-    pub fn pb_len(&self, tid: usize) -> usize {
-        self.threads[tid].pb.len()
+    ///
+    /// # Errors
+    ///
+    /// [`BadThread`] for an out-of-range slot.
+    pub fn pb_len(&self, tid: usize) -> Result<usize, BadThread> {
+        self.check(tid)?;
+        Ok(self.threads[tid].pb.len())
     }
 
     /// How many buffered versions of `line` thread `tid` holds —
     /// the multi-versioning that absorbs self-dependencies
     /// (Consequence 6).
-    pub fn buffered_versions(&self, tid: usize, line: Line) -> usize {
-        self.threads[tid]
+    ///
+    /// # Errors
+    ///
+    /// [`BadThread`] for an out-of-range slot.
+    pub fn buffered_versions(&self, tid: usize, line: Line) -> Result<usize, BadThread> {
+        self.check(tid)?;
+        Ok(self.threads[tid]
             .pb
             .iter()
             .filter(|e| e.line == line)
-            .count()
+            .count())
     }
 
     /// Lines written to the PM device so far.
@@ -117,7 +175,13 @@ impl HopsSystem {
     /// pointer to `(source thread, its current epoch TS)` is recorded —
     /// the conservative choice the paper makes "to simplify the
     /// hardware".
-    pub fn store(&mut self, tid: usize, addr: Addr, bytes: &[u8]) {
+    ///
+    /// # Errors
+    ///
+    /// [`BadThread`] for an out-of-range slot (the store takes no
+    /// effect, functional or durable).
+    pub fn store(&mut self, tid: usize, addr: Addr, bytes: &[u8]) -> Result<(), BadThread> {
+        self.check(tid)?;
         self.functional.write(addr, bytes);
         let ts = self.threads[tid].ts;
         for (line, _, _) in lines_spanning(addr, bytes.len()) {
@@ -170,6 +234,7 @@ impl HopsSystem {
                 self.flush_oldest_epoch(tid);
             }
         }
+        Ok(())
     }
 
     fn has_buffered(&self, tid: usize, line: Line) -> bool {
@@ -185,7 +250,12 @@ impl HopsSystem {
     /// local, no flushing (Table 2) — except at the 16-bit timestamp
     /// wrap, where the PB drains so no buffered entry can outlive its
     /// epoch numbering.
-    pub fn ofence(&mut self, tid: usize) {
+    ///
+    /// # Errors
+    ///
+    /// [`BadThread`] for an out-of-range slot.
+    pub fn ofence(&mut self, tid: usize) -> Result<(), BadThread> {
+        self.check(tid)?;
         pmobs::count!("hops.ofence");
         if self.threads[tid].ts >= u16::MAX as u64 {
             // The wrap drain is the only time an ofence stalls.
@@ -195,14 +265,20 @@ impl HopsSystem {
             }
             self.flushed_ts[tid] = 0;
             self.threads[tid].ts = 1;
-            return;
+            return Ok(());
         }
         self.threads[tid].ts += 1;
+        Ok(())
     }
 
     /// `dfence`: end the epoch and stall until the thread's PB is
     /// flushed clean (Table 2).
-    pub fn dfence(&mut self, tid: usize) {
+    ///
+    /// # Errors
+    ///
+    /// [`BadThread`] for an out-of-range slot.
+    pub fn dfence(&mut self, tid: usize) -> Result<(), BadThread> {
+        self.check(tid)?;
         pmobs::count!("hops.dfence");
         pmobs::observe!(
             "hops.dfence_stall_entries",
@@ -213,6 +289,7 @@ impl HopsSystem {
         while !self.threads[tid].pb.is_empty() {
             self.flush_oldest_epoch(tid);
         }
+        Ok(())
     }
 
     /// Flush the oldest complete epoch from `tid`'s PB, honoring
@@ -340,10 +417,10 @@ mod tests {
         let before = pmobs::global().snapshot();
         pmobs::set_enabled(true);
         let mut s = sys();
-        s.store(0, 0, &[1u8; 8]);
-        s.ofence(0);
-        s.store(0, 64, &[2u8; 8]);
-        s.dfence(0);
+        s.store(0, 0, &[1u8; 8]).unwrap();
+        s.ofence(0).unwrap();
+        s.store(0, 64, &[2u8; 8]).unwrap();
+        s.dfence(0).unwrap();
         let _ = s.llc_miss_would_stall(0);
         pmobs::set_enabled(false);
         let after = pmobs::global().snapshot();
@@ -357,17 +434,17 @@ mod tests {
     fn paper_worked_example() {
         // mov A, 10; ofence; mov A, 20; dfence — Section 6.3.
         let mut s = sys();
-        s.store(0, 0x100, &10u64.to_le_bytes());
-        assert_eq!(s.thread_ts(0), 1);
-        s.ofence(0);
-        assert_eq!(s.thread_ts(0), 2, "ofence is a local TS bump");
-        s.store(0, 0x100, &20u64.to_le_bytes());
-        assert_eq!(s.buffered_versions(0, Line::containing(0x100)), 2);
+        s.store(0, 0x100, &10u64.to_le_bytes()).unwrap();
+        assert_eq!(s.thread_ts(0).unwrap(), 1);
+        s.ofence(0).unwrap();
+        assert_eq!(s.thread_ts(0).unwrap(), 2, "ofence is a local TS bump");
+        s.store(0, 0x100, &20u64.to_le_bytes()).unwrap();
+        assert_eq!(s.buffered_versions(0, Line::containing(0x100)).unwrap(), 2);
         assert_eq!(s.durable_u64(0x100), 0, "nothing durable yet");
-        s.dfence(0);
-        assert_eq!(s.thread_ts(0), 3);
+        s.dfence(0).unwrap();
+        assert_eq!(s.thread_ts(0).unwrap(), 3);
         assert_eq!(s.durable_u64(0x100), 20);
-        assert_eq!(s.pb_len(0), 0);
+        assert_eq!(s.pb_len(0).unwrap(), 0);
         // Both versions were written to media, in order.
         assert_eq!(s.media_writes(), 2);
     }
@@ -375,18 +452,18 @@ mod tests {
     #[test]
     fn ofence_does_not_flush() {
         let mut s = sys();
-        s.store(0, 0, &[1; 8]);
-        s.ofence(0);
-        assert_eq!(s.pb_len(0), 1);
+        s.store(0, 0, &[1; 8]).unwrap();
+        s.ofence(0).unwrap();
+        assert_eq!(s.pb_len(0).unwrap(), 1);
         assert_eq!(s.durable_u64(0), 0);
     }
 
     #[test]
     fn cache_sees_newest_value_always() {
         let mut s = sys();
-        s.store(0, 0, &[1; 8]);
-        s.ofence(0);
-        s.store(0, 0, &[2; 8]);
+        s.store(0, 0, &[1; 8]).unwrap();
+        s.ofence(0).unwrap();
+        s.store(0, 0, &[2; 8]).unwrap();
         assert_eq!(s.load_vec(0, 8), vec![2; 8]);
     }
 
@@ -397,8 +474,8 @@ mod tests {
         for seed in 0..50 {
             let mut s = sys();
             for i in 0..6u64 {
-                s.store(0, i * 64, &(i + 1).to_le_bytes());
-                s.ofence(0);
+                s.store(0, i * 64, &(i + 1).to_le_bytes()).unwrap();
+                s.ofence(0).unwrap();
             }
             let img = s.crash(seed);
             let vals: Vec<u64> = (0..6)
@@ -424,9 +501,9 @@ mod tests {
         // the PB flushed anything, the versions went in order.
         for seed in 0..30 {
             let mut s = sys();
-            s.store(0, 0x40, &10u64.to_le_bytes());
-            s.ofence(0);
-            s.store(0, 0x40, &20u64.to_le_bytes());
+            s.store(0, 0x40, &10u64.to_le_bytes()).unwrap();
+            s.ofence(0).unwrap();
+            s.store(0, 0x40, &20u64.to_le_bytes()).unwrap();
             let img = s.crash(seed);
             let v = u64::from_le_bytes(img.read_vec(0x40, 8).try_into().unwrap());
             assert!(
@@ -442,9 +519,9 @@ mod tests {
         // be durable while t0's earlier update is not.
         for seed in 0..50 {
             let mut s = sys();
-            s.store(0, 0x80, &1u64.to_le_bytes());
+            s.store(0, 0x80, &1u64.to_le_bytes()).unwrap();
             // t1 takes write ownership (RAW/WAW conflict) and writes 2.
-            s.store(1, 0x80, &2u64.to_le_bytes());
+            s.store(1, 0x80, &2u64.to_le_bytes()).unwrap();
             // Also a marker only t0 wrote, in the same epoch as its L
             // write, to detect whether t0's epoch flushed.
             let img = s.crash(seed);
@@ -464,11 +541,15 @@ mod tests {
     #[test]
     fn dfence_with_cross_dep_flushes_source_thread() {
         let mut s = sys();
-        s.store(0, 0x80, &1u64.to_le_bytes());
-        s.store(1, 0x80, &2u64.to_le_bytes());
-        s.dfence(1);
+        s.store(0, 0x80, &1u64.to_le_bytes()).unwrap();
+        s.store(1, 0x80, &2u64.to_le_bytes()).unwrap();
+        s.dfence(1).unwrap();
         // Draining t1 required draining t0 first.
-        assert_eq!(s.pb_len(0), 0, "source thread drained by dependency");
+        assert_eq!(
+            s.pb_len(0).unwrap(),
+            0,
+            "source thread drained by dependency"
+        );
         assert_eq!(s.durable_u64(0x80), 2);
         assert_eq!(s.media_writes(), 2, "both versions reached PM in order");
     }
@@ -478,9 +559,9 @@ mod tests {
         let mut s = sys();
         // 20 singleton stores in one epoch: threshold is 16.
         for i in 0..20u64 {
-            s.store(0, i * 64, &[7; 8]);
+            s.store(0, i * 64, &[7; 8]).unwrap();
         }
-        assert!(s.pb_len(0) < 20, "background flushing kicked in");
+        assert!(s.pb_len(0).unwrap() < 20, "background flushing kicked in");
         assert!(s.media_writes() > 0);
     }
 
@@ -488,7 +569,8 @@ mod tests {
     fn shutdown_drains_everything() {
         let mut s = sys();
         for t in 0..4 {
-            s.store(t, 0x1000 + t as u64 * 64, &[t as u8 + 1; 8]);
+            s.store(t, 0x1000 + t as u64 * 64, &[t as u8 + 1; 8])
+                .unwrap();
         }
         let img = s.shutdown();
         for t in 0..4u64 {
@@ -499,30 +581,30 @@ mod tests {
     #[test]
     fn independent_threads_flush_independently() {
         let mut s = sys();
-        s.store(0, 0, &[1; 8]);
-        s.store(1, 64, &[2; 8]);
-        s.dfence(0);
+        s.store(0, 0, &[1; 8]).unwrap();
+        s.store(1, 64, &[2; 8]).unwrap();
+        s.dfence(0).unwrap();
         assert_eq!(s.durable_u64(0), u64::from_le_bytes([1; 8]));
-        assert_eq!(s.pb_len(1), 1, "no conflict → t1 untouched");
+        assert_eq!(s.pb_len(1).unwrap(), 1, "no conflict → t1 untouched");
     }
 
     #[test]
     fn sixteen_bit_timestamp_wrap_drains_and_restarts() {
         let mut s = sys();
-        s.store(0, 0, &[1; 8]);
+        s.store(0, 0, &[1; 8]).unwrap();
         // Force the counter to the 16-bit ceiling.
-        while s.thread_ts(0) < u16::MAX as u64 {
-            s.ofence(0);
+        while s.thread_ts(0).unwrap() < u16::MAX as u64 {
+            s.ofence(0).unwrap();
         }
-        s.store(0, 64, &[2; 8]);
-        s.ofence(0); // the wrapping fence
-        assert_eq!(s.thread_ts(0), 1, "counter wrapped");
-        assert_eq!(s.pb_len(0), 0, "PB drained at the wrap");
+        s.store(0, 64, &[2; 8]).unwrap();
+        s.ofence(0).unwrap(); // the wrapping fence
+        assert_eq!(s.thread_ts(0).unwrap(), 1, "counter wrapped");
+        assert_eq!(s.pb_len(0).unwrap(), 0, "PB drained at the wrap");
         assert_eq!(s.durable_u64(0), u64::from_le_bytes([1; 8]));
         assert_eq!(s.durable_u64(64), u64::from_le_bytes([2; 8]));
         // The system keeps working across the wrap.
-        s.store(0, 128, &[3; 8]);
-        s.dfence(0);
+        s.store(0, 128, &[3; 8]).unwrap();
+        s.dfence(0).unwrap();
         assert_eq!(s.durable_u64(128), u64::from_le_bytes([3; 8]));
     }
 
@@ -530,9 +612,9 @@ mod tests {
     fn llc_miss_stalls_track_pb_contents() {
         let mut s = sys();
         assert!(!s.llc_miss_would_stall(0x100), "empty PBs never stall");
-        s.store(0, 0x100, &[1; 8]);
+        s.store(0, 0x100, &[1; 8]).unwrap();
         assert!(s.llc_miss_would_stall(0x100), "buffered line stalls a miss");
-        s.dfence(0);
+        s.dfence(0).unwrap();
         assert!(
             !s.llc_miss_would_stall(0x100),
             "writeback clears the filter: stalls are transient"
@@ -549,24 +631,47 @@ mod tests {
         // Three stores to one line in one epoch: one PB entry, holding
         // the newest value.
         for v in [1u64, 2, 3] {
-            s.store(0, 0x40, &v.to_le_bytes());
+            s.store(0, 0x40, &v.to_le_bytes()).unwrap();
         }
-        assert_eq!(s.pb_len(0), 1);
+        assert_eq!(s.pb_len(0).unwrap(), 1);
         // Across epochs, versions still multi-buffer.
-        s.ofence(0);
-        s.store(0, 0x40, &4u64.to_le_bytes());
-        assert_eq!(s.buffered_versions(0, Line::containing(0x40)), 2);
-        s.dfence(0);
+        s.ofence(0).unwrap();
+        s.store(0, 0x40, &4u64.to_le_bytes()).unwrap();
+        assert_eq!(s.buffered_versions(0, Line::containing(0x40)).unwrap(), 2);
+        s.dfence(0).unwrap();
         assert_eq!(s.durable_u64(0x40), 4);
         assert_eq!(s.media_writes(), 2, "coalescing saved two media writes");
     }
 
     #[test]
+    fn out_of_range_thread_is_a_typed_error_on_every_entry_point() {
+        let mut s = sys(); // 4 hardware threads
+        let bad = 4usize;
+        let err = BadThread { tid: 4, threads: 4 };
+        assert_eq!(s.store(bad, 0, &[1; 8]), Err(err));
+        assert_eq!(s.ofence(bad), Err(err));
+        assert_eq!(s.dfence(bad), Err(err));
+        assert_eq!(s.thread_ts(bad), Err(err));
+        assert_eq!(s.pb_len(bad), Err(err));
+        assert_eq!(s.buffered_versions(bad, Line::containing(0)), Err(err));
+        assert_eq!(
+            err.to_string(),
+            "thread 4 out of range (system has 4 threads)"
+        );
+        // The rejected store left no trace, functional or durable.
+        assert_eq!(s.load_vec(0, 8), vec![0; 8]);
+        // In-range threads are unaffected.
+        s.store(3, 0, &[1; 8]).unwrap();
+        s.dfence(3).unwrap();
+        assert_eq!(s.durable_u64(0), u64::from_le_bytes([1; 8]));
+    }
+
+    #[test]
     fn multi_line_store_spans_entries() {
         let mut s = sys();
-        s.store(0, 60, &[9; 10]); // crosses a line boundary
-        assert_eq!(s.pb_len(0), 2);
-        s.dfence(0);
+        s.store(0, 60, &[9; 10]).unwrap(); // crosses a line boundary
+        assert_eq!(s.pb_len(0).unwrap(), 2);
+        s.dfence(0).unwrap();
         assert_eq!(s.load_vec(60, 10), vec![9; 10]);
         let img = s.shutdown();
         assert_eq!(img.read_vec(60, 10), vec![9; 10]);

@@ -52,6 +52,7 @@ mod config;
 mod crash;
 mod elide;
 mod machine;
+mod sched;
 mod stats;
 mod wcb;
 mod writer;
@@ -60,5 +61,6 @@ pub use config::{Latency, MachineConfig, SIM_CLOCK_HZ, SIM_NS_PER_SEC};
 pub use crash::{CrashCounter, CrashPlan, CrashSpec, CrashState};
 pub use elide::{ElidePlan, ElideStats};
 pub use machine::Machine;
+pub use sched::{Scheduler, TidError};
 pub use stats::MemStats;
 pub use writer::PmWriter;

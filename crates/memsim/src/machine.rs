@@ -194,12 +194,29 @@ impl Machine {
         self.pm_durable.total_line_writes()
     }
 
+    /// Validate `tid` against this machine's thread count — the single
+    /// source of truth every per-thread layer (engines, structures,
+    /// replay models) should size itself from.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::TidError`] when `tid` names a slot the machine does not
+    /// have.
+    pub fn validate_tid(&self, tid: Tid) -> Result<(), crate::TidError> {
+        if (tid.0 as usize) < self.dirty.len() {
+            Ok(())
+        } else {
+            Err(crate::TidError {
+                tid,
+                threads: self.cfg.threads,
+            })
+        }
+    }
+
     fn check_tid(&self, tid: Tid) {
-        assert!(
-            (tid.0 as usize) < self.dirty.len(),
-            "thread {tid} out of range (machine has {} threads)",
-            self.cfg.threads
-        );
+        if let Err(e) = self.validate_tid(tid) {
+            panic!("{e}");
+        }
     }
 
     /// Mark `line` dirty for thread `t`, keeping [`Machine::dirty_index`]
@@ -767,6 +784,23 @@ mod tests {
         let da = mc.alloc_dram(64, 8);
         mc.store(t, da, b"dram", Category::UserData);
         assert_eq!(mc.load_vec(t, da, 4), b"dram");
+    }
+
+    #[test]
+    fn validate_tid_matches_thread_count() {
+        let mc = m();
+        let threads = mc.config().threads;
+        for t in 0..threads {
+            assert!(mc.validate_tid(Tid(t)).is_ok(), "t{t} is a real slot");
+        }
+        let err = mc.validate_tid(Tid(threads)).unwrap_err();
+        assert_eq!(err.tid, Tid(threads));
+        assert_eq!(err.threads, threads);
+        let msg = err.to_string();
+        assert!(
+            msg.contains(&threads.to_string()),
+            "error names the machine's thread count: {msg}"
+        );
     }
 
     #[test]

@@ -113,6 +113,10 @@ impl WriteCombine {
     /// Returns true when a fresh entry was inserted — the caller then
     /// applies the overflow rule against [`WriteCombine::live_len`].
     pub(crate) fn upsert(&mut self, t: usize, line: Line, data: [u8; 64], seq: u64) -> bool {
+        // Per-thread indexes are only reachable through Machine entry
+        // points that ran `validate_tid` — sized, like everything
+        // per-thread, from `MachineConfig::threads`.
+        debug_assert!(t < self.queues.len(), "unvalidated thread slot {t}");
         if let Some(old_seq) = self.holder_seq(line, t) {
             let e = self.queues[t]
                 .iter_mut()

@@ -25,7 +25,9 @@
 #![warn(missing_docs)]
 
 mod btree;
+mod chash;
 mod critbit;
+mod dqueue;
 mod hashfn;
 mod hashmap;
 mod lru;
@@ -33,7 +35,9 @@ mod plog;
 mod rbtree;
 
 pub use btree::{PBTree, BTREE_REGION_BYTES};
+pub use chash::{CHash, HashOpFate, HashRecovery, CHASH_MAX_ITEM};
 pub use critbit::{CritBitTree, CRITBIT_REGION_BYTES};
+pub use dqueue::{DurableQueue, QueueOpFate, QueueRecovery, DQUEUE_MAX_PAYLOAD};
 pub use hashfn::fnv1a;
 pub use hashmap::PHashMap;
 pub use lru::PLruList;
@@ -57,6 +61,19 @@ pub enum DsError {
         /// Address probed.
         addr: pmem::Addr,
     },
+    /// A per-thread slot index outside the range the structure was
+    /// created with.
+    BadSlot {
+        /// The offending slot.
+        slot: u32,
+        /// Slots the structure was created with.
+        slots: u32,
+    },
+    /// The structure's node arena is exhausted.
+    Full {
+        /// Nodes the structure was created with room for.
+        capacity: u64,
+    },
 }
 
 impl std::fmt::Display for DsError {
@@ -66,6 +83,12 @@ impl std::fmt::Display for DsError {
             DsError::Alloc(e) => write!(f, "allocation error: {e}"),
             DsError::TooLarge { len } => write!(f, "item of {len} bytes too large"),
             DsError::BadHeader { addr } => write!(f, "no structure header at {addr:#x}"),
+            DsError::BadSlot { slot, slots } => {
+                write!(f, "slot {slot} out of range (structure has {slots} slots)")
+            }
+            DsError::Full { capacity } => {
+                write!(f, "node arena full ({capacity} nodes)")
+            }
         }
     }
 }

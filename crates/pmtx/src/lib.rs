@@ -95,6 +95,15 @@ pub enum TxError {
         /// The offending length.
         len: usize,
     },
+    /// A thread id outside the engine's formatted slot range — the
+    /// engine was formatted for `threads` log slots and `tid` names
+    /// none of them.
+    BadTid {
+        /// The offending thread id.
+        tid: pmtrace::Tid,
+        /// Slots the engine was formatted with.
+        threads: u32,
+    },
 }
 
 impl std::fmt::Display for TxError {
@@ -106,8 +115,42 @@ impl std::fmt::Display for TxError {
             TxError::EntryTooLarge { len } => {
                 write!(f, "write of {len} bytes exceeds the log entry limit")
             }
+            TxError::BadTid { tid, threads } => {
+                write!(f, "thread {tid} out of range (engine has {threads} slots)")
+            }
         }
     }
 }
 
 impl std::error::Error for TxError {}
+
+/// The validated per-thread slot index for `tid` in an engine formatted
+/// with `slots` slots.
+pub(crate) fn slot_of(tid: pmtrace::Tid, slots: usize) -> Result<usize, TxError> {
+    let t = tid.0 as usize;
+    if t < slots {
+        Ok(t)
+    } else {
+        Err(TxError::BadTid {
+            tid,
+            threads: slots as u32,
+        })
+    }
+}
+
+/// Engines size their per-thread state from a caller-supplied count,
+/// but the machine's [`memsim::MachineConfig::threads`] is the single
+/// source of truth: a slot no machine thread can ever drive is a
+/// configuration bug, caught at format/recover time rather than as an
+/// index panic on first use.
+///
+/// # Panics
+///
+/// Panics when `threads` is zero or exceeds the machine's thread count.
+pub(crate) fn check_engine_threads(m: &memsim::Machine, threads: u32) {
+    assert!(
+        threads >= 1 && threads <= m.config().threads,
+        "engine thread count {threads} outside 1..={} (MachineConfig::threads)",
+        m.config().threads
+    );
+}

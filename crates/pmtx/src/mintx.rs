@@ -67,7 +67,7 @@ impl MinTxEngine {
     ///
     /// Panics if the region cannot hold four records per thread.
     pub fn format(m: &mut Machine, region: AddrRange, threads: u32) -> MinTxEngine {
-        assert!(threads > 0, "need at least one thread");
+        crate::check_engine_threads(m, threads);
         let per = region.len / threads as u64 / 64 * 64;
         assert!(per >= 64 + 4 * REC_BYTES, "log region too small");
         let slots: Vec<Slot> = (0..threads as u64)
@@ -96,6 +96,7 @@ impl MinTxEngine {
     /// records of the committed generation (idempotent), then continue
     /// with the next generation.
     pub fn recover(m: &mut Machine, tid: Tid, region: AddrRange, threads: u32) -> MinTxEngine {
+        crate::check_engine_threads(m, threads);
         let per = region.len / threads as u64 / 64 * 64;
         let slots: Vec<Slot> = (0..threads as u64)
             .map(|i| Slot {
@@ -145,13 +146,18 @@ impl MinTxEngine {
         self.region
     }
 
+    /// The validated slot index for `tid`.
+    fn slot_of(&self, tid: Tid) -> Result<usize, TxError> {
+        crate::slot_of(tid, self.active.len())
+    }
+
     /// Start a transaction.
     ///
     /// # Errors
     ///
     /// [`TxError::NestedTx`] if one is already open on this thread.
     pub fn begin(&mut self, m: &mut Machine, tid: Tid) -> Result<(), TxError> {
-        let t = tid.0 as usize;
+        let t = self.slot_of(tid)?;
         if self.active[t].is_some() {
             return Err(TxError::NestedTx);
         }
@@ -178,7 +184,7 @@ impl MinTxEngine {
         bytes: &[u8],
         cat: Category,
     ) -> Result<(), TxError> {
-        let t = tid.0 as usize;
+        let t = self.slot_of(tid)?;
         let active = self.active[t].as_mut().ok_or(TxError::NoTx)?;
         if bytes.len() > MIN_TX_MAX_DATA {
             return Err(TxError::EntryTooLarge { len: bytes.len() });
@@ -209,8 +215,15 @@ impl MinTxEngine {
 
     /// Read with read-your-writes semantics.
     pub fn read(&mut self, m: &mut Machine, tid: Tid, addr: Addr, len: usize) -> Vec<u8> {
-        let mut data = m.load_vec(tid, addr, len);
-        if let Some(active) = self.active[tid.0 as usize].as_ref() {
+        // A tid without a machine slot cannot account a load (and can
+        // never hold buffered writes) — degrade to zeroes instead of
+        // panicking deep in the per-thread dirty state.
+        let mut data = match m.validate_tid(tid) {
+            Ok(()) => m.load_vec(tid, addr, len),
+            Err(_) => vec![0; len],
+        };
+        // An out-of-range tid has no buffered writes to overlay.
+        if let Some(active) = self.active.get(tid.0 as usize).and_then(Option::as_ref) {
             for (waddr, wdata, _) in &active.writes {
                 let (ws, we) = (*waddr, *waddr + wdata.len() as u64);
                 let (rs, re) = (addr, addr + len as u64);
@@ -231,7 +244,7 @@ impl MinTxEngine {
     ///
     /// [`TxError::NoTx`] without an open transaction.
     pub fn commit(&mut self, m: &mut Machine, tid: Tid) -> Result<(), TxError> {
-        let t = tid.0 as usize;
+        let t = self.slot_of(tid)?;
         let active = self.active[t].take().ok_or(TxError::NoTx)?;
         let gen = self.gens[t];
         let mut w = PmWriter::new(tid);
@@ -273,7 +286,7 @@ impl MinTxEngine {
     ///
     /// [`TxError::NoTx`] without an open transaction.
     pub fn abort(&mut self, m: &mut Machine, tid: Tid) -> Result<(), TxError> {
-        let t = tid.0 as usize;
+        let t = self.slot_of(tid)?;
         let active = self.active[t].take().ok_or(TxError::NoTx)?;
         m.tx_end(tid, active.id);
         Ok(())
@@ -309,6 +322,26 @@ mod tests {
         let log = AddrRange::new(pm.base, 1 << 20);
         let eng = MinTxEngine::format(&mut m, log, 4);
         (m, eng, pm.base + (1 << 20))
+    }
+
+    #[test]
+    fn out_of_range_tid_is_a_typed_error_on_every_entry_point() {
+        let (mut m, mut eng, data) = setup();
+        let bad = Tid(4);
+        let err = TxError::BadTid {
+            tid: bad,
+            threads: 4,
+        };
+        assert_eq!(eng.begin(&mut m, bad), Err(err));
+        assert_eq!(
+            eng.write(&mut m, bad, data, &[1u8; 8], Category::UserData),
+            Err(err)
+        );
+        assert_eq!(eng.commit(&mut m, bad), Err(err));
+        assert_eq!(eng.abort(&mut m, bad), Err(err));
+        assert_eq!(eng.read(&mut m, bad, data, 8), vec![0u8; 8]);
+        eng.begin(&mut m, Tid(3)).unwrap();
+        eng.commit(&mut m, Tid(3)).unwrap();
     }
 
     #[test]

@@ -46,6 +46,7 @@ impl RedoTxEngine {
     ///
     /// Panics if `region` is too small for `threads` ≥4 KB slots.
     pub fn format(m: &mut Machine, region: AddrRange, threads: u32) -> RedoTxEngine {
+        crate::check_engine_threads(m, threads);
         let slots = carve_slots(region, threads);
         for (i, s) in slots.iter().enumerate() {
             s.format(m, Tid(i as u32));
@@ -66,6 +67,7 @@ impl RedoTxEngine {
     /// durable, discard the rest. Returns the engine, ready for new
     /// transactions. `tid` is the recovery thread.
     pub fn recover(m: &mut Machine, tid: Tid, region: AddrRange, threads: u32) -> RedoTxEngine {
+        crate::check_engine_threads(m, threads);
         let mut slots = carve_slots(region, threads);
         let scratch = (0..threads)
             .map(|_| m.alloc_dram(SCRATCH_BYTES, 64))
@@ -105,18 +107,25 @@ impl RedoTxEngine {
         self.region
     }
 
-    /// Whether `tid` has an open transaction.
+    /// Whether `tid` has an open transaction (false for an
+    /// out-of-range `tid`, which can never have one).
     pub fn in_tx(&self, tid: Tid) -> bool {
-        self.active[tid.0 as usize].is_some()
+        self.active.get(tid.0 as usize).is_some_and(Option::is_some)
+    }
+
+    /// The validated slot index for `tid`.
+    fn slot_of(&self, tid: Tid) -> Result<usize, TxError> {
+        crate::slot_of(tid, self.active.len())
     }
 
     /// Start a durable transaction on `tid`.
     ///
     /// # Errors
     ///
-    /// [`TxError::NestedTx`] if one is already open.
+    /// [`TxError::NestedTx`] if one is already open;
+    /// [`TxError::BadTid`] for a thread the engine has no slot for.
     pub fn begin(&mut self, m: &mut Machine, tid: Tid) -> Result<(), TxError> {
-        let t = tid.0 as usize;
+        let t = self.slot_of(tid)?;
         if self.active[t].is_some() {
             return Err(TxError::NestedTx);
         }
@@ -138,8 +147,9 @@ impl RedoTxEngine {
     ///
     /// # Errors
     ///
-    /// [`TxError::NoTx`] without an open transaction; log-capacity
-    /// errors from the slot.
+    /// [`TxError::NoTx`] without an open transaction;
+    /// [`TxError::BadTid`] for a thread the engine has no slot for;
+    /// log-capacity errors from the slot.
     pub fn write(
         &mut self,
         m: &mut Machine,
@@ -148,7 +158,7 @@ impl RedoTxEngine {
         bytes: &[u8],
         cat: Category,
     ) -> Result<(), TxError> {
-        let t = tid.0 as usize;
+        let t = self.slot_of(tid)?;
         let scratch_base = self.scratch[t];
         let active = self.active[t].as_mut().ok_or(TxError::NoTx)?;
         // Buffer in DRAM scratch (counts as volatile traffic).
@@ -185,8 +195,15 @@ impl RedoTxEngine {
     /// Transactional read with read-your-writes semantics: buffered
     /// updates overlay memory.
     pub fn read(&mut self, m: &mut Machine, tid: Tid, addr: Addr, len: usize) -> Vec<u8> {
-        let mut data = m.load_vec(tid, addr, len);
-        if let Some(active) = self.active[tid.0 as usize].as_ref() {
+        // A tid without a machine slot cannot account a load (and can
+        // never hold buffered writes) — degrade to zeroes instead of
+        // panicking deep in the per-thread dirty state.
+        let mut data = match m.validate_tid(tid) {
+            Ok(()) => m.load_vec(tid, addr, len),
+            Err(_) => vec![0; len],
+        };
+        // An out-of-range tid has no buffered writes to overlay.
+        if let Some(active) = self.active.get(tid.0 as usize).and_then(Option::as_ref) {
             for (waddr, wdata, _) in &active.writes {
                 let (ws, we) = (*waddr, *waddr + wdata.len() as u64);
                 let (rs, re) = (addr, addr + len as u64);
@@ -213,7 +230,7 @@ impl RedoTxEngine {
     ///
     /// [`TxError::NoTx`] without an open transaction.
     pub fn commit(&mut self, m: &mut Machine, tid: Tid) -> Result<(), TxError> {
-        let t = tid.0 as usize;
+        let t = self.slot_of(tid)?;
         let active = self.active[t].take().ok_or(TxError::NoTx)?;
         let mut w = PmWriter::new(tid);
         // 1. Commit marker durable: the transaction's durability point.
@@ -237,7 +254,7 @@ impl RedoTxEngine {
     ///
     /// [`TxError::NoTx`] without an open transaction.
     pub fn abort(&mut self, m: &mut Machine, tid: Tid) -> Result<(), TxError> {
-        let t = tid.0 as usize;
+        let t = self.slot_of(tid)?;
         let active = self.active[t].take().ok_or(TxError::NoTx)?;
         let mut w = PmWriter::new(tid);
         let policy = self.clear_policy;
@@ -259,6 +276,28 @@ mod tests {
         let log = AddrRange::new(pm.base, 1 << 20);
         let eng = RedoTxEngine::format(&mut m, log, 4);
         (m, eng, pm.base + (1 << 20))
+    }
+
+    #[test]
+    fn out_of_range_tid_is_a_typed_error_on_every_entry_point() {
+        let (mut m, mut eng, data) = setup();
+        let bad = Tid(4);
+        let err = TxError::BadTid {
+            tid: bad,
+            threads: 4,
+        };
+        assert!(!eng.in_tx(bad));
+        assert_eq!(eng.begin(&mut m, bad), Err(err));
+        assert_eq!(
+            eng.write(&mut m, bad, data, &[1u8; 8], Category::UserData),
+            Err(err)
+        );
+        assert_eq!(eng.commit(&mut m, bad), Err(err));
+        assert_eq!(eng.abort(&mut m, bad), Err(err));
+        // Reads degrade to plain memory reads (no overlay to apply).
+        assert_eq!(eng.read(&mut m, bad, data, 8), vec![0u8; 8]);
+        eng.begin(&mut m, Tid(3)).unwrap();
+        eng.commit(&mut m, Tid(3)).unwrap();
     }
 
     #[test]

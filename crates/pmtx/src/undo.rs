@@ -42,6 +42,7 @@ impl UndoTxEngine {
     ///
     /// Panics if `region` is too small for `threads` ≥4 KB slots.
     pub fn format(m: &mut Machine, region: AddrRange, threads: u32) -> UndoTxEngine {
+        crate::check_engine_threads(m, threads);
         let slots = carve_slots(region, threads);
         for (i, s) in slots.iter().enumerate() {
             s.format(m, Tid(i as u32));
@@ -57,6 +58,7 @@ impl UndoTxEngine {
     /// Recover after a crash: roll back slots that were mid-transaction,
     /// discard logs of committed ones.
     pub fn recover(m: &mut Machine, tid: Tid, region: AddrRange, threads: u32) -> UndoTxEngine {
+        crate::check_engine_threads(m, threads);
         let mut slots = carve_slots(region, threads);
         let mut w = PmWriter::new(tid);
         for slot in &mut slots {
@@ -92,18 +94,25 @@ impl UndoTxEngine {
         self.region
     }
 
-    /// Whether `tid` has an open transaction.
+    /// Whether `tid` has an open transaction (false for an
+    /// out-of-range `tid`, which can never have one).
     pub fn in_tx(&self, tid: Tid) -> bool {
-        self.active[tid.0 as usize].is_some()
+        self.active.get(tid.0 as usize).is_some_and(Option::is_some)
+    }
+
+    /// The validated slot index for `tid`.
+    fn slot_of(&self, tid: Tid) -> Result<usize, TxError> {
+        crate::slot_of(tid, self.active.len())
     }
 
     /// Start a durable transaction on `tid`.
     ///
     /// # Errors
     ///
-    /// [`TxError::NestedTx`] if one is already open.
+    /// [`TxError::NestedTx`] if one is already open;
+    /// [`TxError::BadTid`] for a thread the engine has no slot for.
     pub fn begin(&mut self, m: &mut Machine, tid: Tid) -> Result<(), TxError> {
-        let t = tid.0 as usize;
+        let t = self.slot_of(tid)?;
         if self.active[t].is_some() {
             return Err(TxError::NestedTx);
         }
@@ -123,8 +132,9 @@ impl UndoTxEngine {
     ///
     /// # Errors
     ///
-    /// [`TxError::NoTx`] without an open transaction; log-capacity
-    /// errors from the slot.
+    /// [`TxError::NoTx`] without an open transaction;
+    /// [`TxError::BadTid`] for a thread the engine has no slot for;
+    /// log-capacity errors from the slot.
     pub fn set(
         &mut self,
         m: &mut Machine,
@@ -133,7 +143,7 @@ impl UndoTxEngine {
         bytes: &[u8],
         cat: Category,
     ) -> Result<(), TxError> {
-        let t = tid.0 as usize;
+        let t = self.slot_of(tid)?;
         if self.active[t].is_none() {
             return Err(TxError::NoTx);
         }
@@ -172,7 +182,7 @@ impl UndoTxEngine {
     ///
     /// [`TxError::NoTx`] without an open transaction.
     pub fn commit(&mut self, m: &mut Machine, tid: Tid) -> Result<(), TxError> {
-        let t = tid.0 as usize;
+        let t = self.slot_of(tid)?;
         let mut active = self.active[t].take().ok_or(TxError::NoTx)?;
         // 1. Data durable.
         active.writer.durability_fence(m);
@@ -194,7 +204,7 @@ impl UndoTxEngine {
     ///
     /// [`TxError::NoTx`] without an open transaction.
     pub fn abort(&mut self, m: &mut Machine, tid: Tid) -> Result<(), TxError> {
-        let t = tid.0 as usize;
+        let t = self.slot_of(tid)?;
         let active = self.active[t].take().ok_or(TxError::NoTx)?;
         let mut w = PmWriter::new(tid);
         for (target, old) in self.slots[t].read_entries(m, tid).into_iter().rev() {
@@ -213,6 +223,37 @@ impl UndoTxEngine {
 mod tests {
     use super::*;
     use memsim::{CrashSpec, MachineConfig};
+
+    #[test]
+    fn out_of_range_tid_is_a_typed_error_on_every_entry_point() {
+        let (mut m, mut eng, data) = setup();
+        // One past the last formatted slot — the classic off-by-one.
+        let bad = Tid(4);
+        let err = TxError::BadTid {
+            tid: bad,
+            threads: 4,
+        };
+        assert!(!eng.in_tx(bad));
+        assert_eq!(eng.begin(&mut m, bad), Err(err));
+        assert_eq!(
+            eng.set(&mut m, bad, data, &[1u8; 8], Category::UserData),
+            Err(err)
+        );
+        assert_eq!(eng.commit(&mut m, bad), Err(err));
+        assert_eq!(eng.abort(&mut m, bad), Err(err));
+        // A good thread still works after the rejections.
+        eng.begin(&mut m, Tid(3)).unwrap();
+        eng.commit(&mut m, Tid(3)).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 1..=")]
+    fn format_rejects_more_slots_than_machine_threads() {
+        let mut m = Machine::new(MachineConfig::asplos17());
+        let pm = m.config().map.pm;
+        let threads = m.config().threads;
+        let _ = UndoTxEngine::format(&mut m, AddrRange::new(pm.base, 1 << 20), threads + 1);
+    }
 
     fn setup() -> (Machine, UndoTxEngine, Addr) {
         let mut m = Machine::new(MachineConfig::asplos17());

@@ -23,9 +23,21 @@ pub mod vacation;
 pub use fsapps::{exim, mysql, nfs};
 pub use micro::{ctree, hashmap};
 
-use memsim::{Machine, MemStats};
+use memsim::{Machine, MachineConfig, MemStats};
 use pmem::Addr;
 use pmtrace::{Category, Event, Tid};
+
+/// Table 1 worker-thread count for the scheduler-interleaved apps
+/// (redis, memcached, vacation); `--threads` overrides it per run.
+pub(crate) const WORKERS: u32 = crate::suite::DEFAULT_WORKER_THREADS;
+
+/// An `asplos17` machine with at least `workers` hardware threads, so
+/// every scheduler-picked [`Tid`] is in range.
+pub(crate) fn machine_for(workers: u32) -> Machine {
+    let mut cfg = MachineConfig::asplos17();
+    cfg.threads = cfg.threads.max(workers);
+    Machine::new(cfg)
+}
 
 /// The outcome of one application run: everything the analysis needs.
 #[derive(Debug)]

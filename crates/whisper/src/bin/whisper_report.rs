@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! whisper-report [EXPERIMENT] [--scale X] [--seed N] [--apps a,b,c]
-//!                [--parallel N] [--timing] [--json PATH] [--json-det PATH]
+//!                [--parallel N] [--threads N] [--timing]
+//!                [--json PATH] [--json-det PATH]
 //!                [--check] [--check-json PATH] [--check-rules ID,..]
 //!                [--check-graph DIR] [--crossval] [--crossval-json PATH]
 //!                [--crash]
@@ -19,7 +20,13 @@
 //!
 //! Applications run in parallel across one worker per core by default;
 //! `--parallel N` overrides the worker count (`--parallel 1` forces the
-//! serial runner). `--timing` runs the selected applications twice —
+//! serial runner). `--threads N` (default 4, range 1..=64) sets how many
+//! logical clients the seeded scheduler interleaves *inside* redis,
+//! memcached, and vacation — unlike `--parallel` it changes the traces
+//! (`--threads 1` removes their cross-thread epoch dependencies), so it
+//! is echoed back as `config.worker_threads` in the JSON report.
+//!
+//! `--timing` runs the selected applications twice —
 //! serially, then in parallel — and reports each app's wall-clock
 //! (both runners) and simulated durations from the same span data,
 //! plus the overall speedup, instead of a paper table.
@@ -110,7 +117,7 @@
 //! are bit-identical whatever the worker count.
 //!
 //! `--json PATH` additionally writes the versioned machine-readable
-//! report (`whisper::json_report`, schema v7) to PATH and turns on
+//! report (`whisper::json_report`, schema v8) to PATH and turns on
 //! `pmobs` metric recording so the report's `metrics` block is
 //! populated. Stdout carries only the report text; all diagnostics go
 //! to stderr through the `pmobs` logger, and `--quiet` silences
@@ -200,6 +207,13 @@ fn main() {
                     .get(i)
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--parallel needs a worker count"));
+            }
+            "--threads" => {
+                i += 1;
+                cfg.worker_threads = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--threads needs a worker count (1..=64)"));
             }
             "--timing" => timing = true,
             "--check" => check_traces = true,
@@ -345,7 +359,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: whisper-report [table1|fig3|fig4|fig5|fig6|fig10|amplification|ntfraction|smallwrites|all] [--scale X] [--seed N] [--apps a,b,c] [--parallel N] [--timing] [--json PATH] [--json-det PATH] [--check] [--check-json PATH] [--check-rules ID,..] [--check-graph DIR] [--crossval] [--crossval-json PATH] [--crash] [--crash-json PATH] [--serve] [--serve-json PATH] [--serve-arrival paced|bursty] [--serve-shards N] [--trace PATH] [--profile] [--profile-json PATH] [--optimize] [--optimize-json PATH] [--quiet]"
+                    "usage: whisper-report [table1|fig3|fig4|fig5|fig6|fig10|amplification|ntfraction|smallwrites|all] [--scale X] [--seed N] [--apps a,b,c] [--parallel N] [--threads N] [--timing] [--json PATH] [--json-det PATH] [--check] [--check-json PATH] [--check-rules ID,..] [--check-graph DIR] [--crossval] [--crossval-json PATH] [--crash] [--crash-json PATH] [--serve] [--serve-json PATH] [--serve-arrival paced|bursty] [--serve-shards N] [--trace PATH] [--profile] [--profile-json PATH] [--optimize] [--optimize-json PATH] [--quiet]"
                 );
                 return;
             }

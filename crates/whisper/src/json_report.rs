@@ -6,9 +6,11 @@
 //! the [`pmobs`] metrics registry. The encoder is
 //! [`pmobs::json`]; no external serialization crate is involved.
 //!
-//! # Schema (version 7)
+//! # Schema (version 8)
 //!
-//! Version 7 = version 6 plus the `hb` section (`null` unless the run
+//! Version 8 = version 7 plus `config.worker_threads` (the scheduler
+//! client count inside the interleaved applications, the `--threads`
+//! flag). Version 7 = version 6 plus the `hb` section (`null` unless the run
 //! built epoch dependency graphs with `--check-graph` or
 //! cross-validated the HB analysis with `--crossval`) and
 //! `rules_enabled` inside `violations`; every v6 key is otherwise
@@ -25,8 +27,8 @@
 //! `config.effective_ops`. Version 2 = version 1 plus `violations`.
 //!
 //! ```text
-//! schema_version   u64     always 7 for this layout
-//! config           obj     {scale, seed, parallelism,
+//! schema_version   u64     always 8 for this layout
+//! config           obj     {scale, seed, parallelism, worker_threads,
 //!                           effective_ops: {app: ops}}
 //! table1           arr     one obj per app, Table 1 order:
 //!                          {name, workload, threads, epochs,
@@ -142,7 +144,7 @@ use pmtrace::analysis::SIZE_BUCKET_LABELS;
 use pmtrace::Category;
 
 /// Version stamp of the report layout documented above.
-pub const SCHEMA_VERSION: u64 = 7;
+pub const SCHEMA_VERSION: u64 = 8;
 
 fn paper_row(name: &str) -> Option<&'static PaperRow> {
     PAPER.iter().find(|r| r.name == name)
@@ -373,7 +375,7 @@ pub fn metrics_json(snap: &MetricsSnapshot) -> Json {
         .field("histograms", histograms)
 }
 
-/// Assemble the full schema-version-7 report document. `checks` is the
+/// Assemble the full schema-version-8 report document. `checks` is the
 /// per-app pmcheck outcome when the run was checked (`--check`), with
 /// the rule selection it ran under; the `violations` key serializes as
 /// `null` otherwise.
@@ -412,6 +414,7 @@ pub fn build(results: &[AppResult], cfg: &SuiteConfig, metrics: &MetricsSnapshot
                 .field("scale", cfg.scale)
                 .field("seed", cfg.seed)
                 .field("parallelism", cfg.parallelism as u64)
+                .field("worker_threads", u64::from(cfg.worker_threads))
                 .field("effective_ops", effective_ops),
         )
         .field("table1", table1(results))
@@ -475,7 +478,7 @@ pub fn deterministic_subset(doc: &Json) -> Json {
     out
 }
 
-/// The top-level keys every version-7 document carries, in order —
+/// The top-level keys every version-8 document carries, in order —
 /// shared between [`build`], the tests, and CI validation.
 pub const REQUIRED_KEYS: [&str; 19] = [
     "schema_version",
@@ -510,6 +513,7 @@ mod tests {
             scale: 0.008,
             seed: 7,
             parallelism: 1,
+            worker_threads: 4,
         };
         let results = run_apps(&["hashmap", "nfs"], &cfg);
         let doc = build(&results, &cfg, &MetricsSnapshot::default());
@@ -523,7 +527,7 @@ mod tests {
         assert_eq!(again, parsed);
         assert_eq!(
             parsed.get("schema_version").and_then(Json::as_f64),
-            Some(7.0)
+            Some(8.0)
         );
         assert_eq!(
             doc.get("violations"),
@@ -583,6 +587,7 @@ mod tests {
             scale: 0.008,
             seed: 7,
             parallelism: 1,
+            worker_threads: 4,
         };
         let results = run_apps(&["exim"], &cfg);
         let checks = crate::check::check_results(&results);
@@ -690,6 +695,7 @@ mod tests {
             scale: 0.008,
             seed: 7,
             parallelism: 1,
+            worker_threads: 4,
         };
         let results = run_apps(&["hashmap"], &cfg);
         let reg = pmobs::Registry::new();

@@ -415,6 +415,7 @@ mod tests {
             scale: 0.008,
             seed: 7,
             parallelism: 1,
+            worker_threads: 4,
         }
     }
 

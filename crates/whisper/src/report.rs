@@ -493,17 +493,23 @@ pub fn consequences(results: &[AppResult]) -> String {
         ),
     );
 
-    // C5: cross-deps exist but are uncommon.
+    // C5: cross-deps exist but are uncommon. Name the actual maximum
+    // app rather than assuming NFS: the interleaved redis dict now
+    // produces genuine cross-thread collisions (see EXPERIMENTS.md
+    // known deviations), so it can outrank the PMFS apps.
     let any_cross = results.iter().any(|r| r.analysis.deps.cross_dep_epochs > 0);
-    let max_cross = results
+    let (max_cross_app, max_cross) = results
         .iter()
-        .map(|r| r.analysis.deps.cross_fraction())
-        .fold(0.0f64, f64::max);
+        .map(|r| (r.run.name.as_str(), r.analysis.deps.cross_fraction()))
+        .fold(("none", 0.0f64), |acc, x| if x.1 > acc.1 { x } else { acc });
     check(
         5,
         "handle cross-dependencies correctly, but they are uncommon",
         any_cross && max_cross < 0.25,
-        format!("max cross-dependency share {:.1}% (NFS)", max_cross * 100.0),
+        format!(
+            "max cross-dependency share {:.1}% ({max_cross_app})",
+            max_cross * 100.0
+        ),
     );
 
     // C6: self-dependencies frequent -> multi-versioning pays.
@@ -645,6 +651,7 @@ mod tests {
             scale: 0.008,
             seed: 3,
             parallelism: 1,
+            worker_threads: 4,
         };
         let results = vec![run_app("hashmap", &cfg), run_app("nfs", &cfg)];
         let text = all(&results);

@@ -309,6 +309,18 @@ pub fn service_times_with_stalls(
         }
         let now = rp.makespan_ns();
         let stall_now = rp.stall_total_ns();
+        // The replayer's makespan is monotone in replayed events, so a
+        // segment can be empty (0 ns, floored to 1 below) but never
+        // negative. Going backwards means a replayer clock bug —
+        // assert in debug builds, and surface it as a counter in
+        // release runs instead of silently reporting a 1 ns segment.
+        debug_assert!(
+            now >= prev,
+            "replayer makespan went backwards: {now} < {prev} at bound {b}"
+        );
+        if now < prev {
+            pmobs::count!("serve.nonmonotone_makespan");
+        }
         let svc = now.saturating_sub(prev).max(1);
         let stall = stall_now.saturating_sub(prev_stall).min(svc);
         services.push((svc, stall));
@@ -341,6 +353,7 @@ pub fn serve_app_full(name: &str, cfg: &ServeConfig) -> (AppServe, AppProfile) {
         scale: cfg.scale,
         seed: cfg.seed,
         parallelism: 1,
+        worker_threads: 4,
     };
     let ops = suite
         .effective_ops(name)
@@ -785,6 +798,36 @@ mod tests {
             assert!(total >= replayed, "{model}");
             assert!(total <= replayed + 60, "{model}: {total} vs {replayed}");
         }
+    }
+
+    #[test]
+    fn makespan_is_monotone_and_empty_segments_floor_to_one() {
+        // Duplicate bounds make genuinely empty segments: the makespan
+        // must not move across them (they floor to the 1 ns minimum),
+        // and a healthy replayer must never trip the
+        // `serve.nonmonotone_makespan` counter — that counter exists to
+        // surface replayer clock bugs that the release build would
+        // otherwise hide behind `saturating_sub(..).max(1)`.
+        let was = pmobs::enabled();
+        pmobs::set_enabled(true);
+        let run = run_named("ctree", 40, 9);
+        let bounds = request_bounds(&run.events, 40);
+        let mut doubled = Vec::with_capacity(bounds.len() * 2);
+        for &b in &bounds {
+            doubled.push(b);
+            doubled.push(b); // empty segment
+        }
+        let services = service_times(&run.events, &doubled, PersistModel::X86Nvm);
+        for pair in services.chunks(2) {
+            assert_eq!(pair[1], 1, "empty segment floors to 1 ns");
+        }
+        let snap = pmobs::global().snapshot();
+        assert_eq!(
+            snap.counters.get("serve.nonmonotone_makespan").copied(),
+            None,
+            "monotone replay must never count a backwards makespan"
+        );
+        pmobs::set_enabled(was);
     }
 
     #[test]

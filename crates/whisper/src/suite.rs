@@ -74,7 +74,18 @@ pub struct SuiteConfig {
     /// never changes results: every application run is seeded and
     /// self-contained, and results come back in Table 1 order.
     pub parallelism: usize,
+    /// Logical worker threads *inside* the scheduler-interleaved
+    /// applications (redis, memcached, vacation): the seeded
+    /// [`memsim::Scheduler`] interleaves this many clients over one
+    /// shared machine. Unlike `parallelism` (a host knob), this is a
+    /// workload parameter — it changes the trace, so it is part of the
+    /// deterministic config the JSON report echoes back.
+    pub worker_threads: u32,
 }
+
+/// Default scheduler-worker count for the interleaved applications —
+/// the paper's Table 1 runs them with 4 client threads.
+pub const DEFAULT_WORKER_THREADS: u32 = 4;
 
 impl SuiteConfig {
     /// Fast configuration for unit tests and smoke runs.
@@ -92,6 +103,7 @@ impl SuiteConfig {
             scale: 1.0,
             seed: 42,
             parallelism: default_parallelism(),
+            worker_threads: DEFAULT_WORKER_THREADS,
         }
     }
 
@@ -129,6 +141,12 @@ impl SuiteConfig {
                     1.0 / MIN_OP_BASE as f64
                 ));
             }
+        }
+        if !(1..=64).contains(&self.worker_threads) {
+            return Err(format!(
+                "--threads {} out of range; the scheduler supports 1..=64 workers",
+                self.worker_threads
+            ));
         }
         Ok(())
     }
@@ -273,7 +291,7 @@ pub fn run_app(name: &str, cfg: &SuiteConfig) -> AppResult {
     let ops = cfg
         .effective_ops(name)
         .unwrap_or_else(|| panic!("unknown application {name:?}; expected one of {APP_NAMES:?}"));
-    let run = run_named(name, ops, seed);
+    let run = run_named_threads(name, ops, seed, cfg.worker_threads);
     let mut analysis = analyze(&run);
     analysis.fig10 = if SIM_APPS.contains(&name) {
         let sim_ops = ops / 2;
@@ -306,15 +324,27 @@ pub fn run_app(name: &str, cfg: &SuiteConfig) -> AppResult {
 ///
 /// Panics on an unknown name; the valid names are [`APP_NAMES`].
 pub fn run_named(name: &str, ops: usize, seed: u64) -> AppRun {
+    run_named_threads(name, ops, seed, DEFAULT_WORKER_THREADS)
+}
+
+/// [`run_named`] with an explicit scheduler-worker count. Only the
+/// scheduler-interleaved applications (redis, memcached, vacation)
+/// respond to `workers`; the rest model their Table 1 thread counts
+/// internally and ignore it.
+///
+/// # Panics
+///
+/// Panics on an unknown name; the valid names are [`APP_NAMES`].
+pub fn run_named_threads(name: &str, ops: usize, seed: u64, workers: u32) -> AppRun {
     match name {
         "echo" => apps::echo::run(ops, seed),
         "nstore-ycsb" => apps::nstore::run_ycsb(ops, seed),
         "nstore-tpcc" => apps::nstore::run_tpcc(ops, seed),
-        "redis" => apps::redis::run(ops, seed),
+        "redis" => apps::redis::run_threads(ops, seed, workers),
         "ctree" => apps::ctree(ops, seed),
         "hashmap" => apps::hashmap(ops, seed),
-        "vacation" => apps::vacation::run(ops, seed),
-        "memcached" => apps::memcached::run(ops, seed),
+        "vacation" => apps::vacation::run_threads(ops, seed, workers),
+        "memcached" => apps::memcached::run_threads(ops, seed, workers),
         "nfs" => apps::nfs(ops, seed),
         "exim" => apps::exim(ops, seed),
         "mysql" => apps::mysql(ops, seed),
@@ -415,6 +445,7 @@ mod tests {
             scale,
             seed,
             parallelism: 1,
+            worker_threads: DEFAULT_WORKER_THREADS,
         }
     }
 
@@ -510,6 +541,7 @@ mod tests {
             scale: 0.004,
             seed: 11,
             parallelism: 1,
+            worker_threads: DEFAULT_WORKER_THREADS,
         };
         let parallel = SuiteConfig {
             parallelism: 4,
@@ -524,6 +556,57 @@ mod tests {
             assert_eq!(x.run.stats, y.run.stats);
             assert_eq!(x.run.duration_ns, y.run.duration_ns);
             assert_eq!(x.analysis.fig10, y.analysis.fig10);
+        }
+    }
+
+    #[test]
+    fn worker_threads_are_a_workload_knob_not_a_host_knob() {
+        // `parallelism` is a host knob: fanning the interleaved apps
+        // out across 8 suite workers must reproduce the serial traces
+        // bit-identically. `worker_threads` is a workload knob: it
+        // feeds the in-app scheduler, so changing it changes the trace
+        // — and at 1 worker the cross-thread epoch dependencies vanish.
+        let base = SuiteConfig {
+            scale: 0.004,
+            seed: 9,
+            parallelism: 1,
+            worker_threads: DEFAULT_WORKER_THREADS,
+        };
+        let wide = SuiteConfig {
+            parallelism: 8,
+            ..base
+        };
+        let names = ["redis", "memcached", "vacation"];
+        let a = run_apps(&names, &base);
+        let b = run_apps(&names, &wide);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(
+                x.run.events, y.run.events,
+                "{}: host knob leaked",
+                x.run.name
+            );
+        }
+        let single = SuiteConfig {
+            worker_threads: 1,
+            ..base
+        };
+        let c = run_apps(&names, &single);
+        for (x, y) in a.iter().zip(&c) {
+            assert_ne!(
+                x.run.events, y.run.events,
+                "{}: worker count must change the trace",
+                x.run.name
+            );
+            assert!(
+                x.analysis.deps.cross_dep_epochs > 0,
+                "{}: 4 workers share structures",
+                x.run.name
+            );
+            assert_eq!(
+                y.analysis.deps.cross_dep_epochs, 0,
+                "{}: a single worker cannot cross-depend",
+                y.run.name
+            );
         }
     }
 
@@ -556,6 +639,7 @@ mod tests {
             scale: 0.004,
             seed: 5,
             parallelism: 64,
+            worker_threads: DEFAULT_WORKER_THREADS,
         };
         let r = run_apps(&["hashmap", "exim"], &cfg);
         assert_eq!(r.len(), 2);

@@ -73,6 +73,7 @@ fn metrics_collection_never_changes_results() {
             scale: 0.006,
             seed: 17,
             parallelism,
+            worker_threads: 4,
         };
 
         pmobs::set_enabled(false);
@@ -99,6 +100,7 @@ fn tracing_never_changes_results() {
             scale: 0.006,
             seed: 17,
             parallelism,
+            worker_threads: 4,
         };
 
         pmobs::trace::set_enabled(false);
@@ -127,6 +129,7 @@ fn instrumented_run_populates_registry() {
         scale: 0.006,
         seed: 17,
         parallelism: 1,
+        worker_threads: 4,
     };
     pmobs::set_enabled(true);
     let _ = run_apps(&["hashmap"], &cfg);
@@ -155,6 +158,7 @@ fn json_report_covers_full_suite() {
         scale: 0.004,
         seed: 3,
         parallelism: 4,
+        worker_threads: 4,
     };
     pmobs::set_enabled(true);
     let names: Vec<&str> = APP_NAMES.to_vec();

@@ -65,6 +65,7 @@ fn trace_export_is_bit_identical_across_parallelism() {
             scale: 0.006,
             seed: 17,
             parallelism,
+            worker_threads: 4,
         };
         traced_export(|| {
             run_apps(&["hashmap", "exim"], &cfg);
@@ -120,6 +121,7 @@ fn chrome_export_is_well_formed() {
         scale: 0.006,
         seed: 17,
         parallelism: 1,
+        worker_threads: 4,
     };
     let export = traced_export(|| {
         run_apps(&["exim"], &cfg);

@@ -17,15 +17,15 @@ fn main() {
     // ---- Part 1: functional persist buffers ----
     println!("== persist buffers, functionally ==");
     let mut sys = HopsSystem::new(HopsConfig::default(), AddrRange::new(0, 1 << 20), 4);
-    sys.store(0, 0x100, &10u64.to_le_bytes());
-    sys.ofence(0); // a local timestamp bump — no flushing
-    sys.store(0, 0x100, &20u64.to_le_bytes());
+    sys.store(0, 0x100, &10u64.to_le_bytes()).unwrap();
+    sys.ofence(0).unwrap(); // a local timestamp bump — no flushing
+    sys.store(0, 0x100, &20u64.to_le_bytes()).unwrap();
     println!(
         "after `mov A,10; ofence; mov A,20`: {} buffered versions of A, durable A = {}",
-        sys.buffered_versions(0, Line::containing(0x100)),
+        sys.buffered_versions(0, Line::containing(0x100)).unwrap(),
         sys.durable_u64(0x100)
     );
-    sys.dfence(0);
+    sys.dfence(0).unwrap();
     println!(
         "after dfence: durable A = {} (both versions drained in order)",
         sys.durable_u64(0x100)
@@ -33,12 +33,12 @@ fn main() {
 
     // Cross-thread dependency: t1 overwrites a line t0 still buffers.
     let mut sys = HopsSystem::new(HopsConfig::default(), AddrRange::new(0, 1 << 20), 4);
-    sys.store(0, 0x200, &1u64.to_le_bytes());
-    sys.store(1, 0x200, &2u64.to_le_bytes()); // WAW conflict → dependency pointer
-    sys.dfence(1);
+    sys.store(0, 0x200, &1u64.to_le_bytes()).unwrap();
+    sys.store(1, 0x200, &2u64.to_le_bytes()).unwrap(); // WAW conflict → dependency pointer
+    sys.dfence(1).unwrap();
     println!(
         "cross-thread WAW: draining t1 first drained t0 (t0 PB len = {}), durable = {}",
-        sys.pb_len(0),
+        sys.pb_len(0).unwrap(),
         sys.durable_u64(0x200)
     );
 

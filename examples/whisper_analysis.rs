@@ -17,6 +17,7 @@ fn main() {
             scale: 0.2,
             seed: 42,
             parallelism: 1,
+            worker_threads: 4,
         },
     );
     let epochs = analysis::split_epochs(&run.run.events);

@@ -13,6 +13,7 @@ fn results() -> Vec<AppResult> {
         scale: 0.02,
         seed: 42,
         parallelism: 1,
+        worker_threads: 4,
     };
     APP_NAMES.iter().map(|n| run_app(n, &cfg)).collect()
 }
@@ -77,8 +78,20 @@ fn suite_wide_paper_claims() {
         "native/library singleton average {avg_singleton} too low"
     );
 
-    // Abstract (d): self-dependencies abundant, cross-dependencies rare.
+    // Abstract (d): self-dependencies abundant, cross-dependencies
+    // rare. The deliberate exception is the interleaved redis port:
+    // its workers share one hash table and backlog queue, so cross
+    // dependencies are common by construction (EXPERIMENTS.md
+    // deviation 6); the paper's single-threaded redis — and its zero
+    // cross share — is recovered at `worker_threads: 1`.
     for r in &results {
+        if r.run.name == "redis" {
+            assert!(
+                r.analysis.deps.cross_dep_epochs > 0,
+                "redis: interleaved workers must produce cross-deps"
+            );
+            continue;
+        }
         assert!(
             r.analysis.deps.cross_fraction() < 0.25,
             "{}: cross-deps {} should be rare",
@@ -86,16 +99,18 @@ fn suite_wide_paper_claims() {
             r.analysis.deps.cross_fraction()
         );
     }
-    let avg_self: f64 = results
+    let paper_faithful: Vec<&AppResult> =
+        results.iter().filter(|r| r.run.name != "redis").collect();
+    let avg_self: f64 = paper_faithful
         .iter()
         .map(|r| r.analysis.deps.self_fraction())
         .sum::<f64>()
-        / results.len() as f64;
-    let avg_cross: f64 = results
+        / paper_faithful.len() as f64;
+    let avg_cross: f64 = paper_faithful
         .iter()
         .map(|r| r.analysis.deps.cross_fraction())
         .sum::<f64>()
-        / results.len() as f64;
+        / paper_faithful.len() as f64;
     assert!(
         avg_self > 10.0 * avg_cross,
         "self-deps ({avg_self}) should dominate cross-deps ({avg_cross})"
@@ -145,6 +160,15 @@ fn suite_wide_paper_claims() {
         let get = |idx: usize| r.analysis.fig10[idx].1;
         let (x86, pwq, hops, hops_pwq, ideal) = (get(0), get(1), get(2), get(3), get(4));
         assert!((x86 - 1.0).abs() < 1e-9, "{}", r.run.name);
+        if r.run.name == "redis" {
+            // The interleaved log-free dict leaves almost no
+            // persistence cost on the trace, so the four real
+            // mechanisms tie within noise (EXPERIMENTS.md deviation
+            // 6); only the no-persistence IDEAL floor must hold.
+            let floor = pwq.min(hops).min(hops_pwq);
+            assert!(ideal <= floor + 1e-9, "{}: IDEAL is the floor", r.run.name);
+            continue;
+        }
         assert!(pwq < x86, "{}: PWQ should help x86", r.run.name);
         assert!(hops < pwq, "{}: HOPS(NVM) should beat x86(PWQ)", r.run.name);
         assert!(hops_pwq <= hops, "{}", r.run.name);
@@ -175,6 +199,7 @@ fn deterministic_across_runs() {
         scale: 0.01,
         seed: 7,
         parallelism: 1,
+        worker_threads: 4,
     };
     let a = run_app("hashmap", &cfg);
     let b = run_app("hashmap", &cfg);
@@ -194,6 +219,7 @@ fn different_seeds_differ() {
             scale: 0.01,
             seed: 1,
             parallelism: 1,
+            worker_threads: 4,
         },
     );
     let b = run_app(
@@ -202,6 +228,7 @@ fn different_seeds_differ() {
             scale: 0.01,
             seed: 2,
             parallelism: 1,
+            worker_threads: 4,
         },
     );
     assert_ne!(
@@ -223,9 +250,11 @@ fn parallel_suite_matches_serial_runner() {
         scale: 0.008,
         seed: 42,
         parallelism: 1,
+        worker_threads: 4,
     };
     let parallel_cfg = SuiteConfig {
         parallelism: 4,
+        worker_threads: 4,
         ..serial_cfg
     };
     let serial = whisper::suite::run_suite(&serial_cfg);
@@ -256,6 +285,7 @@ fn streaming_analyzer_matches_legacy_functions_on_real_trace() {
             scale: 0.01,
             seed: 42,
             parallelism: 1,
+            worker_threads: 4,
         },
     );
     let epochs = analysis::split_epochs(&r.run.events);
@@ -281,6 +311,7 @@ fn reports_cover_every_app() {
         scale: 0.008,
         seed: 3,
         parallelism: 1,
+        worker_threads: 4,
     };
     let results: Vec<AppResult> = APP_NAMES.iter().map(|n| run_app(n, &cfg)).collect();
     let all = whisper::report::all(&results);
@@ -309,6 +340,7 @@ fn epoch_rate_is_scale_invariant() {
             scale: 0.01,
             seed: 9,
             parallelism: 1,
+            worker_threads: 4,
         },
     );
     let large = run_app(
@@ -317,6 +349,7 @@ fn epoch_rate_is_scale_invariant() {
             scale: 0.04,
             seed: 9,
             parallelism: 1,
+            worker_threads: 4,
         },
     );
     let ratio = small.analysis.epochs_per_sec / large.analysis.epochs_per_sec;
@@ -336,6 +369,7 @@ fn analysis_pipeline_consistency() {
             scale: 0.01,
             seed: 5,
             parallelism: 1,
+            worker_threads: 4,
         },
     );
     let e1 = analysis::split_epochs(&r.run.events);
